@@ -1,0 +1,46 @@
+"""Experiment ``fig1`` — Fig. 1: predicted runtime fraction vs qg.
+
+Regenerates the four curves (2/4/8/16 processes, τg = τl) of the
+paper's Fig. 1 from eq. (2) and prints them as a series table.  Exact
+reproduction: the figure is analytic, so measured == paper up to
+reading error.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.theory import fig1_series, periodic_runtime_fraction
+from repro.utils.tables import format_series
+
+QGS = [i / 20 for i in range(21)]
+PROCESS_COUNTS = [2, 4, 8, 16]
+
+
+def compute_series():
+    return fig1_series(QGS, PROCESS_COUNTS)
+
+
+def test_fig1_series(benchmark, capsys):
+    series = benchmark(compute_series)
+
+    # Anchor values read off the paper's Fig. 1.
+    assert series[2][0] == pytest.approx(0.5)          # qg=0, s=2
+    assert series[16][0] == pytest.approx(1 / 16)      # qg=0, s=16
+    assert series[4][8] == pytest.approx(0.55)         # qg=0.4, s=4 -> 45% cut
+    for s in PROCESS_COUNTS:
+        assert series[s][-1] == pytest.approx(1.0)     # qg=1: no gain
+
+    emit(capsys, format_series(
+        "Fig. 1 — predicted runtime fraction vs qg (tau_g = tau_l)",
+        "qg",
+        QGS,
+        [(f"{s} processes", series[s]) for s in PROCESS_COUNTS],
+        precision=4,
+        y_label="runtime / sequential runtime",
+    ))
+
+
+def test_fig1_fraction_point(benchmark):
+    """Micro-benchmark of the closed-form evaluation itself."""
+    out = benchmark(periodic_runtime_fraction, 0.4, 4)
+    assert out == pytest.approx(0.55)

@@ -1,0 +1,98 @@
+"""Experiment ``spec`` — speculative moves (§VI, eqs. (3)/(4), ref. [11]).
+
+The model says n-wide speculation reduces runtime to
+``(1 − p_r)/(1 − p_r^n)`` of sequential.  We verify the model against
+the *empirical* iterations-per-round of a real speculative chain at
+several widths (the wall-clock gain itself is modelled, not measured —
+CPython threads cannot run the Python-level kernel concurrently; see
+the module docstring of repro.mcmc.speculative).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.mcmc import MoveConfig, MoveGenerator, PosteriorState, SpeculativeChain
+from repro.mcmc.speculative import speculative_speedup
+from repro.utils.tables import Table
+
+WIDTHS = [1, 2, 4, 8, 16]
+ITERS = 12_000
+
+
+def run_experiment(workload):
+    rows = []
+    for width in WIDTHS:
+        post = PosteriorState(workload.filtered, workload.model)
+        chain = SpeculativeChain(
+            post, MoveGenerator(workload.model, workload.moves),
+            width=width, seed=100 + width,
+        )
+        res = chain.run(ITERS)
+        p_r = res.stats.rejection_rate()
+        rows.append((width, p_r, res.iterations_per_round,
+                     1.0 / speculative_speedup(p_r, width)))
+    return rows
+
+
+def test_speculative_model_vs_empirical(benchmark, capsys, fig2_small):
+    rows = benchmark.pedantic(run_experiment, args=(fig2_small,), iterations=1, rounds=1)
+
+    t = Table(
+        "Speculative moves — empirical iterations/round vs model (1−p_r^n)/(1−p_r)",
+        ["width n", "rejection rate p_r", "empirical iters/round", "model iters/round"],
+        precision=4,
+    )
+    for row in rows:
+        t.add_row(list(row))
+    emit(capsys, t.render())
+
+    for width, p_r, empirical, model in rows:
+        if width == 1:
+            assert empirical == pytest.approx(1.0)
+        else:
+            assert empirical == pytest.approx(model, rel=0.15)
+
+    # The paper's quoted regime: ~75 % rejection -> 4 threads give ≈ 2.7x.
+    emit(capsys, (
+        "paper regime check: p_r=0.75, n=4 -> runtime fraction "
+        f"{speculative_speedup(0.75, 4):.3f} (speedup {1/speculative_speedup(0.75, 4):.2f}x)"
+    ))
+
+
+def run_eq3_combined(workload):
+    """Periodic partitioning WITH speculative global phases (eq. (3))."""
+    from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+
+    mc = workload.moves
+    sched = PhaseSchedule(local_iters=600, qg=mc.qg)
+    sampler = PeriodicPartitioningSampler(
+        workload.filtered, workload.model, mc, sched, seed=55,
+        speculative_width=4,
+    )
+    res = sampler.run(15_000)
+    sampler.post.verify_consistency()
+    return res
+
+
+def test_eq3_combined_configuration(benchmark, capsys, fig2_small):
+    """The eq. (3) construction end-to-end: the global phases of a real
+    periodic run execute speculatively; the reported rounds give the
+    modeled wall clock a t-thread machine would achieve."""
+    res = benchmark.pedantic(run_eq3_combined, args=(fig2_small,),
+                             iterations=1, rounds=1)
+    g_iters = res.global_stats.total_iterations()
+    p_gr = res.global_stats.rejection_rate()
+    model_fraction = speculative_speedup(p_gr, 4)
+    measured_fraction = res.global_rounds / g_iters
+
+    t = Table("eq. (3) combined: speculative global phases inside the "
+              "periodic sampler (width 4)",
+              ["quantity", "value"], precision=4)
+    t.add_row(["global iterations", g_iters])
+    t.add_row(["speculative rounds", res.global_rounds])
+    t.add_row(["measured rounds/iterations", measured_fraction])
+    t.add_row(["model (1-p_gr)/(1-p_gr^4)", model_fraction])
+    emit(capsys, t.render())
+
+    assert res.global_rounds < g_iters
+    assert measured_fraction == pytest.approx(model_fraction, rel=0.20)

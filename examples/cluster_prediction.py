@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Predicting parallel MCMC runtimes (§VI, eqs. (2)–(4); Fig. 1).
+
+No MCMC is run here — this example exercises the paper's analytic
+runtime model and the machine-profile simulator:
+
+1. the Fig. 1 curves (runtime fraction vs qg for 2–16 processes);
+2. eq. (3): how much speculative execution of the global phases buys;
+3. eq. (4): a grid of cluster configurations (s machines × t threads);
+4. the simulated architecture study (Pentium-D / Q6600 / Xeon).
+
+Run:  python examples/cluster_prediction.py
+"""
+
+from repro.bench.harness import simulate_architecture
+from repro.core.theory import eq2_runtime, eq3_runtime, eq4_runtime, fig1_series
+from repro.geometry.rect import Rect
+from repro.parallel.machines import PENTIUM_D, Q6600, XEON_2P
+from repro.utils.tables import Table, format_series
+
+N = 500_000
+TAU = Q6600.iteration_time(150)  # ≈ the paper's per-iteration cost
+BOUNDS = Rect(0, 0, 1024, 1024)
+
+
+def main() -> None:
+    # ---- Fig. 1 ----------------------------------------------------------
+    qgs = [i / 10 for i in range(11)]
+    series = fig1_series(qgs, [2, 4, 8, 16])
+    print(format_series(
+        "Fig. 1 — predicted runtime fraction vs qg (tau_g = tau_l)",
+        "qg", qgs,
+        [(f"{s} processes", series[s]) for s in (2, 4, 8, 16)],
+        precision=3,
+    ))
+
+    # ---- eq. (2) vs eq. (3) ----------------------------------------------
+    print()
+    t = Table("eq. (2) vs eq. (3) — speculative global phases "
+              "(qg=0.4, s=4, p_gr=0.75)",
+              ["speculative threads n", "predicted runtime (s)"], precision=4)
+    t.add_row(["eq. (2), none", eq2_runtime(N, 0.4, TAU, TAU, 4)])
+    for n in (2, 4, 8):
+        t.add_row([n, eq3_runtime(N, 0.4, TAU, TAU, 4, n, p_gr=0.75)])
+    print(t.render())
+
+    # ---- eq. (4) ------------------------------------------------------------
+    print()
+    t = Table("eq. (4) — s machines × t threads (p_gr = p_lr = 0.75)",
+              ["s \\ t", "t=1", "t=2", "t=4", "t=8"], precision=4)
+    for s in (1, 2, 4, 8):
+        t.add_row([s] + [
+            eq4_runtime(N, 0.4, TAU, TAU, s=s, t=th, p_gr=0.75, p_lr=0.75)
+            for th in (1, 2, 4, 8)
+        ])
+    print(t.render())
+
+    # ---- simulated architecture study -------------------------------------
+    print()
+    t = Table("§VII architecture study (simulated profiles, 20 ms global phases)",
+              ["machine", "sequential (s)", "periodic (s)", "reduction",
+               "paper"], precision=3)
+    paper = {"Pentium-D": "38%", "Q6600": "29%", "Xeon-2P": "23%"}
+    for profile in (PENTIUM_D, Q6600, XEON_2P):
+        r = simulate_architecture(profile, N, 0.4, 150, BOUNDS, seed=9)
+        t.add_row([profile.name, r.sequential_seconds, r.periodic_seconds,
+                   f"{r.reduction:.1%}", paper[profile.name]])
+    print(t.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Periodic partitioning (§V) on multiple cores — the paper's headline.
+
+Runs the same 500-cycle periodic schedule serially and on a process
+pool, with the image in shared memory, and reports the wall-clock
+reduction.  The two runs produce bit-identical chains (partition tasks
+carry their own RNG streams), so the only difference is time.
+
+Run:  python examples/periodic_speedup.py
+"""
+
+import os
+
+from repro.bench.workloads import fig2_workload
+from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+from repro.core.evaluation import evaluate_model
+from repro.core.periodic import grid_partitioner
+from repro.parallel import ProcessExecutor, SharedImage
+from repro.parallel.sharedmem import worker_initializer
+
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def main() -> None:
+    workload = fig2_workload(scale=0.5)  # 512², ~38 cells, qg = 0.4
+    spec, mc, img = workload.model, workload.moves, workload.filtered
+    schedule = PhaseSchedule(local_iters=6000, qg=mc.qg)
+    partitioner = grid_partitioner(150, 150)
+    iterations = 40_000
+
+    print(f"workload: {spec.width}x{spec.height}, "
+          f"{workload.n_truth} cells, qg = {mc.qg:.2f}")
+    print(f"schedule: {schedule.global_iters} global + "
+          f"{schedule.local_iters} local iterations per cycle")
+
+    print("\nserial run...")
+    serial = PeriodicPartitioningSampler(
+        img, spec, mc, schedule, partitioner=partitioner, seed=5
+    )
+    res_serial = serial.run(iterations)
+
+    print(f"parallel run ({WORKERS} worker processes, shared-memory image)...")
+    with SharedImage.create(img) as shm:
+        with ProcessExecutor(
+            WORKERS, initializer=worker_initializer, initargs=shm.attach_args()
+        ) as ex:
+            parallel = PeriodicPartitioningSampler(
+                img, spec, mc, schedule, partitioner=partitioner,
+                executor=ex, seed=5,
+            )
+            res_parallel = parallel.run(iterations)
+
+    same = sorted((c.x, c.y, c.r) for c in res_serial.final_circles) == sorted(
+        (c.x, c.y, c.r) for c in res_parallel.final_circles
+    )
+    reduction = 1 - res_parallel.elapsed_seconds / res_serial.elapsed_seconds
+
+    print(f"\nserial:   {res_serial.elapsed_seconds:6.2f} s "
+          f"(global {res_serial.global_seconds:.2f}, local {res_serial.local_seconds:.2f})")
+    print(f"parallel: {res_parallel.elapsed_seconds:6.2f} s "
+          f"(global {res_parallel.global_seconds:.2f}, local {res_parallel.local_seconds:.2f})")
+    print(f"runtime reduction: {reduction:.1%}  "
+          "(paper's measured range on 2010 hardware: 23%–38%)")
+    print(f"chains identical across executors: {same}")
+
+    f1 = evaluate_model(res_parallel.final_circles, workload.scene.circles).f1
+    print(f"detection F1 vs ground truth: {f1:.2f}")
+
+
+if __name__ == "__main__":
+    main()

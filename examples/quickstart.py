@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: detect circular artifacts in a synthetic micrograph.
+
+The smallest end-to-end path through the library:
+
+1. generate a synthetic "stained nuclei" scene (ground truth known);
+2. threshold-filter it (the paper's §III pre-processing step);
+3. fit a circle configuration by reversible-jump MCMC;
+4. score the result against ground truth.
+
+Outputs ``quickstart_scene.pgm`` / ``quickstart_filtered.pgm`` next to
+this script so you can look at what was processed.
+
+Run:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro.core.evaluation import evaluate_model
+from repro.imaging import SceneSpec, generate_scene, threshold_filter, write_pgm
+from repro.imaging.density import estimate_count
+from repro.mcmc import (
+    MarkovChain,
+    ModelSpec,
+    MoveConfig,
+    MoveGenerator,
+    PosteriorState,
+)
+
+HERE = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    # 1. A 256x256 scene with 20 nuclei of mean radius 9.
+    scene = generate_scene(
+        SceneSpec(width=256, height=256, n_circles=20, mean_radius=9.0),
+        seed=2024,
+    )
+    write_pgm(scene.image, HERE / "quickstart_scene.pgm")
+
+    # 2. Emphasise the intensity of interest.
+    filtered = threshold_filter(scene.image, 0.4)
+    write_pgm(filtered, HERE / "quickstart_filtered.pgm")
+
+    # 3. Build the model.  The expected count comes from eq. (5) — prior
+    #    knowledge estimated mechanically from the data.
+    expected = max(estimate_count(filtered, 0.5, 9.0), 1.0)
+    spec = ModelSpec(
+        width=256, height=256, expected_count=expected,
+        radius_mean=9.0, radius_std=1.5, radius_min=3.0, radius_max=18.0,
+    )
+    post = PosteriorState(filtered, spec)
+    chain = MarkovChain(post, MoveGenerator(spec, MoveConfig()), seed=7)
+
+    print(f"expected count from eq. (5): {expected:.1f} (truth: {scene.n_circles})")
+    print("running 40,000 RJMCMC iterations...")
+    result = chain.run(40_000)
+
+    # 4. Score against ground truth.
+    found = post.snapshot_circles()
+    report = evaluate_model(found, scene.circles)
+    print(f"found {report.n_found} artifacts "
+          f"(matched {report.n_matched}/{report.n_truth})")
+    print(f"precision {report.precision:.2f}  recall {report.recall:.2f}  "
+          f"F1 {report.f1:.2f}")
+    print(f"mean centre error {report.mean_center_error:.2f} px, "
+          f"mean radius error {report.mean_radius_error:.2f} px")
+    print(f"chain: {result.seconds_per_iteration * 1e6:.0f} µs/iteration, "
+          f"acceptance rate {result.stats.acceptance_rate():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Shared simulation drivers for the Fig. 2 and architecture benchmarks.
+
+These helpers turn a workload description into the
+:class:`~repro.parallel.simcluster.CycleSpec` streams the timing
+simulator consumes, drawing partition geometry exactly the way the real
+periodic sampler does (random single-point splits each cycle) so the
+simulated curves inherit the genuine variability of partition sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.phases import PhaseSchedule
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+from repro.parallel.machines import MachineProfile
+from repro.parallel.simcluster import (
+    CycleSpec,
+    SimResult,
+    simulate_run,
+    simulate_sequential,
+)
+from repro.partitioning.allocation import allocate_iterations
+from repro.partitioning.grid import single_point_partition
+from repro.utils.rng import RngStream, SeedLike, coerce_stream
+
+__all__ = ["fig2_cycle_specs", "simulate_fig2_point", "simulate_architecture"]
+
+
+def _partition_feature_counts(
+    fractions: List[float], n_features: int, stream: RngStream
+) -> List[int]:
+    """Distribute *n_features* over partitions with multinomial sampling
+    (features are uniform over the image, so a partition holds a
+    Binomial(area-fraction) share)."""
+    probs = np.asarray(fractions, dtype=float)
+    probs = probs / probs.sum()
+    return [int(c) for c in stream.rng.multinomial(n_features, probs)]
+
+
+def fig2_cycle_specs(
+    total_iterations: int,
+    schedule: PhaseSchedule,
+    n_features: int,
+    bounds: Rect,
+    seed: SeedLike = 0,
+    modifiable_fraction: float = 0.9,
+) -> Iterator[CycleSpec]:
+    """Cycle specs for the §VII experiment: four single-point partitions
+    re-drawn every cycle, iterations allocated by modifiable count.
+
+    *modifiable_fraction* models the features lost to the boundary
+    margin (features too close to a cut cannot be modified that cycle).
+    """
+    if n_features < 0:
+        raise ConfigurationError(f"n_features must be >= 0, got {n_features}")
+    if not (0.0 < modifiable_fraction <= 1.0):
+        raise ConfigurationError(
+            f"modifiable_fraction must be in (0, 1], got {modifiable_fraction}"
+        )
+    stream = coerce_stream(seed)
+    for g_iters, l_iters in schedule.cycles(total_iterations):
+        grid = single_point_partition(bounds, seed=stream)
+        fractions = [c.area / bounds.area for c in grid.cells]
+        counts = _partition_feature_counts(fractions, n_features, stream)
+        modifiable = [
+            int(round(c * modifiable_fraction)) if c > 0 else 0 for c in counts
+        ]
+        allocs = allocate_iterations(l_iters, modifiable)
+        if sum(allocs) == 0 and l_iters > 0:
+            # No partition had modifiable features (tiny models): the
+            # iterations fall to the largest partition sequentially.
+            allocs = [0] * len(counts)
+            allocs[int(np.argmax(fractions))] = l_iters
+        yield CycleSpec(
+            global_iters=g_iters,
+            local_allocs=allocs,
+            features_per_partition=counts,
+            total_features=n_features,
+        )
+
+
+def simulate_fig2_point(
+    profile: MachineProfile,
+    total_iterations: int,
+    qg: float,
+    global_phase_seconds: float,
+    n_features: int,
+    bounds: Rect,
+    seed: SeedLike = 0,
+) -> SimResult:
+    """Simulated periodic runtime for one x-value of Fig. 2."""
+    tau_seq = profile.iteration_time(n_features)
+    schedule = PhaseSchedule.from_global_phase_time(qg, global_phase_seconds, tau_seq)
+    specs = fig2_cycle_specs(total_iterations, schedule, n_features, bounds, seed=seed)
+    return simulate_run(profile, specs)
+
+
+@dataclass(frozen=True)
+class ArchitectureResult:
+    """One row of the simulated architecture study."""
+
+    machine: str
+    sequential_seconds: float
+    periodic_seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional runtime reduction (the paper quotes 38 % / 29 % / 23 %)."""
+        return 1.0 - self.periodic_seconds / self.sequential_seconds
+
+
+def simulate_architecture(
+    profile: MachineProfile,
+    total_iterations: int,
+    qg: float,
+    n_features: int,
+    bounds: Rect,
+    global_phase_seconds: float = 0.020,
+    seed: SeedLike = 0,
+) -> ArchitectureResult:
+    """Sequential vs periodic on one machine profile (§VII's sweet-spot
+    settings: 20 ms global phases)."""
+    seq = simulate_sequential(profile, total_iterations, n_features)
+    par = simulate_fig2_point(
+        profile, total_iterations, qg, global_phase_seconds, n_features, bounds,
+        seed=seed,
+    )
+    return ArchitectureResult(
+        machine=profile.name,
+        sequential_seconds=seq,
+        periodic_seconds=par.total_seconds,
+    )

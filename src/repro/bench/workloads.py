@@ -1,0 +1,173 @@
+"""Canonical benchmark workloads.
+
+Each factory bundles a synthetic scene with the matching model and move
+configuration.  Two track the paper's setups directly:
+
+* :func:`fig2_workload` — §VII: "a 1024x1024 image containing 150 cells
+  of mean radius 10", qg = 0.4 with 60 % local moves.  A ``scale``
+  knob shrinks it proportionally (feature density preserved) so CI-
+  sized runs exercise the same shape.
+* :func:`bead_workload` — §IX / Fig. 3: a clumped bead image with one
+  dominant clump (38 of 48 beads in the paper) and two minor ones,
+  separated by empty gutters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.imaging.density import estimate_count
+from repro.imaging.filters import threshold_filter
+from repro.imaging.image import Image
+from repro.imaging.synthetic import (
+    Scene,
+    SceneSpec,
+    generate_bead_scene,
+    generate_scene,
+)
+from repro.mcmc.spec import ModelSpec, MoveConfig, MoveType
+from repro.utils.rng import SeedLike
+
+__all__ = ["Workload", "fig2_workload", "bead_workload", "small_nuclei_workload"]
+
+#: Move weights realising the paper's §VII setup: qg = 0.4 with the five
+#: global move types, 60 % of proposals local.
+PAPER_MOVE_WEIGHTS = {
+    MoveType.BIRTH: 0.10,
+    MoveType.DEATH: 0.10,
+    MoveType.SPLIT: 0.06,
+    MoveType.MERGE: 0.06,
+    MoveType.REPLACE: 0.08,
+    MoveType.TRANSLATE: 0.30,
+    MoveType.RESIZE: 0.30,
+}
+
+
+@dataclass
+class Workload:
+    """A scene plus everything needed to run MCMC on it."""
+
+    name: str
+    scene: Scene
+    filtered: Image
+    model: ModelSpec
+    moves: MoveConfig
+    threshold: float
+
+    @property
+    def n_truth(self) -> int:
+        return self.scene.n_circles
+
+
+def _build(
+    name: str,
+    scene: Scene,
+    threshold: float,
+    radius_mean: float,
+    radius_max_factor: float = 2.0,
+) -> Workload:
+    filtered = threshold_filter(scene.image, threshold)
+    est = max(estimate_count(filtered, 0.5, radius_mean), 1.0)
+    model = ModelSpec(
+        width=scene.spec.width,
+        height=scene.spec.height,
+        expected_count=est,
+        radius_mean=radius_mean,
+        radius_std=scene.spec.radius_std,
+        radius_min=max(scene.spec.min_radius, 1.0),
+        radius_max=radius_mean * radius_max_factor,
+    )
+    return Workload(
+        name=name,
+        scene=scene,
+        filtered=filtered,
+        model=model,
+        moves=MoveConfig(weights=dict(PAPER_MOVE_WEIGHTS)),
+        threshold=threshold,
+    )
+
+
+def fig2_workload(scale: float = 1.0, seed: SeedLike = 1024) -> Workload:
+    """The §VII workload at a given linear *scale*.
+
+    ``scale=1`` is the paper's 1024×1024 / 150 cells; ``scale=0.25``
+    gives 256×256 / ~9 cells at the same density... cell count scales
+    with area so the per-pixel workload matches.
+    """
+    if not (0.05 <= scale <= 1.0):
+        raise ConfigurationError(f"scale must be in [0.05, 1], got {scale}")
+    size = max(64, int(round(1024 * scale)))
+    n = max(4, int(round(150 * scale * scale)))
+    scene = generate_scene(
+        SceneSpec(
+            width=size,
+            height=size,
+            n_circles=n,
+            mean_radius=10.0,
+            radius_std=1.5,
+            min_radius=3.0,
+            blur_sigma=1.0,
+            noise_sigma=0.02,
+        ),
+        seed=seed,
+    )
+    return _build(f"fig2@{scale:g}", scene, threshold=0.4, radius_mean=10.0)
+
+
+def bead_workload(
+    scale: float = 1.0, n_beads: Optional[int] = None, seed: SeedLike = 348
+) -> Workload:
+    """The §IX bead image: three clumps, one dominant (the paper's
+    visual counts: 6 / 38 / 4 of 48 beads).
+
+    Bead *count* scales with area (so packing density inside a clump is
+    scale-invariant), clump radius scales linearly with *scale* (so a
+    clump of k ∝ scale² beads of fixed radius always fits at ~40 % area
+    density).
+    """
+    if not (0.25 <= scale <= 2.0):
+        raise ConfigurationError(f"scale must be in [0.25, 2], got {scale}")
+    mean_radius = 8.0
+    n = n_beads if n_beads is not None else max(6, int(round(48 * scale * scale)))
+    # Size the dominant clump for ~40% bead area density, then size the
+    # image so three clumps plus gutters fit along the x axis.
+    dominant = max(2.0, n * 38.0 / 48.0)
+    clump_r = mean_radius * math.sqrt(dominant / 0.4)
+    gutter = max(20.0, 40.0 * scale)
+    pad = clump_r + mean_radius + 4.0
+    need = 3 * 2 * pad + 2 * gutter
+    width = int(math.ceil(1.15 * need))
+    height = max(int(round(2 * pad + 20)), int(round(0.6 * width)))
+    scene = generate_bead_scene(
+        SceneSpec(
+            width=width,
+            height=height,
+            n_circles=n,
+            mean_radius=mean_radius,
+            radius_std=0.8,  # "very little variation in the radii of the latex beads"
+            min_radius=4.0,
+            blur_sigma=0.8,
+            noise_sigma=0.015,
+        ),
+        n_clumps=3,
+        clump_radius_factor=clump_r / mean_radius,
+        gutter=gutter,
+        clump_weights=[6, 38, 4],
+        seed=seed,
+    )
+    return _build(f"beads@{scale:g}", scene, threshold=0.5, radius_mean=mean_radius)
+
+
+def small_nuclei_workload(seed: SeedLike = 7) -> Workload:
+    """A 192×192 / 15-cell scene for tests and quick examples."""
+    scene = generate_scene(
+        SceneSpec(
+            width=192, height=192, n_circles=15, mean_radius=8.0,
+            radius_std=1.2, min_radius=3.0,
+        ),
+        seed=seed,
+    )
+    return _build("small-nuclei", scene, threshold=0.4, radius_mean=8.0)

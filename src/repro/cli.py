@@ -1,0 +1,223 @@
+"""Command-line interface: reproduce the paper's experiments by id.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro run fig1             # regenerate one experiment
+    python -m repro run arch --seed 7
+    python -m repro quickstart           # end-to-end detection demo
+
+The CLI wraps the same machinery the benchmark suite uses
+(:mod:`repro.bench`), at reduced iteration budgets where MCMC is
+involved, so each experiment finishes in seconds to a couple of
+minutes.  For the asserted, archived versions run
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.utils.tables import Table, format_series
+
+__all__ = ["main"]
+
+
+def _run_fig1(seed: int) -> None:
+    from repro.core.theory import fig1_series
+
+    qgs = [i / 10 for i in range(11)]
+    series = fig1_series(qgs, [2, 4, 8, 16])
+    print(format_series(
+        "Fig. 1 — predicted runtime fraction vs qg (tau_g = tau_l)",
+        "qg", qgs, [(f"{s} processes", series[s]) for s in (2, 4, 8, 16)],
+        precision=3,
+    ))
+
+
+def _run_fig2(seed: int) -> None:
+    from repro.bench.harness import simulate_fig2_point
+    from repro.geometry.rect import Rect
+    from repro.parallel.machines import Q6600
+    from repro.parallel.simcluster import simulate_sequential
+
+    bounds = Rect(0, 0, 1024, 1024)
+    seq = simulate_sequential(Q6600, 500_000, 150)
+    t = Table("Fig. 2 (simulated Q6600) — 1024², 150 cells, 500k iterations",
+              ["global phase (ms)", "runtime (s)", "fraction of sequential"])
+    for tg in (0.002, 0.004, 0.006, 0.010, 0.020, 0.035, 0.050):
+        sim = simulate_fig2_point(Q6600, 500_000, 0.4, tg, 150, bounds, seed=seed)
+        t.add_row([tg * 1000, sim.total_seconds, sim.total_seconds / seq])
+    t.add_row(["sequential", seq, 1.0])
+    print(t.render())
+
+
+def _run_arch(seed: int) -> None:
+    from repro.bench.harness import simulate_architecture
+    from repro.geometry.rect import Rect
+    from repro.parallel.machines import PENTIUM_D, Q6600, XEON_2P
+
+    bounds = Rect(0, 0, 1024, 1024)
+    paper = {"Pentium-D": 0.38, "Q6600": 0.29, "Xeon-2P": 0.23}
+    t = Table("§VII architecture study (simulated, 20 ms global phases)",
+              ["machine", "sequential (s)", "periodic (s)", "reduction", "paper"],
+              precision=3)
+    for profile in (PENTIUM_D, Q6600, XEON_2P):
+        r = simulate_architecture(profile, 500_000, 0.4, 150, bounds, seed=seed)
+        t.add_row([profile.name, r.sequential_seconds, r.periodic_seconds,
+                   f"{r.reduction:.1%}", f"{paper[profile.name]:.0%}"])
+    print(t.render())
+
+
+def _run_table1(seed: int) -> None:
+    from repro.bench.workloads import bead_workload
+    from repro.core.intelligent_pipeline import run_intelligent_pipeline
+    from repro.core.evaluation import evaluate_model
+
+    workload = bead_workload(scale=0.5)
+    print("running intelligent partitioning on the bead image "
+          f"({workload.n_truth} beads)...")
+    result = run_intelligent_pipeline(
+        workload.scene.image, workload.model, workload.moves,
+        iterations_per_partition=10_000, theta=workload.threshold,
+        min_gap=14, seed=seed,
+    )
+    t = Table("Table I layout — intelligent partitioning",
+              ["partition", "rel area", "# obj density", "# obj thresh",
+               "t/iter (s)", "runtime (s)"], precision=3)
+    for k, p in enumerate(result.partitions):
+        t.add_row([chr(ord("A") + k), p.relative_area, p.est_count_density,
+                   p.est_count_threshold, p.seconds_per_iteration,
+                   p.runtime_seconds])
+    print(t.render())
+    rep = evaluate_model(result.circles, workload.scene.circles)
+    print(f"detection F1: {rep.f1:.2f}")
+
+
+def _run_fig4(seed: int) -> None:
+    from repro.bench.workloads import bead_workload
+    from repro.core.blind_pipeline import run_blind_pipeline
+    from repro.core.evaluation import evaluate_model
+
+    workload = bead_workload(scale=0.5)
+    print("running blind partitioning (2×2, overlap 1.1·r̄)...")
+    result = run_blind_pipeline(
+        workload.scene.image, workload.model, workload.moves,
+        iterations_per_partition=8_000, theta=workload.threshold, seed=seed,
+    )
+    runtimes = result.partition_runtimes()
+    t = Table("Fig. 4 — blind partitioning quadrants",
+              ["quadrant", "runtime (s)", "est # obj"], precision=3)
+    for k, (rt, est) in enumerate(zip(runtimes, result.est_counts)):
+        t.add_row([f"Q{k}", rt, est])
+    print(t.render())
+    m = result.merge_report
+    print(f"merge: auto={m.n_auto_accepted} merged={m.n_merged} "
+          f"corroborated={m.n_corroborated} disputed_kept={m.n_disputed_kept} "
+          f"rescued={m.n_rescued}")
+    rep = evaluate_model(result.circles, workload.scene.circles)
+    print(f"detection F1: {rep.f1:.2f}")
+
+
+def _run_spec(seed: int) -> None:
+    from repro.bench.workloads import fig2_workload
+    from repro.mcmc import MoveGenerator, PosteriorState, SpeculativeChain
+    from repro.mcmc.speculative import speculative_speedup
+
+    workload = fig2_workload(scale=0.25)
+    t = Table("Speculative moves — empirical vs model",
+              ["width n", "p_r", "empirical iters/round", "model"], precision=4)
+    for width in (1, 2, 4, 8):
+        post = PosteriorState(workload.filtered, workload.model)
+        chain = SpeculativeChain(
+            post, MoveGenerator(workload.model, workload.moves),
+            width=width, seed=seed + width,
+        )
+        res = chain.run(6_000)
+        p_r = res.stats.rejection_rate()
+        t.add_row([width, p_r, res.iterations_per_round,
+                   1.0 / speculative_speedup(p_r, width)])
+    print(t.render())
+
+
+def _run_live(seed: int) -> None:
+    from repro.bench.workloads import fig2_workload
+    from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+    from repro.core.periodic import grid_partitioner
+    from repro.parallel import ProcessExecutor, SharedImage
+    from repro.parallel.sharedmem import worker_initializer
+
+    workload = fig2_workload(scale=0.5)
+    spec, mc, img = workload.model, workload.moves, workload.filtered
+    sched = PhaseSchedule(local_iters=6000, qg=mc.qg)
+    part = grid_partitioner(150, 150)
+    print("serial run...")
+    serial = PeriodicPartitioningSampler(
+        img, spec, mc, sched, partitioner=part, seed=seed).run(30_000)
+    print("4-process run...")
+    with SharedImage.create(img) as shm:
+        with ProcessExecutor(4, initializer=worker_initializer,
+                             initargs=shm.attach_args()) as ex:
+            parallel = PeriodicPartitioningSampler(
+                img, spec, mc, sched, partitioner=part, executor=ex,
+                seed=seed).run(30_000)
+    reduction = 1 - parallel.elapsed_seconds / serial.elapsed_seconds
+    print(f"serial {serial.elapsed_seconds:.2f} s, "
+          f"parallel {parallel.elapsed_seconds:.2f} s "
+          f"-> reduction {reduction:.1%} (paper: 23%–38%)")
+
+
+def _run_quickstart(seed: int) -> None:
+    import repro
+
+    scene, found, report = repro.quickstart_detect(seed=seed)
+    print(f"truth {report.n_truth}, found {report.n_found}, "
+          f"F1 {report.f1:.2f}, recall {report.recall:.2f}")
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": (_run_fig1, "Fig. 1: predicted runtime fraction vs qg (analytic)"),
+    "fig2": (_run_fig2, "Fig. 2: runtime vs global-phase length (simulated Q6600)"),
+    "arch": (_run_arch, "§VII: architecture study (three simulated machines)"),
+    "table1": (_run_table1, "Table I: intelligent partitioning on the bead image"),
+    "fig4": (_run_fig4, "Fig. 4/§IX: blind partitioning on the bead image"),
+    "spec": (_run_spec, "Speculative moves: model vs empirical"),
+    "live": (_run_live, "Live periodic-partitioning speedup on this host"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'On the Parallelisation of MCMC-based Image "
+                    "Processing' (Byrd et al., 2010)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list reproducible experiments")
+    run = sub.add_parser("run", help="run one experiment by id")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--seed", type=int, default=0)
+    quick = sub.add_parser("quickstart", help="end-to-end detection demo")
+    quick.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        t = Table("Experiments (python -m repro run <id>)", ["id", "description"])
+        for key in sorted(EXPERIMENTS):
+            t.add_row([key, EXPERIMENTS[key][1]])
+        print(t.render())
+        return 0
+    if args.command == "run":
+        EXPERIMENTS[args.experiment][0](args.seed)
+        return 0
+    if args.command == "quickstart":
+        _run_quickstart(args.seed)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

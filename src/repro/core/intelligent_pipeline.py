@@ -1,0 +1,175 @@
+"""Intelligent partitioning pipeline (§VIII–IX, Fig. 3, Table I).
+
+Stages, exactly as the paper runs them on the bead image:
+
+1. threshold-filter the image (θ = 0.5 in the paper);
+2. segment along empty rows/columns
+   (:func:`repro.partitioning.intelligent.segment_image`);
+3. estimate each partition's expected artifact count with eq. (5)
+   (plus the naive area-scaled estimate, for Table I's comparison row);
+4. run an independent full RJMCMC chain per partition (in parallel when
+   an executor with parallelism is supplied);
+5. concatenate the models — partitions are disjoint, so recombination
+   is trivial.
+
+The pipeline result carries everything Table I reports per partition:
+area, the three count estimates, measured time/iteration, iterations to
+convergence, runtime, and runtime relative to the unpartitioned chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import PartitioningError
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.imaging.density import estimate_count_by_area, estimate_count_in_rect
+from repro.imaging.filters import threshold_filter
+from repro.imaging.image import Image
+from repro.core.subimage import SubImageResult, make_subimage_task, run_subimage_task
+from repro.mcmc.spec import ModelSpec, MoveConfig
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.scheduler import makespan
+from repro.parallel.sharedmem import set_worker_image
+from repro.partitioning.intelligent import SegmentationResult, segment_image
+from repro.partitioning.merge import concat_models
+from repro.utils.rng import SeedLike, coerce_stream
+
+__all__ = ["PartitionRunReport", "IntelligentPipelineResult", "run_intelligent_pipeline"]
+
+
+@dataclass
+class PartitionRunReport:
+    """Per-partition facts — one Table I column."""
+
+    rect: Rect
+    area: float
+    relative_area: float
+    est_count_threshold: float  #: eq. (5) on the partition's own pixels
+    est_count_density: float  #: naive area-scaled whole-image estimate
+    result: SubImageResult = None  # type: ignore[assignment]
+
+    @property
+    def n_found(self) -> int:
+        return len(self.result.circles)
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.result.seconds_per_iteration
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.result.elapsed_seconds
+
+    def convergence_iteration(self, **kwargs) -> Optional[int]:
+        return self.result.convergence_iteration(**kwargs)
+
+
+@dataclass
+class IntelligentPipelineResult:
+    """Everything §IX reports for intelligent partitioning."""
+
+    segmentation: SegmentationResult
+    partitions: List[PartitionRunReport]
+    circles: List[Circle] = field(default_factory=list)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def longest_partition_seconds(self) -> float:
+        """Runtime with one processor per partition: the slowest one
+        ("the intelligent-partitioning program runtime is the longest
+        time taken to process any of the partitions")."""
+        return max((p.runtime_seconds for p in self.partitions), default=0.0)
+
+    def runtime_with_processors(self, n_processors: int) -> float:
+        """Runtime with load balancing onto *n_processors* (§IX's
+        two-processor discussion): the LPT makespan of the partition
+        runtimes."""
+        costs = [p.runtime_seconds for p in self.partitions]
+        return makespan(costs, n_processors) if costs else 0.0
+
+
+def run_intelligent_pipeline(
+    image: Image,
+    spec: ModelSpec,
+    move_config: MoveConfig,
+    iterations_per_partition: int,
+    theta: float = 0.5,
+    min_gap: float = 8.0,
+    pad: float = 3.0,
+    trim: bool = False,
+    executor: Optional[Executor] = None,
+    seed: SeedLike = None,
+    whole_image_count: Optional[float] = None,
+    record_every: int = 50,
+) -> IntelligentPipelineResult:
+    """Run the full intelligent-partitioning pipeline on *image*.
+
+    Parameters
+    ----------
+    iterations_per_partition:
+        Chain length per partition.  Iterations to convergence is
+        *measured* from the trace afterwards, as in Table I.
+    theta:
+        Threshold for both segmentation and eq. (5) estimates.
+    whole_image_count:
+        Prior knowledge of the total artifact count, used for the naive
+        area-scaled estimate column; defaults to eq. (5) over the whole
+        image.
+    """
+    binary = threshold_filter(image, theta)
+    segmentation = segment_image(binary, min_gap=min_gap, pad=pad, trim=trim)
+    if len(segmentation) == 0:
+        raise PartitioningError(
+            "segmentation produced no partitions (image empty at this threshold?)"
+        )
+    stream = coerce_stream(seed)
+    total_area = image.bounds.area
+    if whole_image_count is None:
+        whole_image_count = estimate_count_in_rect(
+            binary, image.bounds, theta=0.5, radius=spec.radius_mean
+        )
+
+    set_worker_image(image.pixels)  # serial/thread executors read this
+    exec_ = executor or SerialExecutor()
+
+    reports: List[PartitionRunReport] = []
+    tasks = []
+    for rect in segmentation.partitions:
+        est_thresh = estimate_count_in_rect(
+            binary, rect, theta=0.5, radius=spec.radius_mean
+        )
+        est_density = estimate_count_by_area(whole_image_count, rect, bounds=image.bounds)
+        reports.append(
+            PartitionRunReport(
+                rect=rect,
+                area=rect.area,
+                relative_area=rect.area / total_area,
+                est_count_threshold=est_thresh,
+                est_count_density=est_density,
+            )
+        )
+        tasks.append(
+            make_subimage_task(
+                rect,
+                spec,
+                move_config,
+                expected_count=est_thresh,
+                iterations=iterations_per_partition,
+                seed=int(stream.rng.integers(0, 2**63 - 1)),
+                record_every=record_every,
+            )
+        )
+
+    results = exec_.map(run_subimage_task, tasks)
+    for report, result in zip(reports, results):
+        report.result = result
+
+    circles = concat_models([r.circles for r in results])
+    return IntelligentPipelineResult(
+        segmentation=segmentation, partitions=reports, circles=circles
+    )

@@ -1,0 +1,99 @@
+"""Naive partitioning — the broken baseline (§I, §V motivation).
+
+"'Naively' bisecting an image and considering the two equal halves
+separately will ... not yield the same results as processing the entire
+image at once.  Even in the absence of global properties, artifacts
+that intersect with a partition boundary may be found twice ..., be
+poorly identified ..., or not be found at all."
+
+We implement it exactly so the benchmark suite can *show* those
+anomalies: split into a plain grid with **no overlap**, give each tile
+the area-scaled share of the whole-image prior (the incorrect uniform-
+density assumption §VIII criticises), run independent chains, and
+concatenate without any reconciliation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+from repro.core.subimage import SubImageResult, make_subimage_task, run_subimage_task
+from repro.mcmc.spec import ModelSpec, MoveConfig
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.sharedmem import set_worker_image
+from repro.partitioning.merge import concat_models
+from repro.utils.rng import SeedLike, coerce_stream
+
+__all__ = ["NaiveResult", "run_naive_partitioning"]
+
+
+@dataclass
+class NaiveResult:
+    """Outcome of naive partitioning (no reconciliation performed)."""
+
+    tiles: List[Rect]
+    sub_results: List[SubImageResult]
+    circles: List[Circle] = field(default_factory=list)
+
+    def cut_lines(self):
+        """The interior grid lines, for boundary-anomaly accounting:
+        list of ('v'|'h', coordinate) pairs."""
+        lines = []
+        xs = sorted({t.x0 for t in self.tiles} | {t.x1 for t in self.tiles})
+        ys = sorted({t.y0 for t in self.tiles} | {t.y1 for t in self.tiles})
+        for x in xs[1:-1]:
+            lines.append(("v", x))
+        for y in ys[1:-1]:
+            lines.append(("h", y))
+        return lines
+
+
+def run_naive_partitioning(
+    image: Image,
+    spec: ModelSpec,
+    move_config: MoveConfig,
+    iterations_per_tile: int,
+    nx: int = 2,
+    ny: int = 2,
+    executor: Optional[Executor] = None,
+    seed: SeedLike = None,
+    record_every: int = 50,
+) -> NaiveResult:
+    """Divide-and-conquer with none of the paper's safeguards."""
+    bounds = image.bounds
+    xs = [bounds.x0 + bounds.width * i / nx for i in range(nx + 1)]
+    ys = [bounds.y0 + bounds.height * j / ny for j in range(ny + 1)]
+    tiles = [
+        Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
+        for j in range(ny)
+        for i in range(nx)
+    ]
+    stream = coerce_stream(seed)
+    set_worker_image(image.pixels)
+    exec_ = executor or SerialExecutor()
+
+    tasks = []
+    for tile in tiles:
+        # The naive prior allocation: whole-image count scaled by area.
+        naive_count = spec.expected_count * (tile.area / bounds.area)
+        tasks.append(
+            make_subimage_task(
+                tile,
+                spec,
+                move_config,
+                expected_count=naive_count,
+                iterations=iterations_per_tile,
+                seed=int(stream.rng.integers(0, 2**63 - 1)),
+                record_every=record_every,
+            )
+        )
+    sub_results = exec_.map(run_subimage_task, tasks)
+    return NaiveResult(
+        tiles=tiles,
+        sub_results=sub_results,
+        circles=concat_models([r.circles for r in sub_results]),
+    )

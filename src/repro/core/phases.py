@@ -1,0 +1,103 @@
+"""Global/local phase scheduling (§V).
+
+"If *i* MCMC iterations are to be performed in total in each local move
+phase, and Mg moves are 'supposed' to be occurring with probability qg,
+then i·qg/(1−qg) iterations must be performed in the global move
+phase."  The schedule alternates those two phase lengths so the
+long-term move-proposal probabilities equal the configured ones.
+
+The schedule is expressed in *local* iterations per phase because that
+is the knob the experimenter sweeps in Fig. 2 (longer phases amortise
+the per-cycle overhead; shorter phases keep the chain closer to the
+unpartitioned law).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PhaseSchedule"]
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Alternating Mg/Ml phase lengths for a given qg.
+
+    Parameters
+    ----------
+    local_iters:
+        Iterations per local phase (the paper's *i*), split across
+        partitions by :func:`repro.partitioning.allocation.allocate_iterations`.
+    qg:
+        Global-move probability the long-term mix must honour.
+    """
+
+    local_iters: int
+    qg: float
+
+    def __post_init__(self) -> None:
+        if self.local_iters <= 0:
+            raise ConfigurationError(
+                f"local_iters must be positive, got {self.local_iters}"
+            )
+        if not (0.0 < self.qg < 1.0):
+            raise ConfigurationError(f"qg must be in (0, 1), got {self.qg}")
+
+    @property
+    def global_iters(self) -> int:
+        """Iterations per global phase: round(i · qg / (1 − qg)), at least 1."""
+        return max(1, round(self.local_iters * self.qg / (1.0 - self.qg)))
+
+    @property
+    def cycle_iters(self) -> int:
+        """Iterations per full global+local cycle."""
+        return self.global_iters + self.local_iters
+
+    def effective_qg(self) -> float:
+        """The qg the schedule actually realises after integer rounding."""
+        return self.global_iters / self.cycle_iters
+
+    def cycles(self, total_iterations: int) -> Iterator[Tuple[int, int]]:
+        """Yield (global_iters, local_iters) pairs totalling exactly
+        *total_iterations*.
+
+        The final cycle is truncated proportionally so short runs do not
+        overshoot; a run shorter than one cycle becomes a single
+        proportional mini-cycle.
+        """
+        if total_iterations < 0:
+            raise ConfigurationError(
+                f"total_iterations must be >= 0, got {total_iterations}"
+            )
+        remaining = total_iterations
+        g, l = self.global_iters, self.local_iters
+        while remaining > 0:
+            if remaining >= g + l:
+                yield (g, l)
+                remaining -= g + l
+            else:
+                # Truncated final cycle, preserving the g:l ratio.
+                g_last = min(remaining, max(0, round(remaining * self.qg)))
+                yield (g_last, remaining - g_last)
+                remaining = 0
+
+    def n_cycles(self, total_iterations: int) -> int:
+        """Number of cycles (including a truncated final one)."""
+        return sum(1 for _ in self.cycles(total_iterations))
+
+    @classmethod
+    def from_global_phase_time(
+        cls, qg: float, global_phase_seconds: float, seconds_per_iteration: float
+    ) -> "PhaseSchedule":
+        """Build a schedule from a target global-phase *duration* — how
+        Fig. 2's x-axis is specified ("time per global phase").
+        """
+        if global_phase_seconds <= 0 or seconds_per_iteration <= 0:
+            raise ConfigurationError("durations must be positive")
+        g = max(1, round(global_phase_seconds / seconds_per_iteration))
+        l = max(1, round(g * (1.0 - qg) / qg))
+        return cls(local_iters=l, qg=qg)

@@ -1,0 +1,133 @@
+"""Theoretical runtime model — §VI, eqs. (2)–(4) and Fig. 1.
+
+Notation (the paper's):
+
+=============  =====================================================
+``N``          total MCMC iterations
+``qg``         probability an arbitrary move is global
+``tau_g``      mean seconds per global (``Mg``) move
+``tau_l``      mean seconds per local (``Ml``) move
+``s``          number of partitions / machines in the local phase
+``n``, ``t``   threads used for speculative moves
+``p_gr``       probability a global move is rejected
+``p_lr``       probability a local move is rejected
+=============  =====================================================
+
+All three equations assume negligible parallelisation overhead; the
+simulator in :mod:`repro.parallel.simcluster` adds the overhead terms
+the paper's measurements exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mcmc.speculative import speculative_speedup
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "eq2_runtime",
+    "eq3_runtime",
+    "eq4_runtime",
+    "periodic_runtime_fraction",
+    "fig1_series",
+]
+
+
+def _check_common(n_iterations: float, qg: float, tau_g: float, tau_l: float, s: int):
+    if n_iterations < 0:
+        raise ConfigurationError(f"N must be >= 0, got {n_iterations}")
+    check_probability("qg", qg)
+    check_positive("tau_g", tau_g)
+    check_positive("tau_l", tau_l)
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+
+
+def eq2_runtime(
+    n_iterations: float, qg: float, tau_g: float, tau_l: float, s: int
+) -> float:
+    """Eq. (2): periodic partitioning with *s* parallel partitions.
+
+        T = N·qg·τg + N·(1−qg)·τl / s
+    """
+    _check_common(n_iterations, qg, tau_g, tau_l, s)
+    return n_iterations * qg * tau_g + n_iterations * (1.0 - qg) * tau_l / s
+
+
+def eq3_runtime(
+    n_iterations: float,
+    qg: float,
+    tau_g: float,
+    tau_l: float,
+    s: int,
+    n_speculative: int,
+    p_gr: float,
+) -> float:
+    """Eq. (3): eq. (2) plus speculative execution of the global phases.
+
+        T = N·qg·τg·(1−p_gr)/(1−p_gr^n) + N·(1−qg)·τl / s
+    """
+    _check_common(n_iterations, qg, tau_g, tau_l, s)
+    frac = speculative_speedup(p_gr, n_speculative)
+    return (
+        n_iterations * qg * tau_g * frac
+        + n_iterations * (1.0 - qg) * tau_l / s
+    )
+
+
+def eq4_runtime(
+    n_iterations: float,
+    qg: float,
+    tau_g: float,
+    tau_l: float,
+    s: int,
+    t: int,
+    p_gr: float,
+    p_lr: float,
+) -> float:
+    """Eq. (4): a cluster of *s* machines, each with *t* threads —
+    speculative moves accelerate both phases:
+
+        T = N·qg·τg·(1−p_gr)/(1−p_gr^t)
+          + N·(1−qg)·τl·(1−p_lr) / (s·(1−p_lr^t))
+    """
+    _check_common(n_iterations, qg, tau_g, tau_l, s)
+    g_frac = speculative_speedup(p_gr, t)
+    l_frac = speculative_speedup(p_lr, t)
+    return (
+        n_iterations * qg * tau_g * g_frac
+        + n_iterations * (1.0 - qg) * tau_l * l_frac / s
+    )
+
+
+def periodic_runtime_fraction(
+    qg: float, s: int, tau_ratio: float = 1.0
+) -> float:
+    """Eq. (2) as a fraction of the sequential runtime.
+
+    *tau_ratio* = τg/τl; the Fig. 1 curves use τg = τl (ratio 1), giving
+
+        fraction = qg + (1 − qg)/s         (when τg = τl)
+    """
+    check_probability("qg", qg)
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    check_positive("tau_ratio", tau_ratio)
+    sequential = qg * tau_ratio + (1.0 - qg)
+    parallel = qg * tau_ratio + (1.0 - qg) / s
+    return parallel / sequential
+
+
+def fig1_series(
+    qg_values: Sequence[float], process_counts: Sequence[int]
+) -> Dict[int, List[float]]:
+    """The Fig. 1 data: runtime fraction vs qg, one series per process
+    count (2, 4, 8, 16 in the paper), with τg = τl."""
+    if not qg_values or not process_counts:
+        raise ConfigurationError("need at least one qg value and one process count")
+    return {
+        s: [periodic_runtime_fraction(qg, s) for qg in qg_values]
+        for s in process_counts
+    }

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. are still
+raised for misuse that static checking would catch).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "ImagingError",
+    "ChainError",
+    "PartitioningError",
+    "ExecutorError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration or parameter combination."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction (degenerate rect, negative radius...)."""
+
+
+class ImagingError(ReproError):
+    """Image container / synthetic scene / filter failures."""
+
+
+class ChainError(ReproError):
+    """Markov chain driver failures (state corruption, bad move, ...)."""
+
+
+class PartitioningError(ReproError):
+    """Partition grid / segmentation / merge failures."""
+
+
+class ExecutorError(ReproError):
+    """Parallel executor failures (worker crash, pool misuse, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Benchmark calibration could not produce usable timings."""

@@ -1,0 +1,24 @@
+"""Geometric primitives: circles, rectangles, overlap areas, spatial index.
+
+Everything in the MCMC model is expressed over axis-aligned rectangles
+(image bounds, partitions) and circles (the artifacts being detected —
+cell nuclei / latex beads in the paper's case study).
+"""
+
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.overlap import (
+    circle_circle_overlap_area,
+    circle_overlap_areas,
+    circles_intersect,
+)
+from repro.geometry.spatial_hash import SpatialHash
+
+__all__ = [
+    "Rect",
+    "Circle",
+    "circle_circle_overlap_area",
+    "circle_overlap_areas",
+    "circles_intersect",
+    "SpatialHash",
+]

@@ -1,0 +1,166 @@
+"""Axis-aligned rectangles.
+
+Rectangles use half-open extents ``[x0, x1) × [y0, y1)`` in continuous
+image coordinates (x = column axis, y = row axis, origin at the top-left
+pixel corner).  The half-open convention means a set of grid partitions
+tiles an image with neither gaps nor double-covered points — an invariant
+the partitioning property tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x0, x1) × [y0, y1)``.
+
+    Construction validates ``x1 > x0`` and ``y1 > y0``; degenerate or
+    inverted rectangles raise :class:`~repro.errors.GeometryError`.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x1 > self.x0 and self.y1 > self.y0):
+            raise GeometryError(
+                f"degenerate rect: ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    # -- basic measures ---------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+
+    # -- containment / intersection ---------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Point membership with half-open semantics."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def contains_circle(self, x: float, y: float, r: float, margin: float = 0.0) -> bool:
+        """True iff the disc of radius *r* at (x, y), inflated by *margin*,
+        lies entirely inside this rectangle.
+
+        This is the predicate the paper uses to decide whether a feature is
+        *modifiable* within a partition: its disc plus the local-move reach
+        must not touch the partition boundary.
+        """
+        reach = r + margin
+        return (
+            self.x0 <= x - reach
+            and x + reach <= self.x1
+            and self.y0 <= y - reach
+            and y + reach <= self.y1
+        )
+
+    def intersects_circle(self, x: float, y: float, r: float) -> bool:
+        """True iff the disc intersects the (closed) rectangle."""
+        cx = min(max(x, self.x0), self.x1)
+        cy = min(max(y, self.y0), self.y1)
+        dx, dy = x - cx, y - cy
+        return dx * dx + dy * dy <= r * r
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the half-open rectangles share interior points."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` if disjoint."""
+        x0, y0 = max(self.x0, other.x0), max(self.y0, other.y0)
+        x1, y1 = min(self.x1, other.x1), min(self.y1, other.y1)
+        if x1 > x0 and y1 > y0:
+            return Rect(x0, y0, x1, y1)
+        return None
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    # -- derived rectangles -------------------------------------------------
+    def shrink(self, margin: float) -> Optional["Rect"]:
+        """Rect inset by *margin* on all sides, or ``None`` if it vanishes.
+
+        ``rect.shrink(m)`` is the region in which a point-feature with reach
+        *m* may live while staying modifiable — the ``(x - y)^2`` effective
+        area discussed in §VI of the paper.
+        """
+        x0, y0 = self.x0 + margin, self.y0 + margin
+        x1, y1 = self.x1 - margin, self.y1 - margin
+        if x1 > x0 and y1 > y0:
+            return Rect(x0, y0, x1, y1)
+        return None
+
+    def expand(self, margin: float) -> "Rect":
+        """Rect grown by *margin* on all sides (used by blind partitioning)."""
+        if margin < 0:
+            raise GeometryError(f"expand margin must be >= 0, got {margin}")
+        return Rect(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+
+    def clip_to(self, bounds: "Rect") -> Optional["Rect"]:
+        """Alias of :meth:`intersection`, reads better at call sites."""
+        return self.intersection(bounds)
+
+    def split_at(self, x: float, y: float) -> List["Rect"]:
+        """Split into up to four rectangles at interior point (x, y).
+
+        This implements the paper's Fig. 2 partitioning: "four rectangular
+        partitions using a single coordinate where all partitions meet".
+        Coordinates on or outside the boundary yield fewer rectangles.
+        """
+        xs = [self.x0] + ([x] if self.x0 < x < self.x1 else []) + [self.x1]
+        ys = [self.y0] + ([y] if self.y0 < y < self.y1 else []) + [self.y1]
+        out: List[Rect] = []
+        for i in range(len(xs) - 1):
+            for j in range(len(ys) - 1):
+                out.append(Rect(xs[i], ys[j], xs[i + 1], ys[j + 1]))
+        return out
+
+    # -- pixel-space helpers -------------------------------------------------
+    def pixel_slices(self) -> Tuple[slice, slice]:
+        """(row_slice, col_slice) of pixels whose centers lie in the rect.
+
+        Pixel (i, j) has its center at (j + 0.5, i + 0.5).
+        """
+        import math
+
+        r0 = max(0, int(math.ceil(self.y0 - 0.5)))
+        r1 = max(r0, int(math.ceil(self.y1 - 0.5)))
+        c0 = max(0, int(math.ceil(self.x0 - 0.5)))
+        c1 = max(c0, int(math.ceil(self.x1 - 0.5)))
+        return slice(r0, r1), slice(c0, c1)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x0
+        yield self.y0
+        yield self.x1
+        yield self.y1

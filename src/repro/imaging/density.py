@@ -1,0 +1,86 @@
+"""Artifact-count estimation from pixel data — eq. (5) of the paper.
+
+    n_hat = |{(x, y) in M : I(x, y) > theta}| / (pi * r^2)
+
+where *M* is the pixel set of the image or sub-image, θ a threshold and
+*r* the (assumed constant) expected artifact radius.  The paper uses
+this to assign per-partition prior knowledge ("# obj. (thresh.)" row of
+Table I) instead of naively scaling the whole-image count by area
+("# obj. (density)" row).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+
+__all__ = ["estimate_count", "estimate_count_in_rect", "estimate_count_by_area"]
+
+
+def estimate_count(img: Image, theta: float, radius: float) -> float:
+    """Eq. (5): bright-pixel count divided by the area of one artifact.
+
+    Parameters
+    ----------
+    theta:
+        Intensity threshold; pixels strictly above it are counted.
+    radius:
+        Expected artifact radius (assumed constant across the image —
+        the paper notes this is safe "for these images at least").
+    """
+    if not (0.0 <= theta <= 1.0):
+        raise ImagingError(f"theta must be in [0, 1], got {theta}")
+    if radius <= 0:
+        raise ImagingError(f"radius must be positive, got {radius}")
+    bright = int(np.count_nonzero(img.pixels > theta))
+    return bright / (math.pi * radius * radius)
+
+
+def estimate_count_in_rect(
+    img: Image, rect: Rect, theta: float, radius: float
+) -> float:
+    """Eq. (5) restricted to the pixels of *rect* (a partition).
+
+    This is the mechanism §VIII prescribes: "the same mechanism used to
+    obtain the estimate for the complete image should be applied to the
+    partitions".
+    """
+    clipped = rect.clip_to(img.bounds)
+    if clipped is None:
+        return 0.0
+    rows, cols = clipped.pixel_slices()
+    sub = img.pixels[rows, cols]
+    if sub.size == 0:
+        return 0.0
+    if not (0.0 <= theta <= 1.0):
+        raise ImagingError(f"theta must be in [0, 1], got {theta}")
+    if radius <= 0:
+        raise ImagingError(f"radius must be positive, got {radius}")
+    bright = int(np.count_nonzero(sub > theta))
+    return bright / (math.pi * radius * radius)
+
+
+def estimate_count_by_area(
+    total_count: float, rect: Rect, bounds: Optional[Rect] = None, image: Optional[Image] = None
+) -> float:
+    """The *naive* per-partition estimate: whole-image count scaled by area.
+
+    Table I's "# obj. (density)" row: assume artifact density is uniform
+    and allocate ``total_count * (partition area / image area)``.  The
+    paper includes it to show how badly it misallocates prior knowledge
+    on clumped data; we implement it for the same comparison.
+    """
+    if bounds is None:
+        if image is None:
+            raise ImagingError("estimate_count_by_area needs bounds or image")
+        bounds = image.bounds
+    clipped = rect.clip_to(bounds)
+    if clipped is None:
+        return 0.0
+    return total_count * (clipped.area / bounds.area)

@@ -1,0 +1,122 @@
+"""The image container.
+
+A thin, validated wrapper around a 2-D ``float64`` numpy array with
+intensities in ``[0, 1]`` — the format produced by the paper's threshold
+filter and consumed by the likelihood.  Coordinates follow the geometry
+package's convention: pixel ``(row i, col j)`` covers the unit square
+``[j, j+1) × [i, i+1)`` with centre ``(j + 0.5, i + 0.5)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.geometry.rect import Rect
+
+__all__ = ["Image"]
+
+
+class Image:
+    """A 2-D grayscale image with intensities in [0, 1].
+
+    Parameters
+    ----------
+    pixels:
+        2-D array-like; converted to C-contiguous ``float64``.
+    copy:
+        Copy the input (default) or adopt it in place when possible.
+    """
+
+    __slots__ = ("_pixels",)
+
+    def __init__(self, pixels: np.ndarray, copy: bool = True) -> None:
+        arr = np.array(pixels, dtype=np.float64, copy=copy, order="C")
+        if arr.ndim != 2:
+            raise ImagingError(f"image must be 2-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ImagingError("image must be non-empty")
+        if not np.all(np.isfinite(arr)):
+            raise ImagingError("image contains non-finite pixels")
+        lo, hi = float(arr.min()), float(arr.max())
+        if lo < 0.0 or hi > 1.0:
+            raise ImagingError(
+                f"image intensities must lie in [0, 1], got range [{lo}, {hi}]"
+            )
+        self._pixels = arr
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def pixels(self) -> np.ndarray:
+        """The underlying (height, width) float64 array."""
+        return self._pixels
+
+    @property
+    def height(self) -> int:
+        return self._pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self._pixels.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._pixels.shape  # type: ignore[return-value]
+
+    @property
+    def bounds(self) -> Rect:
+        """The image extent as a rectangle: [0, width) × [0, height)."""
+        return Rect(0.0, 0.0, float(self.width), float(self.height))
+
+    # -- views ---------------------------------------------------------------
+    def crop(self, rect: Rect) -> "Image":
+        """A copy of the pixels whose centres lie inside *rect*.
+
+        *rect* is clipped to the image bounds first; an empty result raises.
+        """
+        clipped = rect.clip_to(self.bounds)
+        if clipped is None:
+            raise ImagingError(f"crop rect {rect} lies outside image bounds")
+        rows, cols = clipped.pixel_slices()
+        sub = self._pixels[rows, cols]
+        if sub.size == 0:
+            raise ImagingError(f"crop rect {rect} covers no pixel centres")
+        return Image(sub)
+
+    def view(self, rect: Rect) -> np.ndarray:
+        """A numpy *view* (no copy) of the pixels inside *rect* ∩ bounds."""
+        clipped = rect.clip_to(self.bounds)
+        if clipped is None:
+            return self._pixels[0:0, 0:0]
+        rows, cols = clipped.pixel_slices()
+        return self._pixels[rows, cols]
+
+    def blank_outside(self, rect: Rect, fill: float = 0.0) -> "Image":
+        """A copy with everything outside *rect* set to *fill*.
+
+        §IX of the paper: for intelligent partitioning "the pixel data for
+        neighbouring partitions will be blanked out", keeping likelihood
+        code oblivious to partitioning.
+        """
+        if not (0.0 <= fill <= 1.0):
+            raise ImagingError(f"fill must be in [0, 1], got {fill}")
+        out = np.full_like(self._pixels, fill)
+        clipped = rect.clip_to(self.bounds)
+        if clipped is not None:
+            rows, cols = clipped.pixel_slices()
+            out[rows, cols] = self._pixels[rows, cols]
+        return Image(out, copy=False)
+
+    def copy(self) -> "Image":
+        return Image(self._pixels, copy=True)
+
+    # -- comparisons ---------------------------------------------------------
+    def allclose(self, other: "Image", atol: float = 1e-12) -> bool:
+        return self.shape == other.shape and bool(
+            np.allclose(self._pixels, other._pixels, atol=atol)
+        )
+
+    def __repr__(self) -> str:
+        return f"Image({self.height}x{self.width}, mean={self._pixels.mean():.3f})"

@@ -1,0 +1,68 @@
+"""Minimal PGM (portable graymap) I/O.
+
+Examples write their stage outputs (filtered image, partition overlays)
+as binary PGM so results can be viewed with any image tool, without a
+PIL/matplotlib dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.image import Image
+
+__all__ = ["write_pgm", "read_pgm"]
+
+_MAXVAL = 255
+
+
+def write_pgm(img: Image, path: Union[str, Path]) -> None:
+    """Write *img* as a binary (P5) PGM file, 8 bits per pixel."""
+    data = np.clip(np.rint(img.pixels * _MAXVAL), 0, _MAXVAL).astype(np.uint8)
+    header = f"P5\n{img.width} {img.height}\n{_MAXVAL}\n".encode("ascii")
+    Path(path).write_bytes(header + data.tobytes())
+
+
+def read_pgm(path: Union[str, Path]) -> Image:
+    """Read a binary (P5) PGM file written by :func:`write_pgm`.
+
+    Supports arbitrary whitespace and ``#`` comments in the header, per
+    the netpbm spec; only maxval <= 255 (8-bit) files are accepted.
+    """
+    raw = Path(path).read_bytes()
+    # Header: magic, width, height, maxval — tokens separated by whitespace,
+    # comments run from '#' to end of line.
+    tokens = []
+    pos = 0
+    while len(tokens) < 4:
+        if pos >= len(raw):
+            raise ImagingError(f"truncated PGM header in {path}")
+        m = re.match(rb"\s*(#[^\n]*\n)*\s*(\S+)", raw[pos:])
+        if m is None:
+            raise ImagingError(f"malformed PGM header in {path}")
+        tokens.append(m.group(2))
+        pos += m.end()
+    magic, w_s, h_s, maxval_s = tokens
+    if magic != b"P5":
+        raise ImagingError(f"unsupported PGM magic {magic!r} (only binary P5)")
+    try:
+        width, height, maxval = int(w_s), int(h_s), int(maxval_s)
+    except ValueError:
+        raise ImagingError(f"non-numeric PGM header fields in {path}") from None
+    if maxval <= 0 or maxval > 255:
+        raise ImagingError(f"unsupported PGM maxval {maxval} (need 1..255)")
+    # Exactly one whitespace byte separates header from raster.
+    pos += 1
+    expected = width * height
+    available = len(raw) - pos
+    if available < expected:
+        raise ImagingError(
+            f"PGM raster truncated: expected {expected} bytes, got {available}"
+        )
+    data = np.frombuffer(raw, dtype=np.uint8, count=expected, offset=pos)
+    return Image(data.reshape(height, width).astype(np.float64) / maxval, copy=False)

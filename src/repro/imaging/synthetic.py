@@ -1,0 +1,308 @@
+"""Synthetic scene generation.
+
+Stands in for the paper's input data (stained white-blood-cell nuclei
+micrographs and latex beads in a petri dish).  A *scene* is a list of
+ground-truth circles plus the rendered image; the renderer draws
+anti-aliased discs of high intensity on a dark background, optionally
+blurred and noised, matching the paper's abstraction of the task as
+"finding circles of high colour intensity" in a filtered image.
+
+Two layout families are provided:
+
+* :func:`generate_scene` — nuclei-like scenes: circles placed uniformly
+  at random with bounded overlap (the Fig. 2 workload: 1024×1024 image,
+  150 cells of mean radius 10).
+* :func:`generate_bead_scene` — bead-like scenes: circles placed in a
+  small number of well-separated *clumps* with empty gutters between
+  them, which is what makes intelligent partitioning effective on the
+  paper's Fig. 3 image.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+from repro.imaging.filters import gaussian_blur
+from repro.imaging.noise import add_gaussian_noise
+from repro.utils.rng import RngStream, SeedLike, coerce_stream as _coerce
+
+__all__ = ["SceneSpec", "Scene", "generate_scene", "generate_bead_scene", "render_scene"]
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Parameters of a synthetic nuclei scene.
+
+    Attributes
+    ----------
+    width, height:
+        Image dimensions in pixels.
+    n_circles:
+        Number of ground-truth artifacts.
+    mean_radius, radius_std:
+        Gaussian radius distribution (truncated to ``>= min_radius``).
+    max_overlap_fraction:
+        Rejection-sampling bound on pairwise overlap: a candidate circle
+        is rejected while its maximum lens area with an accepted circle
+        exceeds this fraction of the smaller disc.  0 gives disjoint
+        discs; 1 disables the check.
+    foreground, background:
+        Intensities of disc interior and empty space.
+    blur_sigma:
+        Gaussian point-spread sigma applied after rasterisation (0 = off).
+    noise_sigma:
+        Additive Gaussian pixel noise sigma (0 = off).
+    margin:
+        Minimum distance from a circle's edge to the image border.
+    """
+
+    width: int
+    height: int
+    n_circles: int
+    mean_radius: float = 10.0
+    radius_std: float = 1.5
+    min_radius: float = 2.0
+    max_overlap_fraction: float = 0.05
+    foreground: float = 0.9
+    background: float = 0.05
+    blur_sigma: float = 1.0
+    noise_sigma: float = 0.02
+    margin: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ImagingError(f"scene dimensions must be positive, got {self.width}x{self.height}")
+        if self.n_circles < 0:
+            raise ImagingError(f"n_circles must be >= 0, got {self.n_circles}")
+        if self.mean_radius <= 0 or self.min_radius <= 0:
+            raise ImagingError("radii must be positive")
+        if not (0.0 <= self.background < self.foreground <= 1.0):
+            raise ImagingError(
+                "need 0 <= background < foreground <= 1, got "
+                f"bg={self.background}, fg={self.foreground}"
+            )
+        if not (0.0 <= self.max_overlap_fraction <= 1.0):
+            raise ImagingError("max_overlap_fraction must be in [0, 1]")
+
+
+@dataclass
+class Scene:
+    """A generated scene: ground truth circles + rendered image."""
+
+    spec: SceneSpec
+    circles: List[Circle]
+    image: Image
+
+    @property
+    def n_circles(self) -> int:
+        return len(self.circles)
+
+    def bounds(self) -> Rect:
+        return self.image.bounds
+
+
+def _sample_radius(spec: SceneSpec, stream: RngStream) -> float:
+    """Truncated-Gaussian radius draw."""
+    for _ in range(1000):
+        r = stream.normal(spec.mean_radius, spec.radius_std)
+        if r >= spec.min_radius:
+            return r
+    # Pathological spec (mean far below min): fall back to the floor.
+    return spec.min_radius
+
+
+def _max_overlap_fraction(c: Circle, accepted: Sequence[Circle]) -> float:
+    from repro.geometry.overlap import circle_circle_overlap_area
+
+    worst = 0.0
+    for other in accepted:
+        area = circle_circle_overlap_area(c.x, c.y, c.r, other.x, other.y, other.r)
+        if area > 0.0:
+            smaller = math.pi * min(c.r, other.r) ** 2
+            worst = max(worst, area / smaller)
+    return worst
+
+
+def generate_scene(spec: SceneSpec, seed: SeedLike = None) -> Scene:
+    """Generate a nuclei-like scene: uniform placement, bounded overlap.
+
+    Placement uses rejection sampling; if the image is too crowded to
+    place all circles within the overlap bound after many attempts, an
+    :class:`~repro.errors.ImagingError` is raised (rather than silently
+    under-filling the scene).
+    """
+    stream = _coerce(seed)
+    circles: List[Circle] = []
+    attempts_per_circle = 2000
+    for i in range(spec.n_circles):
+        placed = False
+        for _ in range(attempts_per_circle):
+            r = _sample_radius(spec, stream)
+            reach = r + spec.margin
+            if 2 * reach >= min(spec.width, spec.height):
+                continue
+            x = stream.uniform(reach, spec.width - reach)
+            y = stream.uniform(reach, spec.height - reach)
+            c = Circle(x, y, r)
+            if (
+                spec.max_overlap_fraction >= 1.0
+                or _max_overlap_fraction(c, circles) <= spec.max_overlap_fraction
+            ):
+                circles.append(c)
+                placed = True
+                break
+        if not placed:
+            raise ImagingError(
+                f"could not place circle {i + 1}/{spec.n_circles}: scene too crowded "
+                f"(overlap bound {spec.max_overlap_fraction})"
+            )
+    image = render_scene(spec, circles, seed=stream.spawn_one())
+    return Scene(spec=spec, circles=circles, image=image)
+
+
+def generate_bead_scene(
+    spec: SceneSpec,
+    n_clumps: int = 3,
+    clump_radius_factor: float = 6.0,
+    gutter: float = 40.0,
+    clump_weights: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+) -> Scene:
+    """Generate a bead-like scene: circles concentrated in separated clumps.
+
+    Clump centres are placed so that the axis-aligned gaps between clump
+    bounding boxes exceed *gutter* pixels, guaranteeing the empty
+    rows/columns that the intelligent-partitioning pre-processor scans
+    for.  ``clump_weights`` controls how the ``spec.n_circles`` artifacts
+    are distributed across clumps (defaults to uniform); the paper's
+    Fig. 3 scene has one dominant clump (38 of 48 beads) and two minor
+    ones.
+    """
+    stream = _coerce(seed)
+    if n_clumps <= 0:
+        raise ImagingError(f"n_clumps must be >= 1, got {n_clumps}")
+    if clump_weights is not None and len(clump_weights) != n_clumps:
+        raise ImagingError(
+            f"clump_weights has {len(clump_weights)} entries for {n_clumps} clumps"
+        )
+
+    clump_r = clump_radius_factor * spec.mean_radius
+
+    # Allocate circles to clumps.
+    if clump_weights is None:
+        weights = np.full(n_clumps, 1.0 / n_clumps)
+    else:
+        w = np.asarray(clump_weights, dtype=float)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ImagingError("clump_weights must be non-negative with positive sum")
+        weights = w / w.sum()
+    counts = np.floor(weights * spec.n_circles).astype(int)
+    # Distribute the remainder to the heaviest clumps.
+    for idx in np.argsort(-weights)[: spec.n_circles - int(counts.sum())]:
+        counts[idx] += 1
+
+    # Place clump centres with separated bounding boxes (grid layout with
+    # jitter keeps this deterministic and guaranteed to terminate).
+    centres = _place_clump_centres(spec, n_clumps, clump_r, gutter, stream)
+
+    circles: List[Circle] = []
+    for (cx, cy), count in zip(centres, counts):
+        placed = 0
+        attempts = 0
+        local: List[Circle] = []
+        while placed < count:
+            attempts += 1
+            if attempts > 20000:
+                raise ImagingError(
+                    f"could not fill clump at ({cx:.0f}, {cy:.0f}) with {count} beads"
+                )
+            r = _sample_radius(spec, stream)
+            # Bias towards the clump centre for a clumped look.
+            rho = clump_r * math.sqrt(stream.random())
+            theta = stream.uniform(0.0, 2.0 * math.pi)
+            x = cx + rho * math.cos(theta)
+            y = cy + rho * math.sin(theta)
+            reach = r + spec.margin
+            if not (reach <= x <= spec.width - reach and reach <= y <= spec.height - reach):
+                continue
+            c = Circle(x, y, r)
+            if _max_overlap_fraction(c, local) <= spec.max_overlap_fraction:
+                local.append(c)
+                placed += 1
+        circles.extend(local)
+
+    image = render_scene(spec, circles, seed=stream.spawn_one())
+    return Scene(spec=spec, circles=circles, image=image)
+
+
+def _place_clump_centres(
+    spec: SceneSpec,
+    n_clumps: int,
+    clump_r: float,
+    gutter: float,
+    stream: RngStream,
+) -> List[Tuple[float, float]]:
+    """Clump centres on a jittered diagonal-ish grid with guaranteed gutters."""
+    pad = clump_r + spec.mean_radius + spec.margin
+    usable_w = spec.width - 2 * pad
+    usable_h = spec.height - 2 * pad
+    need = n_clumps * 2 * pad + (n_clumps - 1) * gutter
+    if need > spec.width and need > spec.height:
+        raise ImagingError(
+            f"image {spec.width}x{spec.height} too small for {n_clumps} clumps of "
+            f"radius {clump_r:.0f} with gutter {gutter:.0f}"
+        )
+    centres: List[Tuple[float, float]] = []
+    # Lay clumps along the longer axis; jitter the other axis.
+    along_x = spec.width >= spec.height
+    span = usable_w if along_x else usable_h
+    step = span / max(1, n_clumps - 1) if n_clumps > 1 else 0.0
+    for k in range(n_clumps):
+        main = pad + k * step if n_clumps > 1 else pad + span / 2.0
+        cross_lo, cross_hi = pad, (spec.height if along_x else spec.width) - pad
+        cross = stream.uniform(cross_lo, cross_hi) if cross_hi > cross_lo else cross_lo
+        centres.append((main, cross) if along_x else (cross, main))
+    return centres
+
+
+def render_scene(
+    spec: SceneSpec, circles: Sequence[Circle], seed: SeedLike = None
+) -> Image:
+    """Rasterise circles onto a background, then blur and noise.
+
+    Discs are drawn with one-pixel anti-aliased edges: pixel intensity
+    interpolates between foreground and background according to the
+    signed distance of the pixel centre from the disc boundary.
+    """
+    h, w = spec.height, spec.width
+    canvas = np.full((h, w), spec.background, dtype=np.float64)
+
+    for c in circles:
+        x0 = max(0, int(math.floor(c.x - c.r - 1.5)))
+        x1 = min(w, int(math.ceil(c.x + c.r + 1.5)))
+        y0 = max(0, int(math.floor(c.y - c.r - 1.5)))
+        y1 = min(h, int(math.ceil(c.y + c.r + 1.5)))
+        if x1 <= x0 or y1 <= y0:
+            continue
+        ys = np.arange(y0, y1, dtype=np.float64) + 0.5
+        xs = np.arange(x0, x1, dtype=np.float64) + 0.5
+        dist = np.hypot(xs[None, :] - c.x, ys[:, None] - c.y)
+        # coverage: 1 inside, 0 outside, linear ramp across the boundary pixel
+        cov = np.clip(c.r + 0.5 - dist, 0.0, 1.0)
+        patch = canvas[y0:y1, x0:x1]
+        np.maximum(patch, spec.background + (spec.foreground - spec.background) * cov, out=patch)
+
+    if spec.blur_sigma > 0:
+        canvas = gaussian_blur(canvas, spec.blur_sigma)
+    img = Image(canvas, copy=False)
+    if spec.noise_sigma > 0:
+        img = add_gaussian_noise(img, spec.noise_sigma, seed=seed)
+    return img

@@ -1,0 +1,157 @@
+"""Incremental disc-coverage raster.
+
+The pixel likelihood needs ``M(p)`` — foreground where at least one
+circle covers pixel *p*, background elsewhere.  Recomputing that from
+scratch per iteration would cost O(image); instead we maintain an
+integer *coverage count* per pixel (how many discs cover it) and update
+it per move in O(disc area).  The likelihood delta of a move is then a
+sum of a precomputed per-pixel weight over exactly the pixels whose
+coverage crossed the 0 ↔ >0 boundary.
+
+This locality is the linchpin of the whole paper: because a local move's
+delta only reads pixels inside the move's disc, moves in sufficiently
+distant partitions are independent and may run concurrently (§V).
+
+A pixel is *covered* by a disc iff its centre ``(col + 0.5, row + 0.5)``
+lies within the disc (hard-edge model, matching the renderer up to
+anti-aliasing noise absorbed by the likelihood's noise scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ChainError
+from repro.geometry.rect import Rect
+
+__all__ = ["CoverageRaster"]
+
+
+class CoverageRaster:
+    """Per-pixel disc-coverage counts over a rectangular pixel window.
+
+    Parameters
+    ----------
+    height, width:
+        Size of the raster in pixels.
+    row_offset, col_offset:
+        Position of the raster's (0, 0) pixel within the full image —
+        partition workers hold a raster over just their patch.
+    """
+
+    __slots__ = ("counts", "row_offset", "col_offset")
+
+    def __init__(
+        self, height: int, width: int, row_offset: int = 0, col_offset: int = 0
+    ) -> None:
+        if height <= 0 or width <= 0:
+            raise ChainError(f"raster must be non-empty, got {height}x{width}")
+        self.counts = np.zeros((height, width), dtype=np.int32)
+        self.row_offset = int(row_offset)
+        self.col_offset = int(col_offset)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.counts.shape  # type: ignore[return-value]
+
+    # -- disc rasterisation ----------------------------------------------------
+    def _disc_window(self, x: float, y: float, r: float):
+        """(row_slice, col_slice, boolean mask) of pixels covered by the disc.
+
+        Returns ``None`` when the disc misses the raster entirely.
+        Coordinates are in full-image space; offsets are applied here.
+        """
+        # Pixel (i, j) of the raster has centre (col_offset + j + 0.5,
+        # row_offset + i + 0.5) in image coordinates.
+        lx = x - self.col_offset
+        ly = y - self.row_offset
+        h, w = self.counts.shape
+        c0 = max(0, int(math.floor(lx - r - 0.5)))
+        c1 = min(w, int(math.ceil(lx + r + 0.5)))
+        r0 = max(0, int(math.floor(ly - r - 0.5)))
+        r1 = min(h, int(math.ceil(ly + r + 0.5)))
+        if c1 <= c0 or r1 <= r0:
+            return None
+        cols = np.arange(c0, c1, dtype=np.float64) + 0.5
+        rows = np.arange(r0, r1, dtype=np.float64) + 0.5
+        mask = (cols[None, :] - lx) ** 2 + (rows[:, None] - ly) ** 2 <= r * r
+        if not mask.any():
+            return None
+        return slice(r0, r1), slice(c0, c1), mask
+
+    # -- mutation with weighted deltas ----------------------------------------
+    def add_disc(self, x: float, y: float, r: float, weights: np.ndarray) -> float:
+        """Increment coverage under the disc; return Σ weights over pixels
+        that became covered (count 0 → 1).
+
+        *weights* is the full-raster weight map (same shape as counts);
+        the caller owns its meaning (the likelihood passes its per-pixel
+        turn-on costs).
+        """
+        win = self._disc_window(x, y, r)
+        if win is None:
+            return 0.0
+        rows, cols, mask = win
+        patch = self.counts[rows, cols]
+        newly = mask & (patch == 0)
+        patch[mask] += 1
+        delta = float(weights[rows, cols][newly].sum()) if newly.any() else 0.0
+        return delta
+
+    def remove_disc(self, x: float, y: float, r: float, weights: np.ndarray) -> float:
+        """Decrement coverage under the disc; return Σ weights over pixels
+        that became uncovered (count 1 → 0).
+
+        Raises if any touched pixel had zero coverage (state corruption).
+        """
+        win = self._disc_window(x, y, r)
+        if win is None:
+            return 0.0
+        rows, cols, mask = win
+        patch = self.counts[rows, cols]
+        if np.any(patch[mask] <= 0):
+            raise ChainError(
+                f"coverage underflow removing disc ({x:.2f}, {y:.2f}, r={r:.2f})"
+            )
+        vacated = mask & (patch == 1)
+        patch[mask] -= 1
+        delta = float(weights[rows, cols][vacated].sum()) if vacated.any() else 0.0
+        return delta
+
+    # -- queries -----------------------------------------------------------------
+    def covered_mask(self) -> np.ndarray:
+        """Boolean mask of covered pixels (count > 0)."""
+        return self.counts > 0
+
+    def covered_weight_sum(self, weights: np.ndarray) -> float:
+        """Σ weights over currently covered pixels (full evaluation)."""
+        return float(weights[self.counts > 0].sum())
+
+    def rebuild_from(self, xs, ys, rs) -> None:
+        """Recompute counts from scratch for the given circles (tests,
+        worker initialisation)."""
+        self.counts[:] = 0
+        ones = np.zeros(self.counts.shape)  # dummy weights; deltas unused
+        for x, y, r in zip(xs, ys, rs):
+            self.add_disc(float(x), float(y), float(r), ones)
+
+    def equals(self, other: "CoverageRaster") -> bool:
+        return (
+            self.counts.shape == other.counts.shape
+            and self.row_offset == other.row_offset
+            and self.col_offset == other.col_offset
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+    def window_rect(self) -> Rect:
+        """The raster's extent as an image-space rectangle."""
+        h, w = self.counts.shape
+        return Rect(
+            float(self.col_offset),
+            float(self.row_offset),
+            float(self.col_offset + w),
+            float(self.row_offset + h),
+        )

@@ -1,0 +1,188 @@
+"""Chain diagnostics: acceptance statistics, traces, convergence, ESS.
+
+The paper reports per-move rejection rates (feeding the speculative-move
+model's ``p_r``), iterations-to-convergence (Table I) and relies on
+"allow the chain to reach equilibrium" judgements.  Convergence
+detection is famously unsolved (§II acknowledges this); the detector
+here is an explicit, documented heuristic: the first recorded iteration
+at which the posterior trace enters the tolerance band of its final
+plateau and never leaves it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ChainError
+from repro.mcmc.spec import MoveType
+
+__all__ = [
+    "AcceptanceStats",
+    "Trace",
+    "convergence_iteration",
+    "effective_sample_size",
+]
+
+
+@dataclass
+class AcceptanceStats:
+    """Per-move-type counters of proposals and acceptances.
+
+    ``generated`` counts iterations where the type was drawn;
+    ``proposed`` those that passed generation/validity; ``accepted``
+    those applied.  The rejection rate the speculative-moves model needs
+    is ``1 - accepted / generated`` (an ungenerable proposal is a
+    rejection of the iteration).
+    """
+
+    generated: Dict[MoveType, int] = field(
+        default_factory=lambda: {mt: 0 for mt in MoveType}
+    )
+    proposed: Dict[MoveType, int] = field(
+        default_factory=lambda: {mt: 0 for mt in MoveType}
+    )
+    accepted: Dict[MoveType, int] = field(
+        default_factory=lambda: {mt: 0 for mt in MoveType}
+    )
+
+    def record(self, move_type: MoveType, proposed: bool, accepted: bool) -> None:
+        self.generated[move_type] += 1
+        if proposed:
+            self.proposed[move_type] += 1
+        if accepted:
+            self.accepted[move_type] += 1
+
+    # -- aggregates ---------------------------------------------------------
+    def total_iterations(self) -> int:
+        return sum(self.generated.values())
+
+    def total_accepted(self) -> int:
+        return sum(self.accepted.values())
+
+    def acceptance_rate(self, move_type: Optional[MoveType] = None) -> float:
+        """Accepted / generated, overall or for one move type (0 if unused)."""
+        if move_type is None:
+            g = self.total_iterations()
+            return self.total_accepted() / g if g else 0.0
+        g = self.generated[move_type]
+        return self.accepted[move_type] / g if g else 0.0
+
+    def rejection_rate(self, move_type: Optional[MoveType] = None) -> float:
+        """1 − acceptance rate: the ``p_r`` of the speculative-move model."""
+        return 1.0 - self.acceptance_rate(move_type)
+
+    def rejection_rate_for(self, move_types: Sequence[MoveType]) -> float:
+        """Pooled rejection rate over a move class (``p_gr`` / ``p_lr``)."""
+        g = sum(self.generated[mt] for mt in move_types)
+        a = sum(self.accepted[mt] for mt in move_types)
+        return 1.0 - (a / g) if g else 1.0
+
+    def merge(self, other: "AcceptanceStats") -> None:
+        for mt in MoveType:
+            self.generated[mt] += other.generated[mt]
+            self.proposed[mt] += other.proposed[mt]
+            self.accepted[mt] += other.accepted[mt]
+
+
+@dataclass
+class Trace:
+    """A scalar chain trace sampled at known iteration numbers."""
+
+    iterations: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, iteration: int, value: float) -> None:
+        if self.iterations and iteration < self.iterations[-1]:
+            raise ChainError(
+                f"trace iterations must be non-decreasing, got {iteration} after "
+                f"{self.iterations[-1]}"
+            )
+        self.iterations.append(iteration)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_arrays(self):
+        return np.asarray(self.iterations), np.asarray(self.values, dtype=float)
+
+    def extend(self, other: "Trace") -> None:
+        for it, v in zip(other.iterations, other.values):
+            self.record(it, v)
+
+
+def convergence_iteration(
+    trace: Trace,
+    tail_fraction: float = 0.25,
+    tolerance_sigmas: float = 4.0,
+    min_tolerance: float = 1e-9,
+) -> Optional[int]:
+    """Iteration at which the trace settles onto its final plateau.
+
+    The plateau level and scale are estimated from the last
+    *tail_fraction* of the trace; the convergence point is the first
+    recorded iteration from which the trace stays within
+    ``tolerance_sigmas × tail std`` (at least *min_tolerance*) of the
+    plateau mean.  Returns ``None`` when the trace never settles (the
+    tail itself violates its own band) or has fewer than 4 points.
+    """
+    if not (0.0 < tail_fraction <= 1.0):
+        raise ChainError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    n = len(trace)
+    if n < 4:
+        return None
+    _, values = trace.as_arrays()
+    tail_start = max(1, int(n * (1.0 - tail_fraction)))
+    tail = values[tail_start:]
+    level = float(tail.mean())
+    tol = max(float(tail.std()) * tolerance_sigmas, min_tolerance)
+    inside = np.abs(values - level) <= tol
+    if not inside[-1]:
+        return None
+    # First index from which every subsequent point is inside the band.
+    outside = np.flatnonzero(~inside)
+    first_settled = 0 if outside.size == 0 else int(outside[-1]) + 1
+    if first_settled >= n:
+        return None
+    return int(trace.iterations[first_settled])
+
+
+def effective_sample_size(values: Sequence[float], max_lag: Optional[int] = None) -> float:
+    """Autocorrelation-based ESS (initial positive sequence estimator).
+
+    ESS = n / (1 + 2 Σ_k ρ_k), summing autocorrelations until the sum of
+    an adjacent pair turns negative (Geyer's initial positive sequence).
+    """
+    v = np.asarray(values, dtype=float)
+    n = v.size
+    if n < 4:
+        return float(n)
+    v = v - v.mean()
+    var = float(np.dot(v, v)) / n
+    if var == 0.0:
+        return float(n)
+    if max_lag is None:
+        max_lag = n - 2
+    max_lag = min(max_lag, n - 2)
+
+    # FFT autocorrelation for speed on long traces.
+    size = 1
+    while size < 2 * n:
+        size *= 2
+    f = np.fft.rfft(v, size)
+    acov = np.fft.irfft(f * np.conjugate(f), size)[: max_lag + 1].real / n
+    rho = acov / acov[0]
+
+    s = 0.0
+    k = 1
+    while k + 1 <= max_lag:
+        pair = rho[k] + rho[k + 1]
+        if pair < 0.0:
+            break
+        s += pair
+        k += 2
+    ess = n / (1.0 + 2.0 * s)
+    return float(min(max(ess, 1.0), n))

@@ -1,0 +1,84 @@
+"""The Metropolis–Hastings transition kernel.
+
+One call to :func:`metropolis_hastings_step` is one MCMC iteration:
+generate a proposal, price it, apply it, accept or roll back.  The
+log-acceptance is the reversible-jump Metropolis–Hastings ratio
+(eq. (1) of the paper, in log form, with the explicit Jacobian for
+dimension-changing moves):
+
+    log α = Δ log posterior
+          + log q(reverse) − log q(forward)
+          + log |J|
+
+Moves that could not be generated or fail validity checks (death on an
+empty state, a local move leaving its partition, a radius outside the
+prior's truncation) count as rejected iterations without touching the
+state — this keeps the move-class proposal probabilities exactly as
+configured, which §V relies on when balancing phase lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mcmc.moves import Move, MoveGenerator, NullMove
+from repro.mcmc.posterior import PosteriorState
+from repro.mcmc.spec import MoveType
+from repro.utils.rng import RngStream
+
+__all__ = ["StepResult", "metropolis_hastings_step", "evaluate_move"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one MCMC iteration."""
+
+    move_type: MoveType
+    proposed: bool  #: False when the proposal could not be generated/validated
+    accepted: bool
+    log_alpha: float  #: log acceptance ratio (−inf for auto-rejections)
+    delta: float  #: applied log-posterior change (0 when rejected)
+
+
+def metropolis_hastings_step(
+    post: PosteriorState, gen: MoveGenerator, stream: RngStream
+) -> StepResult:
+    """Advance the chain by one iteration; returns what happened."""
+    move = gen.generate(post, stream)
+    if isinstance(move, NullMove) or not move.is_valid(post):
+        return StepResult(move.move_type, proposed=False, accepted=False,
+                          log_alpha=-math.inf, delta=0.0)
+
+    log_fwd = move.log_forward_density(post)
+    delta = move.apply(post)
+    log_rev = move.log_reverse_density(post)
+    log_alpha = delta + log_rev - log_fwd + move.log_jacobian()
+
+    if log_alpha >= 0.0 or math.log(stream.random() + 1e-300) < log_alpha:
+        return StepResult(move.move_type, proposed=True, accepted=True,
+                          log_alpha=log_alpha, delta=delta)
+    move.unapply(post)
+    return StepResult(move.move_type, proposed=True, accepted=False,
+                      log_alpha=log_alpha, delta=0.0)
+
+
+def evaluate_move(
+    post: PosteriorState, move: Move
+) -> Optional[float]:
+    """Price *move* without leaving it applied: returns log α, or ``None``
+    if the move is invalid.  Used by the speculative-moves executor,
+    which must evaluate several proposals against the *same* state.
+
+    The state is mutated and rolled back internally; on return *post* is
+    unchanged.
+    """
+    if isinstance(move, NullMove) or not move.is_valid(post):
+        return None
+    log_fwd = move.log_forward_density(post)
+    delta = move.apply(post)
+    log_rev = move.log_reverse_density(post)
+    log_alpha = delta + log_rev - log_fwd + move.log_jacobian()
+    move.unapply(post)
+    return log_alpha

@@ -1,0 +1,216 @@
+"""The mutable posterior state: configuration + coverage + cached log-posterior.
+
+:class:`PosteriorState` binds together the circle configuration, the
+coverage raster, the prior terms and the pixel likelihood, and exposes
+four *primitive* mutations — insert, delete, move, resize — each of
+which returns its exact log-posterior delta computed from only the
+pixels and neighbour pairs it touches.
+
+Moves (see :mod:`repro.mcmc.moves`) are compositions of these
+primitives; rejected moves are rolled back with the inverse primitives
+and the cached log-posterior is restored bit-exactly from a saved value
+(never by re-adding a computed inverse, which could drift).
+
+A posterior state may cover the full image (``row_offset = col_offset =
+0``) or just a partition patch — partition workers evaluate local moves
+against their own window without ever touching remote pixels, which is
+the property that makes the paper's ``Ml`` phases parallelisable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChainError
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+from repro.mcmc.coverage import CoverageRaster
+from repro.mcmc.likelihood import PixelLikelihood
+from repro.mcmc.prior import CountPrior, OverlapPrior, PositionPrior, RadiusPrior
+from repro.mcmc.spec import ModelSpec
+from repro.mcmc.state import CircleConfiguration
+
+__all__ = ["PosteriorState"]
+
+
+class PosteriorState:
+    """Configuration + incremental posterior over an image window.
+
+    Parameters
+    ----------
+    image:
+        The filtered image window this state evaluates against.
+    spec:
+        The model specification (priors, likelihood shape).  For
+        partition patches, pass the *full-image* spec — the position
+        prior normaliser and count prior must match the master chain.
+    row_offset, col_offset:
+        Window position within the full image.
+    bounds:
+        Rectangle constraining circle centres (defaults to the full
+        image rectangle implied by *spec*).
+    """
+
+    def __init__(
+        self,
+        image: Image,
+        spec: ModelSpec,
+        row_offset: int = 0,
+        col_offset: int = 0,
+        bounds: Optional[Rect] = None,
+        hash_cell_size: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.image = image
+        self.bounds = bounds if bounds is not None else Rect(
+            0.0, 0.0, float(spec.width), float(spec.height)
+        )
+        cell = hash_cell_size if hash_cell_size is not None else max(
+            8.0, 2.0 * spec.radius_max
+        )
+        self.config = CircleConfiguration(hash_cell_size=cell)
+        self.coverage = CoverageRaster(
+            image.height, image.width, row_offset=row_offset, col_offset=col_offset
+        )
+        self.likelihood = PixelLikelihood(
+            image, spec, row_offset=row_offset, col_offset=col_offset
+        )
+        self.count_prior = CountPrior(spec.expected_count)
+        self.position_prior = PositionPrior(spec)
+        self.radius_prior = RadiusPrior(spec)
+        self.overlap_prior = OverlapPrior(spec)
+        self._log_post = self.count_prior.log_pmf(0) + self.likelihood.base_loglik
+
+    # -- cached posterior ------------------------------------------------------
+    @property
+    def log_posterior(self) -> float:
+        """The incrementally maintained log-posterior (unnormalised)."""
+        return self._log_post
+
+    def set_log_posterior(self, value: float) -> None:
+        """Restore a saved cached value (move rollback only)."""
+        self._log_post = value
+
+    def full_log_posterior(self) -> float:
+        """Recompute the log-posterior from scratch (tests, verification)."""
+        n = self.config.n
+        total = self.count_prior.log_pmf(n)
+        total += n * self.position_prior.per_circle()
+        for i in self.config.active_indices():
+            total += self.radius_prior.log_pdf(float(self.config.rs[i]))
+        total += self.overlap_prior.total_energy(self.config)
+        total += self.likelihood.full_loglik(self.coverage)
+        return total
+
+    def resync_cache(self) -> None:
+        """Recompute and store the cached log-posterior (initialisation
+        after bulk loading a configuration)."""
+        self._log_post = self.full_log_posterior()
+
+    # -- validity helpers --------------------------------------------------------
+    def centre_in_bounds(self, x: float, y: float) -> bool:
+        return self.bounds.contains_point(x, y)
+
+    def radius_in_bounds(self, r: float) -> bool:
+        return self.radius_prior.in_bounds(r)
+
+    # -- primitive mutations -------------------------------------------------------
+    def insert_circle(self, x: float, y: float, r: float) -> Tuple[int, float]:
+        """Add a circle; returns (index, log-posterior delta).
+
+        The caller must have validated bounds (centre inside ``bounds``,
+        radius inside the prior's truncation) — violations raise.
+        """
+        if not self.centre_in_bounds(x, y):
+            raise ChainError(f"insert at ({x:.2f}, {y:.2f}) outside bounds {self.bounds}")
+        if not self.radius_in_bounds(r):
+            raise ChainError(f"insert with radius {r:.2f} outside prior bounds")
+        n_before = self.config.n
+        delta = self.count_prior.delta_birth(n_before)
+        delta += self.position_prior.per_circle()
+        delta += self.radius_prior.log_pdf(r)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r)
+        idx = self.config.add(x, y, r)
+        delta += self.likelihood.add_disc_delta(self.coverage, x, y, r)
+        self._log_post += delta
+        return idx, delta
+
+    def delete_circle(self, idx: int) -> Tuple[Circle, float]:
+        """Remove circle *idx*; returns (removed circle, delta)."""
+        n_before = self.config.n
+        removed = self.config.remove(idx)
+        delta = self.count_prior.delta_death(n_before)
+        delta -= self.position_prior.per_circle()
+        delta -= self.radius_prior.log_pdf(removed.r)
+        # Interaction energy with the remaining circles (idx already gone).
+        delta -= self.overlap_prior.circle_energy(
+            self.config, removed.x, removed.y, removed.r
+        )
+        delta += self.likelihood.remove_disc_delta(
+            self.coverage, removed.x, removed.y, removed.r
+        )
+        self._log_post += delta
+        return removed, delta
+
+    def move_circle(self, idx: int, x: float, y: float) -> Tuple[Tuple[float, float], float]:
+        """Translate circle *idx*; returns (old centre, delta)."""
+        if not self.centre_in_bounds(x, y):
+            raise ChainError(f"move to ({x:.2f}, {y:.2f}) outside bounds {self.bounds}")
+        r = self.config.radius_of(idx)
+        ox, oy = self.config.position_of(idx)
+        delta = -self.overlap_prior.circle_energy(self.config, ox, oy, r, exclude=(idx,))
+        delta += self.likelihood.remove_disc_delta(self.coverage, ox, oy, r)
+        self.config.move_center(idx, x, y)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r, exclude=(idx,))
+        delta += self.likelihood.add_disc_delta(self.coverage, x, y, r)
+        self._log_post += delta
+        return (ox, oy), delta
+
+    def resize_circle(self, idx: int, r: float) -> Tuple[float, float]:
+        """Change circle *idx*'s radius; returns (old radius, delta)."""
+        if not self.radius_in_bounds(r):
+            raise ChainError(f"resize to {r:.2f} outside prior bounds")
+        x, y = self.config.position_of(idx)
+        old_r = self.config.radius_of(idx)
+        delta = self.radius_prior.log_pdf(r) - self.radius_prior.log_pdf(old_r)
+        delta -= self.overlap_prior.circle_energy(self.config, x, y, old_r, exclude=(idx,))
+        delta += self.likelihood.remove_disc_delta(self.coverage, x, y, old_r)
+        self.config.set_radius(idx, r)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r, exclude=(idx,))
+        delta += self.likelihood.add_disc_delta(self.coverage, x, y, r)
+        self._log_post += delta
+        return old_r, delta
+
+    # -- bulk loading ---------------------------------------------------------------
+    def load_circles(self, circles: Sequence[Circle]) -> List[int]:
+        """Insert many circles and resync the cache; returns their indices.
+
+        Unlike :meth:`insert_circle` this does not validate bounds pixel
+        by pixel — it is used to seed initial states and to build
+        partition-worker contexts that legitimately contain *frozen*
+        circles whose discs cross the window edge.
+        """
+        indices: List[int] = []
+        for c in circles:
+            idx = self.config.add(c.x, c.y, c.r)
+            self.likelihood.add_disc_delta(self.coverage, c.x, c.y, c.r)
+            indices.append(idx)
+        self.resync_cache()
+        return indices
+
+    def snapshot_circles(self) -> List[Circle]:
+        """Immutable copy of the current configuration."""
+        return self.config.circles()
+
+    def verify_consistency(self, atol: float = 1e-6) -> None:
+        """Assert the cached posterior matches a full recomputation
+        (tests and long-run integrity checks)."""
+        full = self.full_log_posterior()
+        if not np.isclose(self._log_post, full, atol=atol, rtol=1e-9):
+            raise ChainError(
+                f"cached log-posterior {self._log_post!r} deviates from "
+                f"recomputed value {full!r}"
+            )

@@ -1,0 +1,174 @@
+"""Posterior sampling and summarisation.
+
+§II: "The conventional use is to allow the chain to reach equilibrium
+then to take samples of the chain's state at regular intervals,
+analysis of these samples will reveal the stationary distribution" —
+and §I motivates MCMC over greedy methods precisely because it can
+report "similar but distinct solutions ... and the relative
+probabilities of these different interpretations".
+
+:class:`SampleCollector` hooks into any chain driver (sequential,
+speculative, periodic) and retains configuration snapshots at a fixed
+iteration stride after a burn-in.  :class:`PosteriorSummary` then
+answers the questions the paper cares about:
+
+* the posterior distribution over the artifact *count* (is that blob
+  one cell or two overlapping cells?);
+* a per-pixel *occupancy map* (probability the pixel is covered by any
+  artifact) — the soft segmentation;
+* the *modal* count and a representative configuration at that count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChainError
+from repro.geometry.circle import Circle
+
+__all__ = ["SampleCollector", "PosteriorSummary"]
+
+
+class SampleCollector:
+    """Retains configuration snapshots at a fixed stride after burn-in.
+
+    Parameters
+    ----------
+    burn_in:
+        Iterations to discard before the first retained sample.
+    stride:
+        Iterations between retained samples ("samples ... at regular
+        intervals").
+    max_samples:
+        Hard cap on retained snapshots (memory guard); once reached,
+        further offers are ignored.
+    """
+
+    def __init__(self, burn_in: int, stride: int, max_samples: int = 10_000) -> None:
+        if burn_in < 0:
+            raise ChainError(f"burn_in must be >= 0, got {burn_in}")
+        if stride <= 0:
+            raise ChainError(f"stride must be positive, got {stride}")
+        if max_samples <= 0:
+            raise ChainError(f"max_samples must be positive, got {max_samples}")
+        self.burn_in = burn_in
+        self.stride = stride
+        self.max_samples = max_samples
+        self.samples: List[List[Circle]] = []
+        self.sample_iterations: List[int] = []
+        self._next_due = burn_in + stride
+
+    def offer(self, iteration: int, circles: Sequence[Circle]) -> bool:
+        """Present the state at *iteration*; returns True if retained.
+
+        Call once per iteration (or per phase with the current iteration
+        count — the collector tolerates gaps and samples at the first
+        opportunity past each due point).
+        """
+        if iteration < self._next_due or len(self.samples) >= self.max_samples:
+            return False
+        self.samples.append(list(circles))
+        self.sample_iterations.append(iteration)
+        # Skip any due points the caller's stride jumped over.
+        missed = (iteration - self._next_due) // self.stride
+        self._next_due += (missed + 1) * self.stride
+        return True
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> "PosteriorSummary":
+        if not self.samples:
+            raise ChainError("no samples collected (burn-in too long?)")
+        return PosteriorSummary(samples=self.samples)
+
+
+@dataclass
+class PosteriorSummary:
+    """Statistics over retained configuration samples."""
+
+    samples: List[List[Circle]]
+
+    # -- count posterior --------------------------------------------------
+    def count_distribution(self) -> Dict[int, float]:
+        """P(N = n) estimated from the samples."""
+        counts = Counter(len(s) for s in self.samples)
+        total = len(self.samples)
+        return {n: c / total for n, c in sorted(counts.items())}
+
+    def count_mode(self) -> int:
+        """The most probable artifact count."""
+        dist = self.count_distribution()
+        return max(dist, key=lambda n: (dist[n], -n))
+
+    def count_mean(self) -> float:
+        return float(np.mean([len(s) for s in self.samples]))
+
+    def count_credible_interval(self, mass: float = 0.95) -> Tuple[int, int]:
+        """Smallest central interval of counts holding >= *mass*."""
+        if not (0.0 < mass <= 1.0):
+            raise ChainError(f"mass must be in (0, 1], got {mass}")
+        ns = sorted(len(s) for s in self.samples)
+        lo_idx = int(math.floor((1.0 - mass) / 2.0 * len(ns)))
+        hi_idx = min(len(ns) - 1, int(math.ceil((1.0 + mass) / 2.0 * len(ns))) - 1)
+        return ns[lo_idx], ns[hi_idx]
+
+    # -- occupancy ------------------------------------------------------------
+    def occupancy_map(self, height: int, width: int) -> np.ndarray:
+        """P(pixel covered by >= 1 artifact), estimated over samples.
+
+        The soft segmentation: thresholding it at 0.5 gives the
+        posterior-majority artifact mask.
+        """
+        if height <= 0 or width <= 0:
+            raise ChainError(f"occupancy map needs positive dims, got {height}x{width}")
+        acc = np.zeros((height, width), dtype=np.float64)
+        cols = np.arange(width, dtype=np.float64) + 0.5
+        rows = np.arange(height, dtype=np.float64) + 0.5
+        for sample in self.samples:
+            covered = np.zeros((height, width), dtype=bool)
+            for c in sample:
+                c0 = max(0, int(math.floor(c.x - c.r - 0.5)))
+                c1 = min(width, int(math.ceil(c.x + c.r + 0.5)))
+                r0 = max(0, int(math.floor(c.y - c.r - 0.5)))
+                r1 = min(height, int(math.ceil(c.y + c.r + 0.5)))
+                if c1 <= c0 or r1 <= r0:
+                    continue
+                mask = (cols[c0:c1][None, :] - c.x) ** 2 + (
+                    rows[r0:r1][:, None] - c.y
+                ) ** 2 <= c.r * c.r
+                covered[r0:r1, c0:c1] |= mask
+            acc += covered
+        return acc / len(self.samples)
+
+    # -- representative configurations ---------------------------------------
+    def modal_configuration(self) -> List[Circle]:
+        """A representative sample at the modal count (the latest one —
+        latest samples are the best mixed)."""
+        mode = self.count_mode()
+        for sample in reversed(self.samples):
+            if len(sample) == mode:
+                return list(sample)
+        raise ChainError("internal: modal count not present in samples")
+
+    def alternative_interpretations(self, top_k: int = 3) -> List[Tuple[int, float, List[Circle]]]:
+        """The §I promise: the top-k count hypotheses with their
+        probabilities and a representative configuration for each.
+
+        Returns (count, probability, configuration) triples, most
+        probable first.
+        """
+        if top_k <= 0:
+            raise ChainError(f"top_k must be positive, got {top_k}")
+        dist = self.count_distribution()
+        ranked = sorted(dist.items(), key=lambda kv: -kv[1])[:top_k]
+        out = []
+        for n, p in ranked:
+            rep = next(s for s in reversed(self.samples) if len(s) == n)
+            out.append((n, p, list(rep)))
+        return out

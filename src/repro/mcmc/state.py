@@ -1,0 +1,232 @@
+"""The circle configuration — the Markov chain's state.
+
+Structure-of-arrays storage (contiguous ``xs``, ``ys``, ``rs`` arrays
+plus an active mask) rather than a list of objects: the hot loops of the
+likelihood and overlap prior read coordinates by index, and the
+partition runners ship state to workers as three arrays (the "fast way"
+for array communication per the mpi4py guide).  Slots freed by death
+moves are recycled through a free list so indices stay dense-ish and
+arrays only grow geometrically.
+
+A :class:`~repro.geometry.spatial_hash.SpatialHash` is maintained
+alongside for O(1) neighbour queries (overlap prior, merge partner
+selection, partition classification).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChainError
+from repro.geometry.circle import Circle
+from repro.geometry.spatial_hash import SpatialHash
+
+__all__ = ["CircleConfiguration"]
+
+_INITIAL_CAPACITY = 64
+
+
+class CircleConfiguration:
+    """A dynamic set of circles with spatial indexing.
+
+    Parameters
+    ----------
+    hash_cell_size:
+        Bucket size for the spatial index; choose about twice the
+        maximum interaction radius (the move generator and priors query
+        neighbourhoods of that scale).
+    """
+
+    __slots__ = ("xs", "ys", "rs", "active", "_free", "_n", "_hash")
+
+    def __init__(self, hash_cell_size: float = 32.0) -> None:
+        self.xs = np.zeros(_INITIAL_CAPACITY, dtype=np.float64)
+        self.ys = np.zeros(_INITIAL_CAPACITY, dtype=np.float64)
+        self.rs = np.zeros(_INITIAL_CAPACITY, dtype=np.float64)
+        self.active = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._free: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
+        self._n = 0
+        self._hash = SpatialHash(hash_cell_size)
+
+    # -- size / iteration ---------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of active circles."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def active_indices(self) -> np.ndarray:
+        """Indices of active circles (ascending order, fresh array)."""
+        return np.flatnonzero(self.active)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.active_indices())
+
+    def circles(self) -> List[Circle]:
+        """Snapshot of the configuration as immutable circles."""
+        return [
+            Circle(float(self.xs[i]), float(self.ys[i]), float(self.rs[i]))
+            for i in self.active_indices()
+        ]
+
+    # -- element access ------------------------------------------------------
+    def circle_at(self, idx: int) -> Circle:
+        self._check_active(idx)
+        return Circle(float(self.xs[idx]), float(self.ys[idx]), float(self.rs[idx]))
+
+    def position_of(self, idx: int) -> Tuple[float, float]:
+        self._check_active(idx)
+        return (float(self.xs[idx]), float(self.ys[idx]))
+
+    def radius_of(self, idx: int) -> float:
+        self._check_active(idx)
+        return float(self.rs[idx])
+
+    def is_active(self, idx: int) -> bool:
+        return 0 <= idx < self.active.size and bool(self.active[idx])
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, x: float, y: float, r: float) -> int:
+        """Insert a circle; returns its index."""
+        if r <= 0:
+            raise ChainError(f"cannot add circle with radius {r}")
+        if not self._free:
+            self._grow()
+        idx = self._free.pop()
+        self.xs[idx] = x
+        self.ys[idx] = y
+        self.rs[idx] = r
+        self.active[idx] = True
+        self._n += 1
+        self._hash.insert(idx, x, y)
+        return idx
+
+    def remove(self, idx: int) -> Circle:
+        """Delete circle *idx*; returns the removed geometry (for undo)."""
+        self._check_active(idx)
+        removed = Circle(float(self.xs[idx]), float(self.ys[idx]), float(self.rs[idx]))
+        self.active[idx] = False
+        self._free.append(idx)
+        self._n -= 1
+        self._hash.remove(idx)
+        return removed
+
+    def move_center(self, idx: int, x: float, y: float) -> Tuple[float, float]:
+        """Reposition circle *idx*; returns the previous centre (for undo)."""
+        self._check_active(idx)
+        old = (float(self.xs[idx]), float(self.ys[idx]))
+        self.xs[idx] = x
+        self.ys[idx] = y
+        self._hash.move(idx, x, y)
+        return old
+
+    def set_radius(self, idx: int, r: float) -> float:
+        """Change circle *idx*'s radius; returns the previous radius."""
+        self._check_active(idx)
+        if r <= 0:
+            raise ChainError(f"cannot set radius {r} on circle {idx}")
+        old = float(self.rs[idx])
+        self.rs[idx] = r
+        return old
+
+    def clear(self) -> None:
+        """Remove all circles."""
+        self.active[:] = False
+        self._free = list(range(self.active.size - 1, -1, -1))
+        self._n = 0
+        self._hash.clear()
+
+    # -- neighbour queries -----------------------------------------------------
+    def neighbours_within(self, x: float, y: float, radius: float, exclude: int = -1) -> List[int]:
+        """Active circle indices with centre within *radius* of (x, y)."""
+        return [i for i in self._hash.query_disc(x, y, radius) if i != exclude]
+
+    def nearest_within(self, x: float, y: float, radius: float, exclude: int = -1) -> Optional[int]:
+        """Closest circle within *radius* of (x, y), or ``None``."""
+        return self._hash.nearest_within(x, y, radius, exclude=exclude)
+
+    def indices_in_rect(self, x0: float, y0: float, x1: float, y1: float) -> List[int]:
+        """Active circles whose *centre* lies in the half-open rectangle."""
+        return self._hash.query_rect(x0, y0, x1, y1)
+
+    # -- bulk transfer ----------------------------------------------------------
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense (xs, ys, rs) copies of the active circles, ascending index."""
+        idx = self.active_indices()
+        return self.xs[idx].copy(), self.ys[idx].copy(), self.rs[idx].copy()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        rs: Sequence[float],
+        hash_cell_size: float = 32.0,
+    ) -> "CircleConfiguration":
+        """Build a configuration from dense coordinate arrays."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        rs = np.asarray(rs, dtype=np.float64)
+        if not (xs.shape == ys.shape == rs.shape) or xs.ndim != 1:
+            raise ChainError(
+                f"coordinate arrays must be equal-length 1-D, got {xs.shape}, {ys.shape}, {rs.shape}"
+            )
+        cfg = cls(hash_cell_size=hash_cell_size)
+        for x, y, r in zip(xs, ys, rs):
+            cfg.add(float(x), float(y), float(r))
+        return cfg
+
+    @classmethod
+    def from_circles(
+        cls, circles: Sequence[Circle], hash_cell_size: float = 32.0
+    ) -> "CircleConfiguration":
+        cfg = cls(hash_cell_size=hash_cell_size)
+        for c in circles:
+            cfg.add(c.x, c.y, c.r)
+        return cfg
+
+    def copy(self) -> "CircleConfiguration":
+        """Deep copy (fresh arrays and spatial hash)."""
+        out = CircleConfiguration(hash_cell_size=self._hash.cell_size)
+        for i in self.active_indices():
+            out.add(float(self.xs[i]), float(self.ys[i]), float(self.rs[i]))
+        return out
+
+    # -- internals ------------------------------------------------------------
+    def _grow(self) -> None:
+        old = self.active.size
+        new = old * 2
+        self.xs = np.resize(self.xs, new)
+        self.ys = np.resize(self.ys, new)
+        self.rs = np.resize(self.rs, new)
+        grown = np.zeros(new, dtype=bool)
+        grown[:old] = self.active
+        self.active = grown
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _check_active(self, idx: int) -> None:
+        if not (0 <= idx < self.active.size) or not self.active[idx]:
+            raise ChainError(f"circle index {idx} is not active")
+
+    def check_invariants(self) -> None:
+        """Validate internal consistency (tests / debugging only)."""
+        n_active = int(self.active.sum())
+        if n_active != self._n:
+            raise ChainError(f"active count {n_active} != tracked n {self._n}")
+        if len(self._free) + self._n != self.active.size:
+            raise ChainError("free list and active set do not partition capacity")
+        if sorted(set(self._free)) != sorted(self._free):
+            raise ChainError("free list contains duplicates")
+        for i in self._free:
+            if self.active[i]:
+                raise ChainError(f"index {i} is both free and active")
+        if len(self._hash) != self._n:
+            raise ChainError(f"hash has {len(self._hash)} items, expected {self._n}")
+        for i in self.active_indices():
+            hx, hy = self._hash.position_of(int(i))
+            if hx != self.xs[i] or hy != self.ys[i]:
+                raise ChainError(f"hash position stale for index {i}")

@@ -1,0 +1,87 @@
+"""Executor abstraction: where partition tasks actually run.
+
+The periodic sampler and the partitioning pipelines are written against
+this tiny interface so the same algorithm code runs serially (tests,
+debugging), on threads (useful when the heavy lifting is in numpy,
+which releases the GIL for large array operations) or on a persistent
+process pool (:mod:`repro.parallel.process` — true parallelism for
+Python-level work).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor as _TPE
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import ExecutorError
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor"]
+
+
+class Executor(ABC):
+    """Maps a function over tasks, possibly in parallel.
+
+    Results are returned in task order regardless of completion order —
+    the periodic sampler relies on this to reassociate partition results
+    with partition contexts.
+    """
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Apply *fn* to every task; return results in task order."""
+
+    @property
+    @abstractmethod
+    def parallelism(self) -> int:
+        """How many tasks can make progress simultaneously."""
+
+    def shutdown(self) -> None:
+        """Release resources; the executor is unusable afterwards."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline, in order.  The reference semantics."""
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        return [fn(t) for t in tasks]
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+
+class ThreadExecutor(Executor):
+    """A thread pool.
+
+    Threads only help when the task body spends its time in GIL-
+    releasing code (large numpy kernels, I/O).  For the Python-level
+    MCMC inner loop prefer :class:`~repro.parallel.process.ProcessExecutor`.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ExecutorError(f"n_workers must be >= 1, got {n_workers}")
+        self._n = n_workers
+        self._pool = _TPE(max_workers=n_workers)
+        self._alive = True
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if not self._alive:
+            raise ExecutorError("executor already shut down")
+        return list(self._pool.map(fn, tasks))
+
+    @property
+    def parallelism(self) -> int:
+        return self._n
+
+    def shutdown(self) -> None:
+        if self._alive:
+            self._pool.shutdown(wait=True)
+            self._alive = False

@@ -1,0 +1,83 @@
+"""Persistent process-pool executor.
+
+The pool is created once and reused across every phase of a periodic
+run — fork/spawn latency is paid once, not per cycle.  Task functions
+must be module-level (picklable); the image travels via
+:mod:`repro.parallel.sharedmem`, not in the task messages.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor as _PPE
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutorError
+from repro.parallel.executor import Executor
+
+__all__ = ["ProcessExecutor"]
+
+
+class ProcessExecutor(Executor):
+    """A persistent pool of worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.
+    initializer, initargs:
+        Run once in each worker at start-up — pass
+        :func:`repro.parallel.sharedmem.worker_initializer` with the
+        shared image's ``attach_args()`` to give workers pixel access.
+    start_method:
+        ``"fork"`` (default on Linux; cheapest) or ``"spawn"``.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+        start_method: str = "fork",
+    ) -> None:
+        if n_workers < 1:
+            raise ExecutorError(f"n_workers must be >= 1, got {n_workers}")
+        try:
+            ctx = multiprocessing.get_context(start_method)
+        except ValueError as exc:
+            raise ExecutorError(f"unknown start method {start_method!r}") from exc
+        self._n = n_workers
+        self._pool = _PPE(
+            max_workers=n_workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        )
+        self._alive = True
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if not self._alive:
+            raise ExecutorError("executor already shut down")
+        try:
+            return list(self._pool.map(fn, tasks, chunksize=1))
+        except BrokenProcessPool_or_base() as exc:  # pragma: no cover
+            raise ExecutorError(f"worker pool failed: {exc}") from exc
+
+    @property
+    def parallelism(self) -> int:
+        return self._n
+
+    def shutdown(self) -> None:
+        if self._alive:
+            self._pool.shutdown(wait=True)
+            self._alive = False
+
+
+def BrokenProcessPool_or_base():
+    """The BrokenProcessPool class (import-guarded for older Pythons)."""
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+
+        return BrokenProcessPool
+    except ImportError:  # pragma: no cover
+        return RuntimeError

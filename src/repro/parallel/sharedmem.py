@@ -1,0 +1,118 @@
+"""Shared-memory image transport for process workers.
+
+A 1024×1024 float64 image is 8 MB; pickling it into every task message
+every cycle would drown the useful work (the paper's overhead warnings
+in §VI are about exactly this class of cost).  Instead the master
+places the image in POSIX shared memory once; workers attach at pool
+start-up and every task message carries only partition geometry and a
+few hundred floats of configuration state.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutorError
+from repro.imaging.image import Image
+
+__all__ = ["SharedImage", "set_worker_image", "get_worker_image", "worker_initializer"]
+
+
+class SharedImage:
+    """An image living in a named shared-memory block.
+
+    The creating process owns the block (call :meth:`unlink` when done);
+    workers attach read-only views via :func:`worker_initializer`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape: Tuple[int, int], owner: bool) -> None:
+        self._shm = shm
+        self.shape = shape
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, image: Image) -> "SharedImage":
+        """Copy *image* into a fresh shared block."""
+        nbytes = image.pixels.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        out = cls(shm, image.shape, owner=True)
+        out.array[:] = image.pixels
+        return out
+
+    @classmethod
+    def attach(cls, name: str, shape: Tuple[int, int]) -> "SharedImage":
+        """Attach to an existing block by name (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, tuple(shape), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def attach_args(self) -> Tuple[str, Tuple[int, int]]:
+        """(name, shape) to hand to :func:`worker_initializer`."""
+        return (self._shm.name, self.shape)
+
+    def as_image(self) -> Image:
+        """A validated :class:`Image` copy of the shared pixels."""
+        return Image(self.array, copy=True)
+
+    def close(self) -> None:
+        """Detach this process's mapping."""
+        # Drop the numpy view first: SharedMemory.close() fails while
+        # exported buffers are alive.
+        self.array = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the block (owner only; call after close on workers)."""
+        if not self._owner:
+            raise ExecutorError("only the creating process may unlink shared memory")
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedImage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            try:
+                self.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+
+
+# -- per-worker global --------------------------------------------------------
+_worker_image: Optional[np.ndarray] = None
+_worker_shm: Optional[SharedImage] = None
+
+
+def set_worker_image(pixels: np.ndarray) -> None:
+    """Install the image array used by partition tasks in this process.
+
+    Serial executors call this in the master process; process pools call
+    it via :func:`worker_initializer` in each worker.
+    """
+    global _worker_image
+    _worker_image = pixels
+
+
+def get_worker_image() -> np.ndarray:
+    """The image array installed for this process's partition tasks."""
+    if _worker_image is None:
+        raise ExecutorError(
+            "no worker image installed; call set_worker_image() or run tasks "
+            "through an executor configured with worker_initializer"
+        )
+    return _worker_image
+
+
+def worker_initializer(shm_name: str, shape: Tuple[int, int]) -> None:
+    """Process-pool initializer: attach the shared image once per worker."""
+    global _worker_shm
+    _worker_shm = SharedImage.attach(shm_name, shape)
+    set_worker_image(_worker_shm.array)

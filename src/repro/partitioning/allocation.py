@@ -1,0 +1,64 @@
+"""Per-partition iteration allocation (§V).
+
+"Each partition can be allocated the number of local iterations to
+perform in the same proportion as the number of model features contained
+within the partition's boundaries and that may be legitimately modified
+... compared to the number of such (modifiable) features taken across
+all partitions."
+
+Implemented with the largest-remainder method so allocations are
+integers that sum *exactly* to the requested total — a conservation
+property the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import PartitioningError
+
+__all__ = ["allocate_iterations"]
+
+
+def allocate_iterations(total: int, weights: Sequence[float]) -> List[int]:
+    """Split *total* iterations proportionally to *weights*.
+
+    Parameters
+    ----------
+    total:
+        Number of iterations to distribute (>= 0).
+    weights:
+        Non-negative per-partition weights (modifiable feature counts in
+        the periodic sampler).  All-zero weights yield an all-zero
+        allocation — the caller decides what an idle phase means.
+
+    Returns
+    -------
+    Integer allocations, same length as *weights*, summing to *total*
+    (or to 0 when all weights are 0).
+    """
+    if total < 0:
+        raise PartitioningError(f"total iterations must be >= 0, got {total}")
+    w = np.asarray(list(weights), dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise PartitioningError("weights must be a non-empty 1-D sequence")
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise PartitioningError("weights must be finite and non-negative")
+    s = w.sum()
+    if s == 0:
+        return [0] * w.size
+
+    # Normalise first: (w / s) is always in [0, 1], so this stays finite
+    # even for denormal weights where total / s would overflow.
+    exact = (w / s) * total
+    base = np.floor(exact).astype(int)
+    remainder = total - int(base.sum())
+    if remainder:
+        # Largest fractional parts get the leftover iterations;
+        # ties broken by index for determinism.
+        frac = exact - base
+        order = np.lexsort((np.arange(w.size), -frac))
+        base[order[:remainder]] += 1
+    return [int(b) for b in base]

@@ -1,0 +1,81 @@
+"""Blind partitioning geometry (§VIII, Fig. 4).
+
+"Partition the image in some arbitrary manner, such as a simple grid
+... we propose there be overlap between each partition such that the
+largest expected artifact will fit inside (i.e. each partition will
+extend r_MAX further than normal in each direction)."
+
+A :class:`BlindPartition` pairs the *core* rectangle (the dotted lines
+of Fig. 4 — the cell of the plain grid) with the *expanded* rectangle
+(the solid lines — core grown by the overlap margin, clipped to the
+image).  MCMC runs on the expanded sub-image; the merge step
+(:mod:`repro.partitioning.merge`) reconciles the overlap bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import PartitioningError
+from repro.geometry.rect import Rect
+
+__all__ = ["BlindPartition", "blind_partitions"]
+
+
+@dataclass(frozen=True)
+class BlindPartition:
+    """One blind partition: core cell + overlap-expanded processing area."""
+
+    index: int
+    core: Rect
+    expanded: Rect
+
+    def in_core(self, x: float, y: float) -> bool:
+        """Is a centre point inside the core (auto-accept region)?"""
+        return self.core.contains_point(x, y)
+
+    def in_overlap(self, x: float, y: float) -> bool:
+        """Is a centre point inside the overlap band (needs reconciling)?"""
+        return self.expanded.contains_point(x, y) and not self.core.contains_point(x, y)
+
+
+def blind_partitions(
+    bounds: Rect, nx: int, ny: int, overlap: float
+) -> List[BlindPartition]:
+    """Split *bounds* into an ``nx × ny`` grid of cores with overlap.
+
+    Parameters
+    ----------
+    nx, ny:
+        Grid shape (the paper's example: 2 × 2).
+    overlap:
+        How far each expanded rectangle extends beyond its core on every
+        side (the paper uses ``1.1 × expected radius``); clipped to the
+        image bounds.
+
+    The cores tile *bounds* exactly; expanded rectangles mutually
+    overlap by ``2 × overlap`` along shared edges.
+    """
+    if nx <= 0 or ny <= 0:
+        raise PartitioningError(f"grid shape must be positive, got {nx}x{ny}")
+    if overlap < 0:
+        raise PartitioningError(f"overlap must be >= 0, got {overlap}")
+    min_cell = min(bounds.width / nx, bounds.height / ny)
+    if overlap >= min_cell:
+        raise PartitioningError(
+            f"overlap {overlap} exceeds cell size {min_cell:.1f}; partitions "
+            "would engulf their neighbours"
+        )
+    out: List[BlindPartition] = []
+    xs = [bounds.x0 + bounds.width * i / nx for i in range(nx + 1)]
+    ys = [bounds.y0 + bounds.height * j / ny for j in range(ny + 1)]
+    k = 0
+    for j in range(ny):
+        for i in range(nx):
+            core = Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
+            expanded = core.expand(overlap).clip_to(bounds)
+            assert expanded is not None  # expansion of an inner rect never vanishes
+            out.append(BlindPartition(index=k, core=core, expanded=expanded))
+            k += 1
+    return out

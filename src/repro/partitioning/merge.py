@@ -1,0 +1,237 @@
+"""Model recombination after partitioned MCMC runs (§VIII–IX).
+
+Two regimes:
+
+* Intelligent partitioning — partitions are disjoint by construction,
+  so recombination is plain concatenation (:func:`concat_models`);
+  "combining the results for the three separate partitions is trivial".
+* Blind partitioning — partitions overlap, so boundary artifacts can be
+  found twice.  :func:`merge_blind_models` implements the paper's
+  heuristic pipeline:
+
+  1. delete from each partition's model the artifacts whose centre is
+     not inside that partition's *core* ("beads whose centre is not
+     inside the dotted line ... are deleted");
+  2. take the union;
+  3. artifacts centred in an overlap band with a counterpart within
+     *merge_distance* (the paper: "centerpoints within say 5 pixels")
+     are merged into their average;
+  4. artifacts in an overlap band with **no** counterpart in the
+     neighbouring partition's raw model are *disputed* — kept or
+     dropped per ``dispute_policy`` ("you may wish to accept or discard
+     them depending on whether it is more important to avoid
+     false-positives or not missing potential artifacts");
+  5. **orphan rescue** (a hardening beyond the paper's text): an
+     artifact centred *exactly on a core line* can be estimated on
+     opposite sides of the line by the two partitions, so the core
+     filter deletes both copies and the artifact vanishes.  Orphans —
+     core-filtered circles never consumed by a merge — are rescued when
+     the partition that owns their centre also core-filtered a matching
+     estimate: the two mutually-corroborating orphans merge into one
+     accepted artifact.  (The paper's bead images never place an
+     artifact exactly on a cut, so its procedure never hits this case;
+     without the rescue, step 1 silently loses such artifacts.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.geometry.circle import Circle
+from repro.partitioning.blind import BlindPartition
+
+__all__ = ["MergeReport", "merge_blind_models", "concat_models", "match_circles"]
+
+
+def concat_models(models: Sequence[Sequence[Circle]]) -> List[Circle]:
+    """Union of disjoint partition models (intelligent partitioning)."""
+    out: List[Circle] = []
+    for m in models:
+        out.extend(m)
+    return out
+
+
+def match_circles(
+    a: Sequence[Circle], b: Sequence[Circle], max_distance: float
+) -> List[Tuple[int, int]]:
+    """Greedy nearest-centre matching between two circle lists.
+
+    Pairs are matched closest-first; each circle matches at most once;
+    pairs farther apart than *max_distance* are not matched.  Returns
+    (index_in_a, index_in_b) pairs.  Used both by the blind-partition
+    merge and by the result-quality metrics in
+    :mod:`repro.core.evaluation`.
+    """
+    if max_distance < 0:
+        raise PartitioningError(f"max_distance must be >= 0, got {max_distance}")
+    if not a or not b:
+        return []
+    candidates: List[Tuple[float, int, int]] = []
+    for i, ca in enumerate(a):
+        for j, cb in enumerate(b):
+            d = ca.distance_to(cb)
+            if d <= max_distance:
+                candidates.append((d, i, j))
+    candidates.sort()
+    used_a: set = set()
+    used_b: set = set()
+    pairs: List[Tuple[int, int]] = []
+    for _, i, j in candidates:
+        if i in used_a or j in used_b:
+            continue
+        pairs.append((i, j))
+        used_a.add(i)
+        used_b.add(j)
+    return pairs
+
+
+@dataclass
+class MergeReport:
+    """Outcome of a blind-partition merge."""
+
+    circles: List[Circle] = field(default_factory=list)
+    n_auto_accepted: int = 0  #: centres in a core, outside all overlap bands
+    n_merged: int = 0  #: duplicate pairs collapsed into averages
+    n_corroborated: int = 0  #: overlap-band artifacts confirmed by a neighbour
+    n_disputed_kept: int = 0
+    n_disputed_dropped: int = 0
+    n_rescued: int = 0  #: straddling artifacts recovered from double deletion
+
+    @property
+    def n_total(self) -> int:
+        return len(self.circles)
+
+
+def merge_blind_models(
+    partitions: Sequence[BlindPartition],
+    models: Sequence[Sequence[Circle]],
+    merge_distance: float = 5.0,
+    dispute_policy: str = "accept",
+) -> MergeReport:
+    """Reconcile per-partition models into one image-wide model.
+
+    Parameters
+    ----------
+    partitions, models:
+        Parallel sequences: the geometry each model was fitted over and
+        the fitted circles (centres within the *expanded* rectangle).
+    merge_distance:
+        Max centre distance for two overlap-band artifacts to be deemed
+        the same artifact.
+    dispute_policy:
+        ``"accept"`` keeps unconfirmed overlap-band artifacts,
+        ``"discard"`` drops them.
+    """
+    if len(partitions) != len(models):
+        raise PartitioningError(
+            f"{len(partitions)} partitions but {len(models)} models"
+        )
+    if dispute_policy not in ("accept", "discard"):
+        raise PartitioningError(f"unknown dispute_policy {dispute_policy!r}")
+
+    report = MergeReport()
+
+    # Step 1: core filter — each partition keeps only circles centred in
+    # its core.  Cores tile the image, so every artifact now has exactly
+    # one owning partition (up to estimation jitter across a core line).
+    # Entries carry their raw-model index so a kept circle can be marked
+    # consumed in its own raw model once processed.
+    kept: List[List[Tuple[int, Circle]]] = []
+    for part, model in zip(partitions, models):
+        kept.append([(j, c) for j, c in enumerate(model) if part.in_core(c.x, c.y)])
+
+    # Step 2+3: examine each kept circle.  Circles outside every overlap
+    # band are auto-accepted.  Circles in an overlap band are compared
+    # against each overlapping neighbour's *raw* model: a counterpart
+    # within merge_distance corroborates (and is averaged in); absence
+    # in every overlapping neighbour makes the circle disputed.
+    consumed: Dict[int, set] = {k: set() for k in range(len(partitions))}
+    # Kept circles collapsed into a merge produced by an earlier partition
+    # (identity-based: every model circle is a distinct object).
+    absorbed: set = set()
+
+    for k, (part, circles) in enumerate(zip(partitions, kept)):
+        for raw_idx, c in circles:
+            if id(c) in absorbed:
+                continue
+            consumed[k].add(raw_idx)  # c may no longer confirm anyone else
+            overlapping = [
+                m
+                for m, other in enumerate(partitions)
+                if m != k and other.expanded.contains_point(c.x, c.y)
+            ]
+            if not overlapping:
+                report.circles.append(c)
+                report.n_auto_accepted += 1
+                continue
+
+            merged = c
+            confirmations = 0
+            for m in overlapping:
+                best_j = None
+                best_d = merge_distance
+                for j, other_c in enumerate(models[m]):
+                    if j in consumed[m]:
+                        continue
+                    d = merged.distance_to(other_c)
+                    if d <= best_d:
+                        best_d = d
+                        best_j = j
+                if best_j is not None:
+                    other_c = models[m][best_j]
+                    consumed[m].add(best_j)
+                    # If the counterpart was *kept* by its own partition
+                    # (centre straddled the core line), collapsing here
+                    # removes the duplicate from the union.
+                    if partitions[m].in_core(other_c.x, other_c.y):
+                        absorbed.add(id(other_c))
+                        report.n_merged += 1
+                    merged = merged.merged_with(other_c)
+                    confirmations += 1
+
+            if confirmations > 0:
+                report.circles.append(merged)
+                report.n_corroborated += 1
+            elif dispute_policy == "accept":
+                report.circles.append(merged)
+                report.n_disputed_kept += 1
+            else:
+                report.n_disputed_dropped += 1
+
+    # Step 5: orphan rescue.  An artifact straddling a core line can be
+    # estimated on opposite sides by the two partitions, so step 1
+    # deleted both copies.  Find unconsumed, core-filtered circles whose
+    # *owning* partition (the one whose core contains the centre) also
+    # holds an unconsumed core-filtered match — merge each such pair once.
+    for k, model in enumerate(models):
+        for j, c in enumerate(model):
+            if j in consumed[k] or partitions[k].in_core(c.x, c.y):
+                continue
+            owner = next(
+                (m for m, p in enumerate(partitions) if p.in_core(c.x, c.y)),
+                None,
+            )
+            if owner is None or owner == k:
+                continue
+            best_j = None
+            best_d = merge_distance
+            for j2, other_c in enumerate(models[owner]):
+                if j2 in consumed[owner]:
+                    continue
+                if partitions[owner].in_core(other_c.x, other_c.y):
+                    continue  # not an orphan — it was handled above
+                d = c.distance_to(other_c)
+                if d <= best_d:
+                    best_d = d
+                    best_j = j2
+            if best_j is not None:
+                consumed[k].add(j)
+                consumed[owner].add(best_j)
+                report.circles.append(c.merged_with(models[owner][best_j]))
+                report.n_rescued += 1
+
+    return report

@@ -1,0 +1,27 @@
+"""Small shared utilities: RNG stream management, timers, validation, tables."""
+
+from repro.utils.rng import RngStream, spawn_streams, as_generator
+from repro.utils.timing import Stopwatch, TimingAccumulator
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_type,
+)
+from repro.utils.tables import Table, format_series
+
+__all__ = [
+    "RngStream",
+    "spawn_streams",
+    "as_generator",
+    "Stopwatch",
+    "TimingAccumulator",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+    "Table",
+    "format_series",
+]

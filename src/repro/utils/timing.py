@@ -1,0 +1,115 @@
+"""Wall-clock measurement helpers used by the benchmark harness.
+
+The paper reports mean time-per-iteration and total runtimes; these small
+classes standardise how we collect them (monotonic clock, explicit
+start/stop, accumulation across phases).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Stopwatch", "TimingAccumulator"]
+
+
+class Stopwatch:
+    """A start/stop wall-clock timer based on ``time.perf_counter``.
+
+    >>> sw = Stopwatch().start()
+    >>> elapsed = sw.stop()
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing; returns self for chaining."""
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the total accumulated seconds."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time; stops the watch if running."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (including the live segment if running)."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if self.running:
+            self.stop()
+
+
+@dataclass
+class TimingAccumulator:
+    """Accumulates named timing buckets (e.g. 'global_phase', 'local_phase').
+
+    Used by the periodic sampler to attribute wall-clock time to the
+    sequential and parallel parts of the algorithm, mirroring the
+    decomposition in eq. (2) of the paper.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, bucket: str, seconds: float) -> None:
+        """Add *seconds* to *bucket*."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for bucket {bucket!r}")
+        self.totals[bucket] = self.totals.get(bucket, 0.0) + seconds
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+
+    def total(self, bucket: str) -> float:
+        """Total seconds recorded against *bucket* (0.0 if unseen)."""
+        return self.totals.get(bucket, 0.0)
+
+    def count(self, bucket: str) -> int:
+        """Number of samples recorded against *bucket*."""
+        return self.counts.get(bucket, 0)
+
+    def mean(self, bucket: str) -> float:
+        """Mean seconds per sample for *bucket* (0.0 if unseen)."""
+        n = self.counts.get(bucket, 0)
+        return self.totals.get(bucket, 0.0) / n if n else 0.0
+
+    def grand_total(self) -> float:
+        """Sum of all buckets."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "TimingAccumulator") -> None:
+        """Fold another accumulator's buckets into this one."""
+        for k, v in other.totals.items():
+            self.totals[k] = self.totals.get(k, 0.0) + v
+        for k, c in other.counts.items():
+            self.counts[k] = self.counts.get(k, 0) + c
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of bucket totals."""
+        return dict(self.totals)
+
+    def buckets(self) -> List[str]:
+        return sorted(self.totals)

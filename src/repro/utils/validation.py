@@ -1,0 +1,77 @@
+"""Argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with uniform,
+actionable messages.  Used at public API boundaries only — hot inner
+loops rely on construction-time validation instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Tuple, Type, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+]
+
+
+def _fail(name: str, value: Any, requirement: str) -> None:
+    raise ConfigurationError(f"{name} must be {requirement}, got {value!r}")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and finite."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a positive number")
+    if not math.isfinite(value) or value <= 0:
+        _fail(name, value, "a positive finite number")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` and finite."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a non-negative number")
+    if not math.isfinite(value) or value < 0:
+        _fail(name, value, "a non-negative finite number")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "a probability in [0, 1]")
+    if not (0.0 <= value <= 1.0):
+        _fail(name, value, "a probability in [0, 1]")
+    return float(value)
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Require *value* in ``[low, high]`` (or open interval)."""
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        _fail(name, value, f"in {bracket[0]}{low}, {high}{bracket[1]}")
+    return value
+
+
+def check_type(
+    name: str, value: Any, types: Union[Type, Tuple[Type, ...]]
+) -> Any:
+    """Require ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        tn = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        _fail(name, value, f"of type {tn}")
+    return value

@@ -1,0 +1,41 @@
+"""Tests for repro.bench.calibration."""
+
+import pytest
+
+from repro.bench.calibration import CalibrationResult, calibrate_iteration_cost
+from repro.errors import CalibrationError
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate_iteration_cost(
+            feature_counts=(4, 12), iterations=600, image_size=128, seed=5
+        )
+
+    def test_positive_constants(self, result):
+        assert result.tau_base > 0
+        assert result.tau_per_feature >= 0
+
+    def test_samples_recorded(self, result):
+        assert len(result.samples) == 2
+        assert all(t > 0 for _, t in result.samples)
+
+    def test_iteration_time_model(self, result):
+        t0 = result.iteration_time(0)
+        t100 = result.iteration_time(100)
+        assert t0 == pytest.approx(result.tau_base)
+        assert t100 >= t0
+
+    def test_host_profile(self, result):
+        prof = result.host_profile(cores=4)
+        assert prof.cores == 4
+        assert prof.iteration_time(10) == pytest.approx(result.iteration_time(10))
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            calibrate_iteration_cost(feature_counts=(5,))
+        with pytest.raises(CalibrationError):
+            calibrate_iteration_cost(feature_counts=(5, 10), iterations=10)
+        with pytest.raises(CalibrationError):
+            calibrate_iteration_cost(feature_counts=(0, 5))

@@ -1,0 +1,60 @@
+"""Tests for repro.bench.harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    fig2_cycle_specs,
+    simulate_architecture,
+    simulate_fig2_point,
+)
+from repro.core.phases import PhaseSchedule
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+from repro.parallel.machines import Q6600
+
+BOUNDS = Rect(0, 0, 512, 512)
+
+
+class TestCycleSpecs:
+    def test_conservation(self):
+        sched = PhaseSchedule(local_iters=300, qg=0.4)
+        specs = list(fig2_cycle_specs(5000, sched, 50, BOUNDS, seed=1))
+        total = sum(s.global_iters + s.local_iters for s in specs)
+        assert total == 5000
+
+    def test_four_partitions_per_cycle(self):
+        sched = PhaseSchedule(local_iters=300, qg=0.4)
+        for s in fig2_cycle_specs(2000, sched, 50, BOUNDS, seed=1):
+            assert len(s.local_allocs) == 4
+            assert len(s.features_per_partition) == 4
+
+    def test_features_distributed(self):
+        sched = PhaseSchedule(local_iters=300, qg=0.4)
+        for s in fig2_cycle_specs(2000, sched, 50, BOUNDS, seed=2):
+            assert sum(s.features_per_partition) == 50
+
+    def test_deterministic(self):
+        sched = PhaseSchedule(local_iters=300, qg=0.4)
+        a = list(fig2_cycle_specs(2000, sched, 50, BOUNDS, seed=3))
+        b = list(fig2_cycle_specs(2000, sched, 50, BOUNDS, seed=3))
+        assert [s.local_allocs for s in a] == [s.local_allocs for s in b]
+
+    def test_validation(self):
+        sched = PhaseSchedule(local_iters=300, qg=0.4)
+        with pytest.raises(ConfigurationError):
+            list(fig2_cycle_specs(100, sched, -1, BOUNDS))
+        with pytest.raises(ConfigurationError):
+            list(fig2_cycle_specs(100, sched, 10, BOUNDS, modifiable_fraction=0.0))
+
+
+class TestSimulatePoints:
+    def test_fig2_point_runs(self):
+        res = simulate_fig2_point(Q6600, 20_000, 0.4, 0.02, 150, BOUNDS, seed=1)
+        assert res.total_seconds > 0
+        assert res.iterations == 20_000
+
+    def test_architecture_result(self):
+        res = simulate_architecture(Q6600, 20_000, 0.4, 150, BOUNDS, seed=1)
+        assert res.machine == "Q6600"
+        assert 0.0 < res.reduction < 1.0
+        assert res.periodic_seconds < res.sequential_seconds

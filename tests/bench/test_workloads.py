@@ -1,0 +1,65 @@
+"""Tests for repro.bench.workloads."""
+
+import pytest
+
+from repro.bench.workloads import bead_workload, fig2_workload, small_nuclei_workload
+from repro.errors import ConfigurationError
+
+
+class TestFig2Workload:
+    def test_scaled_down(self):
+        w = fig2_workload(scale=0.125)
+        assert w.scene.spec.width == 128
+        assert w.model.width == 128
+        assert w.moves.qg == pytest.approx(0.4)
+        assert w.n_truth >= 4
+
+    def test_density_preserved(self):
+        """Cell count scales with area, so density is scale-invariant
+        (checked above the n >= 4 floor that kicks in at tiny scales)."""
+        a = fig2_workload(scale=0.25)
+        b = fig2_workload(scale=0.5)
+        da = a.n_truth / (a.scene.spec.width ** 2)
+        db = b.n_truth / (b.scene.spec.width ** 2)
+        assert da == pytest.approx(db, rel=0.35)
+
+    def test_expected_count_near_truth(self):
+        w = fig2_workload(scale=0.25)
+        assert w.model.expected_count == pytest.approx(w.n_truth, rel=0.3)
+
+    def test_deterministic(self):
+        a = fig2_workload(scale=0.125, seed=9)
+        b = fig2_workload(scale=0.125, seed=9)
+        assert [(c.x, c.y) for c in a.scene.circles] == [
+            (c.x, c.y) for c in b.scene.circles
+        ]
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            fig2_workload(scale=0.01)
+        with pytest.raises(ConfigurationError):
+            fig2_workload(scale=2.0)
+
+
+class TestBeadWorkload:
+    def test_structure(self):
+        w = bead_workload(scale=0.5)
+        assert w.n_truth >= 6
+        assert w.threshold == 0.5
+        assert w.model.width > 0 and w.model.height > 0
+
+    def test_custom_bead_count(self):
+        w = bead_workload(scale=0.5, n_beads=12)
+        assert w.n_truth == 12
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            bead_workload(scale=0.1)
+
+
+class TestSmallWorkload:
+    def test_structure(self):
+        w = small_nuclei_workload()
+        assert w.model.width == 192
+        assert w.n_truth == 15
+        assert w.filtered.shape == (192, 192)

@@ -1,0 +1,87 @@
+"""Shared fixtures: small scenes, model specs, posterior states.
+
+Everything is seeded — a failing test reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging import Image, SceneSpec, generate_scene, threshold_filter
+from repro.imaging.density import estimate_count
+from repro.mcmc import (
+    MarkovChain,
+    ModelSpec,
+    MoveConfig,
+    MoveGenerator,
+    PosteriorState,
+)
+from repro.parallel.sharedmem import set_worker_image
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def stream() -> RngStream:
+    return RngStream(seed=12345)
+
+
+@pytest.fixture(scope="session")
+def small_scene():
+    """A 96x96 scene with 6 well-separated circles (session-cached)."""
+    return generate_scene(
+        SceneSpec(
+            width=96, height=96, n_circles=6, mean_radius=7.0,
+            radius_std=1.0, min_radius=3.0, max_overlap_fraction=0.0,
+        ),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_filtered(small_scene) -> Image:
+    return threshold_filter(small_scene.image, 0.4)
+
+
+@pytest.fixture(scope="session")
+def small_spec(small_filtered) -> ModelSpec:
+    return ModelSpec(
+        width=96,
+        height=96,
+        expected_count=max(estimate_count(small_filtered, 0.5, 7.0), 1.0),
+        radius_mean=7.0,
+        radius_std=1.2,
+        radius_min=2.0,
+        radius_max=14.0,
+    )
+
+
+@pytest.fixture
+def move_config() -> MoveConfig:
+    return MoveConfig()
+
+
+@pytest.fixture
+def posterior(small_filtered, small_spec) -> PosteriorState:
+    """A fresh empty posterior over the small scene."""
+    set_worker_image(small_filtered.pixels)
+    return PosteriorState(small_filtered, small_spec)
+
+
+@pytest.fixture
+def warm_posterior(small_filtered, small_spec, small_scene) -> PosteriorState:
+    """A posterior seeded at the ground-truth configuration."""
+    post = PosteriorState(small_filtered, small_spec)
+    for c in small_scene.circles:
+        r = min(max(c.r, small_spec.radius_min), small_spec.radius_max)
+        post.insert_circle(c.x, c.y, r)
+    return post
+
+
+@pytest.fixture
+def burned_chain(posterior, small_spec, move_config) -> MarkovChain:
+    """A chain advanced 2000 iterations from empty (some structure found)."""
+    gen = MoveGenerator(small_spec, move_config)
+    chain = MarkovChain(posterior, gen, seed=7, record_every=50)
+    chain.run(2000)
+    return chain

@@ -1,0 +1,42 @@
+"""Tests for the CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "16 processes" in out
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+
+    def test_run_arch(self, capsys):
+        assert main(["run", "arch", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Pentium-D" in out and "Q6600" in out and "Xeon-2P" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out

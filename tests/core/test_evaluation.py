@@ -1,0 +1,97 @@
+"""Tests for repro.core.evaluation."""
+
+import pytest
+
+from repro.core.evaluation import anomalies_near_lines, evaluate_model
+from repro.errors import ConfigurationError
+from repro.geometry.circle import Circle
+
+
+class TestEvaluateModel:
+    def test_perfect_match(self):
+        truth = [Circle(10, 10, 5), Circle(30, 30, 4)]
+        report = evaluate_model(truth, truth)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.mean_center_error == 0.0
+        assert report.mean_radius_error == 0.0
+
+    def test_missed_artifact(self):
+        truth = [Circle(10, 10, 5), Circle(30, 30, 4)]
+        found = [Circle(10, 10, 5)]
+        report = evaluate_model(found, truth)
+        assert report.n_missed == 1
+        assert report.recall == 0.5
+        assert report.precision == 1.0
+
+    def test_spurious_artifact(self):
+        truth = [Circle(10, 10, 5)]
+        found = [Circle(10, 10, 5), Circle(50, 50, 4)]
+        report = evaluate_model(found, truth)
+        assert report.n_spurious == 1
+        assert report.precision == 0.5
+
+    def test_duplicate_counts_as_spurious(self):
+        truth = [Circle(10, 10, 5)]
+        found = [Circle(10.2, 10, 5), Circle(9.8, 10, 5)]
+        report = evaluate_model(found, truth, max_distance=3)
+        assert report.n_matched == 1
+        assert report.n_spurious == 1
+
+    def test_distance_gate(self):
+        truth = [Circle(10, 10, 5)]
+        found = [Circle(18, 10, 5)]
+        report = evaluate_model(found, truth, max_distance=5)
+        assert report.n_matched == 0
+        assert report.f1 == 0.0
+
+    def test_errors_measured(self):
+        truth = [Circle(10, 10, 5)]
+        found = [Circle(11, 10, 6)]
+        report = evaluate_model(found, truth, max_distance=5)
+        assert report.mean_center_error == pytest.approx(1.0)
+        assert report.mean_radius_error == pytest.approx(1.0)
+
+    def test_empty_found(self):
+        report = evaluate_model([], [Circle(1, 1, 1)])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_empty_truth(self):
+        report = evaluate_model([Circle(1, 1, 1)], [])
+        assert report.recall == 0.0
+
+
+class TestAnomaliesNearLines:
+    def test_boundary_duplicates_localised(self):
+        """The naive-partitioning signature: a duplicated artifact at the
+        cut shows up as a near-boundary spurious detection."""
+        truth = [Circle(50, 30, 5)]
+        found = [Circle(48, 30, 5), Circle(52, 30, 5)]  # found by both halves
+        out = anomalies_near_lines(
+            found, truth, lines=[("v", 50.0)], band=8.0, max_distance=5.0
+        )
+        assert out["spurious_near_boundary"] == 1
+        assert out["spurious_elsewhere"] == 0
+
+    def test_interior_miss_not_attributed_to_boundary(self):
+        truth = [Circle(10, 10, 5)]
+        out = anomalies_near_lines([], truth, lines=[("v", 50.0)], band=5.0)
+        assert out["missed_elsewhere"] == 1
+        assert out["missed_near_boundary"] == 0
+
+    def test_horizontal_lines(self):
+        truth = []
+        found = [Circle(10, 49, 3)]
+        out = anomalies_near_lines(found, truth, lines=[("h", 50.0)], band=2.0)
+        assert out["spurious_near_boundary"] == 1
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ConfigurationError):
+            anomalies_near_lines([], [], lines=[], band=-1)
+
+    def test_report_included(self):
+        out = anomalies_near_lines([], [], lines=[], band=1.0)
+        assert out["report"].n_truth == 0

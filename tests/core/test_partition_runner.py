@@ -1,0 +1,192 @@
+"""Tests for repro.core.partition_runner — the local-phase worker path."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition_runner import (
+    apply_local_phase_results,
+    build_local_phase_tasks,
+    run_local_phase_task,
+)
+from repro.geometry.rect import Rect
+from repro.mcmc.posterior import PosteriorState
+from repro.mcmc.spec import LOCAL_MOVES, MoveConfig
+from repro.parallel.sharedmem import set_worker_image
+from repro.partitioning.classify import classify_features
+from repro.partitioning.grid import single_point_partition
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def phase_scene():
+    """A 200×200 scene: quadrants large enough that most features stay
+    modifiable under the partition-safety margin."""
+    from repro.imaging import SceneSpec, generate_scene, threshold_filter
+
+    scene = generate_scene(
+        SceneSpec(width=200, height=200, n_circles=14, mean_radius=7.0,
+                  radius_std=1.0, min_radius=3.0),
+        seed=61,
+    )
+    return scene, threshold_filter(scene.image, 0.4)
+
+
+@pytest.fixture
+def setup(phase_scene):
+    """Warm posterior + partition plan over the phase scene."""
+    from repro.imaging.density import estimate_count
+    from repro.mcmc.spec import ModelSpec
+
+    scene, filtered = phase_scene
+    spec = ModelSpec(
+        width=200,
+        height=200,
+        expected_count=max(estimate_count(filtered, 0.5, 7.0), 1.0),
+        radius_mean=7.0,
+        radius_std=1.2,
+        radius_min=2.0,
+        radius_max=10.0,
+    )
+    set_worker_image(filtered.pixels)
+    post = PosteriorState(filtered, spec)
+    for c in scene.circles:
+        r = min(max(c.r, spec.radius_min), spec.radius_max)
+        post.insert_circle(c.x, c.y, r)
+    mc = MoveConfig(translate_step=1.5, resize_step=0.8)
+    cells = single_point_partition(post.bounds, point=(100, 100)).cells
+    plan = classify_features(post.config, cells, spec, mc)
+    assert plan.total_modifiable() >= 3  # fixture sanity
+    return post, plan, mc
+
+
+class TestBuildTasks:
+    def test_tasks_only_for_nonempty_partitions(self, setup):
+        post, plan, mc = setup
+        allocs = [100 if n else 0 for n in plan.modifiable_counts()]
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=1))
+        assert len(tasks) == sum(1 for a in allocs if a > 0)
+        for t in tasks:
+            assert t.iterations == 100
+            assert len(t.mod_ids) == len(t.mod_xs) == len(t.mod_ys) == len(t.mod_rs)
+
+    def test_allocation_length_mismatch(self, setup):
+        post, plan, mc = setup
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            build_local_phase_tasks(post, plan, [1], mc, RngStream(seed=1))
+
+    def test_task_seeds_differ(self, setup):
+        post, plan, mc = setup
+        allocs = [50] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=1))
+        if len(tasks) >= 2:
+            assert len({t.seed for t in tasks}) == len(tasks)
+
+    def test_deterministic_tasks(self, setup):
+        post, plan, mc = setup
+        allocs = [50] * len(plan.partitions)
+        a = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=1))
+        b = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=1))
+        assert [t.seed for t in a] == [t.seed for t in b]
+
+
+class TestRunTask:
+    def test_moves_stay_inside_partition(self, setup):
+        post, plan, mc = setup
+        allocs = [200] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=2))
+        for task in tasks:
+            res = run_local_phase_task(task)
+            rect = Rect(*task.rect)
+            for mid, x, y, r in zip(res.mod_ids, res.xs, res.ys, res.rs):
+                assert rect.contains_circle(x, y, r, task.margin)
+
+    def test_count_preserved(self, setup):
+        """Local phases never create or destroy features."""
+        post, plan, mc = setup
+        allocs = [200] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=3))
+        for task in tasks:
+            res = run_local_phase_task(task)
+            assert len(res.xs) == len(task.mod_ids)
+
+    def test_only_local_move_types_recorded(self, setup):
+        post, plan, mc = setup
+        allocs = [150] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=4))
+        res = run_local_phase_task(tasks[0])
+        for mt, count in res.stats.generated.items():
+            if count:
+                assert mt in LOCAL_MOVES
+
+    def test_iterations_counted(self, setup):
+        post, plan, mc = setup
+        allocs = [123] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=5))
+        res = run_local_phase_task(tasks[0])
+        assert res.iterations == 123
+        assert res.stats.total_iterations() == 123
+
+    def test_deterministic_given_seed(self, setup):
+        post, plan, mc = setup
+        allocs = [150] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=6))
+        r1 = run_local_phase_task(tasks[0])
+        r2 = run_local_phase_task(tasks[0])
+        assert r1.xs == r2.xs and r1.ys == r2.ys and r1.rs == r2.rs
+
+
+class TestApplyResults:
+    def test_master_cache_stays_exact(self, setup):
+        post, plan, mc = setup
+        allocs = [200] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=7))
+        results = [run_local_phase_task(t) for t in tasks]
+        apply_local_phase_results(post, results)
+        post.verify_consistency()
+
+    def test_geometry_applied(self, setup):
+        post, plan, mc = setup
+        allocs = [300] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=8))
+        results = [run_local_phase_task(t) for t in tasks]
+        apply_local_phase_results(post, results)
+        for res in results:
+            for mid, x, y, r in zip(res.mod_ids, res.xs, res.ys, res.rs):
+                assert post.config.position_of(mid) == (x, y)
+                assert post.config.radius_of(mid) == r
+
+    def test_stats_merged(self, setup):
+        post, plan, mc = setup
+        allocs = [100] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=9))
+        results = [run_local_phase_task(t) for t in tasks]
+        stats = apply_local_phase_results(post, results)
+        assert stats.total_iterations() == sum(r.iterations for r in results)
+
+
+class TestCrossPartitionIndependence:
+    def test_partition_results_independent_of_order(self, setup, phase_scene):
+        """Applying partition results in any order gives the same master
+        state — the §V independence guarantee."""
+        post, plan, mc = setup
+        allocs = [200] * len(plan.partitions)
+        tasks = build_local_phase_tasks(post, plan, allocs, mc, RngStream(seed=10))
+        results = [run_local_phase_task(t) for t in tasks]
+
+        apply_local_phase_results(post, results)
+        state_fwd = sorted((c.x, c.y, c.r) for c in post.snapshot_circles())
+
+        # Rebuild an identical posterior (same insertion order => same
+        # indices) and apply the results reversed.
+        scene, filtered = phase_scene
+        spec = post.spec
+        post2 = PosteriorState(filtered, spec)
+        for c in scene.circles:
+            r = min(max(c.r, spec.radius_min), spec.radius_max)
+            post2.insert_circle(c.x, c.y, r)
+        apply_local_phase_results(post2, list(reversed(results)))
+        state_rev = sorted((c.x, c.y, c.r) for c in post2.snapshot_circles())
+        assert state_rev == pytest.approx(state_fwd)
+        post2.verify_consistency()

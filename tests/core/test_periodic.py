@@ -1,0 +1,129 @@
+"""Tests for repro.core.periodic — the paper's headline sampler."""
+
+import pytest
+
+from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+from repro.core.evaluation import evaluate_model
+from repro.core.periodic import grid_partitioner, single_point_partitioner
+from repro.errors import ConfigurationError
+from repro.mcmc.spec import MoveConfig
+from repro.parallel.executor import ThreadExecutor
+
+
+def make_sampler(img, spec, seed=5, local_iters=300, partitioner=None, executor=None):
+    mc = MoveConfig()
+    sched = PhaseSchedule(local_iters=local_iters, qg=mc.qg)
+    return PeriodicPartitioningSampler(
+        img, spec, mc, sched, partitioner=partitioner, executor=executor, seed=seed
+    )
+
+
+class TestRun:
+    def test_iteration_accounting(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec)
+        res = s.run(2000)
+        assert res.iterations == 2000
+        assert res.cycles == s.schedule.n_cycles(2000)
+        total_recorded = res.global_stats.total_iterations() + sum(
+            a for a in [res.local_stats.total_iterations()]
+        )
+        # Global iterations all recorded; local ones recorded when any
+        # partition had modifiable features.
+        assert res.global_stats.total_iterations() == sum(
+            g for g, _ in s.schedule.cycles(2000)
+        )
+
+    def test_master_consistency_after_run(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec)
+        s.run(3000)
+        s.post.verify_consistency()
+
+    def test_finds_structure(self, small_filtered, small_spec, small_scene):
+        s = make_sampler(small_filtered, small_spec, seed=9)
+        res = s.run(12000)
+        report = evaluate_model(res.final_circles, small_scene.circles)
+        assert report.recall >= 0.5
+        assert abs(report.n_found - report.n_truth) <= 3
+
+    def test_determinism(self, small_filtered, small_spec):
+        a = make_sampler(small_filtered, small_spec, seed=31).run(2500)
+        b = make_sampler(small_filtered, small_spec, seed=31).run(2500)
+        sa = sorted((c.x, c.y, c.r) for c in a.final_circles)
+        sb = sorted((c.x, c.y, c.r) for c in b.final_circles)
+        assert sa == sb
+
+    def test_timing_buckets_populated(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec)
+        res = s.run(2000)
+        assert res.global_seconds > 0
+        assert res.overhead_seconds > 0
+        assert res.elapsed_seconds >= res.global_seconds
+
+    def test_qg_mismatch_rejected(self, small_filtered, small_spec):
+        mc = MoveConfig()
+        sched = PhaseSchedule(local_iters=100, qg=0.7)
+        with pytest.raises(ConfigurationError):
+            PeriodicPartitioningSampler(small_filtered, small_spec, mc, sched)
+
+    def test_thread_executor_same_result(self, small_filtered, small_spec):
+        """Executor choice must not change the sampled chain (results
+        keyed by per-task seeds, not scheduling)."""
+        serial = make_sampler(small_filtered, small_spec, seed=13).run(2000)
+        with ThreadExecutor(3) as ex:
+            threaded = make_sampler(
+                small_filtered, small_spec, seed=13, executor=ex
+            ).run(2000)
+        sa = sorted((c.x, c.y, c.r) for c in serial.final_circles)
+        sb = sorted((c.x, c.y, c.r) for c in threaded.final_circles)
+        assert sa == pytest.approx(sb)
+
+
+class TestPartitioners:
+    def test_single_point_partitioner(self, small_filtered, small_spec):
+        s = make_sampler(
+            small_filtered, small_spec, partitioner=single_point_partitioner()
+        )
+        s.run(1000)
+        s.post.verify_consistency()
+
+    def test_grid_partitioner(self, small_filtered, small_spec):
+        s = make_sampler(
+            small_filtered, small_spec, partitioner=grid_partitioner(48, 48)
+        )
+        s.run(1000)
+        s.post.verify_consistency()
+
+    def test_custom_partitioner_called_each_cycle(self, small_filtered, small_spec):
+        calls = []
+
+        def partitioner(bounds, stream):
+            calls.append(1)
+            return single_point_partitioner()(bounds, stream)
+
+        s = make_sampler(small_filtered, small_spec, partitioner=partitioner)
+        res = s.run(2000)
+        assert len(calls) == res.cycles
+
+    def test_empty_partitioner_raises(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec, partitioner=lambda b, st: [])
+        with pytest.raises(ConfigurationError):
+            s.run(1000)
+
+
+class TestPhaseMethods:
+    def test_global_phase_only(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec)
+        s.run_global_phase(500)
+        assert s.iterations_done == 500
+        s.post.verify_consistency()
+
+    def test_local_phase_only(self, small_filtered, small_spec, small_scene):
+        s = make_sampler(small_filtered, small_spec)
+        # Seed some circles first (local phases need features to move).
+        for c in small_scene.circles:
+            r = min(max(c.r, small_spec.radius_min), small_spec.radius_max)
+            s.post.insert_circle(c.x, c.y, r)
+        n_before = s.post.config.n
+        s.run_local_phase(400)
+        assert s.post.config.n == n_before  # locals never change count
+        s.post.verify_consistency()

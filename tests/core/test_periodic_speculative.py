@@ -1,0 +1,108 @@
+"""Tests for the eq. (3) configuration: periodic partitioning with
+speculative global phases, plus sample collection hooks."""
+
+import pytest
+
+from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+from repro.core.evaluation import evaluate_model
+from repro.errors import ConfigurationError
+from repro.mcmc.samples import SampleCollector
+from repro.mcmc.spec import MoveConfig
+
+
+def make_sampler(img, spec, **kw):
+    mc = MoveConfig()
+    sched = PhaseSchedule(local_iters=300, qg=mc.qg)
+    return PeriodicPartitioningSampler(img, spec, mc, sched, seed=5, **kw)
+
+
+class TestSpeculativeGlobalPhases:
+    def test_rounds_reported(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec, speculative_width=4)
+        res = s.run(3000)
+        assert res.global_rounds is not None
+        g_total = sum(g for g, _ in s.schedule.cycles(3000))
+        assert res.global_rounds <= g_total
+        assert res.global_stats.total_iterations() == g_total
+        s.post.verify_consistency()
+
+    def test_width_one_reports_none(self, small_filtered, small_spec):
+        s = make_sampler(small_filtered, small_spec, speculative_width=1)
+        res = s.run(2000)
+        assert res.global_rounds is None
+
+    def test_quality_matches_conventional(self, small_filtered, small_spec, small_scene):
+        conventional = make_sampler(small_filtered, small_spec).run(10000)
+        speculative = make_sampler(
+            small_filtered, small_spec, speculative_width=4
+        ).run(10000)
+        f_conv = evaluate_model(conventional.final_circles, small_scene.circles).f1
+        f_spec = evaluate_model(speculative.final_circles, small_scene.circles).f1
+        assert f_spec >= f_conv - 0.25
+
+    def test_eq3_wall_clock_model(self, small_filtered, small_spec):
+        """global_rounds feeds eq. (3): modeled global wall clock =
+        rounds × τ_g < iterations × τ_g."""
+        s = make_sampler(small_filtered, small_spec, speculative_width=8)
+        res = s.run(5000)
+        g_total = res.global_stats.total_iterations()
+        assert res.global_rounds < g_total  # speculation saved rounds
+        # Consistency with the analytic model at the empirical p_r:
+        from repro.mcmc.speculative import speculative_speedup
+
+        p_r = res.global_stats.rejection_rate()
+        expected_fraction = speculative_speedup(p_r, 8)
+        assert res.global_rounds / g_total == pytest.approx(
+            expected_fraction, rel=0.25
+        )
+
+    def test_invalid_width(self, small_filtered, small_spec):
+        with pytest.raises(ConfigurationError):
+            make_sampler(small_filtered, small_spec, speculative_width=0)
+        with pytest.raises(ConfigurationError):
+            make_sampler(small_filtered, small_spec, local_speculative_width=0)
+
+
+class TestSpeculativeLocalPhases:
+    """The eq. (4) configuration: workers speculate too."""
+
+    def test_local_rounds_reported(self, small_filtered, small_spec, small_scene):
+        s = make_sampler(small_filtered, small_spec, local_speculative_width=4)
+        # Seed structure so local phases have work.
+        for c in small_scene.circles:
+            r = min(max(c.r, small_spec.radius_min), small_spec.radius_max)
+            s.post.insert_circle(c.x, c.y, r)
+        res = s.run(5000)
+        assert res.local_rounds is not None
+        local_iters = res.local_stats.total_iterations()
+        if local_iters:
+            assert res.local_rounds <= local_iters
+        s.post.verify_consistency()
+
+    def test_conventional_reports_none(self, small_filtered, small_spec):
+        res = make_sampler(small_filtered, small_spec).run(2000)
+        assert res.local_rounds is None
+
+    def test_master_consistency_with_both_widths(self, small_filtered, small_spec):
+        s = make_sampler(
+            small_filtered, small_spec,
+            speculative_width=4, local_speculative_width=4,
+        )
+        s.run(5000)
+        s.post.verify_consistency()
+
+
+class TestSampleCollection:
+    def test_collector_receives_samples(self, small_filtered, small_spec):
+        col = SampleCollector(burn_in=1000, stride=200)
+        s = make_sampler(small_filtered, small_spec, sample_collector=col)
+        s.run(6000)
+        assert len(col) >= 10
+        summary = col.summary()
+        assert summary.count_mean() >= 0
+
+    def test_collector_respects_burn_in(self, small_filtered, small_spec):
+        col = SampleCollector(burn_in=5000, stride=100)
+        s = make_sampler(small_filtered, small_spec, sample_collector=col)
+        s.run(4000)
+        assert len(col) == 0

@@ -1,0 +1,97 @@
+"""Tests for repro.core.phases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.phases import PhaseSchedule
+
+
+class TestPhaseLengths:
+    def test_paper_ratio(self):
+        """§V: global iterations = i·qg/(1-qg)."""
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        assert s.global_iters == 200
+        assert s.cycle_iters == 500
+
+    def test_effective_qg(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        assert s.effective_qg() == pytest.approx(0.4)
+
+    def test_rounding_keeps_at_least_one(self):
+        s = PhaseSchedule(local_iters=100, qg=0.001)
+        assert s.global_iters == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(local_iters=0, qg=0.4)
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(local_iters=10, qg=0.0)
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(local_iters=10, qg=1.0)
+
+
+class TestCycles:
+    def test_exact_total(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        cycles = list(s.cycles(2300))
+        assert sum(g + l for g, l in cycles) == 2300
+
+    def test_full_cycles_shape(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        cycles = list(s.cycles(1000))
+        assert cycles[0] == (200, 300)
+        assert cycles[1] == (200, 300)
+
+    def test_truncated_final_cycle(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        cycles = list(s.cycles(600))
+        assert cycles[0] == (200, 300)
+        g_last, l_last = cycles[1]
+        assert g_last + l_last == 100
+        assert g_last == 40  # preserves qg
+
+    def test_short_run_single_minicycle(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        cycles = list(s.cycles(10))
+        assert len(cycles) == 1
+        assert sum(cycles[0]) == 10
+
+    def test_zero_iterations(self):
+        s = PhaseSchedule(local_iters=300, qg=0.4)
+        assert list(s.cycles(0)) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            list(PhaseSchedule(local_iters=10, qg=0.4).cycles(-1))
+
+    @given(st.integers(1, 2000), st.floats(0.05, 0.95), st.integers(0, 50_000))
+    @settings(max_examples=80)
+    def test_conservation_property(self, local, qg, total):
+        s = PhaseSchedule(local_iters=local, qg=qg)
+        cycles = list(s.cycles(total))
+        assert sum(g + l for g, l in cycles) == total
+        assert all(g >= 0 and l >= 0 for g, l in cycles)
+
+    @given(st.integers(1, 2000), st.floats(0.05, 0.95))
+    @settings(max_examples=50)
+    def test_long_run_qg_converges(self, local, qg):
+        """Over many cycles the realised qg approaches the configured."""
+        s = PhaseSchedule(local_iters=local, qg=qg)
+        total = s.cycle_iters * 50
+        g_total = sum(g for g, _ in s.cycles(total))
+        assert g_total / total == pytest.approx(qg, abs=1.0 / min(local, 100) + 0.01)
+
+
+class TestFromGlobalPhaseTime:
+    def test_fig2_axis(self):
+        """20 ms global phases at ~0.174 ms/iter -> ~115 global iters."""
+        s = PhaseSchedule.from_global_phase_time(0.4, 0.020, 0.174e-3)
+        assert s.global_iters == pytest.approx(115, abs=2)
+        # And local phases follow the (1-qg)/qg ratio.
+        assert s.local_iters == pytest.approx(s.global_iters * 1.5, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule.from_global_phase_time(0.4, 0.0, 1e-3)

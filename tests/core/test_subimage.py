@@ -1,0 +1,97 @@
+"""Tests for repro.core.subimage."""
+
+import pytest
+
+from repro.core.subimage import make_subimage_task, run_subimage_task
+from repro.errors import PartitioningError
+from repro.geometry.rect import Rect
+from repro.mcmc.spec import MoveConfig
+from repro.parallel.sharedmem import set_worker_image
+
+
+class TestMakeTask:
+    def test_spec_derived_from_rect(self, small_filtered, small_spec):
+        rect = Rect(10, 20, 60, 70)
+        task = make_subimage_task(
+            rect, small_spec, MoveConfig(), expected_count=4.0,
+            iterations=100, seed=1,
+        )
+        assert task.spec.width == 50
+        assert task.spec.height == 50
+        assert task.spec.expected_count == 4.0
+        assert task.spec.radius_mean == small_spec.radius_mean
+
+    def test_tiny_expected_count_floored(self, small_spec):
+        task = make_subimage_task(
+            Rect(0, 0, 20, 20), small_spec, MoveConfig(), expected_count=0.0,
+            iterations=10, seed=1,
+        )
+        assert task.spec.expected_count == 0.5
+
+    def test_empty_rect_raises(self, small_spec):
+        with pytest.raises(Exception):
+            make_subimage_task(
+                Rect(0.6, 0.6, 0.9, 0.9), small_spec, MoveConfig(),
+                expected_count=1.0, iterations=10, seed=1,
+            )
+
+
+class TestRunTask:
+    def test_circles_in_global_coordinates(self, small_filtered, small_spec):
+        set_worker_image(small_filtered.pixels)
+        rect = Rect(32, 32, 96, 96)
+        task = make_subimage_task(
+            rect, small_spec, MoveConfig(), expected_count=3.0,
+            iterations=3000, seed=7,
+        )
+        res = run_subimage_task(task)
+        for c in res.circles:
+            assert rect.contains_point(c.x, c.y)
+
+    def test_diagnostics_returned(self, small_filtered, small_spec):
+        set_worker_image(small_filtered.pixels)
+        task = make_subimage_task(
+            Rect(0, 0, 96, 96), small_spec, MoveConfig(), expected_count=6.0,
+            iterations=2000, seed=8, record_every=100,
+        )
+        res = run_subimage_task(task)
+        assert res.iterations == 2000
+        assert res.elapsed_seconds > 0
+        assert len(res.posterior_trace) == 20
+        assert res.stats.total_iterations() == 2000
+        assert res.seconds_per_iteration > 0
+
+    def test_convergence_measurable(self, small_filtered, small_spec):
+        set_worker_image(small_filtered.pixels)
+        task = make_subimage_task(
+            Rect(0, 0, 96, 96), small_spec, MoveConfig(), expected_count=6.0,
+            iterations=6000, seed=9, record_every=50,
+        )
+        res = run_subimage_task(task)
+        it = res.convergence_iteration()
+        assert it is None or 0 < it <= 6000
+
+    def test_shape_mismatch_guard(self, small_filtered, small_spec):
+        """A task whose spec disagrees with its rect is rejected."""
+        import dataclasses
+
+        set_worker_image(small_filtered.pixels)
+        task = make_subimage_task(
+            Rect(0, 0, 50, 50), small_spec, MoveConfig(), expected_count=2.0,
+            iterations=10, seed=1,
+        )
+        bad = dataclasses.replace(task, rect=(0.0, 0.0, 40.0, 40.0))
+        with pytest.raises(PartitioningError):
+            run_subimage_task(bad)
+
+    def test_determinism(self, small_filtered, small_spec):
+        set_worker_image(small_filtered.pixels)
+        task = make_subimage_task(
+            Rect(0, 0, 96, 96), small_spec, MoveConfig(), expected_count=6.0,
+            iterations=1500, seed=10,
+        )
+        a = run_subimage_task(task)
+        b = run_subimage_task(task)
+        assert sorted((c.x, c.y) for c in a.circles) == sorted(
+            (c.x, c.y) for c in b.circles
+        )

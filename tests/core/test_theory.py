@@ -1,0 +1,123 @@
+"""Tests for repro.core.theory — eqs. (2)–(4) and Fig. 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.theory import (
+    eq2_runtime,
+    eq3_runtime,
+    eq4_runtime,
+    fig1_series,
+    periodic_runtime_fraction,
+)
+from repro.mcmc.speculative import speculative_speedup
+
+
+class TestEq2:
+    def test_formula(self):
+        # N=1000, qg=0.4, tau=1e-3, s=4: 400*1e-3 + 600*1e-3/4 = 0.55
+        assert eq2_runtime(1000, 0.4, 1e-3, 1e-3, 4) == pytest.approx(0.55)
+
+    def test_s1_is_sequential(self):
+        t = eq2_runtime(1000, 0.4, 1e-3, 1e-3, 1)
+        assert t == pytest.approx(1.0)
+
+    def test_qg_zero_perfect_speedup(self):
+        assert eq2_runtime(1000, 0.0, 1e-3, 1e-3, 4) == pytest.approx(0.25)
+
+    def test_qg_one_no_speedup(self):
+        assert eq2_runtime(1000, 1.0, 1e-3, 1e-3, 4) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            eq2_runtime(-1, 0.4, 1e-3, 1e-3, 2)
+        with pytest.raises(ConfigurationError):
+            eq2_runtime(10, 1.4, 1e-3, 1e-3, 2)
+        with pytest.raises(ConfigurationError):
+            eq2_runtime(10, 0.4, 1e-3, 1e-3, 0)
+
+
+class TestEq3Eq4:
+    def test_eq3_reduces_global_term(self):
+        base = eq2_runtime(1000, 0.4, 1e-3, 1e-3, 4)
+        spec = eq3_runtime(1000, 0.4, 1e-3, 1e-3, 4, n_speculative=4, p_gr=0.75)
+        assert spec < base
+        # Only the global term shrinks:
+        local = 1000 * 0.6 * 1e-3 / 4
+        expected = 1000 * 0.4 * 1e-3 * speculative_speedup(0.75, 4) + local
+        assert spec == pytest.approx(expected)
+
+    def test_eq3_n1_equals_eq2(self):
+        assert eq3_runtime(1000, 0.4, 1e-3, 1e-3, 4, 1, 0.75) == pytest.approx(
+            eq2_runtime(1000, 0.4, 1e-3, 1e-3, 4)
+        )
+
+    def test_eq4_both_terms(self):
+        t = eq4_runtime(1000, 0.4, 1e-3, 1e-3, s=4, t=2, p_gr=0.8, p_lr=0.6)
+        expected = (
+            1000 * 0.4 * 1e-3 * speculative_speedup(0.8, 2)
+            + 1000 * 0.6 * 1e-3 * speculative_speedup(0.6, 2) / 4
+        )
+        assert t == pytest.approx(expected)
+
+    def test_eq4_t1_equals_eq2(self):
+        assert eq4_runtime(1000, 0.4, 1e-3, 1e-3, 4, 1, 0.8, 0.6) == pytest.approx(
+            eq2_runtime(1000, 0.4, 1e-3, 1e-3, 4)
+        )
+
+
+class TestFraction:
+    def test_equal_taus_closed_form(self):
+        # fraction = qg + (1-qg)/s
+        assert periodic_runtime_fraction(0.4, 4) == pytest.approx(0.4 + 0.6 / 4)
+
+    def test_paper_prediction_45pct(self):
+        """§VII: eq. (2) predicts a 45 % reduction at qg=0.4, s=4."""
+        assert 1.0 - periodic_runtime_fraction(0.4, 4) == pytest.approx(0.45)
+
+    def test_tau_ratio(self):
+        # qg=0.5, ratio 2: (1 + 0.5/s) / 1.5
+        f = periodic_runtime_fraction(0.5, 2, tau_ratio=2.0)
+        assert f == pytest.approx((0.5 * 2 + 0.25) / (0.5 * 2 + 0.5))
+
+    @given(st.floats(0, 1), st.integers(1, 64))
+    @settings(max_examples=100)
+    def test_fraction_bounds(self, qg, s):
+        f = periodic_runtime_fraction(qg, s)
+        assert 0.0 < f <= 1.0
+        assert f >= qg  # the global term is irreducible
+
+    @given(st.floats(0.01, 0.99))
+    @settings(max_examples=50)
+    def test_monotone_in_s(self, qg):
+        fs = [periodic_runtime_fraction(qg, s) for s in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(fs, fs[1:]))
+
+    @given(st.integers(1, 32))
+    @settings(max_examples=30)
+    def test_monotone_in_qg(self, s):
+        qs = [0.1, 0.3, 0.5, 0.7, 0.9]
+        fs = [periodic_runtime_fraction(q, s) for q in qs]
+        assert all(a <= b for a, b in zip(fs, fs[1:]))
+
+
+class TestFig1:
+    def test_series_structure(self):
+        qgs = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        series = fig1_series(qgs, [2, 4, 8, 16])
+        assert set(series) == {2, 4, 8, 16}
+        assert all(len(v) == len(qgs) for v in series.values())
+
+    def test_endpoints(self):
+        series = fig1_series([0.0, 1.0], [2, 16])
+        # qg=0: fraction = 1/s; qg=1: fraction = 1
+        assert series[2][0] == pytest.approx(0.5)
+        assert series[16][0] == pytest.approx(1 / 16)
+        assert series[2][1] == pytest.approx(1.0)
+        assert series[16][1] == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            fig1_series([], [2])

@@ -1,0 +1,81 @@
+"""Tests for repro.geometry.circle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.circle import Circle
+
+
+class TestConstruction:
+    def test_valid(self):
+        c = Circle(1, 2, 3)
+        assert c.area == pytest.approx(math.pi * 9)
+        assert c.center == (1, 2)
+
+    @pytest.mark.parametrize("r", [0, -1, float("nan"), float("inf")])
+    def test_bad_radius(self, r):
+        with pytest.raises(GeometryError):
+            Circle(0, 0, r)
+
+    @pytest.mark.parametrize("xy", [(float("nan"), 0), (0, float("inf"))])
+    def test_bad_centre(self, xy):
+        with pytest.raises(GeometryError):
+            Circle(xy[0], xy[1], 1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Circle(0, 0, 1).x = 5  # type: ignore[misc]
+
+
+class TestGeometry:
+    def test_bounding_rect(self):
+        br = Circle(5, 5, 2).bounding_rect()
+        assert (br.x0, br.y0, br.x1, br.y1) == (3, 3, 7, 7)
+
+    def test_bounding_rect_margin(self):
+        br = Circle(5, 5, 2).bounding_rect(margin=1)
+        assert br.x0 == 2
+
+    def test_distance(self):
+        assert Circle(0, 0, 1).distance_to(Circle(3, 4, 1)) == 5.0
+
+    def test_contains_point(self):
+        c = Circle(0, 0, 2)
+        assert c.contains_point(1, 1)
+        assert c.contains_point(2, 0)  # boundary inclusive
+        assert not c.contains_point(2.1, 0)
+
+    def test_translated(self):
+        c = Circle(1, 1, 2).translated(3, -1)
+        assert (c.x, c.y, c.r) == (4, 0, 2)
+
+    def test_resized(self):
+        assert Circle(1, 1, 2).resized(5).r == 5
+
+    def test_resized_invalid(self):
+        with pytest.raises(GeometryError):
+            Circle(1, 1, 2).resized(-1)
+
+
+class TestMerge:
+    def test_merged_with_averages(self):
+        m = Circle(0, 0, 2).merged_with(Circle(4, 2, 4))
+        assert (m.x, m.y, m.r) == (2, 1, 3)
+
+    def test_merge_commutative(self):
+        a, b = Circle(0, 0, 2), Circle(4, 2, 4)
+        assert a.merged_with(b) == b.merged_with(a)
+
+    @given(
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(0.1, 20),
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(0.1, 20),
+    )
+    @settings(max_examples=50)
+    def test_merge_between_inputs(self, x0, y0, r0, x1, y1, r1):
+        m = Circle(x0, y0, r0).merged_with(Circle(x1, y1, r1))
+        assert min(x0, x1) <= m.x <= max(x0, x1)
+        assert min(r0, r1) <= m.r <= max(r0, r1)

@@ -1,0 +1,100 @@
+"""Tests for repro.geometry.overlap — lens-area correctness."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.overlap import (
+    circle_circle_overlap_area,
+    circle_overlap_areas,
+    circles_intersect,
+)
+
+
+class TestScalarOverlap:
+    def test_disjoint_zero(self):
+        assert circle_circle_overlap_area(0, 0, 1, 5, 0, 1) == 0.0
+
+    def test_touching_zero(self):
+        assert circle_circle_overlap_area(0, 0, 1, 2, 0, 1) == 0.0
+
+    def test_identical_full_area(self):
+        area = circle_circle_overlap_area(0, 0, 2, 0, 0, 2)
+        assert area == pytest.approx(math.pi * 4)
+
+    def test_contained_smaller_area(self):
+        area = circle_circle_overlap_area(0, 0, 5, 1, 0, 1)
+        assert area == pytest.approx(math.pi)
+
+    def test_half_overlap_known_value(self):
+        # Two unit circles at distance 1: lens area = 2 acos(1/2) - sqrt(3)/2... (classic)
+        expected = 2 * math.acos(0.5) - math.sqrt(3) / 2
+        area = circle_circle_overlap_area(0, 0, 1, 1, 0, 1)
+        assert area == pytest.approx(expected, rel=1e-12)
+
+    def test_symmetry(self):
+        a = circle_circle_overlap_area(0, 0, 2, 1.5, 0.5, 3)
+        b = circle_circle_overlap_area(1.5, 0.5, 3, 0, 0, 2)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_monte_carlo_agreement(self):
+        """Lens area agrees with a Monte-Carlo estimate."""
+        x0, y0, r0, x1, y1, r1 = 0.0, 0.0, 3.0, 2.0, 1.0, 2.5
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-3, 5, size=(200_000, 2))
+        inside = (
+            ((pts[:, 0] - x0) ** 2 + (pts[:, 1] - y0) ** 2 <= r0 * r0)
+            & ((pts[:, 0] - x1) ** 2 + (pts[:, 1] - y1) ** 2 <= r1 * r1)
+        )
+        mc = inside.mean() * 64.0  # sample box area 8x8
+        exact = circle_circle_overlap_area(x0, y0, r0, x1, y1, r1)
+        assert exact == pytest.approx(mc, rel=0.02)
+
+
+class TestVectorOverlap:
+    def test_matches_scalar(self):
+        xs = np.array([0.0, 1.0, 5.0, 0.5])
+        ys = np.array([0.0, 1.0, 5.0, 0.0])
+        rs = np.array([1.0, 2.0, 1.0, 0.3])
+        vec = circle_overlap_areas(0.0, 0.0, 1.5, xs, ys, rs)
+        for i in range(len(xs)):
+            scalar = circle_circle_overlap_area(0, 0, 1.5, xs[i], ys[i], rs[i])
+            assert vec[i] == pytest.approx(scalar, rel=1e-12, abs=1e-15)
+
+    def test_empty_arrays(self):
+        out = circle_overlap_areas(0, 0, 1, np.array([]), np.array([]), np.array([]))
+        assert out.size == 0
+
+
+class TestIntersect:
+    def test_cases(self):
+        assert circles_intersect(0, 0, 1, 1.5, 0, 1)
+        assert circles_intersect(0, 0, 1, 2, 0, 1)  # touching counts
+        assert not circles_intersect(0, 0, 1, 2.01, 0, 1)
+
+
+circle_params = st.tuples(
+    st.floats(-20, 20), st.floats(-20, 20), st.floats(0.1, 10)
+)
+
+
+class TestProperties:
+    @given(circle_params, circle_params)
+    @settings(max_examples=80)
+    def test_bounds(self, c0, c1):
+        area = circle_circle_overlap_area(*c0, *c1)
+        max_area = math.pi * min(c0[2], c1[2]) ** 2
+        assert -1e-9 <= area <= max_area + 1e-9
+
+    @given(circle_params, circle_params)
+    @settings(max_examples=80)
+    def test_zero_iff_disjoint(self, c0, c1):
+        area = circle_circle_overlap_area(*c0, *c1)
+        d = math.hypot(c1[0] - c0[0], c1[1] - c0[1])
+        if d >= c0[2] + c1[2]:
+            assert area == 0.0
+        elif d < c0[2] + c1[2] - 1e-6:
+            assert area > 0.0

@@ -1,0 +1,158 @@
+"""Tests for repro.geometry.rect — including tiling properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3 and r.area == 12
+
+    @pytest.mark.parametrize("args", [(0, 0, 0, 1), (0, 0, 1, 0), (2, 0, 1, 1), (0, 3, 1, 2)])
+    def test_degenerate_raises(self, args):
+        with pytest.raises(GeometryError):
+            Rect(*args)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_iter_unpacks(self):
+        x0, y0, x1, y1 = Rect(1, 2, 3, 4)
+        assert (x0, y0, x1, y1) == (1, 2, 3, 4)
+
+
+class TestContainment:
+    def test_half_open_point_semantics(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert not r.contains_point(10, 10)
+        assert not r.contains_point(10, 5)
+        assert r.contains_point(9.999, 9.999)
+
+    def test_contains_circle_with_margin(self):
+        r = Rect(0, 0, 20, 20)
+        assert r.contains_circle(10, 10, 5, margin=4)
+        assert not r.contains_circle(10, 10, 5, margin=6)
+        assert not r.contains_circle(3, 10, 5, margin=0)
+
+    def test_intersects_circle(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.intersects_circle(5, 5, 1)  # inside
+        assert r.intersects_circle(12, 5, 3)  # crosses right edge
+        assert not r.intersects_circle(15, 5, 3)  # disjoint
+        assert r.intersects_circle(12, 12, 3)  # corner distance sqrt(8) < 3
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        inter = a.intersection(b)
+        assert inter == Rect(5, 5, 10, 10)
+
+    def test_disjoint_returns_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 0, 10, 5)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+
+class TestDerived:
+    def test_shrink(self):
+        assert Rect(0, 0, 10, 10).shrink(2) == Rect(2, 2, 8, 8)
+
+    def test_shrink_to_nothing(self):
+        assert Rect(0, 0, 4, 4).shrink(2) is None
+
+    def test_expand(self):
+        assert Rect(2, 2, 4, 4).expand(1) == Rect(1, 1, 5, 5)
+
+    def test_expand_negative_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).expand(-0.5)
+
+    def test_split_at_interior(self):
+        parts = Rect(0, 0, 10, 10).split_at(3, 7)
+        assert len(parts) == 4
+        assert sum(p.area for p in parts) == pytest.approx(100.0)
+
+    def test_split_at_edge_gives_fewer(self):
+        parts = Rect(0, 0, 10, 10).split_at(0, 5)
+        assert len(parts) == 2
+
+    def test_split_tiles_disjointly(self):
+        parts = Rect(0, 0, 10, 10).split_at(4, 6)
+        for i, a in enumerate(parts):
+            for b in parts[i + 1 :]:
+                assert not a.intersects(b)
+
+
+class TestPixelSlices:
+    def test_unit_aligned(self):
+        rows, cols = Rect(0, 0, 4, 3).pixel_slices()
+        assert (rows.start, rows.stop) == (0, 3)
+        assert (cols.start, cols.stop) == (0, 4)
+
+    def test_fractional_uses_pixel_centres(self):
+        # Pixels centres at 0.5, 1.5, ...; rect [0.6, 2.4) contains 1.5 only.
+        rows, cols = Rect(0.6, 0.6, 2.4, 2.4).pixel_slices()
+        assert (cols.start, cols.stop) == (1, 2)
+        assert (rows.start, rows.stop) == (1, 2)
+
+    def test_negative_clipped(self):
+        rows, cols = Rect(-5, -5, 2, 2).pixel_slices()
+        assert rows.start == 0 and cols.start == 0
+
+
+rect_strategy = st.builds(
+    lambda x0, y0, w, h: Rect(x0, y0, x0 + w, y0 + h),
+    st.floats(-100, 100),
+    st.floats(-100, 100),
+    st.floats(0.1, 100),
+    st.floats(0.1, 100),
+)
+
+
+class TestProperties:
+    @given(rect_strategy, st.floats(0.01, 40))
+    @settings(max_examples=50)
+    def test_shrink_expand_roundtrip(self, r, m):
+        shrunk = r.shrink(m)
+        if shrunk is not None:
+            back = shrunk.expand(m)
+            assert math.isclose(back.x0, r.x0, abs_tol=1e-9)
+            assert math.isclose(back.area, r.area, rel_tol=1e-9)
+
+    @given(rect_strategy, st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=50)
+    def test_split_conserves_area(self, r, fx, fy):
+        px = r.x0 + fx * r.width
+        py = r.y0 + fy * r.height
+        parts = r.split_at(px, py)
+        assert sum(p.area for p in parts) == pytest.approx(r.area, rel=1e-9)
+
+    @given(rect_strategy, rect_strategy)
+    @settings(max_examples=50)
+    def test_intersection_symmetric(self, a, b):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+            assert a.contains_rect(ab) and b.contains_rect(ab)

@@ -1,0 +1,146 @@
+"""Tests for repro.geometry.spatial_hash."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _coord():
+    # Flush denormals to zero: the brute-force distance check in these
+    # tests underflows on ~1e-242 coordinates while the hash (correctly)
+    # treats them as nonzero.
+    return st.floats(-50, 50).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+
+from repro.errors import GeometryError
+from repro.geometry.spatial_hash import SpatialHash
+
+
+class TestBasics:
+    def test_insert_and_len(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 5, 5)
+        h.insert(2, 50, 50)
+        assert len(h) == 2
+        assert 1 in h and 3 not in h
+
+    def test_duplicate_insert_raises(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        with pytest.raises(GeometryError):
+            h.insert(1, 5, 5)
+
+    def test_remove(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        h.remove(1)
+        assert len(h) == 0
+        with pytest.raises(GeometryError):
+            h.remove(1)
+
+    def test_move_updates_queries(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        h.move(1, 100, 100)
+        assert h.query_disc(0, 0, 5) == []
+        assert h.query_disc(100, 100, 5) == [1]
+
+    def test_move_unknown_raises(self):
+        with pytest.raises(GeometryError):
+            SpatialHash(10.0).move(1, 0, 0)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(GeometryError):
+            SpatialHash(0)
+
+    def test_clear(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        h.clear()
+        assert len(h) == 0 and h.bucket_count() == 0
+
+    def test_negative_coordinates(self):
+        h = SpatialHash(8.0)
+        h.insert(1, -20.5, -3.2)
+        assert h.query_disc(-20.5, -3.2, 1) == [1]
+
+
+class TestQueries:
+    def test_query_disc_exact_radius(self):
+        h = SpatialHash(5.0)
+        h.insert(1, 3, 4)  # distance 5 from origin
+        assert h.query_disc(0, 0, 5) == [1]
+        assert h.query_disc(0, 0, 4.99) == []
+
+    def test_query_disc_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            SpatialHash(5.0).query_disc(0, 0, -1)
+
+    def test_query_rect_half_open(self):
+        h = SpatialHash(4.0)
+        h.insert(1, 10, 10)
+        assert h.query_rect(0, 0, 10, 10) == []  # x1 exclusive
+        assert h.query_rect(10, 10, 11, 11) == [1]
+
+    def test_nearest_within(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        h.insert(2, 3, 0)
+        h.insert(3, 8, 0)
+        assert h.nearest_within(1, 0, 10, exclude=1) == 2
+
+    def test_nearest_within_exclude_self(self):
+        h = SpatialHash(10.0)
+        h.insert(1, 0, 0)
+        assert h.nearest_within(0, 0, 10, exclude=1) is None
+
+    def test_position_of(self):
+        h = SpatialHash(10.0)
+        h.insert(7, 1.5, 2.5)
+        assert h.position_of(7) == (1.5, 2.5)
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(
+            st.tuples(_coord(), _coord()),
+            min_size=0,
+            max_size=30,
+        ),
+        _coord(),
+        _coord(),
+        st.floats(0, 40),
+    )
+    @settings(max_examples=60)
+    def test_query_disc_matches_bruteforce(self, points, qx, qy, radius):
+        h = SpatialHash(7.3)
+        for i, (x, y) in enumerate(points):
+            h.insert(i, x, y)
+        expected = {
+            i
+            for i, (x, y) in enumerate(points)
+            if (x - qx) ** 2 + (y - qy) ** 2 <= radius * radius
+        }
+        assert set(h.query_disc(qx, qy, radius)) == expected
+
+    @given(
+        st.lists(
+            st.tuples(_coord(), _coord()),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_move_sequence_consistency(self, points):
+        """After arbitrary moves, every item is found exactly at its
+        final position."""
+        h = SpatialHash(5.0)
+        final = {}
+        for i, (x, y) in enumerate(points):
+            h.insert(i, 0.0, 0.0)
+            h.move(i, x, y)
+            final[i] = (x, y)
+        for i, (x, y) in final.items():
+            assert i in set(h.query_disc(x, y, 0.001))

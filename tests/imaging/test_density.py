@@ -1,0 +1,111 @@
+"""Tests for repro.imaging.density — the eq. (5) estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.geometry.rect import Rect
+from repro.imaging.density import (
+    estimate_count,
+    estimate_count_by_area,
+    estimate_count_in_rect,
+)
+from repro.imaging.filters import threshold_filter
+from repro.imaging.image import Image
+from repro.imaging.synthetic import SceneSpec, generate_scene
+
+
+class TestEstimateCount:
+    def test_single_disc_counts_one(self):
+        """A rendered disc of radius r has ~pi r^2 bright pixels."""
+        spec = SceneSpec(
+            width=64, height=64, n_circles=1, mean_radius=8.0,
+            radius_std=0.01, min_radius=7.9, noise_sigma=0.0, blur_sigma=0.0,
+        )
+        scene = generate_scene(spec, seed=1)
+        binary = threshold_filter(scene.image, 0.5)
+        r = scene.circles[0].r
+        est = estimate_count(binary, 0.5, r)
+        assert est == pytest.approx(1.0, rel=0.1)
+
+    def test_scales_with_count(self):
+        spec = SceneSpec(
+            width=160, height=160, n_circles=10, mean_radius=7.0,
+            radius_std=0.3, min_radius=6.0, noise_sigma=0.0, blur_sigma=0.0,
+            max_overlap_fraction=0.0,
+        )
+        scene = generate_scene(spec, seed=2)
+        binary = threshold_filter(scene.image, 0.5)
+        est = estimate_count(binary, 0.5, 7.0)
+        assert est == pytest.approx(10.0, rel=0.15)
+
+    def test_empty_image_zero(self):
+        assert estimate_count(Image(np.zeros((10, 10))), 0.5, 3.0) == 0.0
+
+    def test_bad_params(self):
+        img = Image(np.zeros((4, 4)))
+        with pytest.raises(ImagingError):
+            estimate_count(img, 1.5, 3.0)
+        with pytest.raises(ImagingError):
+            estimate_count(img, 0.5, 0.0)
+
+
+class TestEstimateInRect:
+    def test_partition_sums_to_whole(self):
+        """Eq. (5) over a tiling of the image sums to the whole-image
+        estimate (bright pixels are partitioned)."""
+        rng = np.random.default_rng(3)
+        img = Image((rng.random((40, 60)) > 0.7).astype(float))
+        whole = estimate_count(img, 0.5, 4.0)
+        left = estimate_count_in_rect(img, Rect(0, 0, 30, 40), 0.5, 4.0)
+        right = estimate_count_in_rect(img, Rect(30, 0, 60, 40), 0.5, 4.0)
+        assert left + right == pytest.approx(whole, rel=1e-12)
+
+    def test_rect_outside_zero(self):
+        img = Image(np.ones((10, 10)))
+        assert estimate_count_in_rect(img, Rect(100, 100, 110, 110), 0.5, 3.0) == 0.0
+
+    def test_localises_density(self):
+        """A bright blob in the left half is attributed to the left rect."""
+        arr = np.zeros((20, 40))
+        arr[5:15, 2:12] = 1.0
+        img = Image(arr)
+        left = estimate_count_in_rect(img, Rect(0, 0, 20, 20), 0.5, 5.0)
+        right = estimate_count_in_rect(img, Rect(20, 0, 40, 20), 0.5, 5.0)
+        assert left > 0 and right == 0.0
+
+
+class TestEstimateByArea:
+    def test_area_scaling(self):
+        bounds = Rect(0, 0, 100, 100)
+        est = estimate_count_by_area(48.0, Rect(0, 0, 50, 50), bounds=bounds)
+        assert est == pytest.approx(12.0)
+
+    def test_clips_to_bounds(self):
+        bounds = Rect(0, 0, 100, 100)
+        est = estimate_count_by_area(10.0, Rect(50, 50, 150, 150), bounds=bounds)
+        assert est == pytest.approx(2.5)  # clipped quarter
+
+    def test_needs_bounds_or_image(self):
+        with pytest.raises(ImagingError):
+            estimate_count_by_area(10.0, Rect(0, 0, 1, 1))
+
+    def test_image_bounds(self):
+        img = Image(np.zeros((10, 20)))
+        est = estimate_count_by_area(10.0, Rect(0, 0, 10, 10), image=img)
+        assert est == pytest.approx(5.0)
+
+    def test_misallocates_on_clumped_data(self):
+        """The paper's point: the area-scaled estimate is badly wrong for
+        clumped artifacts, while eq. (5) tracks the actual content."""
+        arr = np.zeros((40, 80))
+        arr[5:35, 3:33] = 1.0  # all content in the left 40 columns
+        img = Image(arr)
+        left = Rect(0, 0, 40, 40)
+        thresh_est = estimate_count_in_rect(img, left, 0.5, 6.0)
+        whole = estimate_count(img, 0.5, 6.0)
+        area_est = estimate_count_by_area(whole, left, bounds=img.bounds)
+        assert thresh_est == pytest.approx(whole, rel=1e-12)  # eq. (5): all of it
+        assert area_est == pytest.approx(whole / 2)  # area: only half

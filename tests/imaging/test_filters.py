@@ -1,0 +1,75 @@
+"""Tests for repro.imaging.filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.filters import emphasise, gaussian_blur, threshold_filter
+from repro.imaging.image import Image
+
+
+class TestThreshold:
+    def test_binary_output(self):
+        img = Image(np.array([[0.2, 0.6], [0.5, 0.9]]))
+        out = threshold_filter(img, 0.5)
+        assert out.pixels.tolist() == [[0.0, 1.0], [0.0, 1.0]]
+
+    def test_strictly_greater(self):
+        img = Image(np.array([[0.5]]))
+        assert threshold_filter(img, 0.5).pixels[0, 0] == 0.0
+
+    def test_accepts_raw_array(self):
+        out = threshold_filter(np.array([[0.9]]), 0.5)
+        assert out.pixels[0, 0] == 1.0
+
+    def test_bad_theta(self):
+        with pytest.raises(ImagingError):
+            threshold_filter(np.zeros((2, 2)), 1.5)
+
+
+class TestEmphasise:
+    def test_ramp(self):
+        img = np.array([[0.0, 0.25, 0.5, 0.75, 1.0]])
+        out = emphasise(img, 0.25, 0.75)
+        assert out.pixels.tolist() == [[0.0, 0.0, 0.5, 1.0, 1.0]]
+
+    def test_bad_band(self):
+        with pytest.raises(ImagingError):
+            emphasise(np.zeros((2, 2)), 0.7, 0.3)
+
+
+class TestGaussianBlur:
+    def test_preserves_shape(self):
+        out = gaussian_blur(np.random.default_rng(0).random((16, 24)), 1.5)
+        assert out.shape == (16, 24)
+
+    def test_sigma_zero_is_copy(self):
+        arr = np.random.default_rng(0).random((8, 8))
+        out = gaussian_blur(arr, 0.0)
+        assert np.array_equal(out, arr)
+        assert out is not arr
+
+    def test_preserves_mass_of_constant(self):
+        arr = np.full((12, 12), 0.6)
+        out = gaussian_blur(arr, 2.0)
+        assert np.allclose(out, 0.6, atol=1e-12)
+
+    def test_smooths_impulse(self):
+        arr = np.zeros((21, 21))
+        arr[10, 10] = 1.0
+        out = gaussian_blur(arr, 1.0)
+        assert out[10, 10] < 1.0
+        assert out[10, 11] > 0.0
+        # Mass approximately conserved away from boundary.
+        assert out.sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_separable_symmetry(self):
+        arr = np.zeros((15, 15))
+        arr[7, 7] = 1.0
+        out = gaussian_blur(arr, 1.2)
+        assert out[7, 5] == pytest.approx(out[5, 7], rel=1e-12)
+        assert out[7, 9] == pytest.approx(out[7, 5], rel=1e-12)
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ImagingError):
+            gaussian_blur(np.zeros((4, 4)), -1.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.imaging.image."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+
+
+class TestConstruction:
+    def test_valid(self):
+        img = Image(np.zeros((4, 6)))
+        assert img.shape == (4, 6)
+        assert img.height == 4 and img.width == 6
+
+    def test_copies_by_default(self):
+        arr = np.zeros((3, 3))
+        img = Image(arr)
+        arr[0, 0] = 0.5
+        assert img.pixels[0, 0] == 0.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [np.zeros(5), np.zeros((2, 2, 2)), np.zeros((0, 4))],
+    )
+    def test_bad_shape(self, bad):
+        with pytest.raises(ImagingError):
+            Image(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ImagingError):
+            Image(np.full((2, 2), 1.5))
+        with pytest.raises(ImagingError):
+            Image(np.full((2, 2), -0.1))
+
+    def test_nan_rejected(self):
+        arr = np.zeros((2, 2))
+        arr[0, 0] = np.nan
+        with pytest.raises(ImagingError):
+            Image(arr)
+
+    def test_bounds(self):
+        assert Image(np.zeros((3, 5))).bounds == Rect(0, 0, 5, 3)
+
+
+class TestCropView:
+    @pytest.fixture
+    def img(self):
+        arr = np.arange(20, dtype=float).reshape(4, 5) / 20.0
+        return Image(arr)
+
+    def test_crop(self, img):
+        sub = img.crop(Rect(1, 1, 4, 3))
+        assert sub.shape == (2, 3)
+        assert sub.pixels[0, 0] == img.pixels[1, 1]
+
+    def test_crop_clips_to_bounds(self, img):
+        sub = img.crop(Rect(-5, -5, 2, 2))
+        assert sub.shape == (2, 2)
+
+    def test_crop_outside_raises(self, img):
+        with pytest.raises(ImagingError):
+            img.crop(Rect(100, 100, 110, 110))
+
+    def test_view_is_view(self, img):
+        v = img.view(Rect(0, 0, 2, 2))
+        assert v.base is img.pixels
+
+    def test_view_outside_is_empty(self, img):
+        assert img.view(Rect(100, 100, 110, 110)).size == 0
+
+
+class TestBlankOutside:
+    def test_blanks(self):
+        img = Image(np.full((4, 4), 0.8))
+        out = img.blank_outside(Rect(1, 1, 3, 3), fill=0.0)
+        assert out.pixels[0, 0] == 0.0
+        assert out.pixels[1, 1] == 0.8
+        assert out.pixels[3, 3] == 0.0
+
+    def test_bad_fill(self):
+        img = Image(np.zeros((2, 2)))
+        with pytest.raises(ImagingError):
+            img.blank_outside(Rect(0, 0, 1, 1), fill=2.0)
+
+
+class TestMisc:
+    def test_allclose(self):
+        a = Image(np.full((2, 2), 0.5))
+        b = Image(np.full((2, 2), 0.5))
+        c = Image(np.full((2, 3), 0.5))
+        assert a.allclose(b)
+        assert not a.allclose(c)
+
+    def test_copy_independent(self):
+        a = Image(np.zeros((2, 2)))
+        b = a.copy()
+        b.pixels[0, 0] = 0.9
+        assert a.pixels[0, 0] == 0.0
+
+    def test_repr(self):
+        assert "2x3" in repr(Image(np.zeros((2, 3))))

@@ -1,0 +1,65 @@
+"""Tests for repro.imaging.integral."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ImagingError
+from repro.imaging.integral import IntegralImage
+
+
+class TestRectSum:
+    def test_full_sum(self):
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        ii = IntegralImage(arr)
+        assert ii.rect_sum(0, 0, 3, 4) == pytest.approx(arr.sum())
+        assert ii.total() == pytest.approx(arr.sum())
+
+    def test_single_pixel(self):
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        ii = IntegralImage(arr)
+        assert ii.rect_sum(1, 2, 2, 3) == pytest.approx(arr[1, 2])
+
+    def test_empty_range_zero(self):
+        ii = IntegralImage(np.ones((3, 3)))
+        assert ii.rect_sum(1, 1, 1, 3) == 0.0
+        assert ii.rect_sum(2, 2, 1, 1) == 0.0
+
+    def test_clipping(self):
+        ii = IntegralImage(np.ones((3, 3)))
+        assert ii.rect_sum(-5, -5, 100, 100) == 9.0
+
+    def test_bad_input(self):
+        with pytest.raises(ImagingError):
+            IntegralImage(np.zeros(5))
+        with pytest.raises(ImagingError):
+            IntegralImage(np.zeros((0, 3)))
+
+
+class TestLineSums:
+    def test_row_sums(self):
+        arr = np.arange(6, dtype=float).reshape(2, 3)
+        ii = IntegralImage(arr)
+        assert np.allclose(ii.row_sums(), arr.sum(axis=1))
+
+    def test_col_sums(self):
+        arr = np.arange(6, dtype=float).reshape(2, 3)
+        ii = IntegralImage(arr)
+        assert np.allclose(ii.col_sums(), arr.sum(axis=0))
+
+
+class TestProperty:
+    @given(
+        arrays(np.float64, (7, 9), elements=st.floats(0, 10)),
+        st.integers(-2, 8), st.integers(-2, 10),
+        st.integers(-2, 8), st.integers(-2, 10),
+    )
+    @settings(max_examples=60)
+    def test_matches_numpy_slice(self, arr, r0, c0, r1, c1):
+        ii = IntegralImage(arr)
+        rr0, rr1 = max(0, min(r0, 7)), max(0, min(r1, 7))
+        cc0, cc1 = max(0, min(c0, 9)), max(0, min(c1, 9))
+        expected = arr[rr0:rr1, cc0:cc1].sum() if (rr1 > rr0 and cc1 > cc0) else 0.0
+        assert ii.rect_sum(r0, c0, r1, c1) == pytest.approx(expected, abs=1e-9)

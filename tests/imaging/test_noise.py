@@ -1,0 +1,57 @@
+"""Tests for repro.imaging.noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.image import Image
+from repro.imaging.noise import add_gaussian_noise, add_salt_pepper
+
+
+@pytest.fixture
+def flat():
+    return Image(np.full((32, 32), 0.5))
+
+
+class TestGaussianNoise:
+    def test_changes_pixels_and_stays_in_range(self, flat):
+        out = add_gaussian_noise(flat, 0.1, seed=1)
+        assert not out.allclose(flat)
+        assert out.pixels.min() >= 0.0 and out.pixels.max() <= 1.0
+
+    def test_sigma_zero_copy(self, flat):
+        out = add_gaussian_noise(flat, 0.0, seed=1)
+        assert out.allclose(flat)
+        assert out is not flat
+
+    def test_deterministic(self, flat):
+        a = add_gaussian_noise(flat, 0.05, seed=3)
+        b = add_gaussian_noise(flat, 0.05, seed=3)
+        assert a.allclose(b)
+
+    def test_noise_scale(self, flat):
+        out = add_gaussian_noise(flat, 0.02, seed=4)
+        assert np.std(out.pixels - flat.pixels) == pytest.approx(0.02, rel=0.1)
+
+    def test_negative_sigma(self, flat):
+        with pytest.raises(ImagingError):
+            add_gaussian_noise(flat, -0.1)
+
+
+class TestSaltPepper:
+    def test_fraction(self, flat):
+        out = add_salt_pepper(flat, 0.2, seed=5)
+        changed = np.mean(out.pixels != flat.pixels)
+        assert changed == pytest.approx(0.2, abs=0.04)
+
+    def test_values_are_binary(self, flat):
+        out = add_salt_pepper(flat, 0.3, seed=6)
+        changed = out.pixels[out.pixels != 0.5]
+        assert set(np.unique(changed)).issubset({0.0, 1.0})
+
+    def test_zero_fraction_copy(self, flat):
+        assert add_salt_pepper(flat, 0.0).allclose(flat)
+
+    def test_bad_fraction(self, flat):
+        with pytest.raises(ImagingError):
+            add_salt_pepper(flat, 1.5)

@@ -1,0 +1,65 @@
+"""Tests for repro.imaging.pgm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging.image import Image
+from repro.imaging.pgm import read_pgm, write_pgm
+
+
+class TestRoundTrip:
+    def test_roundtrip_quantised(self, tmp_path):
+        rng = np.random.default_rng(1)
+        img = Image(rng.random((12, 17)))
+        path = tmp_path / "t.pgm"
+        write_pgm(img, path)
+        back = read_pgm(path)
+        assert back.shape == img.shape
+        # 8-bit quantisation: within half a step.
+        assert np.max(np.abs(back.pixels - img.pixels)) <= 0.5 / 255 + 1e-9
+
+    def test_roundtrip_exact_for_quantised_values(self, tmp_path):
+        img = Image(np.array([[0.0, 1.0], [128 / 255, 7 / 255]]))
+        path = tmp_path / "q.pgm"
+        write_pgm(img, path)
+        assert np.allclose(read_pgm(path).pixels, img.pixels)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "h.pgm"
+        write_pgm(Image(np.zeros((3, 5))), path)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n5 3\n255\n")
+        assert len(raw) == len(b"P5\n5 3\n255\n") + 15
+
+
+class TestReadErrors:
+    def test_truncated_raster(self, tmp_path):
+        p = tmp_path / "bad.pgm"
+        p.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ImagingError, match="truncated"):
+            read_pgm(p)
+
+    def test_wrong_magic(self, tmp_path):
+        p = tmp_path / "bad.pgm"
+        p.write_bytes(b"P2\n1 1\n255\n\x00")
+        with pytest.raises(ImagingError, match="magic"):
+            read_pgm(p)
+
+    def test_comment_in_header(self, tmp_path):
+        p = tmp_path / "c.pgm"
+        p.write_bytes(b"P5\n# a comment\n2 1\n255\n\x10\x20")
+        img = read_pgm(p)
+        assert img.shape == (1, 2)
+
+    def test_maxval_too_large(self, tmp_path):
+        p = tmp_path / "m.pgm"
+        p.write_bytes(b"P5\n1 1\n65535\n\x00\x00")
+        with pytest.raises(ImagingError, match="maxval"):
+            read_pgm(p)
+
+    def test_nonnumeric_header(self, tmp_path):
+        p = tmp_path / "n.pgm"
+        p.write_bytes(b"P5\nx y\n255\n\x00")
+        with pytest.raises(ImagingError):
+            read_pgm(p)

@@ -1,0 +1,160 @@
+"""Tests for repro.imaging.synthetic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.geometry.overlap import circle_circle_overlap_area
+from repro.imaging.synthetic import (
+    SceneSpec,
+    generate_bead_scene,
+    generate_scene,
+    render_scene,
+)
+
+
+def spec(**kw):
+    defaults = dict(width=128, height=128, n_circles=8, mean_radius=7.0)
+    defaults.update(kw)
+    return SceneSpec(**defaults)
+
+
+class TestSceneSpec:
+    def test_valid(self):
+        s = spec()
+        assert s.width == 128
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"width": 0},
+            {"n_circles": -1},
+            {"mean_radius": -2},
+            {"foreground": 0.2, "background": 0.5},
+            {"max_overlap_fraction": 1.5},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ImagingError):
+            spec(**kw)
+
+
+class TestGenerateScene:
+    def test_count_and_determinism(self):
+        a = generate_scene(spec(), seed=1)
+        b = generate_scene(spec(), seed=1)
+        assert a.n_circles == 8
+        assert [(c.x, c.y, c.r) for c in a.circles] == [
+            (c.x, c.y, c.r) for c in b.circles
+        ]
+        assert a.image.allclose(b.image)
+
+    def test_different_seeds_differ(self):
+        a = generate_scene(spec(), seed=1)
+        b = generate_scene(spec(), seed=2)
+        assert [(c.x, c.y) for c in a.circles] != [(c.x, c.y) for c in b.circles]
+
+    def test_circles_inside_margin(self):
+        s = spec(margin=3.0)
+        scene = generate_scene(s, seed=3)
+        for c in scene.circles:
+            assert c.x - c.r >= s.margin - 1e-9
+            assert c.x + c.r <= s.width - s.margin + 1e-9
+            assert c.y - c.r >= s.margin - 1e-9
+            assert c.y + c.r <= s.height - s.margin + 1e-9
+
+    def test_overlap_bound_respected(self):
+        s = spec(n_circles=12, max_overlap_fraction=0.0)
+        scene = generate_scene(s, seed=4)
+        for i, a in enumerate(scene.circles):
+            for b in scene.circles[i + 1 :]:
+                assert circle_circle_overlap_area(a.x, a.y, a.r, b.x, b.y, b.r) == 0.0
+
+    def test_crowded_scene_raises(self):
+        with pytest.raises(ImagingError):
+            generate_scene(
+                spec(width=48, height=48, n_circles=40, max_overlap_fraction=0.0),
+                seed=5,
+            )
+
+    def test_zero_circles(self):
+        scene = generate_scene(spec(n_circles=0, noise_sigma=0.0, blur_sigma=0.0), seed=1)
+        assert scene.n_circles == 0
+        assert float(scene.image.pixels.max()) == pytest.approx(0.05)
+
+
+class TestRenderScene:
+    def test_foreground_at_circle_centres(self):
+        s = spec(noise_sigma=0.0, blur_sigma=0.0)
+        scene = generate_scene(s, seed=6)
+        px = scene.image.pixels
+        for c in scene.circles:
+            assert px[int(c.y), int(c.x)] == pytest.approx(s.foreground)
+
+    def test_background_far_from_circles(self):
+        s = spec(n_circles=1, noise_sigma=0.0, blur_sigma=0.0)
+        scene = generate_scene(s, seed=7)
+        c = scene.circles[0]
+        # Any corner at distance > r+2 is background.
+        for (x, y) in [(2, 2), (125, 2), (2, 125), (125, 125)]:
+            if math.hypot(x - c.x, y - c.y) > c.r + 2:
+                assert scene.image.pixels[y, x] == pytest.approx(s.background)
+
+    def test_render_empty(self):
+        img = render_scene(spec(noise_sigma=0.0, blur_sigma=0.0), [])
+        assert np.all(img.pixels == 0.05)
+
+    def test_noise_changes_pixels(self):
+        s = spec(noise_sigma=0.05, blur_sigma=0.0)
+        a = render_scene(s, [], seed=1)
+        b = render_scene(s, [], seed=2)
+        assert not a.allclose(b)
+
+
+class TestBeadScene:
+    def bead_spec(self):
+        return SceneSpec(
+            width=420, height=300, n_circles=24, mean_radius=7.0, radius_std=0.8,
+            min_radius=4.0,
+        )
+
+    def test_counts(self):
+        scene = generate_bead_scene(
+            self.bead_spec(), n_clumps=3, clump_radius_factor=4.0,
+            gutter=30.0, clump_weights=[1, 4, 1], seed=8,
+        )
+        assert scene.n_circles == 24
+
+    def test_weights_shape_mismatch_raises(self):
+        with pytest.raises(ImagingError):
+            generate_bead_scene(self.bead_spec(), n_clumps=3, clump_weights=[1, 2], seed=1)
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(ImagingError):
+            generate_bead_scene(
+                self.bead_spec(), n_clumps=2, clump_weights=[0, 0], seed=1
+            )
+
+    def test_too_small_image_raises(self):
+        small = SceneSpec(width=100, height=100, n_circles=9, mean_radius=8.0)
+        with pytest.raises(ImagingError):
+            generate_bead_scene(small, n_clumps=4, clump_radius_factor=6.0, seed=1)
+
+    def test_deterministic(self):
+        kw = dict(n_clumps=3, clump_radius_factor=4.0, gutter=30.0, seed=9)
+        a = generate_bead_scene(self.bead_spec(), **kw)
+        b = generate_bead_scene(self.bead_spec(), **kw)
+        assert [(c.x, c.y) for c in a.circles] == [(c.x, c.y) for c in b.circles]
+
+    def test_clumps_are_spatially_concentrated(self):
+        """Bead scenes must have empty gutters — the property intelligent
+        partitioning needs."""
+        scene = generate_bead_scene(
+            self.bead_spec(), n_clumps=3, clump_radius_factor=3.5,
+            gutter=40.0, seed=10,
+        )
+        xs = sorted(c.x for c in scene.circles)
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert max(gaps) > 25.0  # at least one wide empty band

@@ -1,0 +1,89 @@
+"""Consistency between the analytic model (eqs. 2–3) and the simulator.
+
+Under the idealised conditions eq. (2) assumes — zero overhead,
+feature-independent iteration cost, perfectly balanced partitions, one
+partition per core — the discrete-event simulator must produce
+*exactly* the eq. (2) runtime.  Any divergence here means one of the
+two implementations mis-states the model.
+"""
+
+import pytest
+
+from repro.core.theory import eq2_runtime, periodic_runtime_fraction
+from repro.parallel.machines import MachineProfile
+from repro.parallel.simcluster import CycleSpec, simulate_run, simulate_sequential
+
+
+def ideal_profile(cores: int, tau: float = 1e-4) -> MachineProfile:
+    """Zero overhead, iteration cost independent of model size."""
+    return MachineProfile(
+        name=f"ideal-{cores}", cores=cores, tau_base=tau,
+        tau_per_feature=0.0, phase_overhead=0.0,
+    )
+
+
+def balanced_cycles(n_cycles: int, g: int, l: int, s: int, n_features: int):
+    """Cycles with perfectly equal partitions (the eq. (2) regime)."""
+    per = l // s
+    assert per * s == l, "test construction: l must divide evenly"
+    for _ in range(n_cycles):
+        yield CycleSpec(
+            global_iters=g,
+            local_allocs=[per] * s,
+            features_per_partition=[n_features // s] * s,
+            total_features=n_features,
+        )
+
+
+class TestEq2Agreement:
+    @pytest.mark.parametrize("s", [1, 2, 4, 8])
+    @pytest.mark.parametrize("qg_num,qg_den", [(2, 5), (1, 2), (1, 5)])
+    def test_simulator_reproduces_eq2(self, s, qg_num, qg_den):
+        tau = 1e-4
+        profile = ideal_profile(cores=s, tau=tau)
+        # Build a schedule realising qg exactly with integer phases.
+        g = 40 * qg_num
+        l = 40 * (qg_den - qg_num)
+        l = (l // s) * s or s  # divisible by s
+        n_total = 50 * (g + l)
+        qg = g / (g + l)
+
+        sim = simulate_run(profile, balanced_cycles(50, g, l, s, 64))
+        analytic = eq2_runtime(n_total, qg, tau, tau, s)
+        assert sim.total_seconds == pytest.approx(analytic, rel=1e-12)
+
+    def test_fraction_matches_closed_form(self):
+        s, tau = 4, 1e-4
+        profile = ideal_profile(cores=s, tau=tau)
+        g, l = 40, 60
+        sim = simulate_run(profile, balanced_cycles(100, g, l, s, 64))
+        seq = simulate_sequential(profile, 100 * (g + l), 64)
+        assert sim.fraction_of(seq) == pytest.approx(
+            periodic_runtime_fraction(0.4, s), rel=1e-12
+        )
+
+    def test_overhead_breaks_ideality_upward(self):
+        """Adding per-cycle overhead can only increase simulated time
+        above eq. (2) — never below (sanity direction check)."""
+        s, tau = 4, 1e-4
+        lossy = MachineProfile(name="lossy", cores=s, tau_base=tau,
+                               tau_per_feature=0.0, phase_overhead=1e-3)
+        g, l = 40, 60
+        sim = simulate_run(lossy, balanced_cycles(50, g, l, s, 64))
+        analytic = eq2_runtime(50 * (g + l), 0.4, tau, tau, s)
+        assert sim.total_seconds > analytic
+
+    def test_unbalanced_partitions_break_ideality_upward(self):
+        """Unequal allocations (one partition per core) can only push the
+        makespan above the balanced eq. (2) value."""
+        s, tau = 4, 1e-4
+        profile = ideal_profile(cores=s, tau=tau)
+        g, l = 40, 60
+        skewed = [
+            CycleSpec(global_iters=g, local_allocs=[30, 10, 10, 10],
+                      features_per_partition=[16] * 4, total_features=64)
+            for _ in range(50)
+        ]
+        sim = simulate_run(profile, skewed)
+        analytic = eq2_runtime(50 * (g + l), 0.4, tau, tau, s)
+        assert sim.total_seconds > analytic

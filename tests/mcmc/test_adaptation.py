@@ -1,0 +1,65 @@
+"""Tests for repro.mcmc.adaptation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcmc.adaptation import adapt_local_steps
+from repro.mcmc.spec import MoveConfig
+
+
+class TestAdaptation:
+    def test_raises_on_empty_configuration(self, posterior, small_spec):
+        with pytest.raises(ConfigurationError):
+            adapt_local_steps(posterior, small_spec, MoveConfig(), seed=1)
+
+    def test_moves_acceptance_toward_target(self, warm_posterior, small_spec):
+        base = MoveConfig(translate_step=6.0, resize_step=3.0)  # far too bold
+        result = adapt_local_steps(
+            warm_posterior, small_spec, base, target_acceptance=0.25,
+            batch_size=400, max_batches=25, seed=2,
+        )
+        # Steps must have shrunk substantially...
+        assert result.translate_step < base.translate_step
+        assert result.resize_step < base.resize_step
+        # ...and the final batch acceptance should approach the target.
+        assert result.final_acceptance > 0.10
+
+    def test_global_moves_untouched(self, warm_posterior, small_spec):
+        base = MoveConfig()
+        result = adapt_local_steps(
+            warm_posterior, small_spec, base, batch_size=200, max_batches=5, seed=3
+        )
+        assert result.move_config.weights == base.weights
+        assert result.move_config.split_max_separation == base.split_max_separation
+
+    def test_early_stop_counts_batches(self, warm_posterior, small_spec):
+        result = adapt_local_steps(
+            warm_posterior, small_spec, MoveConfig(), batch_size=200,
+            max_batches=30, tolerance=1.0,  # any acceptance is "good enough"
+            seed=4,
+        )
+        assert result.batches == 1
+        assert result.iterations == 200
+
+    def test_min_step_floor(self, warm_posterior, small_spec):
+        result = adapt_local_steps(
+            warm_posterior, small_spec,
+            MoveConfig(translate_step=0.2, resize_step=0.2),
+            target_acceptance=0.99,  # unreachable: drives steps down
+            batch_size=200, max_batches=4, min_step=0.15, seed=5,
+        )
+        assert result.translate_step >= 0.15
+        assert result.resize_step >= 0.15
+
+    def test_validation(self, warm_posterior, small_spec):
+        with pytest.raises(ConfigurationError):
+            adapt_local_steps(warm_posterior, small_spec, MoveConfig(),
+                              target_acceptance=0.0)
+        with pytest.raises(ConfigurationError):
+            adapt_local_steps(warm_posterior, small_spec, MoveConfig(),
+                              batch_size=10)
+
+    def test_posterior_stays_consistent(self, warm_posterior, small_spec):
+        adapt_local_steps(warm_posterior, small_spec, MoveConfig(),
+                          batch_size=300, max_batches=6, seed=6)
+        warm_posterior.verify_consistency()

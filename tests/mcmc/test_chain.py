@@ -1,0 +1,81 @@
+"""Tests for repro.mcmc.chain."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.mcmc.chain import MarkovChain
+from repro.mcmc.moves import MoveGenerator
+from repro.mcmc.spec import MoveConfig
+
+
+class TestRun:
+    def test_run_length_and_result(self, posterior, small_spec, move_config):
+        gen = MoveGenerator(small_spec, move_config)
+        chain = MarkovChain(posterior, gen, seed=1, record_every=10)
+        res = chain.run(500)
+        assert res.iterations == 500
+        assert chain.iteration == 500
+        assert res.elapsed_seconds > 0
+        assert res.seconds_per_iteration > 0
+        assert res.stats.total_iterations() == 500
+
+    def test_traces_recorded_at_stride(self, posterior, small_spec, move_config):
+        gen = MoveGenerator(small_spec, move_config)
+        chain = MarkovChain(posterior, gen, seed=1, record_every=50)
+        chain.run(500)
+        assert len(chain.posterior_trace) == 10
+        assert chain.posterior_trace.iterations[0] == 50
+        assert len(chain.count_trace) == 10
+
+    def test_determinism(self, small_filtered, small_spec, move_config):
+        from repro.mcmc.posterior import PosteriorState
+
+        def run_once():
+            post = PosteriorState(small_filtered, small_spec)
+            gen = MoveGenerator(small_spec, move_config)
+            chain = MarkovChain(post, gen, seed=99)
+            chain.run(1500)
+            return sorted((c.x, c.y, c.r) for c in post.snapshot_circles())
+
+        assert run_once() == run_once()
+
+    def test_finds_structure(self, burned_chain, small_scene):
+        """After burn-in the model count should be near truth."""
+        n = burned_chain.post.config.n
+        assert abs(n - small_scene.n_circles) <= 3
+
+    def test_callback_invoked(self, posterior, small_spec, move_config):
+        gen = MoveGenerator(small_spec, move_config)
+        chain = MarkovChain(posterior, gen, seed=1)
+        seen = []
+        chain.run(50, callback=lambda it, res: seen.append(it))
+        assert seen == list(range(1, 51))
+
+    def test_negative_iterations_raises(self, posterior, small_spec, move_config):
+        chain = MarkovChain(posterior, MoveGenerator(small_spec, move_config), seed=1)
+        with pytest.raises(ChainError):
+            chain.run(-1)
+
+    def test_bad_record_every(self, posterior, small_spec, move_config):
+        with pytest.raises(ChainError):
+            MarkovChain(posterior, MoveGenerator(small_spec, move_config), record_every=0)
+
+    def test_zero_iterations(self, posterior, small_spec, move_config):
+        chain = MarkovChain(posterior, MoveGenerator(small_spec, move_config), seed=1)
+        res = chain.run(0)
+        assert res.iterations == 0
+
+
+class TestWithGenerator:
+    def test_generator_swap_shares_state(self, posterior, small_spec, move_config):
+        gen_full = MoveGenerator(small_spec, move_config)
+        chain = MarkovChain(posterior, gen_full, seed=1)
+        chain.run(200)
+        gen_local = MoveGenerator(small_spec, move_config, mode="local")
+        swapped = chain.with_generator(gen_local)
+        assert swapped.post is chain.post
+        assert swapped.iteration == chain.iteration
+        swapped.run(100)
+        assert swapped.iteration == 300
+        # diagnostics shared
+        assert chain.stats.total_iterations() == 300

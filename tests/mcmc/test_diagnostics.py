@@ -1,0 +1,143 @@
+"""Tests for repro.mcmc.diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ChainError
+from repro.mcmc.diagnostics import (
+    AcceptanceStats,
+    Trace,
+    convergence_iteration,
+    effective_sample_size,
+)
+from repro.mcmc.spec import GLOBAL_MOVES, LOCAL_MOVES, MoveType
+
+
+class TestAcceptanceStats:
+    def test_record_and_rates(self):
+        s = AcceptanceStats()
+        s.record(MoveType.BIRTH, proposed=True, accepted=True)
+        s.record(MoveType.BIRTH, proposed=True, accepted=False)
+        s.record(MoveType.DEATH, proposed=False, accepted=False)
+        assert s.total_iterations() == 3
+        assert s.acceptance_rate(MoveType.BIRTH) == 0.5
+        assert s.acceptance_rate() == pytest.approx(1 / 3)
+        assert s.rejection_rate() == pytest.approx(2 / 3)
+
+    def test_unused_type_rates(self):
+        s = AcceptanceStats()
+        assert s.acceptance_rate(MoveType.SPLIT) == 0.0
+        assert s.rejection_rate(MoveType.SPLIT) == 1.0
+
+    def test_class_pooled_rate(self):
+        s = AcceptanceStats()
+        s.record(MoveType.TRANSLATE, True, True)
+        s.record(MoveType.RESIZE, True, False)
+        assert s.rejection_rate_for(LOCAL_MOVES) == pytest.approx(0.5)
+        assert s.rejection_rate_for(GLOBAL_MOVES) == 1.0  # nothing recorded
+
+    def test_merge(self):
+        a = AcceptanceStats()
+        a.record(MoveType.BIRTH, True, True)
+        b = AcceptanceStats()
+        b.record(MoveType.BIRTH, True, False)
+        a.merge(b)
+        assert a.generated[MoveType.BIRTH] == 2
+        assert a.accepted[MoveType.BIRTH] == 1
+
+
+class TestTrace:
+    def test_record_and_arrays(self):
+        t = Trace()
+        t.record(10, 1.5)
+        t.record(20, 2.5)
+        its, vals = t.as_arrays()
+        assert its.tolist() == [10, 20]
+        assert vals.tolist() == [1.5, 2.5]
+
+    def test_non_decreasing_enforced(self):
+        t = Trace()
+        t.record(10, 1.0)
+        with pytest.raises(ChainError):
+            t.record(5, 2.0)
+
+    def test_extend(self):
+        a = Trace()
+        a.record(10, 1.0)
+        b = Trace()
+        b.record(20, 2.0)
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestConvergence:
+    def _trace(self, values, stride=10):
+        t = Trace()
+        for k, v in enumerate(values):
+            t.record((k + 1) * stride, v)
+        return t
+
+    def test_step_function(self):
+        """Ramp then plateau: convergence at the start of the plateau."""
+        values = list(np.linspace(-100, 0, 50)) + [0.0] * 50
+        t = self._trace(values)
+        it = convergence_iteration(t, tail_fraction=0.3)
+        assert it is not None
+        assert 480 <= it <= 520
+
+    def test_noisy_plateau(self):
+        rng = np.random.default_rng(1)
+        values = list(np.linspace(-100, 0, 40)) + list(rng.normal(0, 0.5, 60))
+        it = convergence_iteration(self._trace(values), tail_fraction=0.3)
+        assert it is not None
+        assert it <= 450
+
+    def test_never_converges(self):
+        values = list(np.linspace(0, 100, 100))  # still climbing
+        it = convergence_iteration(self._trace(values), tail_fraction=0.1)
+        # A pure ramp's tail keeps drifting: detection should place the
+        # iteration late or fail, never claim early convergence.
+        assert it is None or it > 800
+
+    def test_short_trace_none(self):
+        assert convergence_iteration(self._trace([1.0, 2.0])) is None
+
+    def test_constant_trace_converges_immediately(self):
+        it = convergence_iteration(self._trace([5.0] * 20))
+        assert it == 10
+
+    def test_bad_tail_fraction(self):
+        with pytest.raises(ChainError):
+            convergence_iteration(self._trace([1.0] * 10), tail_fraction=0.0)
+
+
+class TestESS:
+    def test_iid_ess_near_n(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=2000)
+        ess = effective_sample_size(x)
+        assert ess > 1200
+
+    def test_correlated_ess_small(self):
+        rng = np.random.default_rng(3)
+        # AR(1) with phi = 0.95 -> ESS ≈ n (1-phi)/(1+phi) ≈ n/39
+        n = 4000
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.95 * x[i - 1] + rng.normal()
+        ess = effective_sample_size(x)
+        assert ess < n / 10
+
+    def test_constant_series(self):
+        assert effective_sample_size([2.0] * 100) == 100.0
+
+    def test_short_series(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=500)
+        ess = effective_sample_size(x)
+        assert 1.0 <= ess <= 500.0

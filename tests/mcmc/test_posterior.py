@@ -1,0 +1,164 @@
+"""Tests for repro.mcmc.posterior — the incremental-vs-full invariant.
+
+This is the load-bearing correctness property of the whole engine: after
+ANY sequence of primitive mutations, the cached log-posterior equals a
+from-scratch recomputation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChainError
+from repro.geometry.circle import Circle
+from repro.imaging.image import Image
+from repro.mcmc.posterior import PosteriorState
+from repro.mcmc.spec import ModelSpec
+
+
+def make_spec(**kw):
+    defaults = dict(
+        width=40, height=40, expected_count=4.0,
+        radius_mean=5.0, radius_std=1.0, radius_min=2.0, radius_max=9.0,
+        overlap_gamma=0.5, likelihood_beta=3.0,
+    )
+    defaults.update(kw)
+    return ModelSpec(**defaults)
+
+
+@pytest.fixture
+def post():
+    rng = np.random.default_rng(11)
+    return PosteriorState(Image(rng.random((40, 40))), make_spec())
+
+
+class TestPrimitives:
+    def test_insert_returns_matching_delta(self, post):
+        before = post.log_posterior
+        _, delta = post.insert_circle(20, 20, 5)
+        assert post.log_posterior == pytest.approx(before + delta)
+        post.verify_consistency()
+
+    def test_delete_inverts_insert(self, post):
+        base = post.log_posterior
+        idx, d_in = post.insert_circle(20, 20, 5)
+        _, d_out = post.delete_circle(idx)
+        assert d_out == pytest.approx(-d_in, rel=1e-12)
+        assert post.log_posterior == pytest.approx(base, rel=1e-12)
+        post.verify_consistency()
+
+    def test_move_delta(self, post):
+        idx, _ = post.insert_circle(20, 20, 5)
+        before = post.log_posterior
+        old, delta = post.move_circle(idx, 25, 18)
+        assert old == (20, 20)
+        assert post.log_posterior == pytest.approx(before + delta)
+        post.verify_consistency()
+
+    def test_resize_delta(self, post):
+        idx, _ = post.insert_circle(20, 20, 5)
+        before = post.log_posterior
+        old_r, delta = post.resize_circle(idx, 7)
+        assert old_r == 5
+        assert post.log_posterior == pytest.approx(before + delta)
+        post.verify_consistency()
+
+    def test_insert_out_of_bounds_raises(self, post):
+        with pytest.raises(ChainError):
+            post.insert_circle(45, 20, 5)
+        with pytest.raises(ChainError):
+            post.insert_circle(20, 20, 20)
+
+    def test_move_out_of_bounds_raises(self, post):
+        idx, _ = post.insert_circle(20, 20, 5)
+        with pytest.raises(ChainError):
+            post.move_circle(idx, -1, 20)
+
+    def test_resize_out_of_bounds_raises(self, post):
+        idx, _ = post.insert_circle(20, 20, 5)
+        with pytest.raises(ChainError):
+            post.resize_circle(idx, 1.0)
+
+
+class TestFullEvaluation:
+    def test_empty_state(self, post):
+        post.verify_consistency()
+
+    def test_overlapping_circles(self, post):
+        post.insert_circle(20, 20, 5)
+        post.insert_circle(23, 20, 5)
+        post.insert_circle(21, 23, 4)
+        post.verify_consistency()
+
+    def test_load_circles_resyncs(self, post):
+        idx = post.load_circles([Circle(10, 10, 4), Circle(30, 30, 5)])
+        assert len(idx) == 2
+        post.verify_consistency()
+
+    def test_snapshot(self, post):
+        post.insert_circle(10, 10, 4)
+        snap = post.snapshot_circles()
+        assert snap == [Circle(10, 10, 4)]
+
+
+class TestPosteriorSemantics:
+    def test_better_fit_higher_posterior(self):
+        """A configuration matching the image scores above a mismatched
+        one of equal complexity."""
+        spec = make_spec(expected_count=1.0)
+        arr = np.full((40, 40), spec.background)
+        yy, xx = np.mgrid[0:40, 0:40]
+        arr[(xx + 0.5 - 20) ** 2 + (yy + 0.5 - 20) ** 2 <= 25] = spec.foreground
+        img = Image(arr)
+
+        on_target = PosteriorState(img, spec)
+        on_target.insert_circle(20, 20, 5)
+
+        off_target = PosteriorState(img, spec)
+        off_target.insert_circle(8, 8, 5)
+
+        assert on_target.log_posterior > off_target.log_posterior
+
+    def test_count_prior_penalises_extra_circles(self):
+        spec = make_spec(expected_count=1.0, likelihood_beta=0.1)
+        arr = np.full((40, 40), spec.background)
+        img = Image(arr)
+        post = PosteriorState(img, spec)
+        post.insert_circle(10, 10, 4)
+        one = post.log_posterior
+        for k in range(6):
+            post.insert_circle(5 + 5 * k, 30, 3)
+        many = post.log_posterior
+        assert many < one
+
+
+class TestRandomisedConsistency:
+    @given(st.integers(0, 2**31 - 1), st.integers(5, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_cache_equals_full_after_random_ops(self, seed, n_ops):
+        """The load-bearing invariant, fuzzed."""
+        rng = np.random.default_rng(seed)
+        spec = make_spec()
+        post = PosteriorState(Image(rng.random((40, 40))), spec)
+        live = []
+        for _ in range(n_ops):
+            op = rng.integers(0, 4)
+            if op == 0 or not live:
+                idx, _ = post.insert_circle(
+                    float(rng.uniform(0, 40)), float(rng.uniform(0, 40)),
+                    float(rng.uniform(2, 9)),
+                )
+                live.append(idx)
+            elif op == 1:
+                k = int(rng.integers(len(live)))
+                post.delete_circle(live.pop(k))
+            elif op == 2:
+                idx = live[int(rng.integers(len(live)))]
+                post.move_circle(
+                    idx, float(rng.uniform(0, 40)), float(rng.uniform(0, 40))
+                )
+            else:
+                idx = live[int(rng.integers(len(live)))]
+                post.resize_circle(idx, float(rng.uniform(2, 9)))
+        post.verify_consistency()

@@ -1,0 +1,136 @@
+"""Tests for repro.mcmc.prior."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.mcmc.prior import CountPrior, OverlapPrior, PositionPrior, RadiusPrior
+from repro.mcmc.spec import ModelSpec
+from repro.mcmc.state import CircleConfiguration
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def spec():
+    return ModelSpec(
+        width=50, height=40, expected_count=6.0,
+        radius_mean=5.0, radius_std=1.0, radius_min=2.0, radius_max=9.0,
+        overlap_gamma=0.8,
+    )
+
+
+class TestCountPrior:
+    def test_matches_scipy_poisson(self):
+        p = CountPrior(6.0)
+        for n in (0, 1, 6, 20):
+            assert p.log_pmf(n) == pytest.approx(stats.poisson.logpmf(n, 6.0))
+
+    def test_negative_count(self):
+        assert CountPrior(6.0).log_pmf(-1) == -math.inf
+
+    def test_birth_delta_consistent(self):
+        p = CountPrior(6.0)
+        for n in (0, 3, 10):
+            assert p.delta_birth(n) == pytest.approx(p.log_pmf(n + 1) - p.log_pmf(n))
+
+    def test_death_delta_consistent(self):
+        p = CountPrior(6.0)
+        for n in (1, 3, 10):
+            assert p.delta_death(n) == pytest.approx(p.log_pmf(n - 1) - p.log_pmf(n))
+
+    def test_death_on_empty(self):
+        assert CountPrior(6.0).delta_death(0) == -math.inf
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ConfigurationError):
+            CountPrior(0.0)
+
+
+class TestPositionPrior:
+    def test_uniform_density(self, spec):
+        p = PositionPrior(spec)
+        assert p.per_circle() == pytest.approx(-math.log(2000.0))
+
+
+class TestRadiusPrior:
+    def test_matches_scipy_truncnorm(self, spec):
+        p = RadiusPrior(spec)
+        a = (2.0 - 5.0) / 1.0
+        b = (9.0 - 5.0) / 1.0
+        for r in (2.0, 4.0, 5.0, 8.5):
+            assert p.log_pdf(r) == pytest.approx(
+                stats.truncnorm.logpdf(r, a, b, loc=5.0, scale=1.0), rel=1e-9
+            )
+
+    def test_out_of_bounds(self, spec):
+        p = RadiusPrior(spec)
+        assert p.log_pdf(1.9) == -math.inf
+        assert p.log_pdf(9.1) == -math.inf
+        assert p.in_bounds(5.0) and not p.in_bounds(10.0)
+
+    def test_sample_in_bounds(self, spec):
+        p = RadiusPrior(spec)
+        s = RngStream(seed=1)
+        for _ in range(300):
+            assert 2.0 <= p.sample(s) <= 9.0
+
+    def test_sample_mean(self, spec):
+        p = RadiusPrior(spec)
+        s = RngStream(seed=2)
+        mean = np.mean([p.sample(s) for _ in range(3000)])
+        assert mean == pytest.approx(5.0, abs=0.1)
+
+
+class TestOverlapPrior:
+    def test_zero_gamma_free(self, spec):
+        import dataclasses
+
+        free = OverlapPrior(dataclasses.replace(spec, overlap_gamma=0.0))
+        cfg = CircleConfiguration()
+        cfg.add(0, 0, 3)
+        assert free.circle_energy(cfg, 1, 0, 3) == 0.0
+
+    def test_disjoint_zero(self, spec):
+        p = OverlapPrior(spec)
+        cfg = CircleConfiguration()
+        cfg.add(0, 0, 2)
+        assert p.circle_energy(cfg, 30, 30, 2) == 0.0
+
+    def test_energy_negative_for_overlap(self, spec):
+        p = OverlapPrior(spec)
+        cfg = CircleConfiguration()
+        cfg.add(10, 10, 3)
+        e = p.circle_energy(cfg, 11, 10, 3)
+        assert e < 0
+
+    def test_exclude(self, spec):
+        p = OverlapPrior(spec)
+        cfg = CircleConfiguration()
+        i = cfg.add(10, 10, 3)
+        assert p.circle_energy(cfg, 10, 10, 3, exclude=(i,)) == 0.0
+
+    def test_total_energy_pairwise(self, spec):
+        p = OverlapPrior(spec)
+        cfg = CircleConfiguration()
+        cfg.add(10, 10, 3)
+        cfg.add(12, 10, 3)
+        cfg.add(30, 30, 3)
+        total = p.total_energy(cfg)
+        pair = p.pair_energy(10, 10, 3, 12, 10, 3)
+        assert total == pytest.approx(pair)
+
+    def test_total_matches_incremental_sum(self, spec):
+        """Total energy equals the sum of insertion energies (each new
+        circle pays its interactions with those already present)."""
+        rng = np.random.default_rng(4)
+        p = OverlapPrior(spec)
+        cfg = CircleConfiguration(hash_cell_size=20)
+        acc = 0.0
+        for _ in range(12):
+            x, y, r = rng.uniform(5, 45), rng.uniform(5, 35), rng.uniform(2, 6)
+            acc += p.circle_energy(cfg, x, y, r)
+            cfg.add(x, y, r)
+        assert p.total_energy(cfg) == pytest.approx(acc, rel=1e-9, abs=1e-12)

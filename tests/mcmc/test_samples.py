@@ -1,0 +1,127 @@
+"""Tests for repro.mcmc.samples."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChainError
+from repro.geometry.circle import Circle
+from repro.mcmc.samples import PosteriorSummary, SampleCollector
+
+
+def circles(n, x0=10.0):
+    return [Circle(x0 + 12 * k, 20, 4) for k in range(n)]
+
+
+class TestSampleCollector:
+    def test_burn_in_respected(self):
+        col = SampleCollector(burn_in=100, stride=10)
+        assert not col.offer(50, circles(1))
+        assert not col.offer(100, circles(1))
+        assert col.offer(110, circles(1))
+        assert len(col) == 1
+
+    def test_stride_respected(self):
+        col = SampleCollector(burn_in=0, stride=10)
+        kept = [it for it in range(1, 101) if col.offer(it, circles(1))]
+        assert kept == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_gap_tolerant(self):
+        """Phase-granularity callers skip iterations; the collector
+        samples at the first opportunity past each due point."""
+        col = SampleCollector(burn_in=0, stride=10)
+        assert col.offer(35, circles(1))  # covers due points 10,20,30
+        assert not col.offer(39, circles(1))
+        assert col.offer(45, circles(1))
+
+    def test_max_samples_cap(self):
+        col = SampleCollector(burn_in=0, stride=1, max_samples=3)
+        for it in range(1, 10):
+            col.offer(it, circles(1))
+        assert len(col) == 3
+
+    def test_snapshot_is_copied(self):
+        col = SampleCollector(burn_in=0, stride=1)
+        cs = circles(2)
+        col.offer(1, cs)
+        cs.append(Circle(99, 99, 1))
+        assert len(col.samples[0]) == 2
+
+    def test_summary_requires_samples(self):
+        with pytest.raises(ChainError):
+            SampleCollector(burn_in=0, stride=1).summary()
+
+    def test_validation(self):
+        with pytest.raises(ChainError):
+            SampleCollector(burn_in=-1, stride=1)
+        with pytest.raises(ChainError):
+            SampleCollector(burn_in=0, stride=0)
+
+
+class TestPosteriorSummary:
+    @pytest.fixture
+    def summary(self):
+        samples = [circles(2)] * 6 + [circles(3)] * 3 + [circles(1)] * 1
+        return PosteriorSummary(samples=samples)
+
+    def test_count_distribution(self, summary):
+        dist = summary.count_distribution()
+        assert dist[2] == pytest.approx(0.6)
+        assert dist[3] == pytest.approx(0.3)
+        assert dist[1] == pytest.approx(0.1)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_count_mode_and_mean(self, summary):
+        assert summary.count_mode() == 2
+        assert summary.count_mean() == pytest.approx(2.2)
+
+    def test_credible_interval(self, summary):
+        lo, hi = summary.count_credible_interval(0.95)
+        assert lo <= 2 <= hi
+        lo50, hi50 = summary.count_credible_interval(0.5)
+        assert hi50 - lo50 <= hi - lo
+
+    def test_modal_configuration(self, summary):
+        rep = summary.modal_configuration()
+        assert len(rep) == 2
+
+    def test_alternative_interpretations(self, summary):
+        alts = summary.alternative_interpretations(top_k=2)
+        assert [a[0] for a in alts] == [2, 3]
+        assert alts[0][1] == pytest.approx(0.6)
+        assert len(alts[0][2]) == 2
+
+    def test_occupancy_map_single_disc(self):
+        samples = [[Circle(10, 10, 3)]] * 4
+        occ = PosteriorSummary(samples).occupancy_map(20, 20)
+        assert occ[10, 10] == 1.0
+        assert occ[0, 0] == 0.0
+        assert occ.max() <= 1.0 and occ.min() >= 0.0
+
+    def test_occupancy_map_averages(self):
+        samples = [[Circle(10, 10, 3)], []]
+        occ = PosteriorSummary(samples).occupancy_map(20, 20)
+        assert occ[10, 10] == pytest.approx(0.5)
+
+    def test_occupancy_validation(self, summary):
+        with pytest.raises(ChainError):
+            summary.occupancy_map(0, 10)
+
+
+class TestEndToEnd:
+    def test_collector_with_real_chain(self, posterior, small_spec, move_config,
+                                       small_scene):
+        from repro.mcmc import MarkovChain, MoveGenerator
+
+        gen = MoveGenerator(small_spec, move_config)
+        chain = MarkovChain(posterior, gen, seed=5)
+        col = SampleCollector(burn_in=3000, stride=100)
+        chain.run(9000, callback=lambda it, res: col.offer(
+            it, posterior.snapshot_circles()))
+        assert len(col) == 60
+        summary = col.summary()
+        # Posterior count concentrated near truth.
+        assert abs(summary.count_mean() - small_scene.n_circles) <= 3
+        occ = summary.occupancy_map(96, 96)
+        # Occupancy peaks at ground-truth centres.
+        for c in small_scene.circles:
+            assert occ[int(c.y), int(c.x)] > 0.5

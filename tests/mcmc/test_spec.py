@@ -1,0 +1,129 @@
+"""Tests for repro.mcmc.spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcmc.spec import (
+    GLOBAL_MOVES,
+    LOCAL_MOVES,
+    ModelSpec,
+    MoveConfig,
+    MoveType,
+)
+
+
+def model(**kw):
+    defaults = dict(
+        width=100, height=100, expected_count=10.0,
+        radius_mean=8.0, radius_std=1.5, radius_min=2.0, radius_max=16.0,
+    )
+    defaults.update(kw)
+    return ModelSpec(**defaults)
+
+
+class TestMoveClasses:
+    def test_partition_of_move_types(self):
+        assert LOCAL_MOVES | GLOBAL_MOVES == set(MoveType)
+        assert not (LOCAL_MOVES & GLOBAL_MOVES)
+
+    def test_paper_classes(self):
+        """§VII: Mg = {add, delete, merge, split, replace},
+        Ml = {alter position, alter radius}."""
+        assert MoveType.BIRTH in GLOBAL_MOVES
+        assert MoveType.DEATH in GLOBAL_MOVES
+        assert MoveType.SPLIT in GLOBAL_MOVES
+        assert MoveType.MERGE in GLOBAL_MOVES
+        assert MoveType.REPLACE in GLOBAL_MOVES
+        assert MoveType.TRANSLATE in LOCAL_MOVES
+        assert MoveType.RESIZE in LOCAL_MOVES
+
+
+class TestModelSpec:
+    def test_valid(self):
+        m = model()
+        assert m.area == 10000.0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"width": 0},
+            {"expected_count": 0},
+            {"radius_min": 10.0, "radius_mean": 8.0},
+            {"radius_max": 5.0},
+            {"radius_std": 0},
+            {"likelihood_beta": 0},
+            {"overlap_gamma": -1},
+            {"foreground": 0.1, "background": 0.5},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigurationError):
+            model(**kw)
+
+    def test_with_expected_count(self):
+        m = model().with_expected_count(3.0)
+        assert m.expected_count == 3.0
+        assert m.width == 100
+
+    def test_with_bounds(self):
+        m = model().with_bounds(50, 40)
+        assert (m.width, m.height) == (50, 40)
+        assert m.area == 2000.0
+
+
+class TestMoveConfig:
+    def test_default_qg_is_paper_value(self):
+        """The default configuration realises §VII's qg = 0.4."""
+        mc = MoveConfig()
+        assert mc.qg == pytest.approx(0.4)
+        assert mc.ql == pytest.approx(0.6)
+
+    def test_weights_normalised(self):
+        mc = MoveConfig()
+        assert sum(mc.weights.values()) == pytest.approx(1.0)
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(ConfigurationError):
+            MoveConfig(weights={MoveType.BIRTH: 1.0})
+
+    def test_negative_weight_raises(self):
+        w = {mt: 1.0 for mt in MoveType}
+        w[MoveType.SPLIT] = -0.1
+        with pytest.raises(ConfigurationError):
+            MoveConfig(weights=w)
+
+    def test_local_weights_renormalised(self):
+        lw = MoveConfig().local_weights()
+        assert set(lw) == LOCAL_MOVES
+        assert sum(lw.values()) == pytest.approx(1.0)
+
+    def test_global_weights_renormalised(self):
+        gw = MoveConfig().global_weights()
+        assert set(gw) == GLOBAL_MOVES
+        assert sum(gw.values()) == pytest.approx(1.0)
+
+    def test_with_qg_rescales(self):
+        mc = MoveConfig().with_qg(0.25)
+        assert mc.qg == pytest.approx(0.25)
+        # Relative weights within the global class preserved.
+        base = MoveConfig()
+        ratio_before = base.weights[MoveType.BIRTH] / base.weights[MoveType.SPLIT]
+        ratio_after = mc.weights[MoveType.BIRTH] / mc.weights[MoveType.SPLIT]
+        assert ratio_after == pytest.approx(ratio_before)
+
+    def test_with_qg_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MoveConfig().with_qg(0.0)
+        with pytest.raises(ConfigurationError):
+            MoveConfig().with_qg(1.0)
+
+    def test_local_reach_formula(self):
+        mc = MoveConfig(translate_step=3.0, resize_step=1.5)
+        m = model()
+        assert mc.local_reach(m) == pytest.approx(3.0 + 1.5 + 16.0 + 1.0)
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            MoveConfig(translate_step=0)
+        with pytest.raises(ConfigurationError):
+            MoveConfig(split_max_separation=-1)

@@ -1,0 +1,78 @@
+"""Tests for repro.parallel.executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+
+
+def square(x):
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        ex = SerialExecutor()
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallelism_one(self):
+        assert SerialExecutor().parallelism == 1
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(square, []) == []
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            SerialExecutor().map(boom, [1])
+
+
+class TestThreadExecutor:
+    def test_maps_in_order(self):
+        with ThreadExecutor(3) as ex:
+            assert ex.map(square, list(range(10))) == [x * x for x in range(10)]
+
+    def test_actually_concurrent(self):
+        """Two sleeping tasks on two threads finish in ~one sleep."""
+        with ThreadExecutor(2) as ex:
+            t0 = time.perf_counter()
+            ex.map(lambda _: time.sleep(0.1), [0, 1])
+            elapsed = time.perf_counter() - t0
+        assert elapsed < 0.18
+
+    def test_runs_on_worker_threads(self):
+        with ThreadExecutor(2) as ex:
+            names = ex.map(lambda _: threading.current_thread().name, [0, 1, 2, 3])
+        assert all("MainThread" != n for n in names)
+
+    def test_parallelism(self):
+        with ThreadExecutor(4) as ex:
+            assert ex.parallelism == 4
+
+    def test_shutdown_blocks_reuse(self):
+        ex = ThreadExecutor(1)
+        ex.shutdown()
+        with pytest.raises(ExecutorError):
+            ex.map(square, [1])
+
+    def test_double_shutdown_ok(self):
+        ex = ThreadExecutor(1)
+        ex.shutdown()
+        ex.shutdown()
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ExecutorError):
+            ThreadExecutor(0)
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise ValueError("boom")
+
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(ValueError):
+                ex.map(boom, [1, 2])

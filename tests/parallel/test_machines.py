@@ -1,0 +1,58 @@
+"""Tests for repro.parallel.machines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.machines import (
+    PENTIUM_D,
+    Q6600,
+    XEON_2P,
+    MachineProfile,
+    host_profile,
+)
+
+
+class TestProfiles:
+    def test_reference_sequential_magnitude(self):
+        """The Fig. 2 reference: 500k iterations at 150 features on the
+        Q6600 lands in the paper's 80–100 s band."""
+        t = 500_000 * Q6600.iteration_time(150)
+        assert 80.0 < t < 100.0
+
+    def test_iteration_time_increases_with_features(self):
+        assert Q6600.iteration_time(150) > Q6600.iteration_time(10)
+
+    def test_overhead_ordering_matches_paper(self):
+        """§VII: Pentium-D best inter-thread communication, Xeon worst."""
+        assert PENTIUM_D.phase_overhead < Q6600.phase_overhead < XEON_2P.phase_overhead
+
+    def test_core_counts(self):
+        assert Q6600.cores == 4
+        assert PENTIUM_D.cores == 2
+        assert XEON_2P.cores == 2
+
+    def test_scaled(self):
+        fast = Q6600.scaled(0.5)
+        assert fast.iteration_time(100) == pytest.approx(Q6600.iteration_time(100) / 2)
+        assert fast.cores == Q6600.cores
+
+    def test_scaled_validation(self):
+        with pytest.raises(ConfigurationError):
+            Q6600.scaled(0)
+
+    def test_host_profile_cores(self):
+        import os
+
+        assert host_profile().cores == (os.cpu_count() or 1)
+
+    def test_negative_features_raises(self):
+        with pytest.raises(ConfigurationError):
+            Q6600.iteration_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineProfile("x", 0, 1e-5, 1e-6, 1e-3)
+        with pytest.raises(ConfigurationError):
+            MachineProfile("x", 2, -1e-5, 1e-6, 1e-3)
+        with pytest.raises(ConfigurationError):
+            MachineProfile("x", 2, 0.0, 0.0, 1e-3)

@@ -1,0 +1,59 @@
+"""Tests for repro.parallel.process — the persistent process pool."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutorError
+from repro.imaging.image import Image
+from repro.parallel.process import ProcessExecutor
+from repro.parallel.sharedmem import SharedImage, get_worker_image, worker_initializer
+
+
+def get_pid(_):
+    return os.getpid()
+
+
+def read_pixel(coords):
+    r, c = coords
+    return float(get_worker_image()[r, c])
+
+
+class TestProcessExecutor:
+    def test_maps_in_order(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(abs, [-1, -2, -3]) == [1, 2, 3]
+
+    def test_runs_in_other_processes(self):
+        with ProcessExecutor(2) as ex:
+            pids = set(ex.map(get_pid, range(4)))
+        assert os.getpid() not in pids
+
+    def test_shared_image_visible_in_workers(self):
+        rng = np.random.default_rng(3)
+        img = Image(rng.random((8, 8)))
+        with SharedImage.create(img) as shm:
+            with ProcessExecutor(
+                2, initializer=worker_initializer, initargs=shm.attach_args()
+            ) as ex:
+                vals = ex.map(read_pixel, [(0, 0), (3, 4), (7, 7)])
+        assert vals == [img.pixels[0, 0], img.pixels[3, 4], img.pixels[7, 7]]
+
+    def test_shutdown_blocks_reuse(self):
+        ex = ProcessExecutor(1)
+        ex.shutdown()
+        with pytest.raises(ExecutorError):
+            ex.map(abs, [1])
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(0)
+
+    def test_bad_start_method(self):
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(1, start_method="teleport")
+
+    def test_parallelism(self):
+        with ProcessExecutor(3) as ex:
+            assert ex.parallelism == 3

@@ -1,0 +1,83 @@
+"""Tests for repro.parallel.scheduler — LPT properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutorError
+from repro.parallel.scheduler import lpt_schedule, makespan
+
+
+class TestLPT:
+    def test_single_worker_sum(self):
+        assert makespan([1, 2, 3], 1) == 6.0
+
+    def test_enough_workers_max(self):
+        assert makespan([1, 2, 3], 3) == 3.0
+        assert makespan([1, 2, 3], 10) == 3.0
+
+    def test_classic_balance(self):
+        # LPT on [5,4,3,3,3] with 2 workers: 5+3 / 4+3+3 -> makespan 10?
+        # order: 5->w0, 4->w1, 3->w1(7)? no w1=4 loads: w0=5,w1=4; 3->w1(7);
+        # 3->w0(8); 3->w1(10). makespan 10, optimal 9.
+        assert makespan([5, 4, 3, 3, 3], 2) == 10.0
+
+    def test_assignment_covers_all_tasks(self):
+        assignment, _ = lpt_schedule([3, 1, 4, 1, 5], 2)
+        flat = sorted(t for tasks in assignment for t in tasks)
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_empty_tasks(self):
+        assignment, ms = lpt_schedule([], 3)
+        assert ms == 0.0
+        assert all(not a for a in assignment)
+
+    def test_paper_two_processor_example(self):
+        """§IX: partition runtimes 0.97/0.07/0.02 on two processors give
+        0.97 (as 0.07 + 0.02 < 0.97)."""
+        assert makespan([0.97, 0.07, 0.02], 2) == pytest.approx(0.97)
+
+    def test_validation(self):
+        with pytest.raises(ExecutorError):
+            makespan([1], 0)
+        with pytest.raises(ExecutorError):
+            makespan([-1], 2)
+        with pytest.raises(ExecutorError):
+            makespan([float("inf")], 2)
+
+    def test_deterministic(self):
+        a = lpt_schedule([3, 3, 3, 3], 2)
+        b = lpt_schedule([3, 3, 3, 3], 2)
+        assert a == b
+
+
+class TestLPTProperties:
+    @given(
+        st.lists(st.floats(0, 100), min_size=0, max_size=20),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80)
+    def test_bounds(self, costs, workers):
+        """max(mean load, max task) <= makespan <= LPT guarantee bound."""
+        ms = makespan(costs, workers)
+        if not costs:
+            assert ms == 0.0
+            return
+        lower = max(sum(costs) / workers, max(costs))
+        assert ms >= lower - 1e-9
+        # LPT is a (4/3 - 1/3m)-approximation of optimal >= lower bound.
+        assert ms <= (4.0 / 3.0) * lower + max(costs) + 1e-9
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=15), st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_loads_match_assignment(self, costs, workers):
+        assignment, ms = lpt_schedule(costs, workers)
+        loads = [sum(costs[t] for t in tasks) for tasks in assignment]
+        assert max(loads) == pytest.approx(ms)
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=15))
+    @settings(max_examples=40)
+    def test_more_workers_never_slower(self, costs):
+        ms = [makespan(costs, w) for w in range(1, 6)]
+        assert all(a >= b - 1e-9 for a, b in zip(ms, ms[1:]))

@@ -1,0 +1,72 @@
+"""Tests for repro.parallel.sharedmem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutorError
+from repro.imaging.image import Image
+from repro.parallel.sharedmem import (
+    SharedImage,
+    get_worker_image,
+    set_worker_image,
+)
+
+
+@pytest.fixture
+def img():
+    rng = np.random.default_rng(17)
+    return Image(rng.random((16, 24)))
+
+
+class TestSharedImage:
+    def test_create_copies_pixels(self, img):
+        with SharedImage.create(img) as shm:
+            assert np.array_equal(shm.array, img.pixels)
+
+    def test_attach_sees_same_data(self, img):
+        with SharedImage.create(img) as shm:
+            other = SharedImage.attach(*shm.attach_args())
+            assert np.array_equal(other.array, img.pixels)
+            other.close()
+
+    def test_attach_sees_mutations(self, img):
+        with SharedImage.create(img) as shm:
+            other = SharedImage.attach(*shm.attach_args())
+            shm.array[0, 0] = 0.123
+            assert other.array[0, 0] == 0.123
+            other.close()
+
+    def test_as_image_roundtrip(self, img):
+        with SharedImage.create(img) as shm:
+            assert shm.as_image().allclose(img)
+
+    def test_attacher_cannot_unlink(self, img):
+        with SharedImage.create(img) as shm:
+            other = SharedImage.attach(*shm.attach_args())
+            with pytest.raises(ExecutorError):
+                other.unlink()
+            other.close()
+
+    def test_context_manager_cleans_up(self, img):
+        with SharedImage.create(img) as shm:
+            name, shape = shm.attach_args()
+        # After exit the block is unlinked: attaching must fail.
+        with pytest.raises(FileNotFoundError):
+            SharedImage.attach(name, shape)
+
+
+class TestWorkerGlobals:
+    def test_set_get(self, img):
+        set_worker_image(img.pixels)
+        assert get_worker_image() is img.pixels
+
+    def test_unset_raises(self):
+        import repro.parallel.sharedmem as sm
+
+        old = sm._worker_image
+        sm._worker_image = None
+        try:
+            with pytest.raises(ExecutorError):
+                get_worker_image()
+        finally:
+            sm._worker_image = old

@@ -1,0 +1,127 @@
+"""Tests for repro.parallel.simcluster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.machines import MachineProfile, Q6600
+from repro.parallel.simcluster import (
+    CycleSpec,
+    simulate_cycle,
+    simulate_run,
+    simulate_sequential,
+)
+
+
+def cycle(**kw):
+    defaults = dict(
+        global_iters=100,
+        local_allocs=[50, 30, 20, 50],
+        features_per_partition=[40, 30, 20, 60],
+        total_features=150,
+    )
+    defaults.update(kw)
+    return CycleSpec(**defaults)
+
+
+class TestCycleSpec:
+    def test_local_iters(self):
+        assert cycle().local_iters == 150
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cycle(global_iters=-1)
+        with pytest.raises(ConfigurationError):
+            cycle(local_allocs=[1, 2])  # length mismatch
+        with pytest.raises(ConfigurationError):
+            cycle(local_allocs=[-1, 0, 0, 0])
+
+
+class TestSimulateCycle:
+    def test_components(self):
+        t = simulate_cycle(Q6600, cycle())
+        assert t.global_seconds == pytest.approx(100 * Q6600.iteration_time(150))
+        assert t.overhead_seconds == Q6600.phase_overhead
+        assert t.total == t.global_seconds + t.local_seconds + t.overhead_seconds
+
+    def test_local_phase_uses_partition_feature_counts(self):
+        """Chunks in small partitions are priced at the small-partition
+        iteration cost (the Table I effect)."""
+        one_core = MachineProfile("m", 1, 1e-5, 1e-6, 0.0)
+        c = cycle(local_allocs=[100, 0, 0, 0], features_per_partition=[10, 0, 0, 0])
+        t = simulate_cycle(one_core, c)
+        assert t.local_seconds == pytest.approx(100 * one_core.iteration_time(10))
+
+    def test_more_cores_reduce_local_time(self):
+        few = MachineProfile("m2", 2, 1e-5, 1e-6, 0.0)
+        many = MachineProfile("m4", 4, 1e-5, 1e-6, 0.0)
+        c = cycle(local_allocs=[50, 50, 50, 50], features_per_partition=[30, 30, 30, 30])
+        assert simulate_cycle(many, c).local_seconds < simulate_cycle(few, c).local_seconds
+
+    def test_empty_local_phase(self):
+        t = simulate_cycle(Q6600, cycle(local_allocs=[0, 0, 0, 0]))
+        assert t.local_seconds == 0.0
+
+
+class TestSimulateRun:
+    def test_sum_of_cycles(self):
+        cycles = [cycle(), cycle(), cycle()]
+        res = simulate_run(Q6600, cycles)
+        one = simulate_cycle(Q6600, cycle())
+        assert res.total_seconds == pytest.approx(3 * one.total)
+        assert res.cycles == 3
+        assert res.iterations == 3 * (100 + 150)
+
+    def test_fraction_of(self):
+        res = simulate_run(Q6600, [cycle()])
+        assert res.fraction_of(res.total_seconds * 2) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            res.fraction_of(0.0)
+
+
+class TestSimulateSequential:
+    def test_linear(self):
+        assert simulate_sequential(Q6600, 1000, 150) == pytest.approx(
+            1000 * Q6600.iteration_time(150)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sequential(Q6600, -1, 150)
+
+
+class TestPaperShapes:
+    """The §VII headline shapes, as assertions."""
+
+    def test_architecture_ordering(self):
+        """Reduction ordering: Pentium-D > Q6600 > Xeon (paper: 38/29/23)."""
+        from repro.bench.harness import simulate_architecture
+        from repro.geometry.rect import Rect
+        from repro.parallel.machines import PENTIUM_D, XEON_2P
+
+        bounds = Rect(0, 0, 1024, 1024)
+        red = {
+            m.name: simulate_architecture(m, 100_000, 0.4, 150, bounds, seed=1).reduction
+            for m in (PENTIUM_D, Q6600, XEON_2P)
+        }
+        assert red["Pentium-D"] > red["Q6600"] > red["Xeon-2P"]
+        assert 0.30 < red["Pentium-D"] < 0.45
+        assert 0.22 < red["Q6600"] < 0.36
+        assert 0.15 < red["Xeon-2P"] < 0.30
+
+    def test_fig2_shape(self):
+        """Short global phases lose to sequential; long ones win and
+        plateau (Fig. 2)."""
+        from repro.bench.harness import simulate_fig2_point
+        from repro.geometry.rect import Rect
+
+        bounds = Rect(0, 0, 1024, 1024)
+        seq = simulate_sequential(Q6600, 100_000, 150)
+        t_short = simulate_fig2_point(Q6600, 100_000, 0.4, 0.002, 150, bounds, seed=2)
+        t_sweet = simulate_fig2_point(Q6600, 100_000, 0.4, 0.020, 150, bounds, seed=2)
+        t_long = simulate_fig2_point(Q6600, 100_000, 0.4, 0.080, 150, bounds, seed=2)
+        assert t_short.total_seconds > seq  # overhead dominates
+        assert t_sweet.total_seconds < seq  # the paper's sweet spot
+        # Diminishing returns beyond the sweet spot:
+        gain_sweet = seq - t_sweet.total_seconds
+        gain_long = t_sweet.total_seconds - t_long.total_seconds
+        assert gain_long < 0.35 * gain_sweet

@@ -1,0 +1,91 @@
+"""Tests for repro.partitioning.adaptive."""
+
+import math
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.geometry.rect import Rect
+from repro.mcmc.spec import ModelSpec, MoveConfig
+from repro.partitioning.adaptive import adaptive_partitioner, choose_grid_spacing
+from repro.utils.rng import RngStream
+
+BOUNDS = Rect(0, 0, 1024, 1024)
+
+
+class TestChooseSpacing:
+    def test_interior_fraction_respected(self):
+        s = choose_grid_spacing(BOUNDS, margin=20, typical_radius=10,
+                                n_processors=4, min_interior_fraction=0.25)
+        interior = (s - 2 * (20 + 10)) / s
+        assert interior**2 >= 0.25 - 1e-9
+
+    def test_target_cell_count_when_margin_cheap(self):
+        """With a tiny margin the spacing follows the cell-count target."""
+        s = choose_grid_spacing(BOUNDS, margin=1, typical_radius=2,
+                                n_processors=4, partitions_per_core=4.0)
+        cells = (1024 / s) ** 2
+        assert cells == pytest.approx(16, rel=0.3)
+
+    def test_margin_floor_overrides_target(self):
+        """With a huge margin the interior constraint wins (fewer,
+        larger cells)."""
+        s_cheap = choose_grid_spacing(BOUNDS, margin=1, typical_radius=2,
+                                      n_processors=16)
+        s_heavy = choose_grid_spacing(BOUNDS, margin=40, typical_radius=10,
+                                      n_processors=16)
+        assert s_heavy > s_cheap
+
+    def test_image_too_small_raises(self):
+        with pytest.raises(PartitioningError, match="dead zone"):
+            choose_grid_spacing(Rect(0, 0, 50, 50), margin=30, typical_radius=10,
+                                n_processors=4)
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            choose_grid_spacing(BOUNDS, margin=-1, typical_radius=5, n_processors=2)
+        with pytest.raises(PartitioningError):
+            choose_grid_spacing(BOUNDS, margin=1, typical_radius=5, n_processors=0)
+        with pytest.raises(PartitioningError):
+            choose_grid_spacing(BOUNDS, margin=1, typical_radius=5,
+                                n_processors=2, min_interior_fraction=1.5)
+
+
+class TestAdaptivePartitioner:
+    def test_produces_tiling_cells(self):
+        spec = ModelSpec(width=512, height=512, expected_count=30,
+                         radius_mean=10.0, radius_std=1.5, radius_min=3.0,
+                         radius_max=20.0)
+        part = adaptive_partitioner(spec, MoveConfig(), n_processors=4)
+        cells = part(Rect(0, 0, 512, 512), RngStream(seed=1))
+        assert len(cells) >= 4
+        assert sum(c.area for c in cells) == pytest.approx(512 * 512)
+
+    def test_offsets_rerandomised(self):
+        spec = ModelSpec(width=512, height=512, expected_count=30,
+                         radius_mean=10.0, radius_std=1.5, radius_min=3.0,
+                         radius_max=20.0)
+        part = adaptive_partitioner(spec, MoveConfig(), n_processors=4)
+        stream = RngStream(seed=2)
+        a = part(Rect(0, 0, 512, 512), stream)
+        b = part(Rect(0, 0, 512, 512), stream)
+        assert {tuple(c) for c in a} != {tuple(c) for c in b}
+
+    def test_integrates_with_periodic_sampler(self, small_filtered, small_spec):
+        import dataclasses
+
+        from repro.core import PeriodicPartitioningSampler, PhaseSchedule
+        from repro.mcmc.spec import MoveConfig
+
+        # The 96² test image needs a small margin to host safe cells.
+        spec = dataclasses.replace(small_spec, radius_max=10.0)
+        mc = MoveConfig(translate_step=1.0, resize_step=0.5)
+        part = adaptive_partitioner(spec, mc, n_processors=2,
+                                    partitions_per_core=1.0)
+        sampler = PeriodicPartitioningSampler(
+            small_filtered, spec, mc,
+            PhaseSchedule(local_iters=200, qg=mc.qg),
+            partitioner=part, seed=3,
+        )
+        sampler.run(2000)
+        sampler.post.verify_consistency()

@@ -1,0 +1,81 @@
+"""Tests for repro.partitioning.allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.partitioning.allocation import allocate_iterations
+
+
+class TestBasics:
+    def test_proportional(self):
+        assert allocate_iterations(100, [1, 1, 2]) == [25, 25, 50]
+
+    def test_zero_weight_gets_nothing(self):
+        assert allocate_iterations(10, [0, 1]) == [0, 10]
+
+    def test_all_zero_weights(self):
+        assert allocate_iterations(10, [0, 0, 0]) == [0, 0, 0]
+
+    def test_zero_total(self):
+        assert allocate_iterations(0, [1, 2]) == [0, 0]
+
+    def test_remainder_distributed(self):
+        out = allocate_iterations(10, [1, 1, 1])
+        assert sum(out) == 10
+        assert sorted(out) == [3, 3, 4]
+
+    def test_deterministic_tie_break(self):
+        assert allocate_iterations(10, [1, 1, 1]) == allocate_iterations(10, [1, 1, 1])
+
+    def test_single_partition(self):
+        assert allocate_iterations(7, [3.5]) == [7]
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            allocate_iterations(-1, [1])
+        with pytest.raises(PartitioningError):
+            allocate_iterations(1, [])
+        with pytest.raises(PartitioningError):
+            allocate_iterations(1, [-1, 2])
+        with pytest.raises(PartitioningError):
+            allocate_iterations(1, [float("nan")])
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.lists(st.floats(0, 100), min_size=1, max_size=12),
+    )
+    @settings(max_examples=100)
+    def test_conservation(self, total, weights):
+        """Allocations are non-negative integers summing exactly to the
+        total (when any weight is positive)."""
+        out = allocate_iterations(total, weights)
+        assert len(out) == len(weights)
+        assert all(isinstance(a, int) and a >= 0 for a in out)
+        if sum(weights) > 0:
+            assert sum(out) == total
+        else:
+            assert sum(out) == 0
+
+    @given(st.integers(1, 10_000), st.lists(st.floats(0.1, 100), min_size=2, max_size=8))
+    @settings(max_examples=100)
+    def test_proportionality_error_bounded(self, total, weights):
+        """Largest-remainder: every allocation within 1 of the exact share."""
+        out = allocate_iterations(total, weights)
+        s = sum(weights)
+        for a, w in zip(out, weights):
+            assert abs(a - total * w / s) < 1.0 + 1e-9
+
+    @given(st.integers(1, 1000), st.lists(st.floats(0.1, 100), min_size=2, max_size=6))
+    @settings(max_examples=60)
+    def test_monotone_in_weight(self, total, weights):
+        """A partition never receives less than another with a smaller
+        weight (up to the ±1 integer wobble)."""
+        out = allocate_iterations(total, weights)
+        for i in range(len(weights)):
+            for j in range(len(weights)):
+                if weights[i] > weights[j]:
+                    assert out[i] >= out[j] - 1

@@ -1,0 +1,67 @@
+"""Tests for repro.partitioning.blind."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.geometry.rect import Rect
+from repro.partitioning.blind import blind_partitions
+
+
+BOUNDS = Rect(0, 0, 100, 80)
+
+
+class TestBlindPartitions:
+    def test_2x2_shape(self):
+        parts = blind_partitions(BOUNDS, 2, 2, overlap=8)
+        assert len(parts) == 4
+        cores = [p.core for p in parts]
+        assert sum(c.area for c in cores) == pytest.approx(BOUNDS.area)
+
+    def test_cores_tile_disjointly(self):
+        parts = blind_partitions(BOUNDS, 3, 2, overlap=5)
+        cores = [p.core for p in parts]
+        for i, a in enumerate(cores):
+            for b in cores[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_expanded_contains_core(self):
+        for p in blind_partitions(BOUNDS, 2, 2, overlap=8):
+            assert p.expanded.contains_rect(p.core)
+
+    def test_expansion_clipped_to_bounds(self):
+        for p in blind_partitions(BOUNDS, 2, 2, overlap=8):
+            assert BOUNDS.contains_rect(p.expanded)
+
+    def test_interior_expansion_amount(self):
+        parts = blind_partitions(BOUNDS, 2, 2, overlap=8)
+        top_left = parts[0]
+        # interior edges grow by overlap, image edges stay clipped
+        assert top_left.expanded.x1 == pytest.approx(top_left.core.x1 + 8)
+        assert top_left.expanded.x0 == pytest.approx(0.0)
+
+    def test_neighbours_overlap(self):
+        parts = blind_partitions(BOUNDS, 2, 1, overlap=6)
+        inter = parts[0].expanded.intersection(parts[1].expanded)
+        assert inter is not None
+        assert inter.width == pytest.approx(12.0)
+
+    def test_in_core_in_overlap(self):
+        parts = blind_partitions(BOUNDS, 2, 1, overlap=6)
+        left = parts[0]
+        assert left.in_core(10, 10)
+        assert not left.in_overlap(10, 10)
+        assert left.in_overlap(53, 10)  # inside expanded (x1=56), outside core (x1=50)
+        assert not left.in_core(53, 10)
+
+    def test_zero_overlap(self):
+        parts = blind_partitions(BOUNDS, 2, 2, overlap=0)
+        for p in parts:
+            assert p.expanded == p.core
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            blind_partitions(BOUNDS, 0, 2, overlap=1)
+        with pytest.raises(PartitioningError):
+            blind_partitions(BOUNDS, 2, 2, overlap=-1)
+        with pytest.raises(PartitioningError):
+            blind_partitions(BOUNDS, 2, 2, overlap=60)  # engulfs neighbours

@@ -1,0 +1,88 @@
+"""Tests for repro.partitioning.grid — tiling invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.geometry.rect import Rect
+from repro.partitioning.grid import grid_partitions, single_point_partition
+from repro.utils.rng import RngStream
+
+
+BOUNDS = Rect(0, 0, 100, 80)
+
+
+class TestGridPartitions:
+    def test_explicit_offsets(self):
+        g = grid_partitions(BOUNDS, 40, 40, offset_x=10, offset_y=20)
+        g.verify_tiling()
+        xs = sorted({c.x0 for c in g.cells})
+        assert 10.0 in xs and 50.0 in xs and 90.0 in xs
+
+    def test_tiling_random_offsets(self):
+        for seed in range(10):
+            g = grid_partitions(BOUNDS, 33, 27, seed=seed)
+            g.verify_tiling()
+
+    def test_spacing_larger_than_bounds(self):
+        g = grid_partitions(BOUNDS, 500, 500, offset_x=30, offset_y=40)
+        g.verify_tiling()
+        assert len(g) == 4  # one interior cut per axis
+
+    def test_no_interior_cut_when_offset_zero(self):
+        g = grid_partitions(BOUNDS, 500, 500, offset_x=0, offset_y=0)
+        assert len(g) == 1
+
+    def test_deterministic_with_seed(self):
+        a = grid_partitions(BOUNDS, 30, 30, seed=5)
+        b = grid_partitions(BOUNDS, 30, 30, seed=5)
+        assert a.cells == b.cells
+
+    def test_invalid_spacing(self):
+        with pytest.raises(PartitioningError):
+            grid_partitions(BOUNDS, 0, 10)
+
+    @given(
+        st.floats(5, 200), st.floats(5, 200),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50)
+    def test_tiling_property(self, sx, sy, seed):
+        g = grid_partitions(BOUNDS, sx, sy, seed=seed)
+        g.verify_tiling()
+        # every cell at most the nominal spacing
+        for c in g.cells:
+            assert c.width <= sx + 1e-9
+            assert c.height <= sy + 1e-9
+
+
+class TestSinglePointPartition:
+    def test_explicit_point(self):
+        g = single_point_partition(BOUNDS, point=(30, 40))
+        assert len(g) == 4
+        g.verify_tiling()
+        # All four rects meet at the point.
+        corners = [(c.x0, c.y0) for c in g.cells] + [(c.x1, c.y1) for c in g.cells]
+        assert (30, 40) in corners
+
+    def test_random_always_four(self):
+        stream = RngStream(seed=8)
+        for _ in range(20):
+            g = single_point_partition(BOUNDS, seed=stream)
+            assert len(g) == 4
+            g.verify_tiling()
+
+    def test_point_on_boundary_rejected(self):
+        with pytest.raises(PartitioningError):
+            single_point_partition(BOUNDS, point=(0, 40))
+
+    def test_too_small_bounds(self):
+        with pytest.raises(PartitioningError):
+            single_point_partition(Rect(0, 0, 1, 1), interior_margin=1.0)
+
+    def test_unequal_sizes_expected(self):
+        """§VII: 'partitions will rarely be of equal size'."""
+        g = single_point_partition(BOUNDS, point=(20, 20))
+        areas = sorted(c.area for c in g.cells)
+        assert areas[-1] > areas[0]

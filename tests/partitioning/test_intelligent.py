@@ -1,0 +1,110 @@
+"""Tests for repro.partitioning.intelligent — empty-gap segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.imaging.image import Image
+from repro.partitioning.intelligent import segment_image
+
+
+def img_with_blobs(blobs, shape=(60, 100)):
+    """Binary image with filled rectangles (r0, r1, c0, c1)."""
+    arr = np.zeros(shape)
+    for r0, r1, c0, c1 in blobs:
+        arr[r0:r1, c0:c1] = 1.0
+    return Image(arr)
+
+
+class TestSegmentation:
+    def test_two_blobs_split_at_gap_midpoint(self):
+        img = img_with_blobs([(10, 30, 5, 25), (10, 30, 75, 95)])
+        seg = segment_image(img, min_gap=10)
+        assert len(seg) == 2
+        # Cut at ~(25+75)/2 = 50
+        left, right = sorted(seg.partitions, key=lambda r: r.x0)
+        assert left.x1 == pytest.approx(50, abs=1)
+        assert right.x0 == pytest.approx(50, abs=1)
+
+    def test_untrimmed_partitions_tile_image(self):
+        """Default (Table I) semantics: partitions cover the whole image."""
+        img = img_with_blobs([(10, 30, 5, 25), (10, 30, 75, 95)])
+        seg = segment_image(img, min_gap=10)
+        total = sum(p.area for p in seg.partitions)
+        assert total == pytest.approx(img.bounds.area)
+
+    def test_trimmed_partitions_hug_content(self):
+        img = img_with_blobs([(10, 30, 5, 25), (10, 30, 75, 95)])
+        seg = segment_image(img, min_gap=10, pad=2, trim=True)
+        left, right = sorted(seg.partitions, key=lambda r: r.x0)
+        assert left.x0 == pytest.approx(3, abs=0.5)  # 5 - pad
+        assert left.x1 == pytest.approx(27, abs=0.5)  # 25 + pad
+        assert left.y0 == pytest.approx(8, abs=0.5)
+
+    def test_both_axes(self):
+        img = img_with_blobs(
+            [(5, 20, 5, 30), (5, 20, 60, 95), (40, 55, 5, 30), (40, 55, 60, 95)]
+        )
+        seg = segment_image(img, min_gap=8)
+        assert len(seg) == 4
+
+    def test_min_gap_respected(self):
+        """A gap narrower than min_gap must not be cut."""
+        img = img_with_blobs([(10, 30, 5, 48), (10, 30, 53, 95)])  # 5-px gap
+        seg = segment_image(img, min_gap=10)
+        assert len(seg) == 1
+
+    def test_empty_image_no_partitions(self):
+        seg = segment_image(Image(np.zeros((20, 20))))
+        assert len(seg) == 0
+
+    def test_single_blob_one_partition(self):
+        img = img_with_blobs([(10, 30, 10, 30)], shape=(40, 40))
+        seg = segment_image(img, min_gap=5)
+        assert len(seg) == 1
+
+    def test_all_content_in_some_partition(self):
+        """Every occupied pixel centre falls inside exactly one partition."""
+        img = img_with_blobs([(5, 15, 5, 20), (30, 50, 40, 90), (5, 20, 60, 80)])
+        seg = segment_image(img, min_gap=6)
+        occupied = np.argwhere(img.pixels > 0)
+        for r, c in occupied:
+            hits = [
+                p for p in seg.partitions if p.contains_point(c + 0.5, r + 0.5)
+            ]
+            assert len(hits) == 1
+
+    def test_partitions_disjoint(self):
+        img = img_with_blobs([(5, 15, 5, 20), (30, 50, 40, 90)])
+        seg = segment_image(img, min_gap=6)
+        parts = seg.partitions
+        for i, a in enumerate(parts):
+            for b in parts[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_validation(self):
+        img = img_with_blobs([(0, 5, 0, 5)], shape=(10, 10))
+        with pytest.raises(PartitioningError):
+            segment_image(img, min_gap=0)
+        with pytest.raises(PartitioningError):
+            segment_image(img, pad=-1)
+
+
+class TestBeadSceneSegmentation:
+    def test_three_clump_scene_found(self):
+        """End-to-end: the bead workload segments into its clumps."""
+        from repro.imaging import SceneSpec, generate_bead_scene, threshold_filter
+
+        scene = generate_bead_scene(
+            SceneSpec(width=420, height=300, n_circles=18, mean_radius=7.0,
+                      radius_std=0.8, min_radius=4.0),
+            n_clumps=3, clump_radius_factor=4.0, gutter=40.0,
+            clump_weights=[3, 12, 3], seed=13,
+        )
+        binary = threshold_filter(scene.image, 0.5)
+        seg = segment_image(binary, min_gap=12)
+        assert 2 <= len(seg) <= 4
+        # Every ground-truth bead centre inside exactly one partition.
+        for c in scene.circles:
+            hits = [p for p in seg.partitions if p.contains_point(c.x, c.y)]
+            assert len(hits) == 1

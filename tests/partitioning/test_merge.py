@@ -1,0 +1,196 @@
+"""Tests for repro.partitioning.merge — the §IX recombination heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.partitioning.blind import blind_partitions
+from repro.partitioning.merge import (
+    concat_models,
+    match_circles,
+    merge_blind_models,
+)
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def parts_2x1(overlap=10):
+    return blind_partitions(BOUNDS, 2, 1, overlap=overlap)
+
+
+class TestConcat:
+    def test_concat(self):
+        a = [Circle(1, 1, 1)]
+        b = [Circle(2, 2, 2)]
+        assert concat_models([a, b]) == [Circle(1, 1, 1), Circle(2, 2, 2)]
+
+    def test_concat_empty(self):
+        assert concat_models([]) == []
+
+
+class TestMatchCircles:
+    def test_greedy_nearest(self):
+        a = [Circle(0, 0, 1), Circle(10, 0, 1)]
+        b = [Circle(0.5, 0, 1), Circle(10.5, 0, 1)]
+        pairs = match_circles(a, b, max_distance=2)
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+
+    def test_distance_gate(self):
+        assert match_circles([Circle(0, 0, 1)], [Circle(10, 0, 1)], 2) == []
+
+    def test_each_matches_once(self):
+        a = [Circle(0, 0, 1)]
+        b = [Circle(0.5, 0, 1), Circle(0.6, 0, 1)]
+        pairs = match_circles(a, b, 2)
+        assert len(pairs) == 1
+        assert pairs[0] == (0, 0)  # closest wins
+
+    def test_empty_inputs(self):
+        assert match_circles([], [Circle(0, 0, 1)], 5) == []
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(PartitioningError):
+            match_circles([], [], -1)
+
+
+class TestMergeBlind:
+    def test_interior_circles_auto_accepted(self):
+        parts = parts_2x1()
+        models = [[Circle(20, 50, 5)], [Circle(80, 50, 5)]]
+        report = merge_blind_models(parts, models)
+        assert report.n_total == 2
+        assert report.n_auto_accepted == 2
+        assert report.n_merged == 0
+
+    def test_core_filter_deletes_foreign_centres(self):
+        """A circle found by the left partition but centred in the right
+        core is deleted from the left model (§IX)."""
+        parts = parts_2x1()
+        models = [[Circle(55, 50, 5)], []]  # left found it at x=55 (right core)
+        report = merge_blind_models(parts, models)
+        assert report.n_total == 0
+
+    def test_duplicate_in_overlap_merged_to_average(self):
+        """The same bead found by both partitions near the boundary is
+        collapsed to the average circle."""
+        parts = parts_2x1()
+        left_est = Circle(48, 50, 5.0)   # in left core, in overlap band
+        right_est = Circle(52, 50, 6.0)  # in right core, in overlap band
+        report = merge_blind_models(parts, [[left_est], [right_est]])
+        assert report.n_total == 1
+        merged = report.circles[0]
+        assert merged.x == pytest.approx(50)
+        assert merged.r == pytest.approx(5.5)
+        assert report.n_merged == 1
+
+    def test_corroborated_overlap_circle(self):
+        """Owner keeps it; the neighbour ALSO saw it (in its overlap zone,
+        hence core-filtered out) -> corroborated merge, no duplicate."""
+        parts = parts_2x1()
+        owner = Circle(48, 50, 5.0)      # left core
+        neighbour_view = Circle(48.5, 50, 5.2)  # x<50: right's overlap zone
+        report = merge_blind_models(parts, [[owner], [neighbour_view]])
+        assert report.n_total == 1
+        assert report.n_corroborated == 1
+        assert report.circles[0].x == pytest.approx((48 + 48.5) / 2)
+
+    def test_disputed_accept_policy(self):
+        parts = parts_2x1()
+        lonely = Circle(48, 50, 5.0)  # in overlap band, neighbour saw nothing
+        report = merge_blind_models(parts, [[lonely], []], dispute_policy="accept")
+        assert report.n_total == 1
+        assert report.n_disputed_kept == 1
+
+    def test_disputed_discard_policy(self):
+        parts = parts_2x1()
+        lonely = Circle(48, 50, 5.0)
+        report = merge_blind_models(parts, [[lonely], []], dispute_policy="discard")
+        assert report.n_total == 0
+        assert report.n_disputed_dropped == 1
+
+    def test_merge_distance_gate(self):
+        """Two overlap-band circles farther than merge_distance stay
+        separate (each disputed)."""
+        parts = parts_2x1()
+        a = Circle(47, 30, 5.0)
+        b = Circle(53, 70, 5.0)
+        report = merge_blind_models(parts, [[a], [b]], merge_distance=5.0)
+        assert report.n_total == 2
+        assert report.n_merged == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(PartitioningError):
+            merge_blind_models(parts_2x1(), [[]])
+
+    def test_bad_policy_raises(self):
+        with pytest.raises(PartitioningError):
+            merge_blind_models(parts_2x1(), [[], []], dispute_policy="maybe")
+
+    def test_2x2_four_way_geometry(self):
+        parts = blind_partitions(BOUNDS, 2, 2, overlap=10)
+        models = [
+            [Circle(25, 25, 5)],
+            [Circle(75, 25, 5)],
+            [Circle(25, 75, 5)],
+            [Circle(75, 75, 5)],
+        ]
+        report = merge_blind_models(parts, models)
+        assert report.n_total == 4
+        assert report.n_auto_accepted == 4
+
+    def test_straddling_artifact_rescued(self):
+        """Regression: an artifact centred exactly on a core line, whose
+        two estimates land on opposite sides, must not vanish (the
+        double-deletion corner the paper's data never exercises)."""
+        parts = parts_2x1()
+        left_est = Circle(50.2, 40, 5.0)   # lands in RIGHT core -> deleted
+        right_est = Circle(49.8, 40, 5.2)  # lands in LEFT core -> deleted
+        report = merge_blind_models(parts, [[left_est], [right_est]])
+        assert report.n_total == 1
+        assert report.n_rescued == 1
+        rescued = report.circles[0]
+        assert rescued.x == pytest.approx(50.0)
+        assert rescued.r == pytest.approx(5.1)
+
+    def test_lone_orphan_still_dropped(self):
+        """An estimate in a foreign core with no corroboration anywhere
+        follows the paper's deletion rule."""
+        parts = parts_2x1()
+        stray = Circle(55, 40, 5.0)  # left partition, but centred in right core
+        report = merge_blind_models(parts, [[stray], []])
+        assert report.n_total == 0
+        assert report.n_rescued == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(6, 94), st.floats(6, 94), st.floats(2, 5)),
+            min_size=0, max_size=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_perfect_estimates_never_duplicated(self, truth):
+        """If every partition reports exactly the true circles in its
+        expanded region, the merged model equals the truth set (no
+        duplicates, no losses)."""
+        parts = blind_partitions(BOUNDS, 2, 2, overlap=10)
+        truth_circles = [Circle(x, y, r) for x, y, r in truth]
+        # Drop near-coincident truth circles (they would legitimately merge).
+        filtered = []
+        for c in truth_circles:
+            if all(c.distance_to(o) > 6.0 for o in filtered):
+                filtered.append(c)
+        models = [
+            [Circle(c.x, c.y, c.r) for c in filtered
+             if p.expanded.contains_point(c.x, c.y)]
+            for p in parts
+        ]
+        report = merge_blind_models(parts, models, merge_distance=5.0)
+        assert report.n_total == len(filtered)
+        got = sorted((c.x, c.y) for c in report.circles)
+        want = sorted((c.x, c.y) for c in filtered)
+        for (gx, gy), (wx, wy) in zip(got, want):
+            assert gx == pytest.approx(wx)
+            assert gy == pytest.approx(wy)

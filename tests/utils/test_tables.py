@@ -1,0 +1,70 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, format_series
+
+
+class TestTable:
+    def test_renders_title_and_headers(self):
+        t = Table("My Results", ["name", "value"])
+        t.add_row(["a", 1])
+        out = t.render()
+        assert "My Results" in out
+        assert "name" in out and "value" in out
+        assert "a" in out
+
+    def test_row_width_mismatch_raises(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_none_renders_as_dash(self):
+        t = Table("T", ["a"])
+        t.add_row([None])
+        assert "–" in t.render()
+
+    def test_float_formatting(self):
+        t = Table("T", ["v"], precision=3)
+        t.add_row([0.123456])
+        assert "0.123" in t.render()
+
+    def test_tiny_float_scientific(self):
+        t = Table("T", ["v"], precision=3)
+        t.add_row([4.0e-5])
+        assert "e-05" in t.render()
+
+    def test_add_rows_bulk(self):
+        t = Table("T", ["v"])
+        t.add_rows([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_alignment(self):
+        t = Table("T", ["name", "v"])
+        t.add_row(["longlonglong", 1])
+        t.add_row(["s", 2])
+        lines = t.render().splitlines()
+        # All data lines should have the same separator column position.
+        data = [ln for ln in lines if " | " in ln]
+        positions = {ln.index(" | ") for ln in data}
+        assert len(positions) == 1
+
+    def test_str_is_render(self):
+        t = Table("T", ["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("Fig", "x", [1, 2], [("s1", [0.1, 0.2]), ("s2", [0.3, 0.4])])
+        assert "Fig" in out
+        assert "s1" in out and "s2" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("Fig", "x", [1, 2], [("s1", [0.1])])
+
+    def test_y_label_in_title(self):
+        out = format_series("Fig", "x", [1], [("s", [2.0])], y_label="runtime")
+        assert "runtime" in out

@@ -1,0 +1,99 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingAccumulator
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = sw.stop()
+        assert elapsed >= 0.009
+
+    def test_accumulates_across_starts(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.005)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.005)
+        total = sw.stop()
+        assert total > first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        sw.reset()
+        assert not sw.running
+        assert sw.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        assert sw.elapsed > 0.0
+        assert sw.running
+        sw.stop()
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+        assert not sw.running
+
+
+class TestTimingAccumulator:
+    def test_add_and_totals(self):
+        acc = TimingAccumulator()
+        acc.add("a", 1.0)
+        acc.add("a", 2.0)
+        acc.add("b", 0.5)
+        assert acc.total("a") == 3.0
+        assert acc.count("a") == 2
+        assert acc.mean("a") == 1.5
+        assert acc.grand_total() == 3.5
+
+    def test_unseen_bucket_zero(self):
+        acc = TimingAccumulator()
+        assert acc.total("nope") == 0.0
+        assert acc.count("nope") == 0
+        assert acc.mean("nope") == 0.0
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            TimingAccumulator().add("a", -0.1)
+
+    def test_merge(self):
+        a = TimingAccumulator()
+        a.add("x", 1.0)
+        b = TimingAccumulator()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == 3.0
+        assert a.total("y") == 3.0
+        assert a.count("x") == 2
+
+    def test_as_dict_snapshot(self):
+        acc = TimingAccumulator()
+        acc.add("x", 1.0)
+        d = acc.as_dict()
+        d["x"] = 99.0
+        assert acc.total("x") == 1.0
+
+    def test_buckets_sorted(self):
+        acc = TimingAccumulator()
+        acc.add("z", 1.0)
+        acc.add("a", 1.0)
+        assert acc.buckets() == ["a", "z"]

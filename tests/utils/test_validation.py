@@ -1,0 +1,74 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf"), "3", True, None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), "0", False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan"), "0.5", True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range("x", 5, 5, 10) == 5
+
+    def test_exclusive_rejects_boundary(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 5, 5, 10, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 11, 5, 10)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ConfigurationError, match="myparam"):
+            check_in_range("myparam", 11, 5, 10)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError, match="int"):
+            check_type("x", "3", int)
