@@ -21,9 +21,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.workloads import bead_workload
-from repro.core.blind_pipeline import run_blind_pipeline
 from repro.core.evaluation import evaluate_model
-from repro.core.intelligent_pipeline import run_intelligent_pipeline
+from repro.engine import run
 from repro.imaging import Image, threshold_filter, write_pgm
 from repro.partitioning.blind import blind_partitions
 from repro.partitioning.intelligent import segment_image
@@ -61,10 +60,9 @@ def main() -> None:
     write_pgm(Image(overlay, copy=False), HERE / "beads_intelligent.pgm")
 
     print(f"intelligent pre-processor found {len(seg)} partitions")
-    result = run_intelligent_pipeline(
-        scene.image, model, moves, iterations_per_partition=ITERS,
-        theta=workload.threshold, min_gap=14, seed=1,
-    )
+    result = run(workload.request(
+        "intelligent", iterations=ITERS, seed=1, options={"min_gap": 14},
+    )).raw
     t = Table(
         "Intelligent partitioning (Table I layout)",
         ["partition", "rel area", "# obj visual", "# obj density",
@@ -89,10 +87,10 @@ def main() -> None:
         draw_rect_outline(overlay, p.core, 1.0)
     write_pgm(Image(overlay, copy=False), HERE / "beads_blind.pgm")
 
-    blind = run_blind_pipeline(
-        scene.image, model, moves, iterations_per_partition=ITERS,
-        nx=2, ny=2, overlap_factor=1.1, theta=workload.threshold, seed=2,
-    )
+    blind = run(workload.request(
+        "blind", iterations=ITERS, seed=2,
+        options={"nx": 2, "ny": 2, "overlap_factor": 1.1},
+    )).raw
     runtimes = blind.partition_runtimes()
     print("blind partitioning quadrant runtimes (s):",
           " ".join(f"{r:.2f}" for r in runtimes))

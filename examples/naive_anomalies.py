@@ -16,9 +16,8 @@ method's do not.
 Run:  python examples/naive_anomalies.py
 """
 
-from repro.core.blind_pipeline import run_blind_pipeline
 from repro.core.evaluation import anomalies_near_lines
-from repro.core.naive import run_naive_partitioning
+from repro.engine import DetectionRequest, run
 from repro.geometry.circle import Circle
 from repro.imaging.density import estimate_count
 from repro.imaging.filters import threshold_filter
@@ -58,11 +57,15 @@ def main() -> None:
     set_worker_image(filtered.pixels)
 
     print("running naive partitioning (2x2, no safeguards)...")
-    naive = run_naive_partitioning(scene.image, spec, mc,
-                                   iterations_per_tile=ITERS, seed=1)
+    naive = run(DetectionRequest(
+        image=scene.image, spec=spec, move_config=mc, iterations=ITERS,
+        strategy="naive", executor="serial", seed=1,
+    )).raw
     print("running blind partitioning (2x2 with overlap + merge)...")
-    blind = run_blind_pipeline(scene.image, spec, mc,
-                               iterations_per_partition=ITERS, theta=0.4, seed=2)
+    blind = run(DetectionRequest(
+        image=scene.image, spec=spec, move_config=mc, iterations=ITERS,
+        strategy="blind", executor="serial", seed=2, options={"theta": 0.4},
+    )).raw
     print("running the sequential reference...")
     post = PosteriorState(filtered, spec)
     MarkovChain(post, MoveGenerator(spec, mc), seed=3).run(4 * ITERS)

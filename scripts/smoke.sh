@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 smoke loop: an end-to-end `repro detect` on a tiny synthetic
+# image plus the fast pytest marker.  Target: well under a minute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro detect smoke (tiny synthetic image) =="
+python -m repro detect --strategy intelligent --executor serial \
+    --size 64 --circles 4 --iterations 500 --seed 0 --json
+python -m repro detect --strategy periodic --executor serial \
+    --size 64 --circles 4 --iterations 800 --seed 0 --json
+
+echo "== pytest -m fast =="
+python -m pytest -m fast -q

@@ -15,6 +15,11 @@ contributions:
   method of ref. [11]) and the **(MC)³** related-work baseline
   (`repro.mcmc.mc3`).
 
+All four partitioning strategies run under one engine
+(`repro.engine`): one `DetectionRequest`/`DetectionResult` schema, a
+strategy registry (`@register_strategy`), engine-owned executor
+lifecycle, and a `repro detect --strategy ... --executor ...` CLI.
+
 Quick start::
 
     from repro import quickstart_detect

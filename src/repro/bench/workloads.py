@@ -31,7 +31,13 @@ from repro.imaging.synthetic import (
 from repro.mcmc.spec import ModelSpec, MoveConfig, MoveType
 from repro.utils.rng import SeedLike
 
-__all__ = ["Workload", "fig2_workload", "bead_workload", "small_nuclei_workload"]
+__all__ = [
+    "Workload",
+    "fig2_workload",
+    "bead_workload",
+    "small_nuclei_workload",
+    "synthetic_workload",
+]
 
 #: Move weights realising the paper's §VII setup: qg = 0.4 with the five
 #: global move types, 60 % of proposals local.
@@ -60,6 +66,43 @@ class Workload:
     @property
     def n_truth(self) -> int:
         return self.scene.n_circles
+
+    def request(
+        self,
+        strategy: str,
+        iterations: int,
+        executor="serial",
+        n_workers: Optional[int] = None,
+        seed: SeedLike = None,
+        record_every: int = 50,
+        options: Optional[dict] = None,
+    ):
+        """A :class:`~repro.engine.schema.DetectionRequest` for this
+        workload — the bridge from benchmark setups to the unified
+        engine.
+
+        Fills in the workload's own threshold for strategies that
+        pre-filter, and hands the periodic sampler the already-filtered
+        image (the §VII setup).  Extra ``options`` override/extend the
+        defaults.
+        """
+        from repro.engine import DetectionRequest
+
+        opts = dict(options or {})
+        if strategy in ("blind", "intelligent"):
+            opts.setdefault("theta", self.threshold)
+        return DetectionRequest(
+            image=self.filtered if strategy == "periodic" else self.scene.image,
+            spec=self.model,
+            move_config=self.moves,
+            iterations=iterations,
+            strategy=strategy,
+            executor=executor,
+            n_workers=n_workers,
+            seed=seed,
+            record_every=record_every,
+            options=opts,
+        )
 
 
 def _build(
@@ -171,3 +214,25 @@ def small_nuclei_workload(seed: SeedLike = 7) -> Workload:
         seed=seed,
     )
     return _build("small-nuclei", scene, threshold=0.4, radius_mean=8.0)
+
+
+def synthetic_workload(
+    size: int = 128,
+    n_circles: int = 10,
+    mean_radius: float = 8.0,
+    threshold: float = 0.4,
+    seed: SeedLike = 0,
+) -> Workload:
+    """A parameterised nuclei scene — the `repro detect` CLI's workload
+    factory, also handy for sizing quick experiments by hand."""
+    scene = generate_scene(
+        SceneSpec(
+            width=size, height=size, n_circles=n_circles,
+            mean_radius=mean_radius,
+        ),
+        seed=seed,
+    )
+    return _build(
+        f"synthetic-{size}x{size}", scene,
+        threshold=threshold, radius_mean=mean_radius,
+    )

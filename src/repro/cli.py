@@ -3,20 +3,25 @@
 Usage::
 
     python -m repro list                 # what can be reproduced
+    python -m repro list --json          # ... machine-readable
     python -m repro run fig1             # regenerate one experiment
     python -m repro run arch --seed 7
+    python -m repro detect --strategy intelligent --executor serial
     python -m repro quickstart           # end-to-end detection demo
 
-The CLI wraps the same machinery the benchmark suite uses
-(:mod:`repro.bench`), at reduced iteration budgets where MCMC is
-involved, so each experiment finishes in seconds to a couple of
-minutes.  For the asserted, archived versions run
-``pytest benchmarks/ --benchmark-only``.
+``repro detect`` drives the unified detection engine
+(:mod:`repro.engine`) on a synthetic scene: any registered strategy,
+any executor, one request/result schema.  ``repro run`` wraps the same
+machinery the benchmark suite uses (:mod:`repro.bench`), at reduced
+iteration budgets where MCMC is involved, so each experiment finishes
+in seconds to a couple of minutes.  For the asserted, archived versions
+run ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
@@ -73,17 +78,15 @@ def _run_arch(seed: int) -> None:
 
 def _run_table1(seed: int) -> None:
     from repro.bench.workloads import bead_workload
-    from repro.core.intelligent_pipeline import run_intelligent_pipeline
     from repro.core.evaluation import evaluate_model
+    from repro.engine import run
 
     workload = bead_workload(scale=0.5)
     print("running intelligent partitioning on the bead image "
           f"({workload.n_truth} beads)...")
-    result = run_intelligent_pipeline(
-        workload.scene.image, workload.model, workload.moves,
-        iterations_per_partition=10_000, theta=workload.threshold,
-        min_gap=14, seed=seed,
-    )
+    result = run(workload.request(
+        "intelligent", iterations=10_000, seed=seed, options={"min_gap": 14},
+    )).raw
     t = Table("Table I layout — intelligent partitioning",
               ["partition", "rel area", "# obj density", "# obj thresh",
                "t/iter (s)", "runtime (s)"], precision=3)
@@ -98,15 +101,12 @@ def _run_table1(seed: int) -> None:
 
 def _run_fig4(seed: int) -> None:
     from repro.bench.workloads import bead_workload
-    from repro.core.blind_pipeline import run_blind_pipeline
     from repro.core.evaluation import evaluate_model
+    from repro.engine import run
 
     workload = bead_workload(scale=0.5)
     print("running blind partitioning (2×2, overlap 1.1·r̄)...")
-    result = run_blind_pipeline(
-        workload.scene.image, workload.model, workload.moves,
-        iterations_per_partition=8_000, theta=workload.threshold, seed=seed,
-    )
+    result = run(workload.request("blind", iterations=8_000, seed=seed)).raw
     runtimes = result.partition_runtimes()
     t = Table("Fig. 4 — blind partitioning quadrants",
               ["quadrant", "runtime (s)", "est # obj"], precision=3)
@@ -177,6 +177,58 @@ def _run_quickstart(seed: int) -> None:
           f"F1 {report.f1:.2f}, recall {report.recall:.2f}")
 
 
+def _run_detect(args) -> int:
+    """``repro detect``: the engine on a synthetic scene, any strategy."""
+    from repro.bench.workloads import synthetic_workload
+    from repro.core.evaluation import evaluate_model
+    from repro.engine import run
+
+    workload = synthetic_workload(
+        size=args.size, n_circles=args.circles, seed=args.seed
+    )
+    scene = workload.scene
+    result = run(workload.request(
+        args.strategy,
+        iterations=args.iterations,
+        executor=args.executor,
+        seed=args.seed,
+    ))
+    report = evaluate_model(result.circles, scene.circles)
+    if args.json:
+        print(json.dumps({
+            "strategy": result.strategy,
+            "executor": result.executor_kind,
+            "n_tasks": result.n_tasks,
+            "n_partitions": result.n_partitions,
+            "n_truth": scene.n_circles,
+            "n_found": result.n_found,
+            "precision": report.precision,
+            "recall": report.recall,
+            "f1": report.f1,
+            "elapsed_seconds": result.elapsed_seconds,
+            "partitions": [
+                {"rect": [r.rect.x0, r.rect.y0, r.rect.x1, r.rect.y1],
+                 "expected_count": r.expected_count,
+                 "n_found": r.n_found,
+                 "iterations": r.iterations,
+                 "elapsed_seconds": r.elapsed_seconds}
+                for r in result.reports
+            ],
+        }))
+        return 0
+    print(f"strategy {result.strategy} on {args.size}x{args.size} scene "
+          f"({scene.n_circles} artifacts), executor {result.executor_kind}")
+    t = Table("Per-partition report",
+              ["partition", "est count", "found", "runtime (s)"], precision=3)
+    for k, r in enumerate(result.reports):
+        t.add_row([k, r.expected_count, r.n_found, r.elapsed_seconds])
+    print(t.render())
+    print(f"found {result.n_found} (truth {scene.n_circles})  "
+          f"precision {report.precision:.2f}  recall {report.recall:.2f}  "
+          f"F1 {report.f1:.2f}  in {result.elapsed_seconds:.2f} s")
+    return 0
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "fig1": (_run_fig1, "Fig. 1: predicted runtime fraction vs qg (analytic)"),
     "fig2": (_run_fig2, "Fig. 2: runtime vs global-phase length (simulated Q6600)"),
@@ -195,26 +247,62 @@ def main(argv=None) -> int:
                     "Processing' (Byrd et al., 2010)",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list reproducible experiments")
+    lst = sub.add_parser("list", help="list reproducible experiments")
+    lst.add_argument("--json", action="store_true",
+                     help="machine-readable output (experiments + strategies)")
     run = sub.add_parser("run", help="run one experiment by id")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--seed", type=int, default=0)
+    detect = sub.add_parser(
+        "detect",
+        help="run the unified detection engine on a synthetic scene",
+    )
+    detect.add_argument("--strategy", default="intelligent",
+                        help="registered strategy name "
+                             "(naive, blind, intelligent, periodic, ...)")
+    detect.add_argument("--executor", default="serial",
+                        choices=["auto", "serial", "thread", "process"])
+    detect.add_argument("--size", type=int, default=128,
+                        help="synthetic scene edge length in pixels")
+    detect.add_argument("--circles", type=int, default=10,
+                        help="number of ground-truth artifacts")
+    detect.add_argument("--iterations", type=int, default=2000,
+                        help="per-partition budget (total for periodic)")
+    detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument("--json", action="store_true",
+                        help="machine-readable result")
     quick = sub.add_parser("quickstart", help="end-to-end detection demo")
     quick.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
     if args.command == "list":
+        if args.json:
+            from repro.engine import available_strategies
+
+            print(json.dumps({
+                "experiments": {k: EXPERIMENTS[k][1] for k in sorted(EXPERIMENTS)},
+                "strategies": available_strategies(),
+            }))
+            return 0
         t = Table("Experiments (python -m repro run <id>)", ["id", "description"])
         for key in sorted(EXPERIMENTS):
             t.add_row([key, EXPERIMENTS[key][1]])
         print(t.render())
         return 0
-    if args.command == "run":
-        EXPERIMENTS[args.experiment][0](args.seed)
-        return 0
-    if args.command == "quickstart":
-        _run_quickstart(args.seed)
-        return 0
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "run":
+            EXPERIMENTS[args.experiment][0](args.seed)
+            return 0
+        if args.command == "detect":
+            return _run_detect(args)
+        if args.command == "quickstart":
+            _run_quickstart(args.seed)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser.print_help()
     return 1
 

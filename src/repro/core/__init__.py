@@ -13,6 +13,11 @@ and the two aggressive partitioning pipelines.
   kept for demonstrating the boundary anomalies.
 * :mod:`repro.core.evaluation` — result-quality metrics against ground
   truth.
+
+All four partitioning schemes are registered strategies of the unified
+detection engine (:mod:`repro.engine`) — the ``run_*`` functions here
+are compatibility shims that build a
+:class:`~repro.engine.schema.DetectionRequest` and delegate.
 """
 
 from repro.core.theory import (

@@ -16,26 +16,29 @@ Unlike periodic partitioning this is *not* statistically equivalent to
 conventional MCMC — the result is a point estimate with possible
 boundary anomalies, in exchange for fully independent (hence perfectly
 parallel) partition processing.
+
+.. note::
+   The orchestration now lives in the unified engine
+   (:mod:`repro.engine`); :func:`run_blind_pipeline` is a compatibility
+   shim over the ``"blind"`` strategy, bit-identical to the pre-engine
+   behaviour for a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.errors import PartitioningError
 from repro.geometry.circle import Circle
-from repro.imaging.density import estimate_count_in_rect
-from repro.imaging.filters import threshold_filter
 from repro.imaging.image import Image
-from repro.core.subimage import SubImageResult, make_subimage_task, run_subimage_task
+from repro.core.subimage import SubImageResult
 from repro.mcmc.spec import ModelSpec, MoveConfig
-from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.executor import Executor
 from repro.parallel.scheduler import makespan
-from repro.parallel.sharedmem import set_worker_image
-from repro.partitioning.blind import BlindPartition, blind_partitions
-from repro.partitioning.merge import MergeReport, merge_blind_models
-from repro.utils.rng import SeedLike, coerce_stream
+from repro.partitioning.blind import BlindPartition
+from repro.partitioning.merge import MergeReport
+from repro.utils.rng import SeedLike
 
 __all__ = ["BlindPipelineResult", "run_blind_pipeline"]
 
@@ -92,6 +95,8 @@ def run_blind_pipeline(
 ) -> BlindPipelineResult:
     """Run the full blind-partitioning pipeline on *image*.
 
+    Compatibility shim over ``repro.engine.run(strategy="blind")``.
+
     Parameters
     ----------
     nx, ny:
@@ -104,40 +109,24 @@ def run_blind_pipeline(
     merge_distance, dispute_policy:
         Passed to :func:`repro.partitioning.merge.merge_blind_models`.
     """
-    parts = blind_partitions(image.bounds, nx, ny, overlap_factor * spec.radius_mean)
-    binary = threshold_filter(image, theta)
-    stream = coerce_stream(seed)
+    from repro.engine import DetectionRequest, run
 
-    set_worker_image(image.pixels)
-    exec_ = executor or SerialExecutor()
-
-    tasks = []
-    est_counts: List[float] = []
-    for part in parts:
-        est = estimate_count_in_rect(binary, part.expanded, theta=0.5, radius=spec.radius_mean)
-        est_counts.append(est)
-        tasks.append(
-            make_subimage_task(
-                part.expanded,
-                spec,
-                move_config,
-                expected_count=est,
-                iterations=iterations_per_partition,
-                seed=int(stream.rng.integers(0, 2**63 - 1)),
-                record_every=record_every,
-            )
-        )
-    sub_results = exec_.map(run_subimage_task, tasks)
-
-    merge_report = merge_blind_models(
-        parts,
-        [r.circles for r in sub_results],
-        merge_distance=merge_distance,
-        dispute_policy=dispute_policy,
+    request = DetectionRequest(
+        image=image,
+        spec=spec,
+        move_config=move_config,
+        iterations=iterations_per_partition,
+        strategy="blind",
+        executor=executor if executor is not None else "serial",
+        seed=seed,
+        record_every=record_every,
+        options={
+            "nx": nx,
+            "ny": ny,
+            "overlap_factor": overlap_factor,
+            "theta": theta,
+            "merge_distance": merge_distance,
+            "dispute_policy": dispute_policy,
+        },
     )
-    return BlindPipelineResult(
-        partitions=parts,
-        sub_results=sub_results,
-        merge_report=merge_report,
-        est_counts=est_counts,
-    )
+    return run(request).raw

@@ -15,41 +15,59 @@ Stages, exactly as the paper runs them on the bead image:
 The pipeline result carries everything Table I reports per partition:
 area, the three count estimates, measured time/iteration, iterations to
 convergence, runtime, and runtime relative to the unpartitioned chain.
+
+.. note::
+   The orchestration now lives in the unified engine
+   (:mod:`repro.engine`); :func:`run_intelligent_pipeline` is a
+   compatibility shim that builds a
+   :class:`~repro.engine.schema.DetectionRequest` for the
+   ``"intelligent"`` strategy and returns the strategy's raw result —
+   bit-identical to the pre-engine behaviour for a fixed seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import InitVar, dataclass, field
+from typing import List, Optional
 
 from repro.errors import PartitioningError
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
-from repro.imaging.density import estimate_count_by_area, estimate_count_in_rect
-from repro.imaging.filters import threshold_filter
+from repro.core.subimage import SubImageResult
 from repro.imaging.image import Image
-from repro.core.subimage import SubImageResult, make_subimage_task, run_subimage_task
 from repro.mcmc.spec import ModelSpec, MoveConfig
-from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.executor import Executor
 from repro.parallel.scheduler import makespan
-from repro.parallel.sharedmem import set_worker_image
-from repro.partitioning.intelligent import SegmentationResult, segment_image
-from repro.partitioning.merge import concat_models
-from repro.utils.rng import SeedLike, coerce_stream
+from repro.partitioning.intelligent import SegmentationResult
+from repro.utils.rng import SeedLike
 
 __all__ = ["PartitionRunReport", "IntelligentPipelineResult", "run_intelligent_pipeline"]
 
 
 @dataclass
 class PartitionRunReport:
-    """Per-partition facts — one Table I column."""
+    """Per-partition facts — one Table I column.
+
+    The chain's :class:`SubImageResult` is attached (``report.result =
+    ...``, or the ``result=`` constructor keyword) once the partition's
+    run completes; accessing it (or any derived property) earlier
+    raises :class:`~repro.errors.PartitioningError` rather than a bare
+    ``AttributeError`` on ``None``.
+    """
 
     rect: Rect
     area: float
     relative_area: float
     est_count_threshold: float  #: eq. (5) on the partition's own pixels
     est_count_density: float  #: naive area-scaled whole-image estimate
-    result: SubImageResult = None  # type: ignore[assignment]
+    result: InitVar[Optional[SubImageResult]] = None
+
+    def __post_init__(self, result: Optional[SubImageResult]) -> None:
+        self._result = result
+
+    @property
+    def completed(self) -> bool:
+        return self._result is not None
 
     @property
     def n_found(self) -> int:
@@ -65,6 +83,27 @@ class PartitionRunReport:
 
     def convergence_iteration(self, **kwargs) -> Optional[int]:
         return self.result.convergence_iteration(**kwargs)
+
+
+def _get_partition_result(self: PartitionRunReport) -> SubImageResult:
+    if self._result is None:
+        raise PartitioningError(
+            f"partition {self.rect} has no chain result yet — the report "
+            "was accessed before its run completed"
+        )
+    return self._result
+
+
+def _set_partition_result(
+    self: PartitionRunReport, value: SubImageResult
+) -> None:
+    self._result = value
+
+
+# Installed after @dataclass has consumed the InitVar annotation, so
+# `PartitionRunReport(..., result=sub)` still works while attribute
+# access goes through the guard.
+PartitionRunReport.result = property(_get_partition_result, _set_partition_result)
 
 
 @dataclass
@@ -109,6 +148,8 @@ def run_intelligent_pipeline(
 ) -> IntelligentPipelineResult:
     """Run the full intelligent-partitioning pipeline on *image*.
 
+    Compatibility shim over ``repro.engine.run(strategy="intelligent")``.
+
     Parameters
     ----------
     iterations_per_partition:
@@ -121,55 +162,23 @@ def run_intelligent_pipeline(
         area-scaled estimate column; defaults to eq. (5) over the whole
         image.
     """
-    binary = threshold_filter(image, theta)
-    segmentation = segment_image(binary, min_gap=min_gap, pad=pad, trim=trim)
-    if len(segmentation) == 0:
-        raise PartitioningError(
-            "segmentation produced no partitions (image empty at this threshold?)"
-        )
-    stream = coerce_stream(seed)
-    total_area = image.bounds.area
-    if whole_image_count is None:
-        whole_image_count = estimate_count_in_rect(
-            binary, image.bounds, theta=0.5, radius=spec.radius_mean
-        )
+    from repro.engine import DetectionRequest, run
 
-    set_worker_image(image.pixels)  # serial/thread executors read this
-    exec_ = executor or SerialExecutor()
-
-    reports: List[PartitionRunReport] = []
-    tasks = []
-    for rect in segmentation.partitions:
-        est_thresh = estimate_count_in_rect(
-            binary, rect, theta=0.5, radius=spec.radius_mean
-        )
-        est_density = estimate_count_by_area(whole_image_count, rect, bounds=image.bounds)
-        reports.append(
-            PartitionRunReport(
-                rect=rect,
-                area=rect.area,
-                relative_area=rect.area / total_area,
-                est_count_threshold=est_thresh,
-                est_count_density=est_density,
-            )
-        )
-        tasks.append(
-            make_subimage_task(
-                rect,
-                spec,
-                move_config,
-                expected_count=est_thresh,
-                iterations=iterations_per_partition,
-                seed=int(stream.rng.integers(0, 2**63 - 1)),
-                record_every=record_every,
-            )
-        )
-
-    results = exec_.map(run_subimage_task, tasks)
-    for report, result in zip(reports, results):
-        report.result = result
-
-    circles = concat_models([r.circles for r in results])
-    return IntelligentPipelineResult(
-        segmentation=segmentation, partitions=reports, circles=circles
+    request = DetectionRequest(
+        image=image,
+        spec=spec,
+        move_config=move_config,
+        iterations=iterations_per_partition,
+        strategy="intelligent",
+        executor=executor if executor is not None else "serial",
+        seed=seed,
+        record_every=record_every,
+        options={
+            "theta": theta,
+            "min_gap": min_gap,
+            "pad": pad,
+            "trim": trim,
+            "whole_image_count": whole_image_count,
+        },
     )
+    return run(request).raw

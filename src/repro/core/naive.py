@@ -11,6 +11,12 @@ anomalies: split into a plain grid with **no overlap**, give each tile
 the area-scaled share of the whole-image prior (the incorrect uniform-
 density assumption §VIII criticises), run independent chains, and
 concatenate without any reconciliation.
+
+.. note::
+   The orchestration now lives in the unified engine
+   (:mod:`repro.engine`); :func:`run_naive_partitioning` is a
+   compatibility shim over the ``"naive"`` strategy, bit-identical to
+   the pre-engine behaviour for a fixed seed.
 """
 
 from __future__ import annotations
@@ -21,12 +27,10 @@ from typing import List, Optional
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.imaging.image import Image
-from repro.core.subimage import SubImageResult, make_subimage_task, run_subimage_task
+from repro.core.subimage import SubImageResult
 from repro.mcmc.spec import ModelSpec, MoveConfig
-from repro.parallel.executor import Executor, SerialExecutor
-from repro.parallel.sharedmem import set_worker_image
-from repro.partitioning.merge import concat_models
-from repro.utils.rng import SeedLike, coerce_stream
+from repro.parallel.executor import Executor
+from repro.utils.rng import SeedLike
 
 __all__ = ["NaiveResult", "run_naive_partitioning"]
 
@@ -63,37 +67,21 @@ def run_naive_partitioning(
     seed: SeedLike = None,
     record_every: int = 50,
 ) -> NaiveResult:
-    """Divide-and-conquer with none of the paper's safeguards."""
-    bounds = image.bounds
-    xs = [bounds.x0 + bounds.width * i / nx for i in range(nx + 1)]
-    ys = [bounds.y0 + bounds.height * j / ny for j in range(ny + 1)]
-    tiles = [
-        Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
-        for j in range(ny)
-        for i in range(nx)
-    ]
-    stream = coerce_stream(seed)
-    set_worker_image(image.pixels)
-    exec_ = executor or SerialExecutor()
+    """Divide-and-conquer with none of the paper's safeguards.
 
-    tasks = []
-    for tile in tiles:
-        # The naive prior allocation: whole-image count scaled by area.
-        naive_count = spec.expected_count * (tile.area / bounds.area)
-        tasks.append(
-            make_subimage_task(
-                tile,
-                spec,
-                move_config,
-                expected_count=naive_count,
-                iterations=iterations_per_tile,
-                seed=int(stream.rng.integers(0, 2**63 - 1)),
-                record_every=record_every,
-            )
-        )
-    sub_results = exec_.map(run_subimage_task, tasks)
-    return NaiveResult(
-        tiles=tiles,
-        sub_results=sub_results,
-        circles=concat_models([r.circles for r in sub_results]),
+    Compatibility shim over ``repro.engine.run(strategy="naive")``.
+    """
+    from repro.engine import DetectionRequest, run
+
+    request = DetectionRequest(
+        image=image,
+        spec=spec,
+        move_config=move_config,
+        iterations=iterations_per_tile,
+        strategy="naive",
+        executor=executor if executor is not None else "serial",
+        seed=seed,
+        record_every=record_every,
+        options={"nx": nx, "ny": ny},
     )
+    return run(request).raw

@@ -308,6 +308,16 @@ class PeriodicPartitioningSampler:
         )
 
     def close(self) -> None:
-        """Shut down an internally created executor."""
+        """Shut down an internally created executor.
+
+        Caller-supplied executors stay caller-owned (the engine wraps
+        them in ``with``-blocks; see :mod:`repro.engine.executors`).
+        """
         if self._owns_executor:
             self.executor.shutdown()
+
+    def __enter__(self) -> "PeriodicPartitioningSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,119 @@
+"""repro.engine — the unified detection engine.
+
+One request schema, one strategy registry, one orchestration path.
+The paper's whole point is *comparing* partitioning strategies on the
+same detection workload; this package makes that comparison a one-line
+change instead of a different pipeline function per scheme::
+
+    from repro.engine import DetectionRequest, run
+
+    result = run(DetectionRequest(
+        image=workload.scene.image,
+        spec=workload.model,
+        move_config=workload.moves,
+        iterations=10_000,
+        strategy="intelligent",          # or naive / blind / periodic
+        executor="auto",                 # or serial / thread / process
+        seed=0,
+        options={"theta": 0.5, "min_gap": 14},
+    ))
+    print(result.n_found, result.elapsed_seconds)
+    for row in result.reports:           # identical shape for every strategy
+        print(row.rect, row.expected_count, row.n_found, row.elapsed_seconds)
+    table1 = result.raw                  # strategy-specific detail object
+
+**The schema** (:mod:`repro.engine.schema`): a
+:class:`DetectionRequest` carries the image, model spec, move config,
+iteration budget, seed, and executor choice; a
+:class:`DetectionResult` carries the fitted circles, per-partition
+:class:`PartitionReport` rows common to all strategies, wall-clock,
+and the strategy's own richer result object under ``raw``.
+
+**Executors**: a string choice (``serial``/``thread``/``process``) is
+constructed, context-managed, and shut down by the engine —
+shared-memory image setup for process pools included; ``auto`` picks by
+task count and budget; a live :class:`~repro.parallel.executor.Executor`
+instance is used as-is and stays caller-owned.
+
+**Adding a strategy**: subclass
+:class:`~repro.engine.orchestrator.TiledStrategy` if your scheme is
+"partition once, run independent chains, merge" — implement ``plan()``
+(tile rectangles + per-tile count estimates) and ``merge()`` (tile
+results → your result object with a ``circles`` attribute).  Subclass
+:class:`~repro.engine.registry.Strategy` directly for anything else and
+implement ``execute()``.  Either way decorate with
+``@register_strategy("your-name")`` and declare ``option_keys``; the
+strategy is then reachable from :func:`run`, ``repro detect
+--strategy your-name``, and :meth:`repro.bench.workloads.Workload.request`.
+
+The legacy entry points (:func:`repro.core.naive.run_naive_partitioning`,
+:func:`repro.core.blind_pipeline.run_blind_pipeline`,
+:func:`repro.core.intelligent_pipeline.run_intelligent_pipeline`)
+delegate here and return ``result.raw``, bit-identical to their
+pre-engine behaviour for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executors import auto_executor_kind, engine_executor
+from repro.engine.orchestrator import TiledStrategy
+from repro.engine.registry import (
+    Strategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.engine.schema import (
+    EXECUTOR_CHOICES,
+    DetectionRequest,
+    DetectionResult,
+    PartitionReport,
+    StrategyOutput,
+    TilePlan,
+)
+from repro.utils.timing import Stopwatch
+
+# Importing the built-in strategies registers them.
+from repro.engine import strategies as _strategies  # noqa: F401
+
+__all__ = [
+    "DetectionRequest",
+    "DetectionResult",
+    "PartitionReport",
+    "TilePlan",
+    "StrategyOutput",
+    "EXECUTOR_CHOICES",
+    "Strategy",
+    "TiledStrategy",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "engine_executor",
+    "auto_executor_kind",
+    "run",
+]
+
+
+def run(request: DetectionRequest) -> DetectionResult:
+    """Execute *request* under its named strategy.
+
+    Looks the strategy up in the registry, validates the request's
+    strategy options, runs it (executor lifecycle engine-owned), and
+    wraps the output in the common :class:`DetectionResult` shape.
+    """
+    strategy = get_strategy(request.strategy)
+    strategy.validate(request)
+    watch = Stopwatch().start()
+    output = strategy.execute(request)
+    elapsed = watch.stop()
+    return DetectionResult(
+        strategy=request.strategy,
+        circles=output.circles,
+        reports=output.reports,
+        elapsed_seconds=elapsed,
+        executor_kind=output.executor_kind,
+        n_tasks=output.n_tasks,
+        raw=output.raw,
+    )

@@ -1,0 +1,91 @@
+"""Engine-owned executor lifecycle.
+
+The legacy pipelines each constructed their own executor (and never shut
+it down) and each repeated the shared-memory image plumbing.  Here both
+concerns live in one place: :func:`engine_executor` turns a request's
+executor choice into a live, context-managed executor, doing the
+:class:`~repro.parallel.sharedmem.SharedImage` setup exactly once for
+process pools, and guaranteeing shutdown on exit.  A live
+:class:`Executor` instance passed in a request is used as-is — its
+lifecycle stays with the caller.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+from repro.engine.schema import DetectionRequest
+from repro.errors import ConfigurationError
+from repro.imaging.image import Image
+from repro.parallel.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.parallel.process import ProcessExecutor
+from repro.parallel.sharedmem import SharedImage, worker_initializer
+
+__all__ = ["engine_executor", "auto_executor_kind"]
+
+#: Below this total-iteration budget parallel dispatch cannot win back
+#: its start-up cost, so "auto" stays serial.
+AUTO_SERIAL_BUDGET = 50_000
+#: Between the serial and process thresholds "auto" uses threads: pool
+#: start-up is ~free and numpy's GIL releases give some overlap.
+AUTO_THREAD_BUDGET = 400_000
+
+
+def auto_executor_kind(n_tasks: int, iterations_per_task: int) -> str:
+    """Pick an executor kind from the shape of the work.
+
+    One task can never be parallelised; tiny budgets are not worth any
+    pool start-up; mid-size budgets get threads (cheap start-up);
+    large budgets get a process pool (true parallelism for the
+    Python-level MCMC inner loop).
+    """
+    if n_tasks <= 1:
+        return "serial"
+    budget = n_tasks * iterations_per_task
+    if budget < AUTO_SERIAL_BUDGET:
+        return "serial"
+    if budget < AUTO_THREAD_BUDGET:
+        return "thread"
+    return "process"
+
+
+@contextmanager
+def engine_executor(
+    request: DetectionRequest, image: Image, n_tasks: int
+) -> Iterator[Tuple[Executor, str]]:
+    """Yield ``(executor, kind)`` for *request*, owning its lifecycle.
+
+    Engine-constructed executors (string choices) are shut down on exit,
+    and a process pool's shared-memory image block is created, attached
+    to workers, and unlinked here.  Caller-supplied instances are
+    yielded untouched.
+    """
+    choice = request.executor
+    if isinstance(choice, Executor):
+        yield choice, "caller"
+        return
+
+    kind = choice or "auto"
+    if kind == "auto":
+        kind = auto_executor_kind(n_tasks, request.iterations)
+
+    if kind == "serial":
+        with SerialExecutor() as exec_:
+            yield exec_, "serial"
+    elif kind == "thread":
+        workers = request.n_workers or max(1, min(n_tasks, os.cpu_count() or 1))
+        with ThreadExecutor(workers) as exec_:
+            yield exec_, "thread"
+    elif kind == "process":
+        workers = request.n_workers or max(1, min(n_tasks, os.cpu_count() or 1))
+        with SharedImage.create(image) as shm:
+            with ProcessExecutor(
+                workers,
+                initializer=worker_initializer,
+                initargs=shm.attach_args(),
+            ) as exec_:
+                yield exec_, "process"
+    else:  # pragma: no cover - schema validation rejects this earlier
+        raise ConfigurationError(f"unknown executor choice {kind!r}")

@@ -1,0 +1,101 @@
+"""The one orchestration path shared by the tiled strategies.
+
+naive / blind / intelligent partitioning all reduce to the same run
+shape — *estimate → build tasks → dispatch → merge* — and used to carry
+a private copy of it each.  :class:`TiledStrategy` owns that path once;
+a concrete strategy only says how to **plan** its partitions (geometry
+plus per-partition count estimates) and how to **merge** the
+per-partition chains' results back into its result object.
+
+The periodic sampler is not tiled (its partitions change every cycle)
+so it implements :class:`~repro.engine.registry.Strategy` directly; see
+:mod:`repro.engine.strategies`.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Any, List, Tuple
+
+from repro.core.subimage import (
+    SubImageResult,
+    make_subimage_task,
+    run_subimage_task,
+)
+from repro.engine.executors import engine_executor
+from repro.engine.registry import Strategy
+from repro.engine.schema import (
+    DetectionRequest,
+    PartitionReport,
+    StrategyOutput,
+    TilePlan,
+)
+from repro.parallel.sharedmem import set_worker_image
+from repro.utils.rng import coerce_stream
+
+__all__ = ["TiledStrategy"]
+
+
+class TiledStrategy(Strategy):
+    """Shared estimate → build → dispatch → merge path.
+
+    Determinism contract: the only RNG consumption on this path is one
+    ``integers`` draw per tile, in tile order, from the request seed's
+    root stream — exactly what the legacy pipeline functions did, which
+    is what keeps the engine bit-identical to them for a fixed seed.
+    """
+
+    @abstractmethod
+    def plan(self, request: DetectionRequest) -> Tuple[List[TilePlan], Any]:
+        """Partition the image: return ``(tiles, context)`` where each
+        tile carries the chain's region and prior count estimate and
+        *context* is whatever :meth:`merge` needs back."""
+
+    @abstractmethod
+    def merge(
+        self,
+        request: DetectionRequest,
+        context: Any,
+        sub_results: List[SubImageResult],
+    ) -> Any:
+        """Recombine per-tile results into the strategy's result object
+        (which must expose a ``circles`` attribute/property)."""
+
+    def execute(self, request: DetectionRequest) -> StrategyOutput:
+        tiles, context = self.plan(request)
+        stream = coerce_stream(request.seed)
+        tasks = [
+            make_subimage_task(
+                tile.rect,
+                request.spec,
+                request.move_config,
+                expected_count=tile.expected_count,
+                iterations=request.iterations,
+                seed=int(stream.rng.integers(0, 2**63 - 1)),
+                record_every=request.record_every,
+            )
+            for tile in tiles
+        ]
+        # Serial/thread executors run worker code in this process; process
+        # pools install their copy via the shared-memory initializer.
+        set_worker_image(request.image.pixels)
+        with engine_executor(request, request.image, len(tasks)) as (exec_, kind):
+            sub_results = exec_.map(run_subimage_task, tasks)
+        raw = self.merge(request, context, sub_results)
+        reports = [
+            PartitionReport(
+                rect=tile.rect,
+                expected_count=tile.expected_count,
+                n_found=len(res.circles),
+                iterations=res.iterations,
+                elapsed_seconds=res.elapsed_seconds,
+            )
+            for tile, res in zip(tiles, sub_results)
+        ]
+        return StrategyOutput(
+            circles=list(raw.circles),
+            reports=reports,
+            raw=raw,
+            n_tasks=len(tasks),
+            executor_kind=kind,
+        )

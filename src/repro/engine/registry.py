@@ -1,0 +1,103 @@
+"""Strategy protocol + registry.
+
+A *strategy* is one way of turning a :class:`~repro.engine.schema.DetectionRequest`
+into circles — the paper's four partitioning schemes are the built-ins.
+Strategies self-register under a name::
+
+    @register_strategy("intelligent")
+    class IntelligentStrategy(TiledStrategy):
+        ...
+
+and the engine looks them up by the request's ``strategy`` field, so a
+new scheme plugs in without forking a fifth pipeline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, FrozenSet, List, Type
+
+from repro.errors import EngineError, UnknownStrategyError
+from repro.engine.schema import DetectionRequest, StrategyOutput
+
+__all__ = [
+    "Strategy",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+]
+
+
+class Strategy(ABC):
+    """One detection scheme: request in, :class:`StrategyOutput` out.
+
+    Subclasses set by registration:
+
+    ``name``
+        The registry key (filled in by :func:`register_strategy`).
+    ``option_keys``
+        The ``request.options`` keys the strategy understands; the
+        engine rejects requests carrying any other key so typos fail
+        loudly instead of silently meaning "use the default".
+    """
+
+    name: str = "?"
+    option_keys: FrozenSet[str] = frozenset()
+
+    @abstractmethod
+    def execute(self, request: DetectionRequest) -> StrategyOutput:
+        """Run the strategy.  The engine owns overall timing; the
+        strategy owns executor lifecycle via
+        :func:`repro.engine.executors.engine_executor`."""
+
+    def validate(self, request: DetectionRequest) -> None:
+        unknown = set(request.options) - set(self.option_keys)
+        if unknown:
+            raise EngineError(
+                f"strategy {self.name!r} does not understand options "
+                f"{sorted(unknown)}; known options: {sorted(self.option_keys)}"
+            )
+
+
+_REGISTRY: Dict[str, Type[Strategy]] = {}
+
+
+def register_strategy(name: str) -> Callable[[Type[Strategy]], Type[Strategy]]:
+    """Class decorator: file *cls* under *name* in the global registry."""
+
+    def decorator(cls: Type[Strategy]) -> Type[Strategy]:
+        if name in _REGISTRY:
+            raise EngineError(f"strategy {name!r} is already registered")
+        if not (isinstance(cls, type) and issubclass(cls, Strategy)):
+            raise EngineError(
+                f"@register_strategy expects a Strategy subclass, got {cls!r}"
+            )
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove *name* from the registry (no-op if absent; for tests and
+    plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_strategy(name: str) -> Strategy:
+    """A fresh instance of the strategy registered under *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnknownStrategyError(
+            f"unknown strategy {name!r}; available: "
+            f"{', '.join(available_strategies()) or '(none)'}"
+        ) from None
+    return cls()
+
+
+def available_strategies() -> List[str]:
+    """Registered strategy names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,172 @@
+"""Request/result schema shared by every detection strategy.
+
+A :class:`DetectionRequest` is the one message every strategy accepts:
+the image, the Bayesian model, the proposal mechanics, an iteration
+budget, a seed, and an executor choice.  A :class:`DetectionResult` is
+the one answer every strategy returns: the fitted circles, a list of
+per-partition :class:`PartitionReport` rows, wall-clock, and the
+strategy's own richer result object under ``raw`` for callers that need
+strategy-specific detail (merge accounting, traces, Table I columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.geometry.circle import Circle
+from repro.geometry.rect import Rect
+from repro.imaging.image import Image
+from repro.mcmc.spec import ModelSpec, MoveConfig
+from repro.parallel.executor import Executor
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "EXECUTOR_CHOICES",
+    "DetectionRequest",
+    "DetectionResult",
+    "PartitionReport",
+    "TilePlan",
+    "StrategyOutput",
+]
+
+#: Executor names a request may carry (besides a live Executor instance).
+EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
+
+
+@dataclass
+class DetectionRequest:
+    """Everything a strategy needs to run a detection workload.
+
+    Attributes
+    ----------
+    image:
+        The full input image (strategies that pre-filter do so
+        themselves, controlled by ``options["theta"]``).
+    spec, move_config:
+        The Bayesian model and proposal mechanics — the same objects a
+        sequential :class:`~repro.mcmc.chain.MarkovChain` would use.
+    iterations:
+        Chain budget.  Tiled strategies (naive/blind/intelligent) read
+        it as iterations *per partition*; the periodic strategy reads it
+        as the *total* iteration count, matching the legacy entry
+        points' semantics.
+    strategy:
+        Registry name (see :func:`repro.engine.available_strategies`).
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``/``None``
+        (pick by task count), or a live :class:`Executor` — a live
+        instance is used as-is and its lifecycle stays with the caller;
+        string choices are constructed, context-managed, and shut down
+        by the engine.
+    n_workers:
+        Pool size for thread/process executors (default: min(task
+        count, CPU count)).
+    seed:
+        Seed for the run's root RNG stream; per-partition chains derive
+        private integer seeds from it in partition order.
+    record_every:
+        Trace stride handed to the per-partition chains.
+    options:
+        Strategy-specific knobs (e.g. ``nx``/``ny`` for grid
+        strategies, ``theta``/``min_gap`` for intelligent,
+        ``local_iters`` for periodic).  Unknown keys are an error so
+        typos do not silently fall back to defaults.
+    """
+
+    image: Image
+    spec: ModelSpec
+    move_config: MoveConfig
+    iterations: int
+    strategy: str = "intelligent"
+    executor: Union[str, Executor, None] = None
+    n_workers: Optional[int] = None
+    seed: SeedLike = None
+    record_every: int = 50
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+        if self.record_every <= 0:
+            raise ConfigurationError(
+                f"record_every must be positive, got {self.record_every}"
+            )
+        if isinstance(self.executor, str) and self.executor not in EXECUTOR_CHOICES:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTOR_CHOICES} or an Executor "
+                f"instance, got {self.executor!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+
+    def option(self, key: str, default: Any = None) -> Any:
+        return self.options.get(key, default)
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """One partition's facts, identical in shape for every strategy."""
+
+    rect: Rect
+    expected_count: float
+    n_found: int
+    iterations: int
+    elapsed_seconds: float
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.elapsed_seconds / self.iterations if self.iterations else 0.0
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """One planned sub-image chain: region + its prior count estimate."""
+
+    rect: Rect
+    expected_count: float
+
+
+@dataclass
+class StrategyOutput:
+    """What a strategy hands back to the engine driver."""
+
+    circles: List[Circle]
+    reports: List[PartitionReport]
+    raw: Any
+    n_tasks: int
+    executor_kind: str
+
+
+@dataclass
+class DetectionResult:
+    """Engine-level answer, common to all strategies.
+
+    ``raw`` carries the strategy's legacy result object
+    (:class:`~repro.core.naive.NaiveResult`,
+    :class:`~repro.core.blind_pipeline.BlindPipelineResult`,
+    :class:`~repro.core.intelligent_pipeline.IntelligentPipelineResult`
+    or :class:`~repro.core.periodic.PeriodicResult`) for callers that
+    need strategy-specific detail.
+    """
+
+    strategy: str
+    circles: List[Circle]
+    reports: List[PartitionReport]
+    elapsed_seconds: float
+    executor_kind: str
+    n_tasks: int
+    raw: Any
+
+    @property
+    def n_found(self) -> int:
+        return len(self.circles)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.reports)

@@ -17,6 +17,8 @@ __all__ = [
     "PartitioningError",
     "ExecutorError",
     "CalibrationError",
+    "EngineError",
+    "UnknownStrategyError",
 ]
 
 
@@ -50,3 +52,11 @@ class ExecutorError(ReproError):
 
 class CalibrationError(ReproError):
     """Benchmark calibration could not produce usable timings."""
+
+
+class EngineError(ReproError):
+    """Detection-engine failures (registry misuse, bad request, ...)."""
+
+
+class UnknownStrategyError(EngineError):
+    """A detection request named a strategy that is not registered."""

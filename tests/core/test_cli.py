@@ -1,8 +1,12 @@
 """Tests for the CLI (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+
+pytestmark = pytest.mark.fast
 
 
 class TestCli:
@@ -11,6 +15,14 @@ class TestCli:
         out = capsys.readouterr().out
         for key in EXPERIMENTS:
             assert key in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["experiments"]) == set(EXPERIMENTS)
+        assert {"naive", "blind", "intelligent", "periodic"} <= set(
+            data["strategies"]
+        )
 
     def test_run_fig1(self, capsys):
         assert main(["run", "fig1"]) == 0
@@ -40,3 +52,58 @@ class TestCli:
         assert main(["quickstart", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "F1" in out
+
+
+class TestDetect:
+    """The `repro detect` engine smoke path."""
+
+    def test_detect_table_output(self, capsys):
+        assert main([
+            "detect", "--strategy", "naive", "--executor", "serial",
+            "--size", "64", "--circles", "4", "--iterations", "400",
+            "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategy naive" in out
+        assert "Per-partition report" in out
+        assert "F1" in out
+
+    def test_detect_json_output(self, capsys):
+        assert main([
+            "detect", "--strategy", "intelligent", "--size", "64",
+            "--circles", "4", "--iterations", "400", "--seed", "1", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["strategy"] == "intelligent"
+        assert data["executor"] == "serial"
+        assert data["n_partitions"] == len(data["partitions"]) >= 1
+        assert data["n_truth"] == 4
+        assert 0.0 <= data["f1"] <= 1.0
+
+    def test_detect_periodic(self, capsys):
+        assert main([
+            "detect", "--strategy", "periodic", "--size", "64",
+            "--circles", "4", "--iterations", "600", "--seed", "2", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["strategy"] == "periodic"
+        assert data["n_partitions"] == 1
+
+    def test_detect_unknown_strategy_clean_error(self, capsys):
+        assert main(["detect", "--strategy", "quantum", "--size", "64",
+                     "--circles", "4", "--iterations", "100"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "quantum" in err and "intelligent" in err
+
+    def test_detect_deterministic(self, capsys):
+        args = ["detect", "--strategy", "blind", "--size", "64", "--circles",
+                "4", "--iterations", "400", "--seed", "3", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        stable = ("n_found", "precision", "recall", "f1", "n_partitions")
+        assert {k: first[k] for k in stable} == {k: second[k] for k in stable}
+        assert [p["n_found"] for p in first["partitions"]] == [
+            p["n_found"] for p in second["partitions"]
+        ]

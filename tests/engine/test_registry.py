@@ -1,0 +1,65 @@
+"""Registry round-trip: register, look up, reject unknowns."""
+
+import pytest
+
+from repro.engine import (
+    Strategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.errors import EngineError, UnknownStrategyError
+
+pytestmark = pytest.mark.fast
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"naive", "blind", "intelligent", "periodic"} <= set(
+            available_strategies()
+        )
+
+    def test_get_strategy_returns_fresh_named_instance(self):
+        a = get_strategy("naive")
+        b = get_strategy("naive")
+        assert a.name == "naive"
+        assert a is not b
+
+    def test_unknown_strategy_error_lists_available(self):
+        with pytest.raises(UnknownStrategyError) as err:
+            get_strategy("does-not-exist")
+        assert "does-not-exist" in str(err.value)
+        assert "intelligent" in str(err.value)
+
+    def test_register_lookup_unregister_round_trip(self):
+        @register_strategy("test-dummy")
+        class Dummy(Strategy):
+            def execute(self, request):
+                raise NotImplementedError
+
+        try:
+            assert "test-dummy" in available_strategies()
+            assert isinstance(get_strategy("test-dummy"), Dummy)
+            assert Dummy.name == "test-dummy"
+        finally:
+            unregister_strategy("test-dummy")
+        assert "test-dummy" not in available_strategies()
+        with pytest.raises(UnknownStrategyError):
+            get_strategy("test-dummy")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(EngineError):
+
+            @register_strategy("naive")
+            class Clash(Strategy):
+                def execute(self, request):
+                    raise NotImplementedError
+
+    def test_non_strategy_class_rejected(self):
+        with pytest.raises(EngineError):
+            register_strategy("test-not-a-strategy")(object)
+        assert "test-not-a-strategy" not in available_strategies()
+
+    def test_unregister_absent_is_noop(self):
+        unregister_strategy("never-registered")
