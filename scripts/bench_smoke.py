@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI bench guard: batched-cached dispatch must be bit-identical to serial.
+
+Runs one tiny workload through three paths and compares merged results
+exactly (no tolerance — the engine's determinism contract is bitwise):
+
+1. N independent serial ``run()`` calls — the reference.
+2. One ``run_batch()`` over the same requests on a shared pool.
+3. A repeated ``run_batch()`` against a warm cache, which must answer
+   every request from the cache with zero recomputation.
+
+Exit status is non-zero on any mismatch, so CI enforces cache/batch
+correctness on every PR.  Runtime target: well under a minute.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import synthetic_workload, workload_batch  # noqa: E402
+from repro.engine import ResultCache, run, run_batch  # noqa: E402
+
+ITERATIONS = 400
+SEED = 2024
+STRATEGIES = ("intelligent", "naive")
+
+
+def circle_key(circles):
+    return sorted((c.x, c.y, c.r) for c in circles)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    workloads = [
+        synthetic_workload(size=64, n_circles=4, seed=1),
+        synthetic_workload(size=64, n_circles=5, seed=2),
+    ]
+    for strategy in STRATEGIES:
+        batch = workload_batch(workloads, strategy, iterations=ITERATIONS, seed=SEED)
+        reference = [run(req) for req in batch.requests]
+
+        cache = ResultCache()
+        batched = run_batch(batch, cache=cache)
+        check(
+            batched.n_computed == len(batch.requests),
+            f"{strategy}: cold batch computed all {len(batch.requests)} requests",
+        )
+        for i, (ref, item) in enumerate(zip(reference, batched.items)):
+            check(
+                circle_key(ref.circles) == circle_key(item.result.circles),
+                f"{strategy}: batched result {i} bit-identical to serial run",
+            )
+
+        cached = run_batch(batch, cache=cache)
+        check(
+            cached.n_computed == 0 and cached.n_cached == len(batch.requests),
+            f"{strategy}: warm batch answered {len(batch.requests)} requests "
+            "from cache with zero recomputation",
+        )
+        for i, (ref, item) in enumerate(zip(reference, cached.items)):
+            check(
+                circle_key(ref.circles) == circle_key(item.result.circles),
+                f"{strategy}: cached result {i} bit-identical to serial run",
+            )
+    print("bench smoke: serial, batched, and cached paths agree bitwise")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,8 @@ __all__ = [
     "bead_workload",
     "small_nuclei_workload",
     "synthetic_workload",
+    "workload_batch",
+    "image_batch",
 ]
 
 #: Move weights realising the paper's §VII setup: qg = 0.4 with the five
@@ -236,3 +238,98 @@ def synthetic_workload(
         f"synthetic-{size}x{size}", scene,
         threshold=threshold, radius_mean=mean_radius,
     )
+
+
+# -- batch bridges ------------------------------------------------------------
+
+def workload_batch(
+    workloads,
+    strategy: str,
+    iterations: int,
+    executor="serial",
+    n_workers: Optional[int] = None,
+    seed: SeedLike = None,
+    record_every: int = 50,
+    options: Optional[dict] = None,
+):
+    """A :class:`~repro.engine.schema.DetectionBatch` over *workloads*.
+
+    The bridge from benchmark setups to the engine's batch layer
+    (:func:`repro.engine.run_batch`): one request per workload via
+    :meth:`Workload.request`, with per-workload seeds spawned
+    deterministically from *seed* in workload order — so every derived
+    request is individually reproducible, cacheable, and bit-identical
+    to the same request run outside the batch.
+    """
+    from repro.engine import DetectionBatch, spawn_seeds
+
+    workloads = list(workloads)
+    children = spawn_seeds(seed, len(workloads))
+    return DetectionBatch(requests=[
+        w.request(
+            strategy,
+            iterations=iterations,
+            executor=executor,
+            n_workers=n_workers,
+            seed=child,
+            record_every=record_every,
+            options=options,
+        )
+        for w, child in zip(workloads, children)
+    ])
+
+
+def image_batch(
+    images,
+    strategy: str,
+    iterations: int,
+    threshold: float = 0.4,
+    radius_mean: float = 8.0,
+    executor="serial",
+    n_workers: Optional[int] = None,
+    seed: SeedLike = None,
+    record_every: int = 50,
+    options: Optional[dict] = None,
+):
+    """A batch over raw :class:`~repro.imaging.image.Image` objects —
+    e.g. PGM files read from disk (``repro detect --batch DIR``).
+
+    Each image gets its own model spec: the expected count is estimated
+    from its thresholded foreground (the same §VIII prior-allocation
+    step the canonical workloads use), dimensions from the image.
+    Strategies that pre-filter get the *threshold* as their ``theta``;
+    the periodic strategy receives the already-filtered image, matching
+    :meth:`Workload.request` semantics.
+    """
+    from repro.engine import DetectionBatch, DetectionRequest, spawn_seeds
+
+    images = list(images)
+    children = spawn_seeds(seed, len(images))
+    requests = []
+    for image, child in zip(images, children):
+        filtered = threshold_filter(image, threshold)
+        est = max(estimate_count(filtered, 0.5, radius_mean), 1.0)
+        model = ModelSpec(
+            width=image.width,
+            height=image.height,
+            expected_count=est,
+            radius_mean=radius_mean,
+            radius_min=max(1.0, radius_mean / 4.0),
+            radius_max=radius_mean * 2.0,
+        )
+        opts = dict(options or {})
+        if strategy in ("blind", "intelligent"):
+            opts.setdefault("theta", threshold)
+        requests.append(DetectionRequest(
+            image=filtered if strategy == "periodic" else image,
+            spec=model,
+            move_config=MoveConfig(weights=dict(PAPER_MOVE_WEIGHTS)),
+            iterations=iterations,
+            strategy=strategy,
+            executor=executor,
+            n_workers=n_workers,
+            seed=child,
+            record_every=record_every,
+            options=opts,
+        ))
+    return DetectionBatch(requests=requests)

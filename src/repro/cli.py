@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig1             # regenerate one experiment
     python -m repro run arch --seed 7
     python -m repro detect --strategy intelligent --executor serial
+    python -m repro detect --batch images/ --cache   # N PGMs, one pool
+    python -m repro cache stats --json   # result-cache hit rates
     python -m repro quickstart           # end-to-end detection demo
 
 ``repro detect`` drives the unified detection engine
@@ -16,6 +18,14 @@ machinery the benchmark suite uses (:mod:`repro.bench`), at reduced
 iteration budgets where MCMC is involved, so each experiment finishes
 in seconds to a couple of minutes.  For the asserted, archived versions
 run ``pytest benchmarks/ --benchmark-only``.
+
+**Batching & caching**: ``repro detect --batch DIR`` reads every
+``*.pgm`` in DIR and runs them all through one shared executor pool
+(pool start-up amortised across the dataset); add ``--cache`` and each
+request's content-addressed digest is checked against the on-disk
+result cache first, so re-runs over unchanged images skip the MCMC
+entirely.  ``repro cache stats``/``repro cache clear`` inspect and
+reset that store.
 """
 
 from __future__ import annotations
@@ -177,22 +187,97 @@ def _run_quickstart(seed: int) -> None:
           f"F1 {report.f1:.2f}, recall {report.recall:.2f}")
 
 
+def _make_cache(args):
+    from repro.engine import ResultCache
+
+    return ResultCache(directory=args.cache_dir) if args.cache else None
+
+
+def _run_detect_batch(args) -> int:
+    """``repro detect --batch DIR``: every PGM in DIR through one pool."""
+    from pathlib import Path
+
+    from repro.bench.workloads import image_batch
+    from repro.engine import run_batch
+    from repro.errors import ConfigurationError
+    from repro.imaging.pgm import read_pgm
+
+    paths = sorted(Path(args.batch).glob("*.pgm"))
+    if not paths:
+        raise ConfigurationError(f"no .pgm files found in {args.batch}")
+    batch = image_batch(
+        [read_pgm(p) for p in paths],
+        strategy=args.strategy,
+        iterations=args.iterations,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    cache = _make_cache(args)
+    out = run_batch(batch, cache=cache, executor=args.executor)
+    if cache is not None:
+        cache.flush()
+    if args.json:
+        print(json.dumps({
+            "batch": str(args.batch),
+            "strategy": args.strategy,
+            "executor": out.executor_kind,
+            "n_images": len(out.items),
+            "n_computed": out.n_computed,
+            "n_cached": out.n_cached,
+            "elapsed_seconds": out.elapsed_seconds,
+            "items": [
+                {"image": p.name,
+                 "n_found": item.result.n_found,
+                 "n_partitions": item.result.n_partitions,
+                 "cached": item.cached,
+                 "elapsed_seconds": item.result.elapsed_seconds}
+                for p, item in zip(paths, out.items)
+            ],
+            "cache": cache.summary() if cache is not None else None,
+        }))
+        return 0
+    print(f"batch of {len(out.items)} images, strategy {args.strategy}, "
+          f"executor {out.executor_kind}")
+    t = Table("Per-image report",
+              ["image", "found", "partitions", "cached", "runtime (s)"],
+              precision=3)
+    for p, item in zip(paths, out.items):
+        t.add_row([p.name, item.result.n_found, item.result.n_partitions,
+                   "yes" if item.cached else "no",
+                   item.result.elapsed_seconds])
+    print(t.render())
+    print(f"computed {out.n_computed}, from cache {out.n_cached}, "
+          f"total {out.elapsed_seconds:.2f} s")
+    return 0
+
+
 def _run_detect(args) -> int:
     """``repro detect``: the engine on a synthetic scene, any strategy."""
+    if args.batch:
+        return _run_detect_batch(args)
     from repro.bench.workloads import synthetic_workload
     from repro.core.evaluation import evaluate_model
-    from repro.engine import run
+    from repro.engine import DetectionBatch, run, run_batch
 
     workload = synthetic_workload(
         size=args.size, n_circles=args.circles, seed=args.seed
     )
     scene = workload.scene
-    result = run(workload.request(
+    request = workload.request(
         args.strategy,
         iterations=args.iterations,
         executor=args.executor,
         seed=args.seed,
-    ))
+    )
+    cache = _make_cache(args)
+    if cache is not None:
+        result = run_batch(
+            DetectionBatch(requests=[request]), cache=cache,
+            executor=args.executor,
+        ).results[0]
+        cache.flush()
+    else:
+        result = run(request)
     report = evaluate_model(result.circles, scene.circles)
     if args.json:
         print(json.dumps({
@@ -226,6 +311,31 @@ def _run_detect(args) -> int:
     print(f"found {result.n_found} (truth {scene.n_circles})  "
           f"precision {report.precision:.2f}  recall {report.recall:.2f}  "
           f"F1 {report.f1:.2f}  in {result.elapsed_seconds:.2f} s")
+    return 0
+
+
+def _run_cache(args) -> int:
+    """``repro cache stats|clear``: inspect the content-addressed store."""
+    from repro.engine import ResultCache
+
+    cache = ResultCache(directory=args.cache_dir)
+    if args.action == "clear":
+        n = cache.disk_entries
+        cache.clear()
+        if args.json:
+            print(json.dumps({"cleared": n, "directory": args.cache_dir}))
+        else:
+            print(f"cleared {n} cached results from {args.cache_dir}")
+        return 0
+    summary = cache.summary()
+    if args.json:
+        print(json.dumps(summary))
+        return 0
+    t = Table(f"Result cache — {args.cache_dir}", ["field", "value"], precision=3)
+    for field in ("disk_entries", "disk_bytes", "hits", "misses",
+                  "stores", "evictions", "hit_rate"):
+        t.add_row([field, summary[field]])
+    print(t.render())
     return 0
 
 
@@ -271,6 +381,26 @@ def main(argv=None) -> int:
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument("--json", action="store_true",
                         help="machine-readable result")
+    detect.add_argument("--batch", metavar="DIR", default=None,
+                        help="run every *.pgm in DIR through one shared "
+                             "executor pool instead of a synthetic scene")
+    detect.add_argument("--threshold", type=float, default=0.4,
+                        help="foreground threshold for --batch images")
+    detect.add_argument("--cache", action="store_true",
+                        help="answer repeated requests from the on-disk "
+                             "result cache (content-addressed; any changed "
+                             "image/param/seed recomputes)")
+    detect.add_argument("--cache-dir", default=".repro-cache",
+                        help="result-cache directory (default: .repro-cache)")
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk result cache",
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=".repro-cache",
+                       help="result-cache directory (default: .repro-cache)")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable output")
     quick = sub.add_parser("quickstart", help="end-to-end detection demo")
     quick.add_argument("--seed", type=int, default=0)
 
@@ -297,6 +427,8 @@ def main(argv=None) -> int:
             return 0
         if args.command == "detect":
             return _run_detect(args)
+        if args.command == "cache":
+            return _run_cache(args)
         if args.command == "quickstart":
             _run_quickstart(args.seed)
             return 0

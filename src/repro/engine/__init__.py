@@ -46,6 +46,29 @@ implement ``execute()``.  Either way decorate with
 strategy is then reachable from :func:`run`, ``repro detect
 --strategy your-name``, and :meth:`repro.bench.workloads.Workload.request`.
 
+**Batching & caching**: a :class:`DetectionBatch` carries N images (or
+N explicit requests) through :func:`run_batch` on **one** shared
+executor pool — thread/process pool start-up and shared-memory setup
+are paid once per batch, not once per image — with results bit-identical
+to N independent :func:`run` calls.  An optional
+:class:`~repro.engine.cache.ResultCache` answers repeated requests from
+memory or disk instead of recomputing: requests are content-addressed
+by :func:`request_key` (image digest + strategy + model + moves + seed
++ options), so any changed field is a miss and identical re-runs are
+free::
+
+    from repro.engine import DetectionBatch, ResultCache, run_batch
+
+    batch = DetectionBatch.from_images(
+        images, spec=workload.model, move_config=workload.moves,
+        iterations=10_000, strategy="intelligent", seed=0,
+    )
+    cache = ResultCache(directory=".repro-cache")
+    out = run_batch(batch, cache=cache)          # computes N results
+    again = run_batch(batch, cache=cache)        # N cache hits, no work
+    assert again.n_computed == 0
+    print(cache.stats.hit_rate, out.executor_kind)
+
 The legacy entry points (:func:`repro.core.naive.run_naive_partitioning`,
 :func:`repro.core.blind_pipeline.run_blind_pipeline`,
 :func:`repro.core.intelligent_pipeline.run_intelligent_pipeline`)
@@ -55,8 +78,16 @@ pre-engine behaviour for a fixed seed.
 
 from __future__ import annotations
 
-from repro.engine.executors import auto_executor_kind, engine_executor
-from repro.engine.orchestrator import TiledStrategy
+from dataclasses import replace as _replace
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.executors import (
+    SwitchingProcessExecutor,
+    auto_executor_kind,
+    batch_pool,
+    engine_executor,
+)
+from repro.engine.orchestrator import TiledStrategy, run_batch
 from repro.engine.registry import (
     Strategy,
     available_strategies,
@@ -66,11 +97,18 @@ from repro.engine.registry import (
 )
 from repro.engine.schema import (
     EXECUTOR_CHOICES,
+    BatchItemResult,
+    BatchResult,
+    DetectionBatch,
     DetectionRequest,
     DetectionResult,
     PartitionReport,
     StrategyOutput,
     TilePlan,
+    image_digest,
+    request_key,
+    snapshot_seed,
+    spawn_seeds,
 )
 from repro.utils.timing import Stopwatch
 
@@ -80,6 +118,9 @@ from repro.engine import strategies as _strategies  # noqa: F401
 __all__ = [
     "DetectionRequest",
     "DetectionResult",
+    "DetectionBatch",
+    "BatchItemResult",
+    "BatchResult",
     "PartitionReport",
     "TilePlan",
     "StrategyOutput",
@@ -92,7 +133,16 @@ __all__ = [
     "available_strategies",
     "engine_executor",
     "auto_executor_kind",
+    "batch_pool",
+    "SwitchingProcessExecutor",
     "run",
+    "run_batch",
+    "request_key",
+    "image_digest",
+    "snapshot_seed",
+    "spawn_seeds",
+    "ResultCache",
+    "CacheStats",
 ]
 
 
@@ -102,9 +152,17 @@ def run(request: DetectionRequest) -> DetectionResult:
     Looks the strategy up in the registry, validates the request's
     strategy options, runs it (executor lifecycle engine-owned), and
     wraps the output in the common :class:`DetectionResult` shape.
+
+    Requests are value objects: running the same request twice gives
+    bit-identical results (the engine snapshots ``SeedSequence`` seeds
+    so strategy-side spawning cannot leak state back — the property the
+    result cache's "equal requests hit" contract rests on).  The one
+    exception is deliberately stateful seeds (generators, streams),
+    which continue their stream and are uncacheable.
     """
     strategy = get_strategy(request.strategy)
     strategy.validate(request)
+    request = _replace(request, seed=snapshot_seed(request.seed))
     watch = Stopwatch().start()
     output = strategy.execute(request)
     elapsed = watch.stop()

@@ -8,22 +8,40 @@ executor choice into a live, context-managed executor, doing the
 process pools, and guaranteeing shutdown on exit.  A live
 :class:`Executor` instance passed in a request is used as-is — its
 lifecycle stays with the caller.
+
+Batch runs invert the ownership: :func:`batch_pool` builds one executor
+that outlives N requests, so pool start-up is paid once per batch
+instead of once per image.  Serial and thread pools run worker code in
+the dispatching process, where the orchestrator's ``set_worker_image``
+call is all the image plumbing needed; process pools get a
+:class:`SwitchingProcessExecutor`, which re-homes each request's image
+in a fresh shared-memory block and tags every task message with the
+block to use, so one pool of workers serves the whole dataset.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.schema import DetectionRequest
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutorError
 from repro.imaging.image import Image
 from repro.parallel.executor import Executor, SerialExecutor, ThreadExecutor
 from repro.parallel.process import ProcessExecutor
-from repro.parallel.sharedmem import SharedImage, worker_initializer
+from repro.parallel.sharedmem import (
+    SharedImage,
+    use_shared_image,
+    worker_initializer,
+)
 
-__all__ = ["engine_executor", "auto_executor_kind"]
+__all__ = [
+    "engine_executor",
+    "auto_executor_kind",
+    "batch_pool",
+    "SwitchingProcessExecutor",
+]
 
 #: Below this total-iteration budget parallel dispatch cannot win back
 #: its start-up cost, so "auto" stays serial.
@@ -64,7 +82,9 @@ def engine_executor(
     """
     choice = request.executor
     if isinstance(choice, Executor):
-        yield choice, "caller"
+        # Batch pools label themselves so reports read "process", not
+        # "caller"; genuinely caller-owned executors have no label.
+        yield choice, getattr(choice, "kind_label", "caller")
         return
 
     kind = choice or "auto"
@@ -89,3 +109,114 @@ def engine_executor(
                 yield exec_, "process"
     else:  # pragma: no cover - schema validation rejects this earlier
         raise ConfigurationError(f"unknown executor choice {kind!r}")
+
+
+# -- batch pool reuse ----------------------------------------------------------
+
+def _shared_image_call(payload: Tuple[str, Tuple[int, int], Callable, Any]) -> Any:
+    """Worker-side trampoline: install the named shared image, run the task.
+
+    Module-level so it pickles; the attach is cached per worker per
+    block name (see :func:`repro.parallel.sharedmem.use_shared_image`).
+    """
+    shm_name, shape, fn, task = payload
+    use_shared_image(shm_name, shape)
+    return fn(task)
+
+
+class SwitchingProcessExecutor(Executor):
+    """A process pool reused across requests with *different* images.
+
+    The per-run process path puts one image in shared memory at pool
+    start-up; a batch has N images but should pay pool start-up once.
+    This executor keeps one persistent :class:`ProcessExecutor` and a
+    *current* shared block: :meth:`use_image` re-homes the block for the
+    next request, and :meth:`map` prefixes every task message with the
+    block's (name, shape) so workers attach to the right image lazily.
+    """
+
+    kind_label = "process"
+
+    def __init__(self, n_workers: int, start_method: str = "fork") -> None:
+        self._pool = ProcessExecutor(n_workers, start_method=start_method)
+        self._shared: Optional[SharedImage] = None
+
+    def use_image(self, image: Image) -> None:
+        """Make *image* the one task messages reference from now on."""
+        self._release_shared()
+        self._shared = SharedImage.create(image)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if self._shared is None:
+            raise ExecutorError(
+                "SwitchingProcessExecutor.map() before use_image(); the pool "
+                "has no image to offer workers"
+            )
+        name, shape = self._shared.attach_args()
+        payloads = [(name, shape, fn, task) for task in tasks]
+        return self._pool.map(_shared_image_call, payloads)
+
+    @property
+    def parallelism(self) -> int:
+        return self._pool.parallelism
+
+    def _release_shared(self) -> None:
+        if self._shared is not None:
+            self._shared.close()
+            try:
+                self._shared.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shared = None
+
+    def shutdown(self) -> None:
+        # Workers may still hold attachments; POSIX keeps the mapping
+        # alive after unlink, so release order does not matter.
+        self._release_shared()
+        self._pool.shutdown()
+
+
+#: Tile count assumed per request before planning has run — the
+#: smallest parallel grid (2×2).  Under-estimating errs toward the
+#: cheaper pool kind and the smaller pool.
+BATCH_TASKS_PER_REQUEST = 4
+
+
+@contextmanager
+def batch_pool(
+    kind: str,
+    n_requests: int,
+    iterations: int,
+    n_workers: Optional[int] = None,
+) -> Iterator[Tuple[Executor, str]]:
+    """Yield one ``(executor, kind)`` to share across a whole batch.
+
+    ``kind`` is an :data:`EXECUTOR_CHOICES` string; ``auto`` picks from
+    the batch's *total* budget the same way per-run dispatch does
+    (paying pool start-up is worth it for a batch even when no single
+    request would justify it).  Pool *size* follows the per-request
+    shape instead: requests dispatch sequentially, so concurrency never
+    exceeds one request's task count — :data:`BATCH_TASKS_PER_REQUEST`
+    by default; pass ``n_workers`` when per-image partition counts are
+    known to be higher.  The yielded executor carries a ``kind_label``
+    so per-request reports name the real pool kind.
+    """
+    if kind == "auto":
+        kind = auto_executor_kind(BATCH_TASKS_PER_REQUEST * n_requests, iterations)
+    workers = n_workers or max(
+        1, min(BATCH_TASKS_PER_REQUEST, os.cpu_count() or 1)
+    )
+    if kind == "serial":
+        pool: Executor = SerialExecutor()
+        pool.kind_label = "serial"  # type: ignore[attr-defined]
+    elif kind == "thread":
+        pool = ThreadExecutor(workers)
+        pool.kind_label = "thread"  # type: ignore[attr-defined]
+    elif kind == "process":
+        pool = SwitchingProcessExecutor(workers)
+    else:
+        raise ConfigurationError(f"unknown batch executor choice {kind!r}")
+    try:
+        yield pool, kind
+    finally:
+        pool.shutdown()

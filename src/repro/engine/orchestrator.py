@@ -10,30 +10,45 @@ per-partition chains' results back into its result object.
 The periodic sampler is not tiled (its partitions change every cycle)
 so it implements :class:`~repro.engine.registry.Strategy` directly; see
 :mod:`repro.engine.strategies`.
+
+:func:`run_batch` is the batch dispatch path: N requests through one
+shared executor pool (start-up amortised across the dataset) with an
+optional content-addressed result cache answering repeats.
 """
 
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Any, List, Tuple
+from dataclasses import replace
+from typing import Any, List, Optional, Tuple
 
 from repro.core.subimage import (
     SubImageResult,
     make_subimage_task,
     run_subimage_task,
 )
-from repro.engine.executors import engine_executor
+from repro.engine.cache import ResultCache
+from repro.engine.executors import (
+    SwitchingProcessExecutor,
+    batch_pool,
+    engine_executor,
+)
 from repro.engine.registry import Strategy
 from repro.engine.schema import (
+    BatchItemResult,
+    BatchResult,
+    DetectionBatch,
     DetectionRequest,
     PartitionReport,
     StrategyOutput,
     TilePlan,
+    request_key,
 )
 from repro.parallel.sharedmem import set_worker_image
 from repro.utils.rng import coerce_stream
+from repro.utils.timing import Stopwatch
 
-__all__ = ["TiledStrategy"]
+__all__ = ["TiledStrategy", "run_batch"]
 
 
 class TiledStrategy(Strategy):
@@ -99,3 +114,71 @@ class TiledStrategy(Strategy):
             n_tasks=len(tasks),
             executor_kind=kind,
         )
+
+
+def run_batch(
+    batch: DetectionBatch,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[str] = None,
+    n_workers: Optional[int] = None,
+) -> BatchResult:
+    """Run every request in *batch* through one shared executor pool.
+
+    Results are bit-identical to N independent :func:`repro.engine.run`
+    calls on the same requests — the pool only changes *where* chains
+    run, never their seeds or task order — but thread/process pool
+    start-up and shared-memory plumbing are paid once per batch, not
+    once per image.
+
+    With a *cache*, each request's :func:`request_key` is looked up
+    first: hits skip computation entirely (their stored result is
+    returned, ``cached=True``), misses are computed on the shared pool
+    and stored.  Uncacheable requests (``None``/stateful seeds,
+    non-serialisable options) always compute.
+
+    The pool kind comes from *executor* if given, else the first
+    pending request's string choice, else ``auto``; the batch owns the
+    pool, so per-request executor fields are overridden for dispatch.
+    """
+    watch = Stopwatch().start()
+    keys = [
+        request_key(req) if cache is not None else None
+        for req in batch.requests
+    ]
+    items: List[Optional[BatchItemResult]] = [None] * len(batch.requests)
+    pending: List[int] = []
+    for i, (req, key) in enumerate(zip(batch.requests, keys)):
+        hit = cache.get(key) if key is not None else None
+        if hit is not None:
+            items[i] = BatchItemResult(request=req, result=hit, key=key, cached=True)
+        else:
+            pending.append(i)
+
+    kind_used = "cache"
+    if pending:
+        from repro.engine import run  # circular at import time only
+
+        first = batch.requests[pending[0]]
+        choice = executor
+        if choice is None:
+            choice = first.executor if isinstance(first.executor, str) else "auto"
+        workers = n_workers if n_workers is not None else first.n_workers
+        with batch_pool(
+            choice, len(pending), first.iterations, n_workers=workers
+        ) as (pool, kind_used):
+            for i in pending:
+                req = batch.requests[i]
+                if isinstance(pool, SwitchingProcessExecutor):
+                    pool.use_image(req.image)
+                result = run(replace(req, executor=pool))
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], result)
+                items[i] = BatchItemResult(
+                    request=req, result=result, key=keys[i], cached=False
+                )
+
+    return BatchResult(
+        items=[item for item in items if item is not None],
+        elapsed_seconds=watch.stop(),
+        executor_kind=kind_used,
+    )

@@ -7,12 +7,22 @@ the one answer every strategy returns: the fitted circles, a list of
 per-partition :class:`PartitionReport` rows, wall-clock, and the
 strategy's own richer result object under ``raw`` for callers that need
 strategy-specific detail (merge accounting, traces, Table I columns).
+
+A :class:`DetectionBatch` carries N requests through one engine
+invocation (:func:`repro.engine.run_batch`) sharing a single executor
+pool; :func:`request_key` reduces a request to a content-addressed
+digest — image bytes + strategy + model + moves + seed + options — so a
+result cache can recognise identical work across runs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry.circle import Circle
@@ -26,9 +36,16 @@ __all__ = [
     "EXECUTOR_CHOICES",
     "DetectionRequest",
     "DetectionResult",
+    "DetectionBatch",
+    "BatchItemResult",
+    "BatchResult",
     "PartitionReport",
     "TilePlan",
     "StrategyOutput",
+    "image_digest",
+    "request_key",
+    "snapshot_seed",
+    "spawn_seeds",
 ]
 
 #: Executor names a request may carry (besides a live Executor instance).
@@ -170,3 +187,245 @@ class DetectionResult:
     @property
     def n_partitions(self) -> int:
         return len(self.reports)
+
+
+# -- canonical request hashing -------------------------------------------------
+
+def image_digest(image: Image) -> str:
+    """SHA-256 over the image's shape and raw float64 pixel bytes.
+
+    Two images hash equal iff they are pixel-for-pixel identical, which
+    is the only equality a bit-identical result cache may rely on.
+    """
+    h = hashlib.sha256()
+    h.update(repr(image.shape).encode("ascii"))
+    h.update(image.pixels.tobytes())
+    return h.hexdigest()
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """*n* per-item seeds derived deterministically from *seed*.
+
+    The one definition of batch seed semantics: children of
+    ``SeedSequence(seed)`` in item order, so the i-th item of a batch
+    gets the same (individually reproducible, cacheable) seed no matter
+    which bridge built the batch — :meth:`DetectionBatch.from_images`,
+    :func:`repro.bench.workloads.workload_batch`, or
+    :func:`repro.bench.workloads.image_batch`.
+    """
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return root.spawn(n)
+
+
+def snapshot_seed(seed: SeedLike) -> SeedLike:
+    """A copy of *seed* whose consumption cannot leak back to the caller.
+
+    ``SeedSequence.spawn`` mutates ``n_children_spawned``, so a strategy
+    that spawns per-partition streams (the periodic sampler does) would
+    make the *same request object* produce different results on a
+    second run — breaking both the engine's "requests are value
+    objects" contract and result caching.  The engine therefore runs
+    against a state-snapshot of the seed.  Integers are immutable and
+    pass through; generators/streams pass through unchanged — they are
+    deliberately stateful (and uncacheable, see :func:`request_key`).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=tuple(seed.spawn_key),
+            pool_size=seed.pool_size,
+            n_children_spawned=seed.n_children_spawned,
+        )
+    return seed
+
+
+def _canonical_seed(seed: SeedLike) -> Optional[str]:
+    """A stable string for *seed*, or ``None`` when the seed cannot
+    identify a reproducible run.
+
+    Plain integers and :class:`~numpy.random.SeedSequence` objects fully
+    determine the derived streams.  ``None`` (OS entropy), live
+    generators, and :class:`~repro.utils.rng.RngStream` instances carry
+    consumed state that a hash of their construction-time identity would
+    not capture, so requests seeded with them are uncacheable.
+    """
+    if isinstance(seed, (bool, np.bool_)):  # bools are ints; reject explicitly
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return f"int:{int(seed)}"
+    if isinstance(seed, np.random.SeedSequence):
+        return (
+            f"seq:{seed.entropy}:{tuple(seed.spawn_key)}:"
+            f"{seed.n_children_spawned}"
+        )
+    return None
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce *value* to deterministic JSON-compatible data, or raise
+    ``TypeError`` when it has no canonical form (callables, arrays...)."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    raise TypeError(f"no canonical form for {type(value).__name__}")
+
+
+def request_key(request: DetectionRequest) -> Optional[str]:
+    """Content-addressed digest of *request*, or ``None`` if uncacheable.
+
+    The key covers everything that determines the engine's output —
+    image bytes, strategy name, iteration budget, trace stride, seed,
+    the full model spec, the move configuration, and the strategy
+    options — and deliberately excludes what provably does not
+    (executor choice and worker count; the engine guarantees identical
+    results across executors for a fixed seed).
+
+    Returns ``None`` when the request cannot name a reproducible run: a
+    ``None``/generator/stream seed, or options carrying non-serialisable
+    values (e.g. the periodic strategy's ``partitioner`` callable).
+    """
+    seed = _canonical_seed(request.seed)
+    if seed is None:
+        return None
+    try:
+        options = _jsonable(request.options)
+    except TypeError:
+        return None
+    spec = request.spec
+    moves = request.move_config
+    canonical = {
+        "image": image_digest(request.image),
+        "strategy": request.strategy,
+        "iterations": request.iterations,
+        "record_every": request.record_every,
+        "seed": seed,
+        "spec": {
+            "width": spec.width,
+            "height": spec.height,
+            "expected_count": spec.expected_count,
+            "radius_mean": spec.radius_mean,
+            "radius_std": spec.radius_std,
+            "radius_min": spec.radius_min,
+            "radius_max": spec.radius_max,
+            "overlap_gamma": spec.overlap_gamma,
+            "likelihood_beta": spec.likelihood_beta,
+            "foreground": spec.foreground,
+            "background": spec.background,
+        },
+        "moves": {
+            "weights": {mt.value: w for mt, w in moves.weights.items()},
+            "translate_step": moves.translate_step,
+            "resize_step": moves.resize_step,
+            "split_max_separation": moves.split_max_separation,
+        },
+        "options": options,
+    }
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- batch request/result ------------------------------------------------------
+
+@dataclass
+class DetectionBatch:
+    """N detection requests run as one engine invocation.
+
+    The batch layer's contract (:func:`repro.engine.run_batch`): results
+    are bit-identical to running each request through :func:`run`
+    independently, but executor start-up (thread/process pool creation,
+    shared-memory setup) is paid once and amortised across the batch,
+    and a :class:`~repro.engine.cache.ResultCache` can skip requests
+    whose :func:`request_key` it has already seen.
+
+    Build one from explicit requests, or from N images sharing one
+    model/move/strategy setup via :meth:`from_images` (per-image seeds
+    are spawned deterministically from the batch seed, so every derived
+    request is individually reproducible and cacheable).
+    """
+
+    requests: List[DetectionRequest]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ConfigurationError("a DetectionBatch needs at least one request")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @classmethod
+    def from_images(
+        cls,
+        images: List[Image],
+        spec: ModelSpec,
+        move_config: MoveConfig,
+        iterations: int,
+        strategy: str = "intelligent",
+        executor: Union[str, Executor, None] = None,
+        n_workers: Optional[int] = None,
+        seed: SeedLike = None,
+        record_every: int = 50,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> "DetectionBatch":
+        """One request per image, all sharing the same model and knobs.
+
+        Per-image seeds are children of ``SeedSequence(seed)`` in image
+        order — deterministic for an integer *seed*, and identical to
+        what a caller doing the same spawn by hand would pass to N
+        independent :func:`run` calls.
+        """
+        if not images:
+            raise ConfigurationError("a DetectionBatch needs at least one image")
+        children = spawn_seeds(seed, len(images))
+        return cls(requests=[
+            DetectionRequest(
+                image=image,
+                spec=spec,
+                move_config=move_config,
+                iterations=iterations,
+                strategy=strategy,
+                executor=executor,
+                n_workers=n_workers,
+                seed=child,
+                record_every=record_every,
+                options=dict(options or {}),
+            )
+            for image, child in zip(images, children)
+        ])
+
+
+@dataclass
+class BatchItemResult:
+    """One request's outcome inside a batch."""
+
+    request: DetectionRequest
+    result: DetectionResult
+    key: Optional[str]
+    cached: bool
+
+
+@dataclass
+class BatchResult:
+    """The batch-level answer: per-item results plus amortisation facts."""
+
+    items: List[BatchItemResult]
+    elapsed_seconds: float
+    executor_kind: str
+
+    @property
+    def results(self) -> List[DetectionResult]:
+        return [item.result for item in self.items]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for item in self.items if item.cached)
+
+    @property
+    def n_computed(self) -> int:
+        return len(self.items) - self.n_cached

@@ -18,7 +18,13 @@ import numpy as np
 from repro.errors import ExecutorError
 from repro.imaging.image import Image
 
-__all__ = ["SharedImage", "set_worker_image", "get_worker_image", "worker_initializer"]
+__all__ = [
+    "SharedImage",
+    "set_worker_image",
+    "get_worker_image",
+    "worker_initializer",
+    "use_shared_image",
+]
 
 
 class SharedImage:
@@ -114,5 +120,26 @@ def get_worker_image() -> np.ndarray:
 def worker_initializer(shm_name: str, shape: Tuple[int, int]) -> None:
     """Process-pool initializer: attach the shared image once per worker."""
     global _worker_shm
+    _worker_shm = SharedImage.attach(shm_name, shape)
+    set_worker_image(_worker_shm.array)
+
+
+def use_shared_image(shm_name: str, shape: Tuple[int, int]) -> None:
+    """Install the named shared block as this process's worker image,
+    attaching only when the name changed since the last call.
+
+    This is the worker half of batch pool reuse
+    (:class:`repro.engine.executors.SwitchingProcessExecutor`): one pool
+    survives a whole multi-image batch, and each task message names the
+    block its image lives in.  Consecutive tasks against the same image
+    — the common case, since batches dispatch image by image — pay one
+    attach per worker per image, not per task.
+    """
+    global _worker_shm
+    if _worker_shm is not None:
+        if _worker_shm.name == shm_name:
+            set_worker_image(_worker_shm.array)
+            return
+        _worker_shm.close()
     _worker_shm = SharedImage.attach(shm_name, shape)
     set_worker_image(_worker_shm.array)

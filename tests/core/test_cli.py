@@ -107,3 +107,94 @@ class TestDetect:
         assert [p["n_found"] for p in first["partitions"]] == [
             p["n_found"] for p in second["partitions"]
         ]
+
+
+@pytest.fixture
+def pgm_dir(tmp_path):
+    """Two tiny PGM scenes on disk, as `repro detect --batch` expects."""
+    from repro.bench.workloads import synthetic_workload
+    from repro.imaging.pgm import write_pgm
+
+    directory = tmp_path / "imgs"
+    directory.mkdir()
+    for i, seed in enumerate((1, 2)):
+        scene = synthetic_workload(size=64, n_circles=4, seed=seed).scene
+        write_pgm(scene.image, directory / f"scene{i}.pgm")
+    return directory
+
+
+class TestDetectBatch:
+    """`repro detect --batch DIR --cache`: N PGMs, one pool, cached re-runs."""
+
+    def batch_args(self, pgm_dir, tmp_path, *extra):
+        return ["detect", "--batch", str(pgm_dir), "--iterations", "300",
+                "--seed", "0", "--cache", "--cache-dir",
+                str(tmp_path / "cache"), "--json", *extra]
+
+    def test_batch_then_cached_rerun(self, capsys, pgm_dir, tmp_path):
+        assert main(self.batch_args(pgm_dir, tmp_path)) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["n_images"] == 2
+        assert first["n_computed"] == 2
+        assert [i["image"] for i in first["items"]] == ["scene0.pgm", "scene1.pgm"]
+
+        assert main(self.batch_args(pgm_dir, tmp_path)) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["n_computed"] == 0
+        assert second["n_cached"] == 2
+        assert all(i["cached"] for i in second["items"])
+        assert [i["n_found"] for i in second["items"]] == [
+            i["n_found"] for i in first["items"]
+        ]
+
+    def test_batch_table_output(self, capsys, pgm_dir, tmp_path):
+        args = [a for a in self.batch_args(pgm_dir, tmp_path) if a != "--json"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Per-image report" in out
+        assert "scene0.pgm" in out
+
+    def test_empty_batch_dir_clean_error(self, capsys, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["detect", "--batch", str(empty)]) == 2
+        assert "no .pgm files" in capsys.readouterr().err
+
+    def test_single_detect_with_cache(self, capsys, tmp_path):
+        args = ["detect", "--size", "64", "--circles", "4", "--iterations",
+                "300", "--seed", "1", "--cache", "--cache-dir",
+                str(tmp_path / "cache"), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["n_found"] == first["n_found"]
+        assert second["partitions"] == first["partitions"]
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, pgm_dir, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["detect", "--batch", str(pgm_dir), "--iterations", "300",
+                     "--seed", "0", "--cache", "--cache-dir", str(cache_dir),
+                     "--json"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["disk_entries"] == 2
+        assert stats["stores"] == 2
+        assert stats["misses"] == 2
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["cleared"] == 2
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["disk_entries"] == 0
+
+    def test_stats_table_on_missing_dir(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "Result cache" in capsys.readouterr().out
