@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Emit the BENCH_service.json throughput artifact.
+
+Runs the service-throughput bench workload
+(:func:`repro.bench.service.service_throughput`) — N concurrent clients
+streaming jobs through a live service, cold then warm — and writes the
+resulting document plus host facts.  CI uploads the file as an
+artifact, so the perf trajectory of the service layer accumulates run
+over run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.bench.service import service_throughput  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--circles", type=int, default=5)
+    parser.add_argument("--iterations", type=int, default=400)
+    args = parser.parse_args()
+
+    report = service_throughput(
+        n_jobs=args.jobs,
+        size=args.size,
+        circles=args.circles,
+        iterations=args.iterations,
+        workers=args.workers,
+    )
+    # Per-job rows are for debugging interactively, not for the artifact.
+    for round_name in ("cold", "warm"):
+        if report.get(round_name):
+            report[round_name].pop("jobs", None)
+    document = {
+        "benchmark": "service_throughput",
+        "version": __version__,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        **report,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    cold, warm = document["cold"], document["warm"]
+    print(f"cold: {cold['jobs_per_second']:.2f} jobs/s "
+          f"(mean latency {cold['latency_mean_seconds']:.2f}s, "
+          f"{cold['n_fragments']} fragments)")
+    if warm:
+        print(f"warm: {warm['jobs_per_second']:.2f} jobs/s "
+              f"({warm['n_cached']} cache hits)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

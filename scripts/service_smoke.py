@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI service guard: streamed service results must match direct engine runs.
+
+Starts a real detection service (asyncio TCP, background thread),
+submits N concurrent synthetic-scene jobs, streams every one to
+completion, and asserts:
+
+1. every job produced per-partition fragment events before its result;
+2. every streamed result is bit-identical to a direct ``engine.run()``
+   of the same request built locally;
+3. resubmitting the same traffic is answered from the result cache
+   without a single extra engine dispatch;
+4. a queue sized below the offered load rejects with ``retry_after``
+   backpressure (and polite retry then succeeds).
+
+Exit status is non-zero on any violation.  Runtime target: well under a
+minute.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import synthetic_workload  # noqa: E402
+from repro.engine import ResultCache, run  # noqa: E402
+from repro.errors import QueueFullError  # noqa: E402
+from repro.service import ServiceClient, scene_job, serve_background  # noqa: E402
+
+N_JOBS = 4
+SIZE = 64
+CIRCLES = 4
+ITERATIONS = 400
+STRATEGY = "intelligent"
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def reference_circles(seed: int):
+    workload = synthetic_workload(size=SIZE, n_circles=CIRCLES, seed=seed)
+    result = run(workload.request(STRATEGY, iterations=ITERATIONS, seed=seed))
+    return sorted((c.x, c.y, c.r) for c in result.circles)
+
+
+def main() -> int:
+    jobs = [
+        scene_job(size=SIZE, circles=CIRCLES, strategy=STRATEGY,
+                  iterations=ITERATIONS, seed=seed)
+        for seed in range(N_JOBS)
+    ]
+    handle = serve_background(workers=2, queue_size=max(4, N_JOBS),
+                              cache=ResultCache())
+    try:
+        address = handle.address
+        print(f"service on {address[0]}:{address[1]}")
+
+        def drive(job):
+            with ServiceClient(*address) as client:
+                return client.detect(job)
+
+        with ThreadPoolExecutor(max_workers=N_JOBS) as pool:
+            outcomes = list(pool.map(drive, jobs))
+        check(len(outcomes) == N_JOBS,
+              f"{N_JOBS} concurrent submissions completed")
+        for seed, out in enumerate(outcomes):
+            check(len(out.fragments) >= 1,
+                  f"job seed={seed} streamed {len(out.fragments)} "
+                  "per-partition fragment(s)")
+            check(sorted(out.circles) == reference_circles(seed),
+                  f"job seed={seed} streamed result bit-identical to "
+                  "direct engine.run()")
+
+        with ServiceClient(*address) as client:
+            before = client.stats()["n_dispatched"]
+        with ThreadPoolExecutor(max_workers=N_JOBS) as pool:
+            warm = list(pool.map(drive, jobs))
+        check(all(out.cached for out in warm),
+              "warm resubmission answered every job from the cache")
+        for seed, out in enumerate(warm):
+            check(sorted(out.circles) == reference_circles(seed),
+                  f"cached result seed={seed} still bit-identical")
+        with ServiceClient(*address) as client:
+            after = client.stats()["n_dispatched"]
+        check(after == before,
+              f"cache hits dispatched zero engine runs ({before} before, "
+              f"{after} after)")
+    finally:
+        handle.stop()
+
+    # Backpressure: a worker-less service with a 1-slot queue must
+    # reject the second submission with a retry hint.
+    handle = serve_background(workers=0, queue_size=1)
+    try:
+        address = handle.address
+        with ServiceClient(*address) as client:
+            client.submit(jobs[0])
+            try:
+                client.submit(jobs[1])
+            except QueueFullError as exc:
+                check(exc.retry_after > 0,
+                      f"queue-full rejection carried retry_after="
+                      f"{exc.retry_after:.2f}s")
+            else:
+                check(False, "second submission should have been rejected")
+    finally:
+        handle.stop()
+
+    print("service smoke: streaming, parity, cache, and backpressure agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,24 @@ model ``τ(n) = tau_base + tau_per_feature · n`` (see
 constants on the current host by timing short chains against scenes of
 different feature counts and fitting the line — the "no optimisation
 without measuring" rule applied to our own substrate.
+
+The same measurement prices the engine's ``auto`` executor selection:
+:func:`derive_auto_budgets` converts the fitted per-iteration cost into
+the iteration budgets where thread and process pools pay back their
+start-up, and :func:`save_calibration` writes them to the calibration
+file that :func:`repro.engine.executors.auto_budgets` loads — so
+``auto`` dispatch is tuned by this host's measured speed instead of
+fixed defaults (``repro calibrate --save``).
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,7 +38,14 @@ from repro.mcmc.spec import ModelSpec, MoveConfig
 from repro.parallel.machines import MachineProfile
 from repro.utils.rng import SeedLike, coerce_stream
 
-__all__ = ["CalibrationResult", "calibrate_iteration_cost"]
+__all__ = [
+    "CalibrationResult",
+    "AutoBudgets",
+    "calibrate_iteration_cost",
+    "derive_auto_budgets",
+    "save_calibration",
+    "load_calibration",
+]
 
 
 @dataclass(frozen=True)
@@ -123,3 +142,123 @@ def calibrate_iteration_cost(
         tau_per_feature=slope,
         samples=tuple(samples),
     )
+
+
+# -- auto-executor budget derivation -------------------------------------------
+
+#: Measured-once constants for pool start-up cost on a typical host;
+#: deliberately conservative (over-estimating start-up errs toward the
+#: cheaper executor, which is the safe failure mode for small jobs).
+THREAD_STARTUP_SECONDS = 0.01
+PROCESS_STARTUP_SECONDS = 0.5
+#: Effective speedup a thread pool buys the numpy-heavy chain body
+#: (partial GIL release only) vs. a process pool (true parallelism).
+THREAD_EFFECTIVE_SPEEDUP = 1.3
+
+#: On-disk schema version for the calibration file.
+CALIBRATION_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AutoBudgets:
+    """Iteration budgets where pooled dispatch pays back its start-up.
+
+    ``serial_budget``: below this *total* iteration budget stay serial;
+    ``thread_budget``: below it (and above serial) use threads; above
+    it, a process pool.  These are the measured replacements for
+    :data:`repro.engine.executors.AUTO_SERIAL_BUDGET` /
+    ``AUTO_THREAD_BUDGET``.
+    """
+
+    serial_budget: int
+    thread_budget: int
+
+    def as_dict(self) -> dict:
+        return {
+            "serial_budget": self.serial_budget,
+            "thread_budget": self.thread_budget,
+        }
+
+
+def derive_auto_budgets(
+    result: CalibrationResult,
+    typical_features: int = 10,
+    cores: Optional[int] = None,
+) -> AutoBudgets:
+    """Turn a measured per-iteration cost into ``auto`` thresholds.
+
+    A pool with effective speedup *s* saves ``budget · τ · (1 − 1/s)``
+    seconds over serial; it is worth its start-up cost *C* from
+    ``budget > C / (τ · (1 − 1/s))``.  The serial→thread threshold uses
+    thread start-up and the threads' modest effective speedup; the
+    thread→process threshold uses process start-up (fork + shared-memory
+    plumbing) and the core count.  τ is evaluated at *typical_features*
+    per partition.
+    """
+    tau = result.iteration_time(typical_features)
+    if tau <= 0:
+        raise CalibrationError(f"non-positive iteration time {tau}")
+    cores = cores or os.cpu_count() or 2
+    process_speedup = max(2.0, float(min(cores, 8)))
+    serial = THREAD_STARTUP_SECONDS / (tau * (1 - 1 / THREAD_EFFECTIVE_SPEEDUP))
+    thread = PROCESS_STARTUP_SECONDS / (tau * (1 - 1 / process_speedup))
+    serial_budget = max(1_000, int(math.ceil(serial)))
+    thread_budget = max(2 * serial_budget, int(math.ceil(thread)))
+    return AutoBudgets(serial_budget=serial_budget, thread_budget=thread_budget)
+
+
+def save_calibration(
+    result: CalibrationResult,
+    path: Union[str, Path, None] = None,
+    budgets: Optional[AutoBudgets] = None,
+) -> Path:
+    """Write *result* (and its derived budgets) to the calibration file.
+
+    Defaults to the file ``auto`` selection looks for
+    (:data:`repro.engine.executors.CALIBRATION_FILE`, overridable via
+    ``$REPRO_CALIBRATION``); the engine's loaded-budget cache is cleared
+    so the new numbers take effect in this process immediately.
+    """
+    from repro.engine.executors import _calibration_path, clear_auto_budget_cache
+
+    target = Path(path) if path is not None else _calibration_path()
+    budgets = budgets or derive_auto_budgets(result)
+    payload = {
+        "schema_version": CALIBRATION_SCHEMA_VERSION,
+        "tau_base": result.tau_base,
+        "tau_per_feature": result.tau_per_feature,
+        "samples": [[n, t] for n, t in result.samples],
+        "auto_budgets": budgets.as_dict(),
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    clear_auto_budget_cache()
+    return target
+
+
+def load_calibration(
+    path: Union[str, Path],
+) -> Tuple[CalibrationResult, AutoBudgets]:
+    """Read a :func:`save_calibration` file back."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise CalibrationError(f"unreadable calibration file {path}: {exc}") from None
+    if data.get("schema_version") != CALIBRATION_SCHEMA_VERSION:
+        raise CalibrationError(
+            f"calibration schema {data.get('schema_version')!r} != "
+            f"{CALIBRATION_SCHEMA_VERSION}"
+        )
+    try:
+        result = CalibrationResult(
+            tau_base=float(data["tau_base"]),
+            tau_per_feature=float(data["tau_per_feature"]),
+            samples=tuple((int(n), float(t)) for n, t in data["samples"]),
+        )
+        budgets = AutoBudgets(
+            serial_budget=int(data["auto_budgets"]["serial_budget"]),
+            thread_budget=int(data["auto_budgets"]["thread_budget"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CalibrationError(f"malformed calibration file {path}: {exc}") from None
+    return result, budgets

@@ -1,0 +1,119 @@
+"""Service throughput workload.
+
+The paper's question is wall-clock speedup for one detection; the
+service layer's question is *sustained throughput*: how many detection
+jobs per second does the queue + worker pool + streaming transport
+clear, and what does the result cache buy on repeat traffic?  This
+workload measures exactly that, end to end over real sockets — N
+clients submitting concurrently, every job streamed to completion —
+first against a cold cache, then the identical traffic warm.
+
+``scripts/bench_service.py`` wraps it into the ``BENCH_service.json``
+CI artifact, the starting point of the service perf trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.engine.cache import ResultCache
+from repro.service.client import ServiceClient, StreamedDetection
+from repro.service.protocol import scene_job
+from repro.service.server import serve_background
+
+__all__ = ["service_throughput"]
+
+
+def _drive_job(address, job, priority: int = 0) -> Dict[str, Any]:
+    """One client's work: connect, submit (honouring backpressure),
+    stream to completion; return latency facts."""
+    start = time.perf_counter()
+    with ServiceClient(*address) as client:
+        out: StreamedDetection = client.detect(job, priority=priority)
+    elapsed = time.perf_counter() - start
+    return {
+        "job_id": out.job_id,
+        "latency_seconds": elapsed,
+        "cached": out.cached,
+        "n_fragments": len(out.fragments),
+        "n_found": len(out.circles),
+    }
+
+
+def _round(address, jobs) -> Dict[str, Any]:
+    watch = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+        rows: List[Dict[str, Any]] = list(pool.map(
+            lambda job: _drive_job(address, job), jobs
+        ))
+    wall = time.perf_counter() - watch
+    latencies = [r["latency_seconds"] for r in rows]
+    return {
+        "wall_seconds": wall,
+        "jobs_per_second": len(rows) / wall if wall > 0 else float("inf"),
+        "latency_mean_seconds": statistics.fmean(latencies),
+        "latency_max_seconds": max(latencies),
+        "n_cached": sum(1 for r in rows if r["cached"]),
+        "n_fragments": sum(r["n_fragments"] for r in rows),
+        "jobs": rows,
+    }
+
+
+def service_throughput(
+    n_jobs: int = 8,
+    size: int = 64,
+    circles: int = 5,
+    iterations: int = 400,
+    workers: int = 2,
+    queue_size: Optional[int] = None,
+    strategy: str = "intelligent",
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict[str, Any]:
+    """Measure cold and warm service throughput for *n_jobs* concurrent
+    submissions of distinct synthetic scenes.
+
+    Returns a JSON-able document: configuration, a cold round (every
+    job computed), and — when *use_cache* — a warm round of the
+    identical traffic (every job answered from the cache, measuring the
+    transport + cache floor).
+    """
+    jobs = [
+        scene_job(
+            size=size, circles=circles, strategy=strategy,
+            iterations=iterations, seed=seed + i,
+        )
+        for i in range(n_jobs)
+    ]
+    cache = ResultCache() if use_cache else None
+    handle = serve_background(
+        workers=workers,
+        queue_size=queue_size or max(4, n_jobs),
+        cache=cache,
+    )
+    try:
+        address = handle.address
+        cold = _round(address, jobs)
+        warm = _round(address, jobs) if use_cache else None
+        with ServiceClient(*address) as client:
+            stats = client.stats()
+    finally:
+        handle.stop()
+    return {
+        "config": {
+            "n_jobs": n_jobs,
+            "size": size,
+            "circles": circles,
+            "iterations": iterations,
+            "workers": workers,
+            "strategy": strategy,
+            "seed": seed,
+            "cached": use_cache,
+        },
+        "cold": cold,
+        "warm": warm,
+        "server_stats": stats,
+    }

@@ -39,6 +39,7 @@ __all__ = [
     "synthetic_workload",
     "workload_batch",
     "image_batch",
+    "request_for_image",
 ]
 
 #: Move weights realising the paper's §VII setup: qg = 0.4 with the five
@@ -240,6 +241,61 @@ def synthetic_workload(
     )
 
 
+# -- single-image bridge ------------------------------------------------------
+
+def request_for_image(
+    image: Image,
+    strategy: str,
+    iterations: int,
+    threshold: float = 0.4,
+    radius_mean: float = 8.0,
+    executor="serial",
+    n_workers: Optional[int] = None,
+    seed: SeedLike = None,
+    record_every: int = 50,
+    options: Optional[dict] = None,
+):
+    """A :class:`~repro.engine.schema.DetectionRequest` for one raw
+    :class:`~repro.imaging.image.Image` — e.g. a PGM read from disk.
+
+    The model spec is derived from the image itself: expected count from
+    its thresholded foreground (the §VIII prior-allocation step),
+    dimensions from the image.  Strategies that pre-filter get
+    *threshold* as their ``theta``; the periodic strategy receives the
+    already-filtered image — the same semantics as
+    :meth:`Workload.request`.  This is the one definition
+    ``repro detect --image``, ``--batch`` (:func:`image_batch`), and the
+    detection service's PGM/pixel job specs share.
+    """
+    from repro.engine import DetectionRequest
+
+    filtered = threshold_filter(image, threshold)
+    est = max(estimate_count(filtered, 0.5, radius_mean), 1.0)
+    model = ModelSpec(
+        width=image.width,
+        height=image.height,
+        expected_count=est,
+        radius_mean=radius_mean,
+        radius_min=max(1.0, radius_mean / 4.0),
+        radius_max=radius_mean * 2.0,
+    )
+    opts = dict(options or {})
+    if strategy in ("blind", "intelligent"):
+        opts.setdefault("theta", threshold)
+    return DetectionRequest(
+        image=filtered if strategy == "periodic" else image,
+        spec=model,
+        move_config=MoveConfig(weights=dict(PAPER_MOVE_WEIGHTS)),
+        iterations=iterations,
+        strategy=strategy,
+        executor=executor,
+        n_workers=n_workers,
+        seed=seed,
+        record_every=record_every,
+        options=opts,
+    )
+
+
 # -- batch bridges ------------------------------------------------------------
 
 def workload_batch(
@@ -301,35 +357,22 @@ def image_batch(
     the periodic strategy receives the already-filtered image, matching
     :meth:`Workload.request` semantics.
     """
-    from repro.engine import DetectionBatch, DetectionRequest, spawn_seeds
+    from repro.engine import DetectionBatch, spawn_seeds
 
     images = list(images)
     children = spawn_seeds(seed, len(images))
-    requests = []
-    for image, child in zip(images, children):
-        filtered = threshold_filter(image, threshold)
-        est = max(estimate_count(filtered, 0.5, radius_mean), 1.0)
-        model = ModelSpec(
-            width=image.width,
-            height=image.height,
-            expected_count=est,
-            radius_mean=radius_mean,
-            radius_min=max(1.0, radius_mean / 4.0),
-            radius_max=radius_mean * 2.0,
-        )
-        opts = dict(options or {})
-        if strategy in ("blind", "intelligent"):
-            opts.setdefault("theta", threshold)
-        requests.append(DetectionRequest(
-            image=filtered if strategy == "periodic" else image,
-            spec=model,
-            move_config=MoveConfig(weights=dict(PAPER_MOVE_WEIGHTS)),
+    return DetectionBatch(requests=[
+        request_for_image(
+            image,
+            strategy,
             iterations=iterations,
-            strategy=strategy,
+            threshold=threshold,
+            radius_mean=radius_mean,
             executor=executor,
             n_workers=n_workers,
             seed=child,
             record_every=record_every,
-            options=opts,
-        ))
-    return DetectionBatch(requests=requests)
+            options=options,
+        )
+        for image, child in zip(images, children)
+    ])

@@ -7,7 +7,11 @@ Usage::
     python -m repro run fig1             # regenerate one experiment
     python -m repro run arch --seed 7
     python -m repro detect --strategy intelligent --executor serial
+    python -m repro detect --image scan.pgm          # one PGM from disk
     python -m repro detect --batch images/ --cache   # N PGMs, one pool
+    python -m repro serve --port 7341 --workers 4 --cache
+    python -m repro detect --server localhost:7341   # submit + stream
+    python -m repro calibrate --save     # tune `auto` executor budgets
     python -m repro cache stats --json   # result-cache hit rates
     python -m repro quickstart           # end-to-end detection demo
 
@@ -26,6 +30,15 @@ request's content-addressed digest is checked against the on-disk
 result cache first, so re-runs over unchanged images skip the MCMC
 entirely.  ``repro cache stats``/``repro cache clear`` inspect and
 reset that store.
+
+**Serving**: ``repro serve`` runs the asyncio detection service
+(:mod:`repro.service`) — a job queue with priorities and backpressure
+over a bounded engine worker pool, streaming per-partition results to
+clients as chains finish.  ``repro detect --server HOST:PORT`` submits
+the detect job there instead of running locally and prints events as
+they stream in.  ``repro calibrate --save`` measures this host's
+per-iteration cost and writes the calibration file the engine's
+``auto`` executor selection loads its budgets from.
 """
 
 from __future__ import annotations
@@ -251,16 +264,165 @@ def _run_detect_batch(args) -> int:
     return 0
 
 
+def _run_detect_image(args) -> int:
+    """``repro detect --image PATH.pgm``: one disk image, local run."""
+    from repro.bench.workloads import request_for_image
+    from repro.engine import DetectionBatch, run, run_batch
+    from repro.imaging.pgm import read_pgm
+
+    image = read_pgm(args.image)
+    request = request_for_image(
+        image,
+        args.strategy,
+        iterations=args.iterations,
+        threshold=args.threshold,
+        executor=args.executor,
+        seed=args.seed,
+    )
+    cache = _make_cache(args)
+    if cache is not None:
+        result = run_batch(
+            DetectionBatch(requests=[request]), cache=cache,
+            executor=args.executor,
+        ).results[0]
+        cache.flush()
+    else:
+        result = run(request)
+    if args.json:
+        print(json.dumps({
+            "image": str(args.image),
+            "strategy": result.strategy,
+            "executor": result.executor_kind,
+            "width": image.width,
+            "height": image.height,
+            "n_found": result.n_found,
+            "n_partitions": result.n_partitions,
+            "elapsed_seconds": result.elapsed_seconds,
+            "circles": [[c.x, c.y, c.r] for c in result.circles],
+            "partitions": [
+                {"rect": [r.rect.x0, r.rect.y0, r.rect.x1, r.rect.y1],
+                 "expected_count": r.expected_count,
+                 "n_found": r.n_found,
+                 "elapsed_seconds": r.elapsed_seconds}
+                for r in result.reports
+            ],
+        }))
+        return 0
+    print(f"strategy {result.strategy} on {args.image} "
+          f"({image.width}x{image.height}), executor {result.executor_kind}")
+    t = Table("Per-partition report",
+              ["partition", "est count", "found", "runtime (s)"], precision=3)
+    for k, r in enumerate(result.reports):
+        t.add_row([k, r.expected_count, r.n_found, r.elapsed_seconds])
+    print(t.render())
+    print(f"found {result.n_found} circles in {result.elapsed_seconds:.2f} s")
+    return 0
+
+
+def _parse_server(address: str):
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"--server wants HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+def _run_detect_server(args) -> int:
+    """``repro detect --server HOST:PORT``: submit + stream remotely."""
+    from repro.service import ServiceClient, pixels_job, scene_job
+
+    if args.image:
+        from repro.imaging.pgm import read_pgm
+
+        job = pixels_job(
+            read_pgm(args.image), strategy=args.strategy,
+            iterations=args.iterations, seed=args.seed,
+            threshold=args.threshold,
+        )
+        source = str(args.image)
+    else:
+        job = scene_job(
+            size=args.size, circles=args.circles, strategy=args.strategy,
+            iterations=args.iterations, seed=args.seed,
+            threshold=args.threshold,
+        )
+        source = f"synthetic {args.size}x{args.size}"
+    host, port = _parse_server(args.server)
+    with ServiceClient(host, port) as client:
+        reply = client.submit_wait(job, priority=args.priority)
+        job_id = reply["job_id"]
+        if not args.json:
+            print(f"submitted {job_id} ({source}, strategy {args.strategy}, "
+                  f"priority {args.priority}) to {host}:{port}"
+                  + (" [cache hit]" if reply.get("cached") else ""))
+        events = []
+        result_doc = None
+        failure = None
+        cached = bool(reply.get("cached"))
+        for event in client.stream(job_id):
+            events.append(event)
+            name = event.get("event")
+            if name == "result":
+                result_doc = event["result"]
+                cached = bool(event.get("cached", cached))
+            elif name == "error":
+                failure = event.get("error", "unknown server error")
+            elif name == "cancelled":
+                failure = "job was cancelled"
+            elif not args.json:
+                if name == "planned":
+                    print(f"  planned partition {event['index']} "
+                          f"(est count {event['expected_count']:.2f})")
+                elif name == "partition":
+                    rep = event["report"]
+                    print(f"  partition {event['index']} done: "
+                          f"{rep['n_found']} found in "
+                          f"{rep['elapsed_seconds']:.2f} s")
+        if result_doc is None:
+            if args.json:
+                print(json.dumps({
+                    "job_id": job_id,
+                    "server": args.server,
+                    "error": failure or "job ended without a result",
+                }))
+            print(f"error: job {job_id}: "
+                  f"{failure or 'ended without a result'}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps({
+            "job_id": job_id,
+            "server": args.server,
+            "cached": cached,
+            "n_events": len(events),
+            "n_found": len(result_doc["circles"]),
+            "n_partitions": len(result_doc["reports"]),
+            "result": result_doc,
+        }))
+        return 0
+    print(f"{job_id}: {len(result_doc['circles'])} circles across "
+          f"{len(result_doc['reports'])} partitions"
+          f"{' (cached)' if cached else ''}")
+    return 0
+
+
 def _run_detect(args) -> int:
     """``repro detect``: the engine on a synthetic scene, any strategy."""
+    if args.server:
+        return _run_detect_server(args)
     if args.batch:
         return _run_detect_batch(args)
+    if args.image:
+        return _run_detect_image(args)
     from repro.bench.workloads import synthetic_workload
     from repro.core.evaluation import evaluate_model
     from repro.engine import DetectionBatch, run, run_batch
 
     workload = synthetic_workload(
-        size=args.size, n_circles=args.circles, seed=args.seed
+        size=args.size, n_circles=args.circles,
+        threshold=args.threshold, seed=args.seed,
     )
     scene = workload.scene
     request = workload.request(
@@ -311,6 +473,63 @@ def _run_detect(args) -> int:
     print(f"found {result.n_found} (truth {scene.n_circles})  "
           f"precision {report.precision:.2f}  recall {report.recall:.2f}  "
           f"F1 {report.f1:.2f}  in {result.elapsed_seconds:.2f} s")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: the asyncio detection service, foreground."""
+    from repro.service import serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache=_make_cache(args),
+        executor=args.executor,
+    )
+    return 0
+
+
+def _run_calibrate(args) -> int:
+    """``repro calibrate``: measure τ(n), derive `auto` budgets, save."""
+    from repro.bench.calibration import (
+        calibrate_iteration_cost,
+        derive_auto_budgets,
+        save_calibration,
+    )
+
+    counts = [int(c) for c in args.features.split(",") if c.strip()]
+    result = calibrate_iteration_cost(
+        feature_counts=counts,
+        iterations=args.iterations,
+        image_size=args.size,
+        seed=args.seed,
+    )
+    budgets = derive_auto_budgets(result)
+    saved_to = None
+    if args.save is not None:
+        saved_to = str(save_calibration(result, args.save or None, budgets))
+    if args.json:
+        print(json.dumps({
+            "tau_base": result.tau_base,
+            "tau_per_feature": result.tau_per_feature,
+            "samples": [[n, t] for n, t in result.samples],
+            "auto_budgets": budgets.as_dict(),
+            "saved_to": saved_to,
+        }))
+        return 0
+    t = Table("Host calibration — seconds/iteration vs model size",
+              ["n features", "s/iter"], precision=6)
+    for n, tau in result.samples:
+        t.add_row([n, tau])
+    print(t.render())
+    print(f"fit: tau(n) = {result.tau_base:.3g} + {result.tau_per_feature:.3g}·n")
+    print(f"auto budgets: serial below {budgets.serial_budget:,} total "
+          f"iterations, threads below {budgets.thread_budget:,}, "
+          f"processes above")
+    if saved_to:
+        print(f"saved to {saved_to} (auto-selection loads it from here)")
     return 0
 
 
@@ -381,17 +600,64 @@ def main(argv=None) -> int:
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument("--json", action="store_true",
                         help="machine-readable result")
+    detect.add_argument("--image", metavar="PATH", default=None,
+                        help="detect on one *.pgm image from disk instead "
+                             "of a synthetic scene")
     detect.add_argument("--batch", metavar="DIR", default=None,
                         help="run every *.pgm in DIR through one shared "
                              "executor pool instead of a synthetic scene")
     detect.add_argument("--threshold", type=float, default=0.4,
-                        help="foreground threshold for --batch images")
+                        help="foreground threshold for --image/--batch images")
+    detect.add_argument("--server", metavar="HOST:PORT", default=None,
+                        help="submit to a running `repro serve` instance and "
+                             "stream per-partition results instead of "
+                             "running locally")
+    detect.add_argument("--priority", type=int, default=0,
+                        help="job priority for --server submissions "
+                             "(higher dequeues first)")
     detect.add_argument("--cache", action="store_true",
                         help="answer repeated requests from the on-disk "
                              "result cache (content-addressed; any changed "
                              "image/param/seed recomputes)")
     detect.add_argument("--cache-dir", default=".repro-cache",
                         help="result-cache directory (default: .repro-cache)")
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio detection service (job queue + streaming)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7341)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent engine jobs (0: accept but never "
+                            "dispatch; for debugging)")
+    serve.add_argument("--queue-size", type=int, default=16,
+                       help="max queued jobs before submissions are "
+                            "rejected with retry_after")
+    serve.add_argument("--executor", default=None,
+                       choices=["auto", "serial", "thread", "process"],
+                       help="force every job onto this executor kind "
+                            "(default: honour each request)")
+    serve.add_argument("--cache", action="store_true",
+                       help="consult/fill the on-disk result cache")
+    serve.add_argument("--cache-dir", default=".repro-cache")
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure this host's s/iteration and tune `auto` executor budgets",
+    )
+    calibrate.add_argument("--features", default="5,15,30",
+                           help="comma-separated model sizes to time")
+    calibrate.add_argument("--iterations", type=int, default=3000,
+                           help="chain length per timing sample (>= 100)")
+    calibrate.add_argument("--size", type=int, default=256,
+                           help="calibration scene edge length")
+    calibrate.add_argument("--seed", type=int, default=99)
+    calibrate.add_argument("--save", nargs="?", const="", default=None,
+                           metavar="PATH",
+                           help="write the calibration file `auto` selection "
+                                "loads (default path: .repro-calibration.json "
+                                "or $REPRO_CALIBRATION)")
+    calibrate.add_argument("--json", action="store_true",
+                           help="machine-readable output")
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the on-disk result cache",
@@ -427,6 +693,10 @@ def main(argv=None) -> int:
             return 0
         if args.command == "detect":
             return _run_detect(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "calibrate":
+            return _run_calibrate(args)
         if args.command == "cache":
             return _run_cache(args)
         if args.command == "quickstart":

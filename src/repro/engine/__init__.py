@@ -80,11 +80,16 @@ from __future__ import annotations
 
 from dataclasses import replace as _replace
 
+from typing import Iterator as _Iterator
+
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.executors import (
+    AsyncExecutor,
     SwitchingProcessExecutor,
+    auto_budgets,
     auto_executor_kind,
     batch_pool,
+    clear_auto_budget_cache,
     engine_executor,
 )
 from repro.engine.orchestrator import TiledStrategy, run_batch
@@ -100,11 +105,15 @@ from repro.engine.schema import (
     BatchItemResult,
     BatchResult,
     DetectionBatch,
+    DetectionEvent,
     DetectionRequest,
     DetectionResult,
     PartitionReport,
+    PartitionResultEvent,
+    ResultEvent,
     StrategyOutput,
     TilePlan,
+    TilePlannedEvent,
     image_digest,
     request_key,
     snapshot_seed,
@@ -133,9 +142,17 @@ __all__ = [
     "available_strategies",
     "engine_executor",
     "auto_executor_kind",
+    "auto_budgets",
+    "clear_auto_budget_cache",
     "batch_pool",
+    "AsyncExecutor",
     "SwitchingProcessExecutor",
+    "DetectionEvent",
+    "TilePlannedEvent",
+    "PartitionResultEvent",
+    "ResultEvent",
     "run",
+    "run_stream",
     "run_batch",
     "request_key",
     "image_digest",
@@ -175,3 +192,43 @@ def run(request: DetectionRequest) -> DetectionResult:
         n_tasks=output.n_tasks,
         raw=output.raw,
     )
+
+
+def run_stream(request: DetectionRequest) -> _Iterator[DetectionEvent]:
+    """Execute *request*, yielding events as the run progresses.
+
+    The streaming twin of :func:`run`: yields a
+    :class:`TilePlannedEvent` when the estimation phase produces each
+    partition (its chain is dispatched at that moment — estimation
+    overlaps execution on the :class:`AsyncExecutor`), a
+    :class:`PartitionResultEvent` the moment each partition's chain
+    completes (the per-tile result fragment, before merge), and finally
+    a :class:`ResultEvent` carrying the merged :class:`DetectionResult`.
+
+    The terminal result is bit-identical to :func:`run` on the same
+    request: per-tile seeds are drawn in tile order regardless of
+    completion order, and the merge consumes results in tile order.
+    The detection service (:mod:`repro.service`) is the primary
+    consumer — it forwards these events to streaming clients.
+    """
+    strategy = get_strategy(request.strategy)
+    strategy.validate(request)
+    request = _replace(request, seed=snapshot_seed(request.seed))
+    watch = Stopwatch().start()
+    gen = strategy.execute_stream(request)
+    while True:
+        try:
+            event = next(gen)
+        except StopIteration as stop:
+            output = stop.value
+            break
+        yield event
+    yield ResultEvent(result=DetectionResult(
+        strategy=request.strategy,
+        circles=output.circles,
+        reports=output.reports,
+        elapsed_seconds=watch.stop(),
+        executor_kind=output.executor_kind,
+        n_tasks=output.n_tasks,
+        raw=output.raw,
+    ))

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import abstractmethod
 from dataclasses import replace
-from typing import Any, List, Optional, Tuple
+from typing import Any, Generator, List, Optional, Tuple
 
 from repro.core.subimage import (
     SubImageResult,
@@ -29,6 +29,8 @@ from repro.core.subimage import (
 )
 from repro.engine.cache import ResultCache
 from repro.engine.executors import (
+    BATCH_TASKS_PER_REQUEST,
+    AsyncExecutor,
     SwitchingProcessExecutor,
     batch_pool,
     engine_executor,
@@ -38,10 +40,13 @@ from repro.engine.schema import (
     BatchItemResult,
     BatchResult,
     DetectionBatch,
+    DetectionEvent,
     DetectionRequest,
     PartitionReport,
+    PartitionResultEvent,
     StrategyOutput,
     TilePlan,
+    TilePlannedEvent,
     request_key,
 )
 from repro.parallel.sharedmem import set_worker_image
@@ -49,6 +54,9 @@ from repro.utils.rng import coerce_stream
 from repro.utils.timing import Stopwatch
 
 __all__ = ["TiledStrategy", "run_batch"]
+
+#: Sentinel: plan_stream has not yet returned its merge context.
+_PLAN_PENDING = object()
 
 
 class TiledStrategy(Strategy):
@@ -75,6 +83,24 @@ class TiledStrategy(Strategy):
     ) -> Any:
         """Recombine per-tile results into the strategy's result object
         (which must expose a ``circles`` attribute/property)."""
+
+    def plan_stream(
+        self, request: DetectionRequest
+    ) -> Generator[TilePlan, None, Any]:
+        """Yield tiles one at a time; return :meth:`merge`'s context.
+
+        The streaming path dispatches each tile's chain the moment it is
+        yielded, so a strategy whose estimation work is per-tile
+        (threshold scans, count integrals) should override this to
+        interleave estimation with execution.  The default drains
+        :meth:`plan` — correct, but all estimation happens before any
+        chain starts.  Must produce exactly :meth:`plan`'s tiles in
+        :meth:`plan`'s order (the determinism contract: per-tile seeds
+        are drawn in yield order).
+        """
+        tiles, context = self.plan(request)
+        yield from tiles
+        return context
 
     def execute(self, request: DetectionRequest) -> StrategyOutput:
         tiles, context = self.plan(request)
@@ -113,6 +139,121 @@ class TiledStrategy(Strategy):
             raw=raw,
             n_tasks=len(tasks),
             executor_kind=kind,
+        )
+
+    def execute_stream(
+        self, request: DetectionRequest
+    ) -> Generator[DetectionEvent, None, StrategyOutput]:
+        """The streaming twin of :meth:`execute`.
+
+        Estimation overlaps execution: each tile's chain is submitted to
+        an :class:`AsyncExecutor` the moment :meth:`plan_stream` yields
+        it, while later tiles are still being estimated; each chain's
+        result fragment is yielded as a :class:`PartitionResultEvent` as
+        soon as it completes, before (and independent of) the merge.
+
+        Tiles are buffered up to the default task-count hint before the
+        pool opens: a plan of that many tiles or fewer sizes ``auto``
+        dispatch exactly like the blocking path (in particular, a
+        single-partition plan stays serial — no process pool for one
+        chain), and a longer plan's hint *under*-estimates the real
+        count, so streaming may pick a cheaper pool kind than ``run()``
+        but never a heavier one.
+
+        Determinism: per-tile seeds are drawn in tile order from the
+        request seed's root stream — the same draws :meth:`execute`
+        makes — and :meth:`merge` consumes results in tile order, so the
+        returned output is bit-identical to the blocking path no matter
+        the completion order (or pool kind).
+        """
+        stream = coerce_stream(request.seed)
+        set_worker_image(request.image.pixels)
+        plan_gen = self.plan_stream(request)
+        tiles: List[TilePlan] = []
+        context = _PLAN_PENDING
+        buffered: List[TilePlan] = []
+        while len(buffered) < BATCH_TASKS_PER_REQUEST and context is _PLAN_PENDING:
+            try:
+                buffered.append(next(plan_gen))
+            except StopIteration as stop:
+                context = stop.value
+        expected = len(buffered) if context is not _PLAN_PENDING else None
+
+        def build_task(tile: TilePlan):
+            return make_subimage_task(
+                tile.rect,
+                request.spec,
+                request.move_config,
+                expected_count=tile.expected_count,
+                iterations=request.iterations,
+                seed=int(stream.rng.integers(0, 2**63 - 1)),
+                record_every=request.record_every,
+            )
+
+        with AsyncExecutor(request, request.image, expected_tasks=expected) as pool:
+            pending = iter(buffered)
+            while True:
+                tile = next(pending, None)
+                if tile is None:
+                    if context is not _PLAN_PENDING:
+                        break
+                    try:
+                        tile = next(plan_gen)
+                    except StopIteration as stop:
+                        context = stop.value
+                        break
+                index = pool.submit(run_subimage_task, build_task(tile))
+                tiles.append(tile)
+                yield TilePlannedEvent(
+                    index=index,
+                    rect=tile.rect,
+                    expected_count=tile.expected_count,
+                )
+                for done_index, res in pool.completed():
+                    yield self._fragment_event(tiles, done_index, res, None)
+            n_tasks = len(tiles)
+            for done_index, res in pool.iter_completed():
+                yield self._fragment_event(tiles, done_index, res, n_tasks)
+            sub_results = pool.results()
+            kind = pool.kind
+        raw = self.merge(request, context, sub_results)
+        reports = [
+            PartitionReport(
+                rect=tile.rect,
+                expected_count=tile.expected_count,
+                n_found=len(res.circles),
+                iterations=res.iterations,
+                elapsed_seconds=res.elapsed_seconds,
+            )
+            for tile, res in zip(tiles, sub_results)
+        ]
+        return StrategyOutput(
+            circles=list(raw.circles),
+            reports=reports,
+            raw=raw,
+            n_tasks=n_tasks,
+            executor_kind=kind,
+        )
+
+    @staticmethod
+    def _fragment_event(
+        tiles: List[TilePlan],
+        index: int,
+        res: SubImageResult,
+        n_tasks: Optional[int],
+    ) -> PartitionResultEvent:
+        tile = tiles[index]
+        return PartitionResultEvent(
+            index=index,
+            report=PartitionReport(
+                rect=tile.rect,
+                expected_count=tile.expected_count,
+                n_found=len(res.circles),
+                iterations=res.iterations,
+                elapsed_seconds=res.elapsed_seconds,
+            ),
+            circles=list(res.circles),
+            n_tasks=n_tasks,
         )
 
 

@@ -15,10 +15,15 @@ new scheme plugs in without forking a fifth pipeline.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, FrozenSet, List, Type
+from typing import Callable, Dict, FrozenSet, Generator, List, Type
 
 from repro.errors import EngineError, UnknownStrategyError
-from repro.engine.schema import DetectionRequest, StrategyOutput
+from repro.engine.schema import (
+    DetectionEvent,
+    DetectionRequest,
+    PartitionResultEvent,
+    StrategyOutput,
+)
 
 __all__ = [
     "Strategy",
@@ -50,6 +55,32 @@ class Strategy(ABC):
         """Run the strategy.  The engine owns overall timing; the
         strategy owns executor lifecycle via
         :func:`repro.engine.executors.engine_executor`."""
+
+    def execute_stream(
+        self, request: DetectionRequest
+    ) -> Generator[DetectionEvent, None, StrategyOutput]:
+        """Run the strategy, yielding progress/fragment events along the
+        way and returning the final :class:`StrategyOutput`.
+
+        The default runs :meth:`execute` to completion and then emits
+        one :class:`PartitionResultEvent` per report — a degenerate but
+        correct stream for strategies whose execution cannot be broken
+        into independent fragments (the periodic sampler's partitions
+        change every cycle).  :class:`~repro.engine.orchestrator.TiledStrategy`
+        overrides this with genuinely incremental streaming.
+        """
+        output = self.execute(request)
+        n = len(output.reports)
+        for i, report in enumerate(output.reports):
+            yield PartitionResultEvent(
+                index=i,
+                report=report,
+                # With one report the fragment IS the final model; with
+                # several (post-hoc), per-fragment circles are unknown.
+                circles=list(output.circles) if n == 1 else [],
+                n_tasks=n,
+            )
+        return output
 
     def validate(self, request: DetectionRequest) -> None:
         unknown = set(request.options) - set(self.option_keys)

@@ -42,6 +42,10 @@ __all__ = [
     "PartitionReport",
     "TilePlan",
     "StrategyOutput",
+    "DetectionEvent",
+    "TilePlannedEvent",
+    "PartitionResultEvent",
+    "ResultEvent",
     "image_digest",
     "request_key",
     "snapshot_seed",
@@ -187,6 +191,51 @@ class DetectionResult:
     @property
     def n_partitions(self) -> int:
         return len(self.reports)
+
+
+# -- streaming events ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class TilePlannedEvent:
+    """The estimation phase produced one tile: its chain is now dispatched.
+
+    Emitted by the streaming path (:func:`repro.engine.run_stream`) the
+    moment a partition's region and prior count estimate exist — i.e.
+    while other partitions' chains may already be running, which is the
+    estimation/execution overlap the ``AsyncExecutor`` buys.
+    """
+
+    index: int
+    rect: Rect
+    expected_count: float
+
+
+@dataclass(frozen=True)
+class PartitionResultEvent:
+    """One partition's chain finished: its result fragment, pre-merge.
+
+    ``circles`` are the fragment's fitted circles in global coordinates
+    (for tiled strategies, the raw per-partition model before the
+    strategy's merge step; for single-partition strategies, the final
+    model).  ``n_tasks`` is the total the consumer should expect, or
+    ``None`` while planning is still discovering partitions.
+    """
+
+    index: int
+    report: PartitionReport
+    circles: List[Circle]
+    n_tasks: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ResultEvent:
+    """Terminal event: the merged, engine-level result."""
+
+    result: DetectionResult
+
+
+#: Everything :func:`repro.engine.run_stream` may yield.
+DetectionEvent = Union[TilePlannedEvent, PartitionResultEvent, ResultEvent]
 
 
 # -- canonical request hashing -------------------------------------------------

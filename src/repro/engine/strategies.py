@@ -14,7 +14,7 @@ behaviour exactly.
 from __future__ import annotations
 
 import math
-from typing import Any, List, Tuple
+from typing import Any, Generator, List, Tuple
 
 from repro.core.blind_pipeline import BlindPipelineResult
 from repro.core.intelligent_pipeline import (
@@ -52,6 +52,21 @@ __all__ = [
     "IntelligentStrategy",
     "PeriodicStrategy",
 ]
+
+
+def _drain_plan(gen: Generator) -> Tuple[List[TilePlan], Any]:
+    """Collect an incremental :meth:`plan_stream` into ``plan()`` form.
+
+    Strategies whose estimation is naturally per-tile implement the
+    generator as the single source of truth and express the blocking
+    ``plan()`` through this, so the two paths cannot drift.
+    """
+    tiles: List[TilePlan] = []
+    while True:
+        try:
+            tiles.append(next(gen))
+        except StopIteration as stop:
+            return tiles, stop.value
 
 
 @register_strategy("naive")
@@ -103,6 +118,15 @@ class BlindStrategy(TiledStrategy):
     )
 
     def plan(self, request: DetectionRequest) -> Tuple[List[TilePlan], Any]:
+        return _drain_plan(self.plan_stream(request))
+
+    def plan_stream(
+        self, request: DetectionRequest
+    ) -> Generator[TilePlan, None, Any]:
+        """Incremental planning: each partition's count estimate is an
+        integral over its expanded rect, so a tile is dispatchable (and,
+        on the streaming path, dispatched) before the next partition's
+        estimation has run."""
         nx = int(request.option("nx", 2))
         ny = int(request.option("ny", 2))
         overlap_factor = float(request.option("overlap_factor", 1.1))
@@ -112,15 +136,14 @@ class BlindStrategy(TiledStrategy):
             request.image.bounds, nx, ny, overlap_factor * spec.radius_mean
         )
         binary = threshold_filter(request.image, theta)
-        est_counts = [
-            estimate_count_in_rect(binary, p.expanded, theta=0.5, radius=spec.radius_mean)
-            for p in parts
-        ]
-        tiles = [
-            TilePlan(rect=p.expanded, expected_count=est)
-            for p, est in zip(parts, est_counts)
-        ]
-        return tiles, (parts, est_counts)
+        est_counts = []
+        for p in parts:
+            est = estimate_count_in_rect(
+                binary, p.expanded, theta=0.5, radius=spec.radius_mean
+            )
+            est_counts.append(est)
+            yield TilePlan(rect=p.expanded, expected_count=est)
+        return (parts, est_counts)
 
     def merge(
         self,
@@ -151,6 +174,15 @@ class IntelligentStrategy(TiledStrategy):
     option_keys = frozenset({"theta", "min_gap", "pad", "trim", "whole_image_count"})
 
     def plan(self, request: DetectionRequest) -> Tuple[List[TilePlan], Any]:
+        return _drain_plan(self.plan_stream(request))
+
+    def plan_stream(
+        self, request: DetectionRequest
+    ) -> Generator[TilePlan, None, Any]:
+        """Incremental planning: segmentation is one up-front pass, but
+        the per-partition estimation (eq. (5) threshold/density counts)
+        runs tile by tile — each segment's chain starts while the
+        remaining segments are still being estimated."""
         theta = float(request.option("theta", 0.5))
         min_gap = float(request.option("min_gap", 8.0))
         pad = float(request.option("pad", 3.0))
@@ -171,7 +203,6 @@ class IntelligentStrategy(TiledStrategy):
                 binary, image.bounds, theta=0.5, radius=spec.radius_mean
             )
 
-        tiles: List[TilePlan] = []
         reports: List[PartitionRunReport] = []
         for rect in segmentation.partitions:
             est_thresh = estimate_count_in_rect(
@@ -189,8 +220,8 @@ class IntelligentStrategy(TiledStrategy):
                     est_count_density=est_density,
                 )
             )
-            tiles.append(TilePlan(rect=rect, expected_count=est_thresh))
-        return tiles, (segmentation, reports)
+            yield TilePlan(rect=rect, expected_count=est_thresh)
+        return (segmentation, reports)
 
     def merge(
         self,

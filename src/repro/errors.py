@@ -19,6 +19,9 @@ __all__ = [
     "CalibrationError",
     "EngineError",
     "UnknownStrategyError",
+    "ServiceError",
+    "QueueFullError",
+    "JobNotFoundError",
 ]
 
 
@@ -60,3 +63,24 @@ class EngineError(ReproError):
 
 class UnknownStrategyError(EngineError):
     """A detection request named a strategy that is not registered."""
+
+
+class ServiceError(ReproError):
+    """Detection-service failures (protocol violation, bad job spec, ...)."""
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity; retry after a delay.
+
+    ``retry_after`` is the server's estimate (seconds) of when capacity
+    should free up — the backpressure contract clients are expected to
+    honour instead of hammering the queue.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class JobNotFoundError(ServiceError):
+    """A status/cancel/stream request named an unknown job id."""

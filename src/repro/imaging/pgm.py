@@ -34,7 +34,10 @@ def read_pgm(path: Union[str, Path]) -> Image:
     Supports arbitrary whitespace and ``#`` comments in the header, per
     the netpbm spec; only maxval <= 255 (8-bit) files are accepted.
     """
-    raw = Path(path).read_bytes()
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise ImagingError(f"cannot read PGM file {path}: {exc}") from None
     # Header: magic, width, height, maxval — tokens separated by whitespace,
     # comments run from '#' to end of line.
     tokens = []

@@ -11,6 +11,7 @@ Python-level work).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from concurrent.futures import Future
 from concurrent.futures import ThreadPoolExecutor as _TPE
 from typing import Any, Callable, List, Sequence
 
@@ -30,6 +31,23 @@ class Executor(ABC):
     @abstractmethod
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         """Apply *fn* to every task; return results in task order."""
+
+    def submit(self, fn: Callable[[Any], Any], task: Any) -> "Future":
+        """Dispatch one task, returning a :class:`~concurrent.futures.Future`.
+
+        The streaming path (:class:`repro.engine.executors.AsyncExecutor`)
+        uses this to overlap task planning with task execution.  The
+        base implementation runs the task inline and returns an
+        already-completed future — correct (and the reference semantics)
+        for executors without background workers; pool-backed executors
+        override it to dispatch asynchronously.
+        """
+        future: "Future" = Future()
+        try:
+            future.set_result(self.map(fn, [task])[0])
+        except BaseException as exc:  # propagate through the future contract
+            future.set_exception(exc)
+        return future
 
     @property
     @abstractmethod
@@ -63,6 +81,10 @@ class ThreadExecutor(Executor):
     Threads only help when the task body spends its time in GIL-
     releasing code (large numpy kernels, I/O).  For the Python-level
     MCMC inner loop prefer :class:`~repro.parallel.process.ProcessExecutor`.
+
+    Tasks run under the *submitting* thread's worker-image binding
+    (:func:`repro.parallel.sharedmem.call_with_worker_image`), so
+    concurrent engine runs in one process each see their own image.
     """
 
     def __init__(self, n_workers: int) -> None:
@@ -73,9 +95,25 @@ class ThreadExecutor(Executor):
         self._alive = True
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        from repro.parallel import sharedmem
+
         if not self._alive:
             raise ExecutorError("executor already shut down")
-        return list(self._pool.map(fn, tasks))
+        pixels = sharedmem.current_worker_image()
+        return list(self._pool.map(
+            lambda task: sharedmem.call_with_worker_image(pixels, fn, task),
+            tasks,
+        ))
+
+    def submit(self, fn: Callable[[Any], Any], task: Any) -> "Future":
+        from repro.parallel import sharedmem
+
+        if not self._alive:
+            raise ExecutorError("executor already shut down")
+        return self._pool.submit(
+            sharedmem.call_with_worker_image,
+            sharedmem.current_worker_image(), fn, task,
+        )
 
     @property
     def parallelism(self) -> int:

@@ -9,6 +9,7 @@ must be module-level (picklable); the image travels via
 from __future__ import annotations
 
 import multiprocessing
+from concurrent.futures import Future
 from concurrent.futures import ProcessPoolExecutor as _PPE
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -62,6 +63,11 @@ class ProcessExecutor(Executor):
             return list(self._pool.map(fn, tasks, chunksize=1))
         except BrokenProcessPool_or_base() as exc:  # pragma: no cover
             raise ExecutorError(f"worker pool failed: {exc}") from exc
+
+    def submit(self, fn: Callable[[Any], Any], task: Any) -> "Future":
+        if not self._alive:
+            raise ExecutorError("executor already shut down")
+        return self._pool.submit(fn, task)
 
     @property
     def parallelism(self) -> int:

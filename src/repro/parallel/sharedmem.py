@@ -10,8 +10,9 @@ few hundred floats of configuration state.
 
 from __future__ import annotations
 
+import threading
 from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +23,9 @@ __all__ = [
     "SharedImage",
     "set_worker_image",
     "get_worker_image",
+    "current_worker_image",
+    "clear_worker_image",
+    "call_with_worker_image",
     "worker_initializer",
     "use_shared_image",
 ]
@@ -92,29 +96,76 @@ class SharedImage:
                 pass
 
 
-# -- per-worker global --------------------------------------------------------
-_worker_image: Optional[np.ndarray] = None
+# -- per-worker binding -------------------------------------------------------
+#
+# The binding is *thread-local first*: several engine runs may execute
+# concurrently in one process (the detection service's worker pool), and
+# a single process-wide slot would let run B's image clobber run A's
+# mid-flight.  Each dispatching thread binds its own image; serial
+# executors run tasks on that same thread, thread pools re-install the
+# submitting thread's binding around each task
+# (:func:`call_with_worker_image`), and process-pool workers are
+# single-threaded so their initializer's binding is theirs alone.  A
+# process-global fallback keeps custom caller-owned executors (which
+# read from unbound threads) working as before.
+_tls = threading.local()
+_process_image: Optional[np.ndarray] = None
 _worker_shm: Optional[SharedImage] = None
 
 
 def set_worker_image(pixels: np.ndarray) -> None:
-    """Install the image array used by partition tasks in this process.
+    """Install the image array used by partition tasks dispatched from
+    this thread (and as the process-wide fallback).
 
     Serial executors call this in the master process; process pools call
     it via :func:`worker_initializer` in each worker.
     """
-    global _worker_image
-    _worker_image = pixels
+    global _process_image
+    _tls.image = pixels
+    _process_image = pixels
+
+
+def current_worker_image() -> Optional[np.ndarray]:
+    """This thread's bound image, falling back to the process slot;
+    ``None`` when nothing is installed."""
+    image = getattr(_tls, "image", None)
+    return image if image is not None else _process_image
 
 
 def get_worker_image() -> np.ndarray:
-    """The image array installed for this process's partition tasks."""
-    if _worker_image is None:
+    """The image array installed for this thread's partition tasks."""
+    image = current_worker_image()
+    if image is None:
         raise ExecutorError(
             "no worker image installed; call set_worker_image() or run tasks "
             "through an executor configured with worker_initializer"
         )
-    return _worker_image
+    return image
+
+
+def clear_worker_image() -> None:
+    """Drop this thread's binding (the process fallback is untouched).
+
+    Long-lived dispatcher threads (the detection service's engine pool)
+    call this after each run so a finished job's image is not pinned in
+    thread-local storage for the thread's lifetime.
+    """
+    _tls.image = None
+
+
+def call_with_worker_image(
+    pixels: Optional[np.ndarray], fn: Callable[[Any], Any], task: Any
+) -> Any:
+    """Run ``fn(task)`` with *pixels* as this thread's bound image.
+
+    The thread-pool trampoline: :class:`~repro.parallel.executor.ThreadExecutor`
+    snapshots the submitting thread's binding and wraps every task with
+    this, so pool threads see the image of the run that submitted the
+    task — not whichever run last touched the process-wide slot.
+    """
+    if pixels is not None:
+        _tls.image = pixels
+    return fn(task)
 
 
 def worker_initializer(shm_name: str, shape: Tuple[int, int]) -> None:

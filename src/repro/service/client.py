@@ -1,0 +1,197 @@
+"""Blocking, stdlib-only client for the detection service.
+
+One persistent socket per client; every method is a request/reply pair
+except :meth:`ServiceClient.stream`, which consumes event lines until a
+terminal event.  The CLI (``repro detect --server``) and the service
+tests/benchmarks are the callers; nothing here imports numpy or the
+engine, so a thin consumer can talk to a heavy server.
+
+Backpressure contract: :meth:`submit` raises
+:class:`~repro.errors.QueueFullError` (carrying the server's
+``retry_after``) when the queue rejects; :meth:`submit_wait` is the
+polite loop that honours it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.service.protocol import TERMINAL_EVENTS
+
+__all__ = ["ServiceClient", "StreamedDetection"]
+
+
+@dataclass
+class StreamedDetection:
+    """Everything one streamed job produced, in arrival order."""
+
+    job_id: str
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None  #: result_to_json document
+    cached: bool = False
+
+    @property
+    def fragments(self) -> List[Dict[str, Any]]:
+        """The per-partition result events, as they streamed in."""
+        return [e for e in self.events if e.get("event") == "partition"]
+
+    @property
+    def circles(self) -> List[Tuple[float, float, float]]:
+        if self.result is None:
+            raise ServiceError(f"job {self.job_id} has no result")
+        return [tuple(c) for c in self.result["circles"]]
+
+
+class ServiceClient:
+    """A JSON-lines connection to one :class:`DetectionService`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection ------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire ------------------------------------------------------------------
+    def _send(self, payload: Dict[str, Any]) -> None:
+        self.connect()
+        self._file.write(json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def _read_line(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        try:
+            obj = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceError(f"malformed server line: {exc}") from None
+        return obj
+
+    def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._send(payload)
+        reply = self._read_line()
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error")
+        message = reply.get("message", error or "request failed")
+        if error == "queue-full":
+            raise QueueFullError(message, retry_after=float(reply.get("retry_after", 1.0)))
+        if error == "unknown-job":
+            raise JobNotFoundError(message)
+        raise ServiceError(message)
+
+    # -- ops -------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def submit(self, job: Dict[str, Any], priority: int = 0) -> Dict[str, Any]:
+        """Submit a job spec; returns the accept reply (``job_id`` etc.).
+
+        Raises :class:`QueueFullError` when the server applies
+        backpressure — catch it and wait ``exc.retry_after`` seconds,
+        or use :meth:`submit_wait`.
+        """
+        return self._call({"op": "submit", "job": job, "priority": priority})
+
+    def submit_wait(
+        self, job: Dict[str, Any], priority: int = 0,
+        max_attempts: int = 20, max_wait: float = 60.0,
+    ) -> Dict[str, Any]:
+        """Submit, honouring backpressure: sleep ``retry_after`` between
+        attempts until accepted or the patience budget runs out."""
+        waited = 0.0
+        for attempt in range(max_attempts):
+            try:
+                return self.submit(job, priority=priority)
+            except QueueFullError as exc:
+                if attempt + 1 >= max_attempts or waited >= max_wait:
+                    raise
+                pause = min(exc.retry_after, max_wait - waited)
+                time.sleep(pause)
+                waited += pause
+        raise ServiceError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call({"op": "status", "job_id": job_id})
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events — history first, then live — ending
+        with the terminal event (``result``/``error``/``cancelled``).
+
+        The socket timeout is suspended while waiting: a job sitting
+        behind a deep queue may legitimately produce no event for longer
+        than any request/reply timeout.
+        """
+        self._call({"op": "stream", "job_id": job_id})  # ack header
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(None)
+        try:
+            while True:
+                event = self._read_line()
+                yield event
+                if event.get("event") in TERMINAL_EVENTS:
+                    return
+        finally:
+            try:
+                self._sock.settimeout(previous)
+            except OSError:  # pragma: no cover - connection already gone
+                pass
+
+    # -- conveniences ----------------------------------------------------------
+    def detect(self, job: Dict[str, Any], priority: int = 0) -> StreamedDetection:
+        """Submit (waiting out backpressure) and stream to completion."""
+        reply = self.submit_wait(job, priority=priority)
+        return self.collect(reply["job_id"])
+
+    def collect(self, job_id: str) -> StreamedDetection:
+        """Stream *job_id* to its terminal event and collate the output."""
+        out = StreamedDetection(job_id=job_id)
+        for event in self.stream(job_id):
+            out.events.append(event)
+            name = event.get("event")
+            if name == "result":
+                out.result = event["result"]
+                out.cached = bool(event.get("cached"))
+            elif name == "error":
+                raise ServiceError(f"job {job_id} failed: {event.get('error')}")
+            elif name == "cancelled":
+                break
+        return out

@@ -1,0 +1,131 @@
+"""Job objects: one submitted detection request and its lifecycle.
+
+A :class:`Job` is the service's unit of work — a
+:class:`~repro.engine.schema.DetectionRequest` plus identity, priority,
+state, and the growing log of wire events its run has produced.  Jobs
+move ``queued → running → done`` (or ``failed``/``cancelled``); every
+transition and every engine event is published to the job's subscribers,
+so a client that attaches mid-run replays history and then follows live.
+
+Thread model: jobs are mutated from two sides — the asyncio loop
+(submit/cancel/subscribe) and the engine worker thread (event
+publication).  All mutation is funnelled through the loop thread (the
+server wraps worker-side publishes in ``call_soon_threadsafe``), so jobs
+need no locks; the one flag a worker thread reads directly,
+``cancel_requested``, is a monotonic bool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.engine.schema import DetectionRequest, DetectionResult
+
+__all__ = ["Job", "JobState", "TERMINAL_STATES"]
+
+_SEQ = itertools.count()
+
+
+class JobState(str, Enum):
+    """Lifecycle states; the string values are the wire vocabulary."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+
+def _job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class Job:
+    """One submitted request and everything the service knows about it.
+
+    ``request`` is dropped (set to ``None``) once the job is terminal —
+    retained jobs answer status/replay from ``events``/``result``
+    without pinning the image pixels.
+    """
+
+    request: Optional[DetectionRequest]
+    key: Optional[str] = None  #: content-addressed request_key (None: uncacheable)
+    priority: int = 0
+    id: str = field(default_factory=_job_id)
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cached: bool = False
+    error: Optional[str] = None
+    result: Optional[DetectionResult] = None
+    cancel_requested: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    _subscribers: List["asyncio.Queue"] = field(default_factory=list)
+
+    @property
+    def order_key(self):
+        """Queue ordering: higher priority first, FIFO within a priority."""
+        return (-self.priority, self.seq)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # -- event fan-out (loop thread only) -------------------------------------
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Append *event* to the log and push it to every subscriber."""
+        self.events.append(event)
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+
+    def subscribe(self) -> "asyncio.Queue":
+        """A queue pre-loaded with the event history, then fed live.
+
+        The subscriber must drain until it sees a terminal event, then
+        call :meth:`unsubscribe`.  For jobs already terminal the history
+        alone carries the terminal event, so no live feed is needed.
+        """
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if not self.terminal:
+            self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue") -> None:
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    # -- status surface --------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The wire-level status document for ``op: status``."""
+        waited = (self.started_at or time.monotonic()) - self.submitted_at
+        doc: Dict[str, Any] = {
+            "job_id": self.id,
+            "state": self.state.value,
+            "priority": self.priority,
+            "cached": self.cached,
+            "n_events": len(self.events),
+            "queued_seconds": waited,
+        }
+        if self.started_at is not None and self.finished_at is not None:
+            doc["run_seconds"] = self.finished_at - self.started_at
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.result is not None:
+            doc["n_found"] = self.result.n_found
+            doc["n_partitions"] = self.result.n_partitions
+        return doc

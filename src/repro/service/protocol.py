@@ -1,0 +1,281 @@
+"""JSON-lines wire protocol shared by the service server and client.
+
+Every message is one JSON object per ``\\n``-terminated line, UTF-8.
+
+Client → server ops::
+
+    {"op": "submit", "job": {...job spec...}, "priority": 0}
+    {"op": "status", "job_id": "job-..."}
+    {"op": "cancel", "job_id": "job-..."}
+    {"op": "stream", "job_id": "job-..."}   # server streams event lines
+    {"op": "stats"}
+    {"op": "ping"}
+
+A *job spec* names the image one of three ways plus the engine knobs:
+
+``scene``
+    ``{"size": 64, "circles": 4, "seed": 0, "threshold": 0.4}`` — a
+    synthetic workload generated server-side, mirroring
+    ``repro detect`` exactly (so a client can reproduce the request
+    locally and check bit-parity).
+``image_path``
+    A ``*.pgm`` path readable by the *server*.
+``pixels``
+    ``{"shape": [h, w], "data": "<base64 float64 C-order>"}`` — raw
+    pixels inline, for clients whose images exist nowhere the server
+    can read.
+
+plus ``strategy``, ``iterations``, ``seed``, ``record_every``,
+``options``, ``executor`` (string choices only), ``n_workers``,
+``threshold``/``radius_mean`` (model derivation for path/pixel images).
+
+Server → client: every reply carries ``ok``; streamed event lines carry
+``event`` (``planned`` / ``partition`` / ``state`` / ``result`` /
+``error`` / ``cancelled``).  The terminal events are ``result``,
+``error`` and ``cancelled``.  Detection results reuse the cache's JSON
+schema (:func:`repro.engine.cache.result_to_json`) so a streamed result
+and a cached one are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.cache import result_to_json
+from repro.engine.schema import (
+    DetectionEvent,
+    DetectionRequest,
+    PartitionReport,
+    PartitionResultEvent,
+    ResultEvent,
+    TilePlannedEvent,
+)
+from repro.errors import ServiceError
+from repro.imaging.image import Image
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "TERMINAL_EVENTS",
+    "encode_line",
+    "decode_line",
+    "request_from_wire",
+    "event_to_wire",
+    "scene_job",
+    "pgm_job",
+    "pixels_job",
+]
+
+#: StreamReader line limit — inline float64 pixel payloads are large
+#: (a 1024² image is ~11 MB of base64).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: Event names after which a stream ends.
+TERMINAL_EVENTS = frozenset({"result", "error", "cancelled"})
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServiceError(f"malformed protocol line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServiceError(f"protocol messages are JSON objects, got {type(obj).__name__}")
+    return obj
+
+
+# -- job spec → DetectionRequest ----------------------------------------------
+
+def _require_int(spec: Dict[str, Any], key: str, default=None) -> int:
+    value = spec.get(key, default)
+    if value is None:
+        raise ServiceError(f"job spec is missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(f"job field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def request_from_wire(spec: Dict[str, Any]) -> DetectionRequest:
+    """Build the engine request a job spec describes.
+
+    Raises :class:`ServiceError` for anything malformed — the server
+    turns that into an ``ok: false`` reply rather than a dead worker.
+    """
+    if not isinstance(spec, dict):
+        raise ServiceError(f"job spec must be an object, got {type(spec).__name__}")
+    sources = [k for k in ("scene", "image_path", "pixels") if spec.get(k) is not None]
+    if len(sources) != 1:
+        raise ServiceError(
+            "job spec needs exactly one image source of 'scene', "
+            f"'image_path', 'pixels'; got {sources or 'none'}"
+        )
+    strategy = spec.get("strategy", "intelligent")
+    iterations = _require_int(spec, "iterations")
+    seed = spec.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise ServiceError(f"job field 'seed' must be an integer, got {seed!r}")
+    record_every = _require_int(spec, "record_every", 50)
+    options = spec.get("options") or {}
+    if not isinstance(options, dict):
+        raise ServiceError("job field 'options' must be an object")
+    executor = spec.get("executor", "serial")
+    if executor is not None and not isinstance(executor, str):
+        raise ServiceError("job field 'executor' must be a string choice")
+    n_workers = spec.get("n_workers")
+    threshold = float(spec.get("threshold", 0.4))
+    radius_mean = float(spec.get("radius_mean", 8.0))
+
+    source = sources[0]
+    try:
+        if source == "scene":
+            from repro.bench.workloads import synthetic_workload
+
+            scene = spec["scene"]
+            if not isinstance(scene, dict):
+                raise ServiceError("job field 'scene' must be an object")
+            workload = synthetic_workload(
+                size=_require_int(scene, "size", 128),
+                n_circles=_require_int(scene, "circles", 10),
+                mean_radius=float(scene.get("mean_radius", 8.0)),
+                threshold=float(scene.get("threshold", threshold)),
+                seed=scene.get("seed", seed),
+            )
+            return workload.request(
+                strategy,
+                iterations=iterations,
+                executor=executor,
+                n_workers=n_workers,
+                seed=seed,
+                record_every=record_every,
+                options=options or None,
+            )
+        if source == "image_path":
+            from repro.imaging.pgm import read_pgm
+
+            image = read_pgm(spec["image_path"])
+        else:  # pixels
+            image = _decode_pixels(spec["pixels"])
+        from repro.bench.workloads import request_for_image
+
+        return request_for_image(
+            image,
+            strategy,
+            iterations=iterations,
+            threshold=threshold,
+            radius_mean=radius_mean,
+            executor=executor,
+            n_workers=n_workers,
+            seed=seed,
+            record_every=record_every,
+            options=options or None,
+        )
+    except ServiceError:
+        raise
+    except Exception as exc:  # bad paths, bad model params, unknown options...
+        raise ServiceError(f"invalid job spec: {exc}") from exc
+
+
+def _decode_pixels(payload: Dict[str, Any]) -> Image:
+    if not isinstance(payload, dict) or "shape" not in payload or "data" not in payload:
+        raise ServiceError("job field 'pixels' needs 'shape' and 'data'")
+    shape = payload["shape"]
+    if not (isinstance(shape, (list, tuple)) and len(shape) == 2):
+        raise ServiceError(f"pixels shape must be [height, width], got {shape!r}")
+    try:
+        raw = base64.b64decode(payload["data"], validate=True)
+        arr = np.frombuffer(raw, dtype=np.float64).reshape(int(shape[0]), int(shape[1]))
+    except (ValueError, TypeError) as exc:
+        raise ServiceError(f"undecodable pixel payload: {exc}") from None
+    return Image(arr)
+
+
+def _encode_pixels(image: Image) -> Dict[str, Any]:
+    return {
+        "shape": [image.height, image.width],
+        "data": base64.b64encode(np.ascontiguousarray(image.pixels).tobytes()).decode("ascii"),
+    }
+
+
+# -- job spec builders (client-side conveniences) ------------------------------
+
+def scene_job(
+    size: int,
+    circles: int,
+    strategy: str = "intelligent",
+    iterations: int = 2000,
+    seed: Optional[int] = 0,
+    threshold: float = 0.4,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A submit payload for a server-generated synthetic scene."""
+    job = {
+        "scene": {"size": size, "circles": circles, "seed": seed, "threshold": threshold},
+        "strategy": strategy,
+        "iterations": iterations,
+        "seed": seed,
+    }
+    job.update(extra)
+    return job
+
+
+def pgm_job(path: str, strategy: str = "intelligent", iterations: int = 2000,
+            seed: Optional[int] = 0, **extra: Any) -> Dict[str, Any]:
+    """A submit payload naming a PGM file the server can read."""
+    job = {"image_path": str(path), "strategy": strategy,
+           "iterations": iterations, "seed": seed}
+    job.update(extra)
+    return job
+
+
+def pixels_job(image: Image, strategy: str = "intelligent", iterations: int = 2000,
+               seed: Optional[int] = 0, **extra: Any) -> Dict[str, Any]:
+    """A submit payload carrying the image inline (base64 float64)."""
+    job = {"pixels": _encode_pixels(image), "strategy": strategy,
+           "iterations": iterations, "seed": seed}
+    job.update(extra)
+    return job
+
+
+# -- engine events → wire ------------------------------------------------------
+
+def _report_wire(report: PartitionReport) -> Dict[str, Any]:
+    return {
+        "rect": [report.rect.x0, report.rect.y0, report.rect.x1, report.rect.y1],
+        "expected_count": report.expected_count,
+        "n_found": report.n_found,
+        "iterations": report.iterations,
+        "elapsed_seconds": report.elapsed_seconds,
+    }
+
+
+def event_to_wire(event: DetectionEvent, cached: bool = False) -> Dict[str, Any]:
+    """One engine event as its wire document."""
+    if isinstance(event, TilePlannedEvent):
+        return {
+            "event": "planned",
+            "index": event.index,
+            "rect": [event.rect.x0, event.rect.y0, event.rect.x1, event.rect.y1],
+            "expected_count": event.expected_count,
+        }
+    if isinstance(event, PartitionResultEvent):
+        return {
+            "event": "partition",
+            "index": event.index,
+            "n_tasks": event.n_tasks,
+            "report": _report_wire(event.report),
+            "circles": [[c.x, c.y, c.r] for c in event.circles],
+        }
+    if isinstance(event, ResultEvent):
+        return {
+            "event": "result",
+            "cached": cached,
+            "result": result_to_json(event.result),
+        }
+    raise ServiceError(f"unknown engine event {type(event).__name__}")

@@ -1,0 +1,102 @@
+"""Bounded priority job queue with backpressure.
+
+The service accepts work faster than the engine can clear it; this queue
+is where that pressure becomes visible.  Admission is bounded
+(``max_pending``): a submit against a full queue raises
+:class:`~repro.errors.QueueFullError` carrying a ``retry_after`` hint —
+the server turns that into a reject-with-retry-after reply instead of
+letting latency grow without bound.
+
+Ordering is by ``(-priority, submission sequence)``: higher-priority
+jobs dequeue first, FIFO within a priority level.  Cancelling a queued
+job is lazy — the entry stays in the heap but is skipped at pop time and
+stops counting against the admission bound immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.errors import QueueFullError
+from repro.service.jobs import Job, JobState
+
+__all__ = ["JobQueue"]
+
+#: retry_after fallback before any job has finished (seconds).
+DEFAULT_RETRY_AFTER = 1.0
+#: How many recent job durations inform the retry_after estimate.
+DURATION_WINDOW = 32
+
+
+class JobQueue:
+    """An asyncio priority queue of :class:`Job`\\ s with bounded admission."""
+
+    def __init__(self, max_pending: int = 16) -> None:
+        if max_pending < 1:
+            raise QueueFullError(
+                f"max_pending must be >= 1, got {max_pending}", retry_after=0.0
+            )
+        self.max_pending = max_pending
+        self._queue: "asyncio.PriorityQueue" = asyncio.PriorityQueue()
+        self._admitted: Dict[str, Job] = {}  # queued, not yet popped or cancelled
+        self._durations: Deque[float] = deque(maxlen=DURATION_WINDOW)
+        self.n_rejected = 0
+
+    # -- admission -------------------------------------------------------------
+    def put(self, job: Job) -> None:
+        """Admit *job*, or raise :class:`QueueFullError` with a retry hint."""
+        if len(self._admitted) >= self.max_pending:
+            self.n_rejected += 1
+            raise QueueFullError(
+                f"job queue at capacity ({self.max_pending} pending)",
+                retry_after=self.retry_after(),
+            )
+        self._admitted[job.id] = job
+        self._queue.put_nowait((job.order_key, job))
+
+    async def get(self) -> Job:
+        """The next admitted job in priority order (skips cancellations)."""
+        while True:
+            _, job = await self._queue.get()
+            if self._admitted.pop(job.id, None) is not None:
+                return job
+            # Cancelled while queued: the heap entry is a tombstone.
+
+    # -- cancellation ----------------------------------------------------------
+    def discard(self, job: Job) -> bool:
+        """Remove a queued *job* from admission; True if it was pending."""
+        return self._admitted.pop(job.id, None) is not None
+
+    # -- backpressure accounting -----------------------------------------------
+    def record_duration(self, seconds: float) -> None:
+        """Feed a completed job's run time into the retry_after estimate."""
+        if seconds >= 0:
+            self._durations.append(seconds)
+
+    def retry_after(self) -> float:
+        """How long a rejected client should wait before resubmitting.
+
+        Estimate: the queue must drain one slot, which takes about one
+        average job duration; scale by how deep the backlog is so a
+        client rejected behind a long queue backs off harder.
+        """
+        if self._durations:
+            avg = sum(self._durations) / len(self._durations)
+        else:
+            avg = DEFAULT_RETRY_AFTER
+        depth_factor = max(1.0, len(self._admitted) / max(1, self.max_pending))
+        return max(0.05, avg * depth_factor)
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._admitted)
+
+    @property
+    def depth(self) -> int:
+        return len(self._admitted)
+
+    def peek_state(self, job_id: str) -> Optional[JobState]:
+        job = self._admitted.get(job_id)
+        return job.state if job is not None else None

@@ -1,0 +1,532 @@
+"""The asyncio detection service.
+
+One process, three moving parts:
+
+* a TCP protocol loop (:meth:`DetectionService._handle_connection`)
+  speaking the JSON-lines protocol of :mod:`repro.service.protocol`;
+* a bounded priority :class:`~repro.service.queue.JobQueue` with
+  reject-with-retry-after backpressure;
+* ``workers`` worker coroutines, each draining the queue and running
+  jobs on a thread pool via the engine's streaming path
+  (:func:`repro.engine.run_stream`) — every tile-planned / partition
+  fragment event is forwarded to the job's subscribers the moment the
+  engine produces it, so clients watch detections accumulate instead of
+  waiting for the merge.
+
+Cache integration: submissions are content-addressed
+(:func:`repro.engine.schema.request_key`) and consulted against the
+optional :class:`~repro.engine.cache.ResultCache` *before* queueing — a
+hit completes the job instantly without occupying a queue slot or a
+worker; misses publish their merged result back into the cache.
+
+Threading: the event loop owns all job/queue state.  Engine work runs on
+a thread pool sized to ``workers``; the only loop-state touches from
+those threads go through ``loop.call_soon_threadsafe``, and the only
+thread-state read from job control is the monotonic
+``Job.cancel_requested`` flag (checked between engine events, so a
+cancel lands at the next fragment boundary).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engine import run_stream
+from repro.engine.cache import ResultCache, result_to_json
+from repro.engine.schema import ResultEvent, request_key
+from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.service.jobs import Job, JobState
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    TERMINAL_EVENTS,
+    decode_line,
+    encode_line,
+    event_to_wire,
+    request_from_wire,
+)
+from repro.service.queue import JobQueue
+
+__all__ = ["DetectionService", "ServiceHandle", "serve_background", "serve_forever"]
+
+#: Terminal jobs retained for status/stream replay before the oldest
+#: are forgotten (a long-lived server must not accumulate every job ever).
+DEFAULT_JOB_RETENTION = 1024
+
+
+class _JobCancelled(Exception):
+    """Internal: a worker thread observed the job's cancel flag."""
+
+
+class DetectionService:
+    """Async detection service over the unified engine.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    workers:
+        Engine worker slots — concurrent jobs.  ``0`` accepts and queues
+        but never dispatches (deterministic queue-state testing).
+    queue_size:
+        Max jobs admitted but not yet dispatched; submissions beyond it
+        are rejected with a ``retry_after`` hint.
+    cache:
+        Optional :class:`ResultCache` consulted before dispatch and
+        published to after merge.
+    executor:
+        Optional executor-choice override (``serial``/``thread``/
+        ``process``/``auto``) forced onto every dispatched request —
+        the service owns parallelism policy, not its clients.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_size: int = 16,
+        cache: Optional[ResultCache] = None,
+        executor: Optional[str] = None,
+        job_retention: int = DEFAULT_JOB_RETENTION,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache = cache
+        self.executor = executor
+        self.job_retention = max(1, job_retention)
+        self._queue = JobQueue(max_pending=queue_size)
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_tasks: list = []
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-engine"
+        )
+        # Request parsing (base64 pixels, threshold scans, image hashing)
+        # is O(pixels) numpy work: it runs here, never on the event loop,
+        # and never behind long engine jobs in the worker pool.
+        self._parse_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-parse"
+        )
+        self.n_submitted = 0
+        self.n_dispatched = 0
+        self.n_cache_hits = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"repro-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("service is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        for task in self._worker_tasks:
+            task.cancel()
+        for task in self._worker_tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._worker_tasks = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._parse_pool.shutdown(wait=False, cancel_futures=True)
+        if self.cache is not None:
+            self.cache.flush()
+
+    # -- job control (loop thread) ---------------------------------------------
+    @staticmethod
+    def _parse_spec(spec: Dict[str, Any]):
+        """Spec → (request, key).  O(pixels); runs on the parse thread."""
+        request = request_from_wire(spec)
+        return request, request_key(request)
+
+    def submit(self, spec: Dict[str, Any], priority: int = 0,
+               timeout: float = 30.0) -> Dict[str, Any]:
+        """Parse and admit one job spec — the blocking embedding API.
+
+        Loop state (queue, registry, subscriber fan-out) is only touched
+        on the loop thread: called from any other thread (e.g. against a
+        :func:`serve_background` handle), admission is marshalled over
+        with ``run_coroutine_threadsafe`` — a bare ``put_nowait`` from a
+        foreign thread would enqueue without waking the loop, leaving
+        the job queued forever.  The protocol loop itself parses on the
+        parse thread via :meth:`_submit_async` instead.
+        """
+        request, key = self._parse_spec(spec)
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is not loop:
+                return asyncio.run_coroutine_threadsafe(
+                    self._admit_on_loop(request, key, priority), loop
+                ).result(timeout=timeout)
+        return self.admit(request, key, priority)
+
+    async def _admit_on_loop(self, request, key, priority: int) -> Dict[str, Any]:
+        return self.admit(request, key, priority)
+
+    async def _submit_async(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        request, key = await loop.run_in_executor(
+            self._parse_pool, self._parse_spec, msg.get("job")
+        )
+        return self.admit(request, key, msg.get("priority", 0))
+
+    def admit(self, request, key, priority: int = 0) -> Dict[str, Any]:
+        """Admit a parsed request; returns the wire reply.
+
+        Raises :class:`QueueFullError` (backpressure) and
+        :class:`ServiceError` (bad priority) for the handler to map
+        onto error replies.
+        """
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(f"priority must be an integer, got {priority!r}")
+        job = Job(request=request, key=key, priority=priority)
+
+        hit = self.cache.get(key) if (self.cache is not None and key) else None
+        if hit is not None:
+            self.n_cache_hits += 1
+            self.n_submitted += 1
+            job.cached = True
+            job.result = hit
+            job.started_at = time.monotonic()
+            self._finish(job, JobState.DONE,
+                         {"event": "result", "cached": True,
+                          "result": result_to_json(hit)})
+            self._register(job)
+            return {"ok": True, "job_id": job.id, "cached": True, "state": job.state.value}
+
+        self._queue.put(job)  # raises QueueFullError when at capacity
+        self.n_submitted += 1
+        job.publish({"event": "state", "state": JobState.QUEUED.value})
+        self._register(job)
+        return {
+            "ok": True,
+            "job_id": job.id,
+            "cached": False,
+            "state": job.state.value,
+            "queue_depth": self._queue.depth,
+        }
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        job = self._job(job_id)
+        if job.terminal:
+            return {"ok": True, "job_id": job.id, "state": job.state.value,
+                    "cancelled": job.state is JobState.CANCELLED}
+        if job.state is JobState.QUEUED and self._queue.discard(job):
+            self._finish(job, JobState.CANCELLED, {"event": "cancelled"})
+            return {"ok": True, "job_id": job.id, "state": job.state.value, "cancelled": True}
+        # Running: cooperative — the worker thread stops at the next
+        # engine event boundary.
+        job.cancel_requested = True
+        return {"ok": True, "job_id": job.id, "state": job.state.value,
+                "cancelled": False, "cancel_requested": True}
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return {"ok": True, **self._job(job_id).status()}
+
+    def stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            states[job.state.value] += 1
+        return {
+            "queue_depth": self._queue.depth,
+            "queue_capacity": self._queue.max_pending,
+            "workers": self.workers,
+            "jobs": states,
+            "n_submitted": self.n_submitted,
+            "n_dispatched": self.n_dispatched,
+            "n_cache_hits": self.n_cache_hits,
+            "n_rejected": self._queue.n_rejected,
+            "cache": self.cache.summary() if self.cache is not None else None,
+        }
+
+    def _job(self, job_id: Any) -> Job:
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise JobNotFoundError(f"unknown job id {job_id!r}")
+        return job
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.job_retention:
+            # Forget the oldest *terminal* job; never drop live ones.
+            for jid, old in self._jobs.items():
+                if old.terminal:
+                    del self._jobs[jid]
+                    break
+            else:
+                break
+
+    def _finish(self, job: Job, state: JobState, event: Dict[str, Any]) -> None:
+        job.state = state
+        job.finished_at = time.monotonic()
+        # Terminal jobs live on only for status/replay: drop the request
+        # (which pins the image pixels) and the strategy's raw detail
+        # object, so retention holds wire documents — not images.
+        job.request = None
+        if job.result is not None and job.result.raw is not None:
+            job.result = replace(job.result, raw=None)
+        job.publish(event)
+
+    # -- worker side -----------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            if job.terminal:
+                continue
+            if job.cancel_requested:
+                self._finish(job, JobState.CANCELLED, {"event": "cancelled"})
+                continue
+            job.state = JobState.RUNNING
+            job.started_at = time.monotonic()
+            job.publish({"event": "state", "state": JobState.RUNNING.value})
+            self.n_dispatched += 1
+            try:
+                result = await loop.run_in_executor(
+                    self._pool, self._run_job, job, loop
+                )
+            except _JobCancelled:
+                self._finish(job, JobState.CANCELLED, {"event": "cancelled"})
+            except Exception as exc:  # engine failure must not kill the worker
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._finish(job, JobState.FAILED,
+                             {"event": "error", "error": job.error})
+            else:
+                job.result = result
+                if self.cache is not None and job.key:
+                    self.cache.put(job.key, result)
+                self._queue.record_duration(time.monotonic() - job.started_at)
+                self._finish(job, JobState.DONE,
+                             {"event": "result", "cached": False,
+                              "result": result_to_json(result)})
+
+    def _run_job(self, job: Job, loop: asyncio.AbstractEventLoop):
+        """Engine-thread body: stream the run, forward events to the loop.
+
+        Every ``call_soon_threadsafe`` here is enqueued before this
+        function returns, and the worker coroutine resumes only after
+        the executor future's own loop callback — so subscribers always
+        see fragments before the terminal event.
+        """
+        from repro.parallel.sharedmem import clear_worker_image
+
+        request = job.request
+        if self.executor is not None:
+            request = replace(request, executor=self.executor)
+        result = None
+        gen = run_stream(request)
+        try:
+            for event in gen:
+                if job.cancel_requested:
+                    raise _JobCancelled()
+                if isinstance(event, ResultEvent):
+                    result = event.result
+                else:
+                    loop.call_soon_threadsafe(job.publish, event_to_wire(event))
+        finally:
+            gen.close()  # tears down the AsyncExecutor pool on early exit
+            clear_worker_image()  # don't pin this job's image in the thread
+        if result is None:  # pragma: no cover - run_stream always terminates
+            raise ServiceError("engine stream ended without a result")
+        return result
+
+    # -- protocol loop ---------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:  # line over MAX_LINE_BYTES
+                    writer.write(encode_line(
+                        {"ok": False, "error": "bad-request",
+                         "message": "protocol line too long"}))
+                    await writer.drain()
+                    break
+                if not line.strip():
+                    if not line:
+                        break  # EOF
+                    continue
+                try:
+                    msg = decode_line(line)
+                    op = msg.get("op")
+                    if op == "stream":
+                        await self._stream_job(msg.get("job_id"), writer)
+                        continue
+                    if op == "submit":
+                        reply = await self._submit_async(msg)
+                    else:
+                        reply = self._dispatch_op(op, msg)
+                except QueueFullError as exc:
+                    reply = {"ok": False, "error": "queue-full",
+                             "message": str(exc), "retry_after": exc.retry_after}
+                except JobNotFoundError as exc:
+                    reply = {"ok": False, "error": "unknown-job", "message": str(exc)}
+                except ServiceError as exc:
+                    reply = {"ok": False, "error": "bad-request", "message": str(exc)}
+                writer.write(encode_line(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _dispatch_op(self, op: Any, msg: Dict[str, Any]) -> Dict[str, Any]:
+        if op == "status":
+            return self.status(msg.get("job_id"))
+        if op == "cancel":
+            return self.cancel(msg.get("job_id"))
+        if op == "stats":
+            return {"ok": True, **self.stats()}
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        raise ServiceError(f"unknown op {op!r}")
+
+    async def _stream_job(self, job_id: Any, writer: asyncio.StreamWriter) -> None:
+        """``op: stream`` — replay the job's history, then follow live
+        until a terminal event; the connection then returns to the
+        request/reply loop."""
+        job = self._job(job_id)
+        events = job.subscribe()
+        try:
+            writer.write(encode_line(
+                {"ok": True, "job_id": job.id, "state": job.state.value}))
+            await writer.drain()
+            while True:
+                event = await events.get()
+                writer.write(encode_line(event))
+                await writer.drain()
+                if event.get("event") in TERMINAL_EVENTS:
+                    break
+        finally:
+            job.unsubscribe(events)
+
+
+# -- embedding helpers ---------------------------------------------------------
+
+class ServiceHandle:
+    """A service running on a private event loop in a daemon thread.
+
+    The bridge tests / benchmarks / notebooks use: start with
+    :func:`serve_background`, talk to ``handle.address`` with a
+    :class:`~repro.service.client.ServiceClient`, then :meth:`stop`.
+    """
+
+    def __init__(self, service: DetectionService,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        future = asyncio.run_coroutine_threadsafe(self._address(), self._loop)
+        return future.result(timeout=5)
+
+    async def _address(self) -> Tuple[str, int]:
+        return self.service.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        ).result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_background(**kwargs: Any) -> ServiceHandle:
+    """Start a :class:`DetectionService` on a fresh loop in a daemon
+    thread; returns once the socket is bound."""
+    started = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        service = DetectionService(**kwargs)
+        try:
+            loop.run_until_complete(service.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            box["error"] = exc
+            started.set()
+            loop.close()
+            return
+        box["service"] = service
+        box["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=15):
+        raise ServiceError("detection service failed to start within 15s")
+    if "error" in box:
+        raise ServiceError(f"detection service failed to start: {box['error']}")
+    return ServiceHandle(box["service"], box["loop"], thread)
+
+
+def serve_forever(**kwargs: Any) -> None:
+    """Run a service in the foreground until interrupted (the CLI path)."""
+
+    async def main() -> None:
+        service = DetectionService(**kwargs)
+        await service.start()
+        host, port = service.address
+        print(f"repro service listening on {host}:{port} "
+              f"({service.workers} workers, queue {service._queue.max_pending}"
+              f"{', cached' if service.cache is not None else ''})")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("service stopped")

@@ -1,0 +1,310 @@
+"""Streaming engine behaviour: AsyncExecutor mechanics, event shape,
+and the core contract — streamed-then-merged results are bit-identical
+to blocking ``run()`` across all four strategies and every pool kind."""
+
+import json
+
+import pytest
+
+from repro.bench.workloads import small_nuclei_workload
+from repro.engine import (
+    AsyncExecutor,
+    PartitionResultEvent,
+    ResultEvent,
+    TilePlannedEvent,
+    auto_budgets,
+    auto_executor_kind,
+    clear_auto_budget_cache,
+    run,
+    run_stream,
+)
+from repro.engine.executors import AUTO_SERIAL_BUDGET, AUTO_THREAD_BUDGET
+
+pytestmark = pytest.mark.fast
+
+ITERS = 600
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return small_nuclei_workload()
+
+
+def key(circles):
+    return sorted((c.x, c.y, c.r) for c in circles)
+
+
+def drain(request):
+    events = list(run_stream(request))
+    finals = [e for e in events if isinstance(e, ResultEvent)]
+    assert len(finals) == 1, "exactly one terminal ResultEvent"
+    assert isinstance(events[-1], ResultEvent), "ResultEvent is last"
+    return events, finals[0].result
+
+
+class TestStreamParity:
+    """Streamed-then-merged must be bit-identical to blocking run()."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["naive", "blind", "intelligent", "periodic"]
+    )
+    def test_all_strategies_serial(self, workload, strategy):
+        reference = run(workload.request(strategy, iterations=ITERS, seed=SEED))
+        events, streamed = drain(
+            workload.request(strategy, iterations=ITERS, seed=SEED)
+        )
+        assert key(streamed.circles) == key(reference.circles)
+        assert streamed.n_tasks == reference.n_tasks
+        assert len(streamed.reports) == len(reference.reports)
+        fragments = [e for e in events if isinstance(e, PartitionResultEvent)]
+        assert len(fragments) == len(reference.reports)
+
+    def test_thread_executor_stream_parity(self, workload):
+        reference = run(workload.request("intelligent", iterations=ITERS, seed=SEED))
+        _, streamed = drain(workload.request(
+            "intelligent", iterations=ITERS, executor="thread",
+            n_workers=3, seed=SEED,
+        ))
+        assert key(streamed.circles) == key(reference.circles)
+        assert streamed.executor_kind == "thread"
+
+    def test_stream_is_repeatable(self, workload):
+        request = workload.request("blind", iterations=ITERS, seed=SEED)
+        _, first = drain(request)
+        _, second = drain(request)
+        assert key(first.circles) == key(second.circles)
+
+
+class TestStreamEvents:
+    def test_tiled_planned_then_fragment_per_tile(self, workload):
+        events, result = drain(
+            workload.request("intelligent", iterations=ITERS, seed=SEED)
+        )
+        planned = [e for e in events if isinstance(e, TilePlannedEvent)]
+        fragments = [e for e in events if isinstance(e, PartitionResultEvent)]
+        assert len(planned) == len(fragments) == result.n_tasks
+        assert result.n_tasks > 1, "workload should produce several tiles"
+        # Planned indices are 0..n-1 in order; fragment indices are a
+        # permutation of them.
+        assert [e.index for e in planned] == list(range(result.n_tasks))
+        assert sorted(e.index for e in fragments) == list(range(result.n_tasks))
+
+    def test_fragment_circles_union_is_concat_merge(self, workload):
+        """For concat-merge strategies the fragments ARE the result."""
+        events, result = drain(
+            workload.request("intelligent", iterations=ITERS, seed=SEED)
+        )
+        union = []
+        for event in events:
+            if isinstance(event, PartitionResultEvent):
+                union.extend(event.circles)
+        assert key(union) == key(result.circles)
+
+    def test_fragment_reports_match_result_reports(self, workload):
+        events, result = drain(
+            workload.request("naive", iterations=ITERS, seed=SEED)
+        )
+        by_index = {
+            e.index: e.report for e in events
+            if isinstance(e, PartitionResultEvent)
+        }
+        for i, report in enumerate(result.reports):
+            assert by_index[i] == report
+
+    def test_periodic_stream_degenerates_to_final_fragment(self, workload):
+        events, result = drain(
+            workload.request("periodic", iterations=ITERS, seed=SEED)
+        )
+        fragments = [e for e in events if isinstance(e, PartitionResultEvent)]
+        assert len(fragments) == 1
+        assert key(fragments[0].circles) == key(result.circles)
+
+
+class TestAsyncExecutor:
+    def test_serial_completes_at_submit(self, workload):
+        request = workload.request("naive", iterations=10, seed=0)
+        with AsyncExecutor(request, request.image) as pool:
+            assert pool.kind == "serial"
+            pool.submit(lambda x: x * 2, 21)
+            done = pool.completed()
+            assert done == [(0, 42)]
+            assert pool.completed() == []  # surfaced once only
+            assert pool.results() == [42]
+
+    def test_thread_pool_streams_all(self, workload):
+        request = workload.request(
+            "naive", iterations=10, executor="thread", n_workers=2, seed=0
+        )
+        with AsyncExecutor(request, request.image) as pool:
+            assert pool.kind == "thread"
+            for i in range(5):
+                pool.submit(lambda x: x + 1, i)
+            seen = dict(pool.completed())
+            seen.update(dict(pool.iter_completed()))
+            assert seen == {i: i + 1 for i in range(5)}
+            assert pool.results() == [i + 1 for i in range(5)]
+
+    def test_auto_single_task_stays_serial(self, workload):
+        # A plan that resolves to one partition must size `auto` like
+        # the blocking path: serial, even for a huge budget — never a
+        # process pool for a single chain.
+        request = workload.request(
+            "naive", iterations=10**9, executor="auto", seed=0,
+            options={"nx": 1, "ny": 1},
+        )
+        with AsyncExecutor(request, request.image, expected_tasks=1) as pool:
+            assert pool.kind == "serial"
+
+    def test_stream_auto_never_heavier_than_run(self, tmp_path, monkeypatch):
+        # Shrunk budgets make a 2-tile/300-iteration plan straddle the
+        # thread threshold: run() sees budget 600 -> thread; the stream
+        # must agree (regression: a fixed 4-task hint saw 1200 ->
+        # process, a *heavier* pool than the blocking path).
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({
+            "auto_budgets": {"serial_budget": 100, "thread_budget": 1000},
+        }))
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        clear_auto_budget_cache()
+        try:
+            from repro.bench.workloads import synthetic_workload
+
+            workload = synthetic_workload(size=64, n_circles=4, seed=0)
+            request = workload.request(
+                "naive", iterations=300, executor="auto", seed=0,
+                options={"nx": 2, "ny": 1},
+            )
+            blocking = run(request)
+            assert blocking.n_tasks == 2
+            assert blocking.executor_kind == "thread"
+            _, streamed = drain(request)
+            assert streamed.executor_kind == "thread"
+            assert key(streamed.circles) == key(blocking.circles)
+        finally:
+            clear_auto_budget_cache()
+
+    def test_stream_auto_kind_matches_run_for_single_partition(self):
+        from repro.bench.workloads import synthetic_workload
+
+        workload = synthetic_workload(size=64, n_circles=4, seed=0)
+        blocking = run(workload.request(
+            "intelligent", iterations=300, executor="auto", seed=0,
+        ))
+        assert blocking.n_tasks == 1, "scene should segment to one tile"
+        _, streamed = drain(workload.request(
+            "intelligent", iterations=300, executor="auto", seed=0,
+        ))
+        assert streamed.executor_kind == blocking.executor_kind
+        assert key(streamed.circles) == key(blocking.circles)
+
+    def test_caller_owned_executor_is_not_shut_down(self, workload):
+        from repro.parallel.executor import SerialExecutor
+
+        exec_ = SerialExecutor()
+        request = workload.request("naive", iterations=10, executor=exec_, seed=0)
+        with AsyncExecutor(request, request.image) as pool:
+            assert pool.kind == "caller"
+            pool.submit(lambda x: x, 1)
+        # Still usable after the AsyncExecutor context exits.
+        assert exec_.map(lambda x: x, [3]) == [3]
+
+
+class TestConcurrentRuns:
+    """Concurrent engine runs in one process must not cross-contaminate.
+
+    The detection service runs several jobs at once on a thread pool;
+    the worker-image binding is thread-local, so run B's image must
+    never leak into run A's chains (regression: the binding used to be
+    one process-global slot)."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_parallel_runs_match_their_serial_references(self, executor):
+        import concurrent.futures
+
+        from repro.bench.workloads import synthetic_workload
+
+        workloads = {
+            seed: synthetic_workload(size=64, n_circles=4, seed=seed)
+            for seed in range(3)
+        }
+        references = {
+            seed: key(run(w.request("intelligent", iterations=300, seed=seed)).circles)
+            for seed, w in workloads.items()
+        }
+
+        def drive(seed):
+            request = workloads[seed].request(
+                "intelligent", iterations=300, executor=executor,
+                n_workers=2 if executor == "thread" else None, seed=seed,
+            )
+            return seed, key(run(request).circles)
+
+        for _ in range(3):  # several rounds to give a race a chance
+            with concurrent.futures.ThreadPoolExecutor(max_workers=3) as pool:
+                results = dict(pool.map(drive, workloads))
+            assert results == references
+
+
+class TestCalibratedBudgets:
+    def test_defaults_without_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "missing.json"))
+        clear_auto_budget_cache()
+        assert auto_budgets() == (AUTO_SERIAL_BUDGET, AUTO_THREAD_BUDGET)
+        clear_auto_budget_cache()
+
+    def test_calibration_file_drives_auto_selection(self, tmp_path, monkeypatch):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({
+            "auto_budgets": {"serial_budget": 100, "thread_budget": 1000},
+        }))
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        clear_auto_budget_cache()
+        try:
+            assert auto_budgets() == (100, 1000)
+            assert auto_executor_kind(2, 10) == "serial"     # 20 < 100
+            assert auto_executor_kind(2, 100) == "thread"    # 200 in [100, 1000)
+            assert auto_executor_kind(2, 1000) == "process"  # 2000 >= 1000
+        finally:
+            clear_auto_budget_cache()
+
+    def test_malformed_file_falls_back(self, tmp_path, monkeypatch):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps({
+            "auto_budgets": {"serial_budget": 5000, "thread_budget": 10},
+        }))  # thread < serial: nonsense, must be ignored
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        clear_auto_budget_cache()
+        try:
+            assert auto_budgets() == (AUTO_SERIAL_BUDGET, AUTO_THREAD_BUDGET)
+        finally:
+            clear_auto_budget_cache()
+
+    def test_save_calibration_round_trip(self, tmp_path, monkeypatch):
+        from repro.bench.calibration import (
+            AutoBudgets,
+            CalibrationResult,
+            derive_auto_budgets,
+            load_calibration,
+            save_calibration,
+        )
+
+        measured = CalibrationResult(
+            tau_base=1e-4, tau_per_feature=1e-5,
+            samples=((3, 1.3e-4), (8, 1.8e-4)),
+        )
+        budgets = derive_auto_budgets(measured, cores=4)
+        assert 0 < budgets.serial_budget <= budgets.thread_budget
+        path = tmp_path / "cal.json"
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        save_calibration(measured, path, budgets)
+        try:
+            revived, revived_budgets = load_calibration(path)
+            assert revived == measured
+            assert revived_budgets == budgets
+            assert auto_budgets() == (
+                budgets.serial_budget, budgets.thread_budget,
+            )
+            assert isinstance(revived_budgets, AutoBudgets)
+        finally:
+            clear_auto_budget_cache()

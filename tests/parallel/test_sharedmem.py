@@ -63,10 +63,38 @@ class TestWorkerGlobals:
     def test_unset_raises(self):
         import repro.parallel.sharedmem as sm
 
-        old = sm._worker_image
-        sm._worker_image = None
+        old_tls = getattr(sm._tls, "image", None)
+        old_process = sm._process_image
+        sm._tls.image = None
+        sm._process_image = None
         try:
             with pytest.raises(ExecutorError):
                 get_worker_image()
         finally:
-            sm._worker_image = old
+            sm._tls.image = old_tls
+            sm._process_image = old_process
+
+    def test_thread_binding_shadows_process_fallback(self, img):
+        import threading
+
+        import numpy as np
+
+        import repro.parallel.sharedmem as sm
+
+        other = np.zeros_like(img.pixels)
+        set_worker_image(img.pixels)  # this thread + process fallback
+        seen = {}
+
+        def unbound_thread():
+            # No thread-local binding here: falls back to the process slot.
+            seen["fallback"] = get_worker_image()
+            sm.call_with_worker_image(other, lambda _: None, None)
+            seen["bound"] = get_worker_image()
+
+        t = threading.Thread(target=unbound_thread)
+        t.start()
+        t.join()
+        assert seen["fallback"] is img.pixels
+        assert seen["bound"] is other
+        # The spawning thread's own binding is untouched.
+        assert get_worker_image() is img.pixels

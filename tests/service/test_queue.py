@@ -1,0 +1,150 @@
+"""JobQueue semantics: priority order, FIFO ties, backpressure,
+lazy cancellation."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+
+pytestmark = pytest.mark.fast
+
+
+class FakeRequest:
+    """Queue tests never dispatch, so any object stands in for a request."""
+
+
+def make_job(priority=0):
+    return Job(request=FakeRequest(), priority=priority)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        async def scenario():
+            queue = JobQueue(max_pending=10)
+            low = make_job(priority=0)
+            high = make_job(priority=5)
+            mid = make_job(priority=2)
+            for job in (low, high, mid):
+                queue.put(job)
+            return [await queue.get() for _ in range(3)]
+
+        assert [j.priority for j in run(scenario())] == [5, 2, 0]
+
+    def test_fifo_within_priority(self):
+        async def scenario():
+            queue = JobQueue(max_pending=10)
+            jobs = [make_job(priority=1) for _ in range(4)]
+            for job in jobs:
+                queue.put(job)
+            return [await queue.get() for _ in range(4)]
+
+        out = run(scenario())
+        assert [j.id for j in out] == [j.id for j in sorted(out, key=lambda j: j.seq)]
+
+
+class TestBackpressure:
+    def test_rejects_beyond_capacity_with_retry_after(self):
+        async def scenario():
+            queue = JobQueue(max_pending=2)
+            queue.put(make_job())
+            queue.put(make_job())
+            with pytest.raises(QueueFullError) as err:
+                queue.put(make_job())
+            return queue, err.value
+
+        queue, exc = run(scenario())
+        assert exc.retry_after > 0
+        assert queue.n_rejected == 1
+        assert queue.depth == 2
+
+    def test_capacity_frees_after_get(self):
+        async def scenario():
+            queue = JobQueue(max_pending=1)
+            queue.put(make_job())
+            with pytest.raises(QueueFullError):
+                queue.put(make_job())
+            await queue.get()
+            queue.put(make_job())  # now admitted
+            return queue.depth
+
+        assert run(scenario()) == 1
+
+    def test_retry_after_tracks_measured_durations(self):
+        async def scenario():
+            queue = JobQueue(max_pending=4)
+            queue.record_duration(2.0)
+            queue.record_duration(4.0)
+            return queue.retry_after()
+
+        assert run(scenario()) == pytest.approx(3.0, rel=0.3)
+
+
+class TestCancellation:
+    def test_discarded_job_is_skipped_by_get(self):
+        async def scenario():
+            queue = JobQueue(max_pending=10)
+            first = make_job(priority=9)
+            second = make_job(priority=1)
+            queue.put(first)
+            queue.put(second)
+            assert queue.discard(first)
+            assert not queue.discard(first)  # already gone
+            return await queue.get()
+
+        assert run(scenario()).priority == 1
+
+    def test_discard_frees_admission_immediately(self):
+        async def scenario():
+            queue = JobQueue(max_pending=1)
+            job = make_job()
+            queue.put(job)
+            queue.discard(job)
+            queue.put(make_job())  # tombstone must not count
+            return queue.depth
+
+        assert run(scenario()) == 1
+
+
+class TestJobLifecycle:
+    def test_subscribe_replays_history(self):
+        async def scenario():
+            job = make_job()
+            job.publish({"event": "state", "state": "queued"})
+            job.publish({"event": "partition", "index": 0})
+            queue = job.subscribe()
+            replay = [queue.get_nowait(), queue.get_nowait()]
+            job.publish({"event": "result"})
+            live = queue.get_nowait()
+            job.unsubscribe(queue)
+            return replay, live
+
+        replay, live = run(scenario())
+        assert [e["event"] for e in replay] == ["state", "partition"]
+        assert live["event"] == "result"
+
+    def test_terminal_job_subscription_gets_no_live_feed(self):
+        async def scenario():
+            job = make_job()
+            job.state = JobState.DONE
+            job.publish({"event": "result"})
+            queue = job.subscribe()
+            return queue.qsize(), job._subscribers
+
+        size, subscribers = run(scenario())
+        assert size == 1
+        assert subscribers == []
+
+    def test_status_document_shape(self):
+        job = make_job(priority=3)
+        doc = job.status()
+        assert doc["job_id"] == job.id
+        assert doc["state"] == "queued"
+        assert doc["priority"] == 3
+        assert doc["cached"] is False
