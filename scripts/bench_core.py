@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Emit the BENCH_core.json chain-kernel throughput artifact.
+
+Measures the Metropolis–Hastings hot path on the standard synthetic
+workload three ways — serial single-chain iterations/sec, per-move-class
+rejection-cycle cost, and end-to-end engine runs of all four strategies
+— each with the trial/commit kernel against the legacy apply/unapply
+reference from bit-identical states and seeds.  CI uploads the file
+next to BENCH_service.json so the perf trajectory finally has a
+chain-kernel series.
+
+The embedded parity gates are hard: any divergence between the two
+kernels (final circles, traces, acceptance stats, per-proposal deltas,
+detected circles) raises and the script exits non-zero.  Speed numbers
+are reported, not gated — regressions are read off the artifact series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.bench.core import (  # noqa: E402
+    move_class_throughput,
+    serial_chain_throughput,
+    strategy_throughput,
+)
+from repro.errors import BenchmarkError  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--circles", type=int, default=10)
+    parser.add_argument("--iterations", type=int, default=30_000,
+                        help="serial single-chain iterations per kernel")
+    parser.add_argument("--warmup", type=int, default=2_000)
+    parser.add_argument("--move-cycles", type=int, default=4_000,
+                        help="per-move-class price/rollback cycles")
+    parser.add_argument("--strategy-iterations", type=int, default=4_000,
+                        help="iterations per end-to-end strategy run")
+    parser.add_argument("--skip-strategies", action="store_true",
+                        help="measure only the chain kernel (quick mode)")
+    args = parser.parse_args()
+
+    try:
+        serial = serial_chain_throughput(
+            size=args.size,
+            n_circles=args.circles,
+            iterations=args.iterations,
+            warmup=args.warmup,
+        )
+        move_classes = move_class_throughput(
+            size=args.size,
+            n_circles=args.circles,
+            cycles=args.move_cycles,
+        )
+        strategies = (
+            None
+            if args.skip_strategies
+            else strategy_throughput(
+                size=args.size,
+                n_circles=args.circles,
+                iterations=args.strategy_iterations,
+            )
+        )
+    except BenchmarkError as exc:
+        print(f"PARITY FAILURE: {exc}", file=sys.stderr)
+        return 1
+
+    document = {
+        "benchmark": "core_hot_path",
+        "version": __version__,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "serial_chain": serial,
+        "move_classes": move_classes,
+        "strategies": strategies,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+
+    print(
+        f"serial chain: {serial['trial_iters_per_second']:,.0f} it/s trial vs "
+        f"{serial['legacy_iters_per_second']:,.0f} it/s legacy "
+        f"({serial['speedup']:.2f}x, acceptance {serial['acceptance_rate']:.1%})"
+    )
+    for name, row in move_classes["classes"].items():
+        tag = "trial" if row["supports_trial"] else "fallback"
+        print(
+            f"  {name:<10s} [{tag:8s}] {row['trial_cycles_per_second']:>9,.0f} vs "
+            f"{row['legacy_cycles_per_second']:>9,.0f} reject-cycles/s "
+            f"({row['speedup']:.2f}x)"
+        )
+    if strategies is not None:
+        for name, row in strategies["strategies"].items():
+            print(
+                f"  {name:<12s} end-to-end {row['trial_seconds']:.2f}s vs "
+                f"{row['legacy_seconds']:.2f}s ({row['speedup']:.2f}x, "
+                f"{row['n_found']} circles, bit-identical)"
+            )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,11 @@ from repro.bench.workloads import (
     small_nuclei_workload,
 )
 from repro.bench.calibration import CalibrationResult, calibrate_iteration_cost
+from repro.bench.core import (
+    move_class_throughput,
+    serial_chain_throughput,
+    strategy_throughput,
+)
 from repro.bench.harness import (
     fig2_cycle_specs,
     simulate_fig2_point,
@@ -28,6 +33,9 @@ __all__ = [
     "small_nuclei_workload",
     "CalibrationResult",
     "calibrate_iteration_cost",
+    "serial_chain_throughput",
+    "move_class_throughput",
+    "strategy_throughput",
     "fig2_cycle_specs",
     "simulate_fig2_point",
     "simulate_architecture",

@@ -58,9 +58,12 @@ def circle_overlap_areas(
     Returns an array the same length as *xs*; entries are 0 for disjoint
     pairs and ``pi * rmin^2`` for full containment.
     """
-    xs = np.asarray(xs, dtype=float)
-    ys = np.asarray(ys, dtype=float)
-    rs = np.asarray(rs, dtype=float)
+    if not (isinstance(xs, np.ndarray) and xs.dtype == np.float64):
+        xs = np.asarray(xs, dtype=float)
+    if not (isinstance(ys, np.ndarray) and ys.dtype == np.float64):
+        ys = np.asarray(ys, dtype=float)
+    if not (isinstance(rs, np.ndarray) and rs.dtype == np.float64):
+        rs = np.asarray(rs, dtype=float)
     d = np.hypot(xs - x, ys - y)
     out = np.zeros_like(d)
 
@@ -68,7 +71,8 @@ def circle_overlap_areas(
     rmax = np.maximum(r, rs)
 
     contained = d <= (rmax - rmin)
-    out[contained] = math.pi * rmin[contained] ** 2
+    if contained.any():
+        out[contained] = math.pi * rmin[contained] ** 2
 
     partial = (~contained) & (d < r + rs)
     if np.any(partial):

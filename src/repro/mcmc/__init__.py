@@ -42,7 +42,15 @@ from repro.mcmc.moves import (
     NullMove,
     MoveGenerator,
 )
-from repro.mcmc.kernel import metropolis_hastings_step, StepResult
+from repro.mcmc.kernel import (
+    StepResult,
+    evaluate_move,
+    legacy_kernel,
+    metropolis_hastings_step,
+    price_move,
+    set_trial_kernel,
+    trial_kernel_enabled,
+)
 from repro.mcmc.chain import MarkovChain, ChainResult
 from repro.mcmc.diagnostics import (
     AcceptanceStats,
@@ -80,6 +88,11 @@ __all__ = [
     "NullMove",
     "MoveGenerator",
     "metropolis_hastings_step",
+    "evaluate_move",
+    "price_move",
+    "legacy_kernel",
+    "set_trial_kernel",
+    "trial_kernel_enabled",
     "StepResult",
     "MarkovChain",
     "ChainResult",

@@ -72,6 +72,10 @@ class MarkovChain:
         self.stream: RngStream = coerce_stream(seed)
         self.record_every = record_every
         self.iteration = 0
+        # Next iteration at which the traces sample — a single int
+        # compare per step instead of a modulo, skipped entirely
+        # between recording points.
+        self._next_record = record_every
         self.stats = AcceptanceStats()
         self.posterior_trace = Trace()
         self.count_trace = Trace()
@@ -82,9 +86,10 @@ class MarkovChain:
         result = metropolis_hastings_step(self.post, self.gen, self.stream)
         self.iteration += 1
         self.stats.record(result.move_type, result.proposed, result.accepted)
-        if self.iteration % self.record_every == 0:
+        if self.iteration == self._next_record:
             self.posterior_trace.record(self.iteration, self.post.log_posterior)
             self.count_trace.record(self.iteration, float(self.post.config.n))
+            self._next_record += self.record_every
         return result
 
     def run(
@@ -101,9 +106,15 @@ class MarkovChain:
         if iterations < 0:
             raise ChainError(f"iterations must be >= 0, got {iterations}")
         watch = Stopwatch().start()
-        for _ in range(iterations):
-            result = self.step()
-            if callback is not None:
+        if callback is None:
+            # Hot loop: no per-step callback check, the StepResult is
+            # consumed by step() itself (stats + traces) and dropped.
+            step = self.step
+            for _ in range(iterations):
+                step()
+        else:
+            for _ in range(iterations):
+                result = self.step()
                 callback(self.iteration, result)
         elapsed = watch.stop()
         return ChainResult(
@@ -124,6 +135,7 @@ class MarkovChain:
         out.stream = self.stream
         out.record_every = self.record_every
         out.iteration = self.iteration
+        out._next_record = self._next_record
         out.stats = self.stats
         out.posterior_trace = self.posterior_trace
         out.count_trace = self.count_trace

@@ -15,12 +15,34 @@ distant partitions are independent and may run concurrently (§V).
 A pixel is *covered* by a disc iff its centre ``(col + 0.5, row + 0.5)``
 lies within the disc (hard-edge model, matching the renderer up to
 anti-aliasing noise absorbed by the likelihood's noise scale).
+
+Two evaluation paths share the raster:
+
+* The *legacy* path (:meth:`add_disc` / :meth:`remove_disc`) mutates
+  ``counts`` immediately and returns the weighted delta — the pre-trial
+  kernel's protocol, kept verbatim (including its per-call ``np.arange``
+  temporaries) so it stays a faithful benchmark baseline and a
+  bit-exact reference for the parity suite.
+* The *trial* path (:meth:`trial_add_disc` / :meth:`trial_remove_disc`
+  + :meth:`commit_pending` / :meth:`discard_pending`) prices the same
+  delta without touching ``counts``: the disc mask is computed into
+  per-raster scratch buffers (precomputed pixel-centre grids, reused
+  mask/square/count windows) so steady-state stepping performs no
+  window-sized temporary allocations beyond the single weight gather,
+  and a rejected proposal costs one rasterisation instead of two.
+
+The trial delta is bit-identical to the legacy one: the mask arithmetic
+is element-for-element the same operations, and the weight sum is taken
+over the same boolean-compressed value sequence (numpy's pairwise
+summation order depends on the compressed length, so the gather cannot
+be fused into a masked reduction without changing last-ulp rounding —
+bit-parity wins over the last allocation).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +50,25 @@ from repro.errors import ChainError
 from repro.geometry.rect import Rect
 
 __all__ = ["CoverageRaster"]
+
+
+class _PendingOp:
+    """One uncommitted trial rasterisation: a disc mask over a window.
+
+    ``mask`` is a view into one of the raster's pooled mask buffers — it
+    stays valid until the op is committed or discarded (the kernel's
+    trial protocol resolves every trial before starting the next one).
+    """
+
+    __slots__ = ("row0", "row1", "col0", "col1", "mask", "sign")
+
+    def __init__(self, row0, row1, col0, col1, mask, sign) -> None:
+        self.row0 = row0
+        self.row1 = row1
+        self.col0 = col0
+        self.col1 = col1
+        self.mask = mask
+        self.sign = sign
 
 
 class CoverageRaster:
@@ -40,29 +81,99 @@ class CoverageRaster:
     row_offset, col_offset:
         Position of the raster's (0, 0) pixel within the full image —
         partition workers hold a raster over just their patch.
+    debug_checks:
+        Enable the coverage-underflow guard in :meth:`remove_disc` /
+        :meth:`trial_remove_disc` (an extra fancy-index pass per
+        removal).  Defaults off in the hot path; tests and
+        :meth:`~repro.mcmc.posterior.PosteriorState.verify_consistency`
+        turn it on.
     """
 
-    __slots__ = ("counts", "row_offset", "col_offset")
+    __slots__ = (
+        "counts",
+        "row_offset",
+        "col_offset",
+        "debug_checks",
+        "_row_centres",
+        "_col_centres",
+        "_dx2",
+        "_dy2",
+        "_sq_flat",
+        "_cnt_flat",
+        "_newly_flat",
+        "_mask_pool",
+        "_pending",
+    )
 
     def __init__(
-        self, height: int, width: int, row_offset: int = 0, col_offset: int = 0
+        self,
+        height: int,
+        width: int,
+        row_offset: int = 0,
+        col_offset: int = 0,
+        debug_checks: bool = False,
     ) -> None:
         if height <= 0 or width <= 0:
             raise ChainError(f"raster must be non-empty, got {height}x{width}")
         self.counts = np.zeros((height, width), dtype=np.int32)
         self.row_offset = int(row_offset)
         self.col_offset = int(col_offset)
+        self.debug_checks = bool(debug_checks)
+        self._init_scratch()
+
+    def _init_scratch(self) -> None:
+        height, width = self.counts.shape
+        # Pixel-centre coordinate grids, precomputed once: slicing these
+        # replaces the two per-call ``np.arange`` allocations of the
+        # legacy window (integers + 0.5 are exact, so a slice is
+        # bit-identical to ``np.arange(c0, c1) + 0.5``).
+        self._row_centres = np.arange(height, dtype=np.float64) + 0.5
+        self._col_centres = np.arange(width, dtype=np.float64) + 0.5
+        self._dx2 = np.empty(width, dtype=np.float64)
+        self._dy2 = np.empty(height, dtype=np.float64)
+        # Flat window scratch, grown to the largest window seen so far;
+        # contiguous slices + reshape yield zero-copy 2-D views.
+        self._sq_flat = np.empty(0, dtype=np.float64)
+        self._cnt_flat = np.empty(0, dtype=np.int32)
+        self._newly_flat = np.empty(0, dtype=bool)
+        self._mask_pool: List[np.ndarray] = []
+        self._pending: List[_PendingOp] = []
+
+    # -- pickling (scratch is derived state; ship only the counts) ----------
+    def __getstate__(self):
+        return {
+            "counts": self.counts,
+            "row_offset": self.row_offset,
+            "col_offset": self.col_offset,
+            "debug_checks": self.debug_checks,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.counts = state["counts"]
+        self.row_offset = state["row_offset"]
+        self.col_offset = state["col_offset"]
+        self.debug_checks = state["debug_checks"]
+        self._init_scratch()
 
     @property
     def shape(self) -> Tuple[int, int]:
         return self.counts.shape  # type: ignore[return-value]
 
-    # -- disc rasterisation ----------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of uncommitted trial rasterisations."""
+        return len(self._pending)
+
+    # -- disc rasterisation (legacy / reference path) --------------------------
     def _disc_window(self, x: float, y: float, r: float):
         """(row_slice, col_slice, boolean mask) of pixels covered by the disc.
 
         Returns ``None`` when the disc misses the raster entirely.
         Coordinates are in full-image space; offsets are applied here.
+
+        This is the pre-trial implementation, kept allocation-heavy on
+        purpose: it is the bit-exact reference (and benchmark baseline)
+        the trial path is validated against.
         """
         # Pixel (i, j) of the raster has centre (col_offset + j + 0.5,
         # row_offset + i + 0.5) in image coordinates.
@@ -91,6 +202,7 @@ class CoverageRaster:
         the caller owns its meaning (the likelihood passes its per-pixel
         turn-on costs).
         """
+        self._check_no_pending("add_disc")
         win = self._disc_window(x, y, r)
         if win is None:
             return 0.0
@@ -105,14 +217,16 @@ class CoverageRaster:
         """Decrement coverage under the disc; return Σ weights over pixels
         that became uncovered (count 1 → 0).
 
-        Raises if any touched pixel had zero coverage (state corruption).
+        With ``debug_checks`` enabled, raises if any touched pixel had
+        zero coverage (state corruption).
         """
+        self._check_no_pending("remove_disc")
         win = self._disc_window(x, y, r)
         if win is None:
             return 0.0
         rows, cols, mask = win
         patch = self.counts[rows, cols]
-        if np.any(patch[mask] <= 0):
+        if self.debug_checks and np.any(patch[mask] <= 0):
             raise ChainError(
                 f"coverage underflow removing disc ({x:.2f}, {y:.2f}, r={r:.2f})"
             )
@@ -120,6 +234,163 @@ class CoverageRaster:
         patch[mask] -= 1
         delta = float(weights[rows, cols][vacated].sum()) if vacated.any() else 0.0
         return delta
+
+    # -- trial path (allocation-free pricing, deferred mutation) ---------------
+    def _ensure_scratch(self, n: int, slot: int) -> None:
+        """Grow the flat window scratch to hold *n* pixels and make sure
+        mask-buffer *slot* exists (steady state: every call is a no-op)."""
+        if self._sq_flat.size < n:
+            size = max(n, 2 * self._sq_flat.size)
+            self._sq_flat = np.empty(size, dtype=np.float64)
+            self._cnt_flat = np.empty(size, dtype=np.int32)
+            self._newly_flat = np.empty(size, dtype=bool)
+            for i, buf in enumerate(self._mask_pool):
+                if buf.size < size:
+                    self._mask_pool[i] = np.empty(size, dtype=bool)
+        while len(self._mask_pool) <= slot:
+            self._mask_pool.append(np.empty(self._sq_flat.size or n, dtype=bool))
+        if self._mask_pool[slot].size < n:
+            self._mask_pool[slot] = np.empty(max(n, self._sq_flat.size), dtype=bool)
+
+    def _trial_window(self, x: float, y: float, r: float, slot: int):
+        """Allocation-free counterpart of :meth:`_disc_window`.
+
+        Returns ``(r0, r1, c0, c1, mask)`` with *mask* a 2-D view into
+        pooled scratch (valid until slot reuse), or ``None``.  Every
+        arithmetic step mirrors the legacy window element-for-element,
+        so the mask is bit-identical.
+        """
+        lx = x - self.col_offset
+        ly = y - self.row_offset
+        h, w = self.counts.shape
+        c0 = max(0, int(math.floor(lx - r - 0.5)))
+        c1 = min(w, int(math.ceil(lx + r + 0.5)))
+        r0 = max(0, int(math.floor(ly - r - 0.5)))
+        r1 = min(h, int(math.ceil(ly + r + 0.5)))
+        if c1 <= c0 or r1 <= r0:
+            return None
+        wlen = c1 - c0
+        hlen = r1 - r0
+        n = hlen * wlen
+        self._ensure_scratch(n, slot)
+        dx2 = self._dx2[:wlen]
+        np.subtract(self._col_centres[c0:c1], lx, out=dx2)
+        np.multiply(dx2, dx2, out=dx2)  # == (cols - lx) ** 2 (numpy squares x**2 as x*x)
+        dy2 = self._dy2[:hlen]
+        np.subtract(self._row_centres[r0:r1], ly, out=dy2)
+        np.multiply(dy2, dy2, out=dy2)
+        sq = self._sq_flat[:n].reshape(hlen, wlen)
+        # Two-step broadcast (row copy, then in-place column add): the
+        # same single addition dx²[j] + dy²[i] bit-for-bit, but numpy's
+        # iterator buffers one broadcast operand instead of two.
+        np.copyto(sq, dx2[None, :])
+        np.add(sq, dy2[:, None], out=sq)
+        mask = self._mask_pool[slot][:n].reshape(hlen, wlen)
+        np.less_equal(sq, r * r, out=mask)
+        # No mask.any() bail-out here: an all-False mask yields an exact
+        # 0.0 delta (empty gather) and a no-op commit, so the extra
+        # reduction per disc would buy nothing.
+        return r0, r1, c0, c1, mask
+
+    def _effective_counts(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """The window's counts as pending trial ops would leave them.
+
+        With no pending ops this is a zero-copy view; otherwise the
+        window is copied into scratch and each pending mask is applied
+        over the intersection — exactly the counts the legacy path
+        would have produced by mutating in sequence.
+        """
+        patch = self.counts[r0:r1, c0:c1]
+        if not self._pending:
+            return patch
+        hlen = r1 - r0
+        wlen = c1 - c0
+        buf = self._cnt_flat[: hlen * wlen].reshape(hlen, wlen)
+        np.copyto(buf, patch)
+        for op in self._pending:
+            ir0 = max(r0, op.row0)
+            ir1 = min(r1, op.row1)
+            ic0 = max(c0, op.col0)
+            ic1 = min(c1, op.col1)
+            if ir0 >= ir1 or ic0 >= ic1:
+                continue
+            sub = buf[ir0 - r0 : ir1 - r0, ic0 - c0 : ic1 - c0]
+            msk = op.mask[ir0 - op.row0 : ir1 - op.row0, ic0 - op.col0 : ic1 - op.col0]
+            if op.sign > 0:
+                np.add(sub, msk, out=sub)
+            else:
+                np.subtract(sub, msk, out=sub)
+        return buf
+
+    def trial_add_disc(self, x: float, y: float, r: float, weights: np.ndarray) -> float:
+        """Price adding the disc without mutating ``counts``.
+
+        Returns the same Σ weights over newly covered pixels that
+        :meth:`add_disc` would, records the rasterised mask as a pending
+        op (so later trials in the same move see its effect), and leaves
+        state mutation to :meth:`commit_pending`.
+        """
+        win = self._trial_window(x, y, r, slot=len(self._pending))
+        if win is None:
+            return 0.0
+        r0, r1, c0, c1, mask = win
+        patch = self._effective_counts(r0, r1, c0, c1)
+        hlen, wlen = mask.shape
+        newly = self._newly_flat[: hlen * wlen].reshape(hlen, wlen)
+        np.equal(patch, 0, out=newly)
+        np.logical_and(mask, newly, out=newly)
+        # Same gather + pairwise sum as the legacy path (an empty gather
+        # sums to exactly 0.0, so no any() pre-check is needed).
+        delta = float(weights[r0:r1, c0:c1][newly].sum())
+        self._pending.append(_PendingOp(r0, r1, c0, c1, mask, +1))
+        return delta
+
+    def trial_remove_disc(self, x: float, y: float, r: float, weights: np.ndarray) -> float:
+        """Price removing the disc without mutating ``counts``; see
+        :meth:`trial_add_disc`."""
+        win = self._trial_window(x, y, r, slot=len(self._pending))
+        if win is None:
+            return 0.0
+        r0, r1, c0, c1, mask = win
+        patch = self._effective_counts(r0, r1, c0, c1)
+        if self.debug_checks and np.any(patch[mask] <= 0):
+            raise ChainError(
+                f"coverage underflow removing disc ({x:.2f}, {y:.2f}, r={r:.2f})"
+            )
+        hlen, wlen = mask.shape
+        vacated = self._newly_flat[: hlen * wlen].reshape(hlen, wlen)
+        np.equal(patch, 1, out=vacated)
+        np.logical_and(mask, vacated, out=vacated)
+        delta = float(weights[r0:r1, c0:c1][vacated].sum())
+        self._pending.append(_PendingOp(r0, r1, c0, c1, mask, -1))
+        return delta
+
+    def commit_pending(self) -> None:
+        """Apply every pending trial mask to ``counts`` (accepted move).
+
+        ``np.add``/``np.subtract`` with an ``out=`` view increment the
+        window in place without the legacy path's fancy-index
+        temporaries; the resulting counts are identical integers.
+        """
+        for op in self._pending:
+            patch = self.counts[op.row0 : op.row1, op.col0 : op.col1]
+            if op.sign > 0:
+                np.add(patch, op.mask, out=patch)
+            else:
+                np.subtract(patch, op.mask, out=patch)
+        self._pending.clear()
+
+    def discard_pending(self) -> None:
+        """Drop every pending trial mask (rejected move) — counts were
+        never touched, so this is O(pending)."""
+        self._pending.clear()
+
+    def _check_no_pending(self, op_name: str) -> None:
+        if self._pending:
+            raise ChainError(
+                f"{op_name} called with {len(self._pending)} uncommitted trial "
+                "op(s); commit_pending() or discard_pending() first"
+            )
 
     # -- queries -----------------------------------------------------------------
     def covered_mask(self) -> np.ndarray:
@@ -130,13 +401,26 @@ class CoverageRaster:
         """Σ weights over currently covered pixels (full evaluation)."""
         return float(weights[self.counts > 0].sum())
 
+    def add_disc_counts_only(self, x: float, y: float, r: float) -> None:
+        """Increment coverage under the disc without computing a delta —
+        the bulk-load path (:meth:`rebuild_from`, worker initialisation),
+        which previously paid an O(image) dummy-weights allocation per
+        rebuild just to discard the weighted sums."""
+        self._check_no_pending("add_disc_counts_only")
+        win = self._trial_window(x, y, r, slot=0)
+        if win is None:
+            return
+        r0, r1, c0, c1, mask = win
+        patch = self.counts[r0:r1, c0:c1]
+        np.add(patch, mask, out=patch)
+
     def rebuild_from(self, xs, ys, rs) -> None:
         """Recompute counts from scratch for the given circles (tests,
         worker initialisation)."""
+        self._check_no_pending("rebuild_from")
         self.counts[:] = 0
-        ones = np.zeros(self.counts.shape)  # dummy weights; deltas unused
         for x, y, r in zip(xs, ys, rs):
-            self.add_disc(float(x), float(y), float(r), ones)
+            self.add_disc_counts_only(float(x), float(y), float(r))
 
     def equals(self, other: "CoverageRaster") -> bool:
         return (

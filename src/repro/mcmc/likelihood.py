@@ -76,6 +76,23 @@ class PixelLikelihood:
         self._check_aligned(coverage)
         return self.beta * coverage.remove_disc(x, y, r, self.turn_on_cost)
 
+    def trial_add_disc_delta(
+        self, coverage: CoverageRaster, x: float, y: float, r: float
+    ) -> float:
+        """Price adding a disc without mutating *coverage* — the delta is
+        bit-identical to :meth:`add_disc_delta`; the rasterised mask
+        stays pending on the raster until committed or discarded."""
+        self._check_aligned(coverage)
+        return -self.beta * coverage.trial_add_disc(x, y, r, self.turn_on_cost)
+
+    def trial_remove_disc_delta(
+        self, coverage: CoverageRaster, x: float, y: float, r: float
+    ) -> float:
+        """Price removing a disc without mutating *coverage*; see
+        :meth:`trial_add_disc_delta`."""
+        self._check_aligned(coverage)
+        return self.beta * coverage.trial_remove_disc(x, y, r, self.turn_on_cost)
+
     # -- full evaluation (tests / initialisation) -------------------------------
     def full_loglik(self, coverage: CoverageRaster) -> float:
         """Log-likelihood of the configuration represented by *coverage*."""

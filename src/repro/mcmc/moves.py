@@ -38,6 +38,7 @@ rather than probabilistic.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -94,9 +95,28 @@ class MoveContext:
 
 
 class Move:
-    """Base class; see module docstring for the lifecycle."""
+    """Base class; see module docstring for the lifecycle.
+
+    Two execution protocols share the proposal/density methods:
+
+    * **apply/unapply** (legacy): :meth:`apply` mutates everything and
+      returns the delta; a rejection pays a full :meth:`unapply` —
+      including a second disc rasterisation per disc touched.
+    * **price/commit/rollback** (trial): :meth:`price` mutates only the
+      configuration (so densities and overlap energies evaluate against
+      bit-identical state) while coverage counts and the cached
+      posterior stay untouched; :meth:`commit` finalises an acceptance
+      from the cached rasterisation masks, :meth:`rollback` undoes the
+      configuration in O(1) without re-rasterising anything.
+
+    The base implementations fall back to apply/unapply (``SplitMove``
+    and ``MergeMove`` use them); the single-disc move classes override
+    all three with true trial pricing.  ``supports_trial`` advertises
+    which protocol a class actually implements.
+    """
 
     move_type: MoveType
+    supports_trial: bool = False
 
     def is_valid(self, post: PosteriorState) -> bool:
         """Pre-application validity (bounds, truncations, constraints)."""
@@ -111,7 +131,9 @@ class Move:
         raise NotImplementedError
 
     def log_reverse_density(self, post: PosteriorState) -> float:
-        """log q(inverse move | new state); evaluate after :meth:`apply`."""
+        """log q(inverse move | new state); evaluate after :meth:`apply`
+        (or :meth:`price` — the configuration state it reads is the
+        same)."""
         raise NotImplementedError
 
     def log_jacobian(self) -> float:
@@ -121,6 +143,24 @@ class Move:
     def unapply(self, post: PosteriorState) -> None:
         """Undo :meth:`apply`, restoring state and cached posterior."""
         raise NotImplementedError
+
+    # -- trial protocol (default: fall back to apply/unapply) ---------------
+    def price(self, post: PosteriorState) -> float:
+        """Price the move; return the exact log-posterior delta.
+
+        Must be followed by exactly one of :meth:`commit` /
+        :meth:`rollback`.  The fallback simply applies the move (so
+        commit is a no-op and rollback is a full unapply).
+        """
+        return self.apply(post)
+
+    def commit(self, post: PosteriorState) -> None:
+        """Finalise an accepted :meth:`price`."""
+        return None
+
+    def rollback(self, post: PosteriorState) -> None:
+        """Undo a rejected :meth:`price`."""
+        self.unapply(post)
 
 
 class NullMove(Move):
@@ -184,6 +224,21 @@ class BirthMove(Move):
         post.delete_circle(self._idx)
         post.set_log_posterior(self._prev_lp)
 
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        self._idx, delta = post.trial_insert_circle(self.x, self.y, self.r)
+        return delta
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._idx is None:
+            raise ChainError("BirthMove.rollback before price")
+        post.discard_trial()
+        post.rollback_insert(self._idx)
+
 
 class DeathMove(Move):
     """Delete circle *idx* (selected uniformly)."""
@@ -220,6 +275,21 @@ class DeathMove(Move):
             raise ChainError("DeathMove.unapply before apply")
         post.insert_circle(self._removed.x, self._removed.y, self._removed.r)
         post.set_log_posterior(self._prev_lp)
+
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        self._removed, delta = post.trial_delete_circle(self.idx)
+        return delta
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._removed is None:
+            raise ChainError("DeathMove.rollback before price")
+        post.discard_trial()
+        post.rollback_delete(self._removed)
 
 
 class ReplaceMove(Move):
@@ -273,6 +343,25 @@ class ReplaceMove(Move):
         post.delete_circle(self._new_idx)
         post.insert_circle(self._removed.x, self._removed.y, self._removed.r)
         post.set_log_posterior(self._prev_lp)
+
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        self._removed, d1 = post.trial_delete_circle(self.idx)
+        self._new_idx, d2 = post.trial_insert_circle(self.x, self.y, self.r)
+        return d1 + d2
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._removed is None or self._new_idx is None:
+            raise ChainError("ReplaceMove.rollback before price")
+        post.discard_trial()
+        # Same config-op order as unapply: drop the new circle, then
+        # restore the old one into its recycled slot.
+        post.rollback_insert(self._new_idx)
+        post.rollback_delete(self._removed)
 
 
 class SplitMove(Move):
@@ -478,6 +567,21 @@ class TranslateMove(Move):
         post.move_circle(self.idx, self._old[0], self._old[1])
         post.set_log_posterior(self._prev_lp)
 
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        self._old, delta = post.trial_move_circle(self.idx, self.new_x, self.new_y)
+        return delta
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._old is None:
+            raise ChainError("TranslateMove.rollback before price")
+        post.discard_trial()
+        post.rollback_move(self.idx, self._old[0], self._old[1])
+
 
 class ResizeMove(Move):
     """Perturb circle *idx*'s radius (local move; symmetric bounded
@@ -525,6 +629,21 @@ class ResizeMove(Move):
             raise ChainError("ResizeMove.unapply before apply")
         post.resize_circle(self.idx, self._old_r)
         post.set_log_posterior(self._prev_lp)
+
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        self._old_r, delta = post.trial_resize_circle(self.idx, self.new_r)
+        return delta
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._old_r is None:
+            raise ChainError("ResizeMove.rollback before price")
+        post.discard_trial()
+        post.rollback_resize(self.idx, self._old_r)
 
 
 def _log_merge_pair_density(
@@ -604,6 +723,10 @@ class MoveGenerator:
         self._probs = np.array([weights[mt] for mt in self._types], dtype=float)
         self._probs /= self._probs.sum()
         self._cum = np.cumsum(self._probs)
+        # Plain-list copy for the per-step type draw: bisect on a list
+        # beats an np.searchsorted call on a 7-element array and selects
+        # identically (tolist() round-trips float64 exactly).
+        self._cum_list: List[float] = self._cum.tolist()
         log_weights = {
             mt: (math.log(w) if w > 0 else _NEG_INF) for mt, w in weights.items()
         }
@@ -624,7 +747,7 @@ class MoveGenerator:
     # -- type selection ----------------------------------------------------
     def _draw_type(self, stream: RngStream) -> MoveType:
         u = stream.random()
-        return self._types[int(np.searchsorted(self._cum, u, side="right"))]
+        return self._types[bisect.bisect_right(self._cum_list, u)]
 
     def _draw_index(self, post: PosteriorState, stream: RngStream) -> Optional[int]:
         """Uniformly select an eligible feature index, or None."""
@@ -635,8 +758,11 @@ class MoveGenerator:
         n = post.config.n
         if n == 0:
             return None
-        idx = post.config.active_indices()
-        return int(idx[stream.integers(0, len(idx))])
+        # active_list() is the configuration's maintained ascending index
+        # list — same selection as indexing np.flatnonzero(active), minus
+        # the per-step O(capacity) scan and array allocation.
+        idx = post.config.active_list()
+        return idx[stream.integers(0, len(idx))]
 
     # -- proposal generation --------------------------------------------------
     def generate(self, post: PosteriorState, stream: RngStream) -> Move:
@@ -655,6 +781,29 @@ class MoveGenerator:
         if mt is MoveType.TRANSLATE:
             return self._gen_translate(post, stream)
         return self._gen_resize(post, stream)
+
+    def generate_of_type(
+        self, move_type: MoveType, post: PosteriorState, stream: RngStream
+    ) -> Move:
+        """Generate one proposal of a *specific* move class (skipping the
+        type draw) — the per-move-class benchmark/diagnostic entry point.
+        Proposal parameters are drawn exactly as :meth:`generate` would
+        after selecting *move_type*."""
+        if move_type is MoveType.BIRTH:
+            return self._gen_birth(post, stream)
+        if move_type is MoveType.DEATH:
+            return self._gen_death(post, stream)
+        if move_type is MoveType.SPLIT:
+            return self._gen_split(post, stream)
+        if move_type is MoveType.MERGE:
+            return self._gen_merge(post, stream)
+        if move_type is MoveType.REPLACE:
+            return self._gen_replace(post, stream)
+        if move_type is MoveType.TRANSLATE:
+            return self._gen_translate(post, stream)
+        if move_type is MoveType.RESIZE:
+            return self._gen_resize(post, stream)
+        raise ConfigurationError(f"unknown move type {move_type!r}")
 
     def _gen_birth(self, post: PosteriorState, stream: RngStream) -> Move:
         b = post.bounds

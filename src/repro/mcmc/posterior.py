@@ -83,6 +83,10 @@ class PosteriorState:
         self.radius_prior = RadiusPrior(spec)
         self.overlap_prior = OverlapPrior(spec)
         self._log_post = self.count_prior.log_pmf(0) + self.likelihood.base_loglik
+        #: log-posterior deltas of uncommitted trial primitives, one entry
+        #: per primitive so commit replays the exact `+=` sequence the
+        #: legacy apply path performed (bit-parity of the cached value).
+        self._trial_deltas: List[float] = []
 
     # -- cached posterior ------------------------------------------------------
     @property
@@ -184,6 +188,115 @@ class PosteriorState:
         self._log_post += delta
         return old_r, delta
 
+    # -- trial primitives (price now, mutate coverage/posterior on commit) --------
+    #
+    # Each trial primitive mirrors its mutating counterpart line for
+    # line: the configuration (and its spatial hash) is mutated in the
+    # SAME order — so overlap-energy neighbour enumeration, free-list
+    # slot recycling and merge-partner selection see bit-identical state
+    # — while the coverage rasterisation is priced without touching
+    # counts and the cached log-posterior is deferred to commit_trial().
+    # A rejected move therefore skips the second rasterisation (and the
+    # rollback energy queries) the legacy unapply path paid.
+
+    def trial_insert_circle(self, x: float, y: float, r: float) -> Tuple[int, float]:
+        """Price adding a circle; returns (index, log-posterior delta).
+
+        The configuration is mutated (as :meth:`insert_circle` would);
+        coverage counts and the cached posterior are not.
+        """
+        if not self.centre_in_bounds(x, y):
+            raise ChainError(f"insert at ({x:.2f}, {y:.2f}) outside bounds {self.bounds}")
+        if not self.radius_in_bounds(r):
+            raise ChainError(f"insert with radius {r:.2f} outside prior bounds")
+        n_before = self.config.n
+        delta = self.count_prior.delta_birth(n_before)
+        delta += self.position_prior.per_circle()
+        delta += self.radius_prior.log_pdf(r)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r)
+        idx = self.config.add(x, y, r)
+        delta += self.likelihood.trial_add_disc_delta(self.coverage, x, y, r)
+        self._trial_deltas.append(delta)
+        return idx, delta
+
+    def trial_delete_circle(self, idx: int) -> Tuple[Circle, float]:
+        """Price removing circle *idx*; returns (removed circle, delta)."""
+        n_before = self.config.n
+        removed = self.config.remove(idx)
+        delta = self.count_prior.delta_death(n_before)
+        delta -= self.position_prior.per_circle()
+        delta -= self.radius_prior.log_pdf(removed.r)
+        delta -= self.overlap_prior.circle_energy(
+            self.config, removed.x, removed.y, removed.r
+        )
+        delta += self.likelihood.trial_remove_disc_delta(
+            self.coverage, removed.x, removed.y, removed.r
+        )
+        self._trial_deltas.append(delta)
+        return removed, delta
+
+    def trial_move_circle(
+        self, idx: int, x: float, y: float
+    ) -> Tuple[Tuple[float, float], float]:
+        """Price translating circle *idx*; returns (old centre, delta)."""
+        if not self.centre_in_bounds(x, y):
+            raise ChainError(f"move to ({x:.2f}, {y:.2f}) outside bounds {self.bounds}")
+        r = self.config.radius_of(idx)
+        ox, oy = self.config.position_of(idx)
+        delta = -self.overlap_prior.circle_energy(self.config, ox, oy, r, exclude=(idx,))
+        delta += self.likelihood.trial_remove_disc_delta(self.coverage, ox, oy, r)
+        self.config.move_center(idx, x, y)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r, exclude=(idx,))
+        delta += self.likelihood.trial_add_disc_delta(self.coverage, x, y, r)
+        self._trial_deltas.append(delta)
+        return (ox, oy), delta
+
+    def trial_resize_circle(self, idx: int, r: float) -> Tuple[float, float]:
+        """Price resizing circle *idx*; returns (old radius, delta)."""
+        if not self.radius_in_bounds(r):
+            raise ChainError(f"resize to {r:.2f} outside prior bounds")
+        x, y = self.config.position_of(idx)
+        old_r = self.config.radius_of(idx)
+        delta = self.radius_prior.log_pdf(r) - self.radius_prior.log_pdf(old_r)
+        delta -= self.overlap_prior.circle_energy(self.config, x, y, old_r, exclude=(idx,))
+        delta += self.likelihood.trial_remove_disc_delta(self.coverage, x, y, old_r)
+        self.config.set_radius(idx, r)
+        delta += self.overlap_prior.circle_energy(self.config, x, y, r, exclude=(idx,))
+        delta += self.likelihood.trial_add_disc_delta(self.coverage, x, y, r)
+        self._trial_deltas.append(delta)
+        return old_r, delta
+
+    def commit_trial(self) -> None:
+        """Finalise the pending trial primitives: apply the cached
+        coverage masks and fold each primitive's delta into the cached
+        posterior (same `+=` sequence as the legacy apply path)."""
+        self.coverage.commit_pending()
+        for delta in self._trial_deltas:
+            self._log_post += delta
+        self._trial_deltas.clear()
+
+    def discard_trial(self) -> None:
+        """Drop the pending coverage masks and deltas (rejected move).
+        The *configuration* rollback is the move's job — it replays the
+        exact inverse config ops the legacy unapply performed."""
+        self.coverage.discard_pending()
+        self._trial_deltas.clear()
+
+    # Config-only rollback helpers: the inverse configuration mutations
+    # of the trial primitives, with the coverage/posterior work (already
+    # skipped by the trial) omitted.  Op order matches legacy unapply.
+    def rollback_insert(self, idx: int) -> None:
+        self.config.remove(idx)
+
+    def rollback_delete(self, circle: Circle) -> int:
+        return self.config.add(circle.x, circle.y, circle.r)
+
+    def rollback_move(self, idx: int, x: float, y: float) -> None:
+        self.config.move_center(idx, x, y)
+
+    def rollback_resize(self, idx: int, r: float) -> None:
+        self.config.set_radius(idx, r)
+
     # -- bulk loading ---------------------------------------------------------------
     def load_circles(self, circles: Sequence[Circle]) -> List[int]:
         """Insert many circles and resync the cache; returns their indices.
@@ -196,7 +309,10 @@ class PosteriorState:
         indices: List[int] = []
         for c in circles:
             idx = self.config.add(c.x, c.y, c.r)
-            self.likelihood.add_disc_delta(self.coverage, c.x, c.y, c.r)
+            # Counts-only rasterisation: the per-disc weighted delta was
+            # discarded here anyway, and resync_cache() recomputes the
+            # posterior in full below.
+            self.coverage.add_disc_counts_only(c.x, c.y, c.r)
             indices.append(idx)
         self.resync_cache()
         return indices
@@ -207,7 +323,32 @@ class PosteriorState:
 
     def verify_consistency(self, atol: float = 1e-6) -> None:
         """Assert the cached posterior matches a full recomputation
-        (tests and long-run integrity checks)."""
+        (tests and long-run integrity checks).
+
+        Also rebuilds the coverage raster from the configuration with
+        ``debug_checks`` enabled and asserts the incremental counts
+        match — the thorough form of the per-removal underflow guard
+        the hot path no longer pays for.
+        """
+        if self.coverage.pending_count or self._trial_deltas:
+            raise ChainError(
+                "verify_consistency with uncommitted trial state: "
+                f"{self.coverage.pending_count} pending coverage op(s), "
+                f"{len(self._trial_deltas)} pending delta(s)"
+            )
+        h, w = self.coverage.shape
+        rebuilt = CoverageRaster(
+            h, w,
+            row_offset=self.coverage.row_offset,
+            col_offset=self.coverage.col_offset,
+            debug_checks=True,
+        )
+        rebuilt.rebuild_from(*self.config.to_arrays())
+        if not rebuilt.equals(self.coverage):
+            raise ChainError(
+                "incremental coverage counts deviate from a from-scratch "
+                "rasterisation of the configuration"
+            )
         full = self.full_log_posterior()
         if not np.isclose(self._log_post, full, atol=atol, rtol=1e-9):
             raise ChainError(

@@ -149,8 +149,9 @@ class OverlapPrior:
             return 0.0
         candidates = config.neighbours_within(x, y, r + self.rmax)
         if exclude:
-            excluded = set(int(e) for e in exclude)
-            candidates = [i for i in candidates if i not in excluded]
+            # exclude is a 1-2 element tuple in the hot path: plain
+            # membership beats building a set per call.
+            candidates = [i for i in candidates if i not in exclude]
         if not candidates:
             return 0.0
         idx = np.asarray(candidates, dtype=np.intp)

@@ -15,6 +15,7 @@ selection, partition classification).
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,7 +40,7 @@ class CircleConfiguration:
         neighbourhoods of that scale).
     """
 
-    __slots__ = ("xs", "ys", "rs", "active", "_free", "_n", "_hash")
+    __slots__ = ("xs", "ys", "rs", "active", "_free", "_n", "_hash", "_active_list")
 
     def __init__(self, hash_cell_size: float = 32.0) -> None:
         self.xs = np.zeros(_INITIAL_CAPACITY, dtype=np.float64)
@@ -49,6 +50,9 @@ class CircleConfiguration:
         self._free: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
         self._n = 0
         self._hash = SpatialHash(hash_cell_size)
+        # Ascending list of active indices, maintained incrementally so
+        # the per-step uniform feature draw needs no O(capacity) scan.
+        self._active_list: List[int] = []
 
     # -- size / iteration ---------------------------------------------------
     @property
@@ -61,7 +65,13 @@ class CircleConfiguration:
 
     def active_indices(self) -> np.ndarray:
         """Indices of active circles (ascending order, fresh array)."""
-        return np.flatnonzero(self.active)
+        return np.asarray(self._active_list, dtype=np.intp)
+
+    def active_list(self) -> List[int]:
+        """Ascending active indices as the maintained list itself —
+        the hot-path view for the move generator's uniform draw.
+        Callers must treat it as read-only."""
+        return self._active_list
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.active_indices())
@@ -102,6 +112,7 @@ class CircleConfiguration:
         self.rs[idx] = r
         self.active[idx] = True
         self._n += 1
+        bisect.insort(self._active_list, idx)
         self._hash.insert(idx, x, y)
         return idx
 
@@ -112,6 +123,7 @@ class CircleConfiguration:
         self.active[idx] = False
         self._free.append(idx)
         self._n -= 1
+        del self._active_list[bisect.bisect_left(self._active_list, idx)]
         self._hash.remove(idx)
         return removed
 
@@ -138,6 +150,7 @@ class CircleConfiguration:
         self.active[:] = False
         self._free = list(range(self.active.size - 1, -1, -1))
         self._n = 0
+        self._active_list.clear()
         self._hash.clear()
 
     # -- neighbour queries -----------------------------------------------------
@@ -226,6 +239,8 @@ class CircleConfiguration:
                 raise ChainError(f"index {i} is both free and active")
         if len(self._hash) != self._n:
             raise ChainError(f"hash has {len(self._hash)} items, expected {self._n}")
+        if self._active_list != [int(i) for i in np.flatnonzero(self.active)]:
+            raise ChainError("maintained active list deviates from the active mask")
         for i in self.active_indices():
             hx, hy = self._hash.position_of(int(i))
             if hx != self.xs[i] or hy != self.ys[i]:

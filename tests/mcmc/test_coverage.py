@@ -44,9 +44,19 @@ class TestSingleDisc:
         assert delta == pytest.approx(brute_force_mask(20, 20, 10, 10, 3).sum())
 
     def test_remove_underflow_raises(self):
-        cov = CoverageRaster(10, 10)
+        """The underflow guard lives behind debug_checks (hot path skips
+        the extra fancy-index pass per removal)."""
+        cov = CoverageRaster(10, 10, debug_checks=True)
         with pytest.raises(ChainError):
             cov.remove_disc(5, 5, 2, np.ones((10, 10)))
+        trial = CoverageRaster(10, 10, debug_checks=True)
+        with pytest.raises(ChainError):
+            trial.trial_remove_disc(5, 5, 2, np.ones((10, 10)))
+
+    def test_remove_underflow_unchecked_by_default(self):
+        cov = CoverageRaster(10, 10)
+        cov.remove_disc(5, 5, 2, np.ones((10, 10)))  # no raise; counts go negative
+        assert cov.counts.min() < 0
 
     def test_disc_outside_raster_is_noop(self):
         cov = CoverageRaster(10, 10)

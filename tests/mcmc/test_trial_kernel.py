@@ -1,0 +1,411 @@
+"""Bit-parity suite for the trial/commit kernel.
+
+The trial protocol (price → commit/rollback) must be indistinguishable
+— bit for bit — from the legacy apply/unapply kernel it replaces: same
+deltas, same chains, same traces, same acceptance statistics, across
+every move class and every chain driver.  These tests pin that, plus
+the allocation discipline of the steady-state trial path.
+"""
+
+import math
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChainError
+from repro.mcmc import (
+    BirthMove,
+    DeathMove,
+    MarkovChain,
+    MoveConfig,
+    MoveGenerator,
+    PosteriorState,
+    ReplaceMove,
+    ResizeMove,
+    SpeculativeChain,
+    TranslateMove,
+    legacy_kernel,
+)
+from repro.mcmc.coverage import CoverageRaster
+from repro.mcmc.kernel import evaluate_move, price_move, trial_kernel_enabled
+from repro.mcmc.mc3 import MetropolisCoupledChains
+
+
+# -- coverage-level delta equality (property tests) -------------------------
+
+disc_st = st.tuples(
+    st.floats(min_value=-5.0, max_value=37.0),
+    st.floats(min_value=-5.0, max_value=37.0),
+    st.floats(min_value=0.5, max_value=9.0),
+)
+
+
+class TestTrialCoverageDeltas:
+    @settings(max_examples=40, deadline=None)
+    @given(discs=st.lists(disc_st, min_size=1, max_size=6))
+    def test_trial_add_matches_legacy_add(self, discs):
+        rng = np.random.default_rng(0)
+        weights = rng.random((32, 32)) * 2.0 - 1.0
+        legacy = CoverageRaster(32, 32)
+        trial = CoverageRaster(32, 32)
+        for x, y, r in discs:
+            expected = legacy.add_disc(x, y, r, weights)
+            got = trial.trial_add_disc(x, y, r, weights)
+            trial.commit_pending()
+            assert got == expected  # bitwise, not approx
+            assert np.array_equal(trial.counts, legacy.counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(discs=st.lists(disc_st, min_size=1, max_size=5))
+    def test_trial_remove_matches_legacy_remove(self, discs):
+        rng = np.random.default_rng(1)
+        weights = rng.random((32, 32)) * 2.0 - 1.0
+        legacy = CoverageRaster(32, 32)
+        trial = CoverageRaster(32, 32)
+        for x, y, r in discs:
+            legacy.add_disc(x, y, r, weights)
+            trial.trial_add_disc(x, y, r, weights)
+            trial.commit_pending()
+        for x, y, r in discs:
+            expected = legacy.remove_disc(x, y, r, weights)
+            got = trial.trial_remove_disc(x, y, r, weights)
+            trial.commit_pending()
+            assert got == expected
+            assert np.array_equal(trial.counts, legacy.counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(disc=disc_st, dx=st.floats(-3.0, 3.0), dy=st.floats(-3.0, 3.0))
+    def test_overlapping_remove_then_add_sequence(self, disc, dx, dy):
+        """A translate-shaped trial (remove old disc, add overlapping new
+        disc) must price the add against the counts *as the removal left
+        them* — matching legacy mutate-then-evaluate exactly."""
+        x, y, r = disc
+        rng = np.random.default_rng(2)
+        weights = rng.random((32, 32)) * 2.0 - 1.0
+        legacy = CoverageRaster(32, 32)
+        trial = CoverageRaster(32, 32)
+        for raster in (legacy, trial):
+            raster.add_disc(x, y, r, weights)
+            raster.add_disc(x + dx, y + dy, max(r - 0.5, 0.4), weights)
+        d_rm = legacy.remove_disc(x, y, r, weights)
+        d_ad = legacy.add_disc(x + dx, y + dy, r, weights)
+
+        t_rm = trial.trial_remove_disc(x, y, r, weights)
+        t_ad = trial.trial_add_disc(x + dx, y + dy, r, weights)
+        assert (t_rm, t_ad) == (d_rm, d_ad)
+        trial.commit_pending()
+        assert np.array_equal(trial.counts, legacy.counts)
+
+    def test_discard_leaves_counts_untouched(self):
+        weights = np.ones((20, 20))
+        cov = CoverageRaster(20, 20)
+        cov.add_disc(10, 10, 4, weights)
+        before = cov.counts.copy()
+        cov.trial_remove_disc(10, 10, 4, weights)
+        cov.trial_add_disc(12, 9, 4, weights)
+        assert cov.pending_count == 2
+        cov.discard_pending()
+        assert cov.pending_count == 0
+        assert np.array_equal(cov.counts, before)
+
+    def test_legacy_ops_refuse_pending_trials(self):
+        weights = np.ones((20, 20))
+        cov = CoverageRaster(20, 20)
+        cov.trial_add_disc(10, 10, 4, weights)
+        with pytest.raises(ChainError):
+            cov.add_disc(10, 10, 4, weights)
+        with pytest.raises(ChainError):
+            cov.rebuild_from([10], [10], [4])
+        cov.discard_pending()
+        cov.add_disc(10, 10, 4, weights)  # fine again
+
+    def test_rebuild_from_counts_only_path(self):
+        """rebuild_from no longer allocates a dummy weight map and still
+        reproduces the exact counts of the weighted add path."""
+        xs, ys, rs = [5.0, 12.0, 11.0], [6.0, 12.0, 7.0], [3.0, 4.0, 2.5]
+        reference = CoverageRaster(20, 20)
+        w = np.zeros((20, 20))
+        for x, y, r in zip(xs, ys, rs):
+            reference.add_disc(x, y, r, w)
+        rebuilt = CoverageRaster(20, 20)
+        rebuilt.rebuild_from(xs, ys, rs)
+        assert rebuilt.equals(reference)
+
+    def test_pickle_roundtrip_drops_scratch(self):
+        import pickle
+
+        cov = CoverageRaster(16, 16, row_offset=3, col_offset=4)
+        cov.add_disc(8, 8, 3, np.ones((16, 16)))
+        clone = pickle.loads(pickle.dumps(cov))
+        assert clone.equals(cov)
+        # Scratch is rebuilt, trial ops still work after the round-trip.
+        clone.trial_add_disc(8, 8, 3, np.ones((16, 16)))
+        clone.commit_pending()
+
+
+# -- move-level protocol equivalence ----------------------------------------
+
+def _twin_posts(small_filtered, small_spec):
+    """Two bit-identical posterior states with a few circles."""
+    posts = []
+    for _ in range(2):
+        post = PosteriorState(small_filtered, small_spec)
+        post.insert_circle(30.0, 30.0, 6.0)
+        post.insert_circle(60.0, 40.0, 5.0)
+        post.insert_circle(34.0, 35.0, 4.0)  # overlaps the first
+        posts.append(post)
+    return posts
+
+
+def _signature(post):
+    return (
+        post.snapshot_circles(),
+        post.log_posterior,
+        post.config.n,
+        post.coverage.counts.copy(),
+    )
+
+
+def _sig_equal(a, b):
+    return a[0] == b[0] and a[1] == b[1] and a[2] == b[2] and np.array_equal(a[3], b[3])
+
+
+def _make_moves(ctx):
+    return {
+        "birth": lambda: BirthMove(45.0, 52.0, 5.5, ctx),
+        "death": lambda: DeathMove(0, ctx),
+        "replace": lambda: ReplaceMove(1, 20.0, 70.0, 4.5, ctx),
+        "translate": lambda: TranslateMove(0, 31.5, 28.5),
+        "resize": lambda: ResizeMove(2, 5.1),
+    }
+
+
+@pytest.fixture
+def ctx(small_spec, move_config):
+    return MoveGenerator(small_spec, move_config).ctx
+
+
+class TestMoveTrialProtocol:
+    @pytest.mark.fast
+    @pytest.mark.parametrize("name", ["birth", "death", "replace", "translate", "resize"])
+    def test_price_commit_equals_apply(self, name, small_filtered, small_spec, ctx):
+        post_a, post_b = _twin_posts(small_filtered, small_spec)
+        move_a = _make_moves(ctx)[name]()
+        move_b = _make_moves(ctx)[name]()
+        assert type(move_a).supports_trial
+
+        delta_trial = move_a.price(post_a)
+        delta_apply = move_b.apply(post_b)
+        assert delta_trial == delta_apply  # bitwise
+        # Reverse densities read the same (priced vs applied) state.
+        assert move_a.log_reverse_density(post_a) == move_b.log_reverse_density(post_b)
+        move_a.commit(post_a)
+        assert _sig_equal(_signature(post_a), _signature(post_b))
+        post_a.verify_consistency()
+
+    @pytest.mark.fast
+    @pytest.mark.parametrize("name", ["birth", "death", "replace", "translate", "resize"])
+    def test_price_rollback_equals_apply_unapply(
+        self, name, small_filtered, small_spec, ctx
+    ):
+        post_a, post_b = _twin_posts(small_filtered, small_spec)
+        original = _signature(post_a)
+        move_a = _make_moves(ctx)[name]()
+        move_b = _make_moves(ctx)[name]()
+
+        move_a.price(post_a)
+        move_a.rollback(post_a)
+        move_b.apply(post_b)
+        move_b.unapply(post_b)
+        assert _sig_equal(_signature(post_a), original)
+        assert _sig_equal(_signature(post_a), _signature(post_b))
+        post_a.verify_consistency()
+
+    @pytest.mark.fast
+    def test_evaluate_move_is_state_neutral_on_trial_kernel(
+        self, small_filtered, small_spec, ctx
+    ):
+        assert trial_kernel_enabled()
+        (post,) = _twin_posts(small_filtered, small_spec)[:1]
+        original = _signature(post)
+        log_alpha = evaluate_move(post, TranslateMove(0, 32.0, 29.0))
+        assert log_alpha is not None and math.isfinite(log_alpha)
+        assert _sig_equal(_signature(post), original)
+        assert post.coverage.pending_count == 0
+
+    @pytest.mark.fast
+    def test_price_move_leaves_move_priced(self, small_filtered, small_spec, ctx):
+        (post,) = _twin_posts(small_filtered, small_spec)[:1]
+        move = BirthMove(50.0, 20.0, 5.0, ctx)
+        log_alpha = price_move(post, move)
+        assert log_alpha is not None
+        assert post.coverage.pending_count == 1
+        move.commit(post)
+        assert post.coverage.pending_count == 0
+        post.verify_consistency()
+
+
+# -- chain-level parity -------------------------------------------------------
+
+def _fresh_chain(small_filtered, small_spec, move_config, seed, record_every=50):
+    post = PosteriorState(small_filtered, small_spec)
+    gen = MoveGenerator(small_spec, move_config)
+    return MarkovChain(post, gen, seed=seed, record_every=record_every)
+
+
+class TestChainParity:
+    def test_markov_chain_bitwise_parity(self, small_filtered, small_spec, move_config):
+        trial = _fresh_chain(small_filtered, small_spec, move_config, seed=17)
+        result_t = trial.run(2_000)
+        with legacy_kernel():
+            ref = _fresh_chain(small_filtered, small_spec, move_config, seed=17)
+            result_r = ref.run(2_000)
+        assert result_t.final_circles == result_r.final_circles
+        assert result_t.posterior_trace.values == result_r.posterior_trace.values
+        assert result_t.posterior_trace.iterations == result_r.posterior_trace.iterations
+        assert result_t.count_trace.values == result_r.count_trace.values
+        assert result_t.stats.generated == result_r.stats.generated
+        assert result_t.stats.proposed == result_r.stats.proposed
+        assert result_t.stats.accepted == result_r.stats.accepted
+        assert trial.post.log_posterior == ref.post.log_posterior
+        assert np.array_equal(trial.post.coverage.counts, ref.post.coverage.counts)
+        trial.post.verify_consistency()
+
+    def test_speculative_chain_bitwise_parity(
+        self, small_filtered, small_spec, move_config
+    ):
+        def build():
+            post = PosteriorState(small_filtered, small_spec)
+            gen = MoveGenerator(small_spec, move_config)
+            return SpeculativeChain(post, gen, width=4, seed=23, record_every=50)
+
+        trial = build()
+        result_t = trial.run(1_500)
+        with legacy_kernel():
+            ref = build()
+            result_r = ref.run(1_500)
+        assert result_t.rounds == result_r.rounds
+        assert result_t.posterior_trace.values == result_r.posterior_trace.values
+        assert result_t.stats.generated == result_r.stats.generated
+        assert result_t.stats.accepted == result_r.stats.accepted
+        assert trial.post.snapshot_circles() == ref.post.snapshot_circles()
+        assert trial.post.log_posterior == ref.post.log_posterior
+        trial.post.verify_consistency()
+
+    def test_mc3_bitwise_parity(self, small_filtered, small_spec, move_config):
+        def build():
+            posts = [PosteriorState(small_filtered, small_spec) for _ in range(3)]
+            gens = [MoveGenerator(small_spec, move_config) for _ in range(3)]
+            return MetropolisCoupledChains(
+                posts, gens, temperatures=[1.0, 1.6, 2.4], swap_every=25, seed=31
+            )
+
+        trial = build()
+        result_t = trial.run(600)
+        with legacy_kernel():
+            ref = build()
+            result_r = ref.run(600)
+        assert result_t.swap_attempts == result_r.swap_attempts
+        assert result_t.swap_accepts == result_r.swap_accepts
+        assert result_t.cold_posterior_trace.values == result_r.cold_posterior_trace.values
+        assert result_t.cold_stats.accepted == result_r.cold_stats.accepted
+        for post_t, post_r in zip(trial.posts, ref.posts):
+            assert post_t.log_posterior == post_r.log_posterior
+            assert post_t.snapshot_circles() == post_r.snapshot_circles()
+
+
+# -- allocation discipline ----------------------------------------------------
+
+class TestAllocationDiscipline:
+    def _steady_raster(self):
+        rng = np.random.default_rng(5)
+        weights = rng.random((96, 96)) * 2.0 - 1.0
+        cov = CoverageRaster(96, 96)
+        cov.add_disc(48.0, 48.0, 20.0, weights)
+        # Warm the scratch with the biggest window the loop will see.
+        cov.trial_remove_disc(48.0, 48.0, 20.0, weights)
+        cov.trial_add_disc(47.0, 49.0, 20.0, weights)
+        cov.discard_pending()
+        return cov, weights
+
+    def test_steady_state_trial_path_calls_no_array_constructors(self, monkeypatch):
+        """Once scratch is warm, a full trial cycle (remove + add +
+        discard/commit) performs zero Python-level numpy allocations —
+        the per-call ``np.arange`` pair and broadcast temporaries of the
+        legacy window are gone."""
+        cov, weights = self._steady_raster()
+        calls = []
+
+        def counting(name, orig):
+            def wrapper(*args, **kwargs):
+                calls.append(name)
+                return orig(*args, **kwargs)
+
+            return wrapper
+
+        for name in ("arange", "empty", "zeros", "ones", "full", "array", "asarray"):
+            monkeypatch.setattr(np, name, counting(name, getattr(np, name)))
+
+        for i in range(25):
+            cov.trial_remove_disc(48.0, 48.0, 20.0, weights)
+            cov.trial_add_disc(47.0, 49.0, 20.0, weights)
+            cov.discard_pending()
+        # One accepted round-trip exercises commit too.
+        cov.trial_remove_disc(48.0, 48.0, 20.0, weights)
+        cov.trial_add_disc(47.0, 49.0, 20.0, weights)
+        cov.commit_pending()
+        cov.trial_remove_disc(47.0, 49.0, 20.0, weights)
+        cov.trial_add_disc(48.0, 48.0, 20.0, weights)
+        cov.commit_pending()
+        assert calls == []
+
+    def test_scratch_does_not_regrow_in_steady_state(self):
+        cov, weights = self._steady_raster()
+        sq = cov._sq_flat
+        masks = list(cov._mask_pool)
+        for _ in range(10):
+            cov.trial_remove_disc(48.0, 48.0, 20.0, weights)
+            cov.trial_add_disc(47.0, 49.0, 20.0, weights)
+            cov.discard_pending()
+        assert cov._sq_flat is sq
+        assert all(a is b for a, b in zip(cov._mask_pool, masks))
+
+    def test_trial_transient_memory_well_below_legacy(self):
+        """tracemalloc peak over a trial cycle must be a small fraction
+        of the legacy cycle's (which allocates arange grids, broadcast
+        temporaries and fancy-index patches per disc).  The remaining
+        trial transient is the single boolean-gather of weights — kept
+        because fusing the reduction would change numpy's pairwise
+        summation order and break bit-parity."""
+        cov, weights = self._steady_raster()
+        legacy = CoverageRaster(96, 96)
+        legacy.add_disc(48.0, 48.0, 20.0, weights)
+
+        def trial_cycle():
+            cov.trial_remove_disc(48.0, 48.0, 20.0, weights)
+            cov.trial_add_disc(47.0, 49.0, 20.0, weights)
+            cov.discard_pending()
+
+        def legacy_cycle():
+            legacy.remove_disc(48.0, 48.0, 20.0, weights)
+            legacy.add_disc(48.0, 48.0, 20.0, weights)
+
+        def peak(fn, rounds=20):
+            fn()  # warm
+            tracemalloc.start()
+            baseline = tracemalloc.get_traced_memory()[0]
+            worst = 0
+            for _ in range(rounds):
+                tracemalloc.reset_peak()
+                fn()
+                _, p = tracemalloc.get_traced_memory()
+                worst = max(worst, p - baseline)
+            tracemalloc.stop()
+            return worst
+
+        trial_peak = peak(trial_cycle)
+        legacy_peak = peak(legacy_cycle)
+        assert trial_peak < 0.5 * legacy_peak, (trial_peak, legacy_peak)
