@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Emit the BENCH_cluster.json cluster-layer artifact.
+
+Runs the three cluster workloads of :mod:`repro.bench.cluster` —
+1-vs-N backend throughput (subprocess backends: real core scaling),
+cache-affinity hit rate under rendezvous routing, and kill-one-backend
+recovery latency — and writes the combined document plus host facts.
+CI uploads the file next to BENCH_service.json / BENCH_core.json, so
+the perf trajectory gains a cluster series.
+
+Like its siblings, ``--baseline PATH`` gates the run against a prior
+artifact and exits 3 past the regression threshold.  Note the
+throughput speedup is core-bound: on a single-CPU host, 3 backends
+honestly buy ~nothing, and the artifact's ``host.cpu_count`` says so.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.bench.cluster import (  # noqa: E402
+    affinity_hit_rate,
+    cluster_throughput,
+    failover_recovery,
+)
+from repro.bench.reporting import BaselineMetric, run_baseline_gate  # noqa: E402
+from repro.errors import BenchmarkError  # noqa: E402
+
+BASELINE_METRICS = [
+    BaselineMetric("throughput speedup", ("throughput", "speedup")),
+    BaselineMetric("affinity hit rate", ("affinity", "hit_rate")),
+    BaselineMetric("failover recovery s",
+                   ("failover", "recovery_seconds"), higher_is_better=False),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_cluster.json")
+    parser.add_argument("--backends", type=int, default=3,
+                        help="the N of the 1-vs-N comparison")
+    parser.add_argument("--jobs", type=int, default=12)
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument("--circles", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=300)
+    parser.add_argument("--mode", choices=["process", "thread"],
+                        default="process",
+                        help="backend isolation for the throughput/failover "
+                             "rounds (process = real cores; thread = "
+                             "GIL-shared, for quick checks only)")
+    parser.add_argument("--skip-failover", action="store_true",
+                        help="skip the kill-one-backend round")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="prior BENCH_cluster.json to gate against "
+                             "(exit 3 past the regression threshold)")
+    parser.add_argument("--regression-threshold", type=float, default=0.8)
+    args = parser.parse_args()
+
+    try:
+        throughput = cluster_throughput(
+            backend_counts=(1, args.backends),
+            n_jobs=args.jobs,
+            size=args.size,
+            circles=args.circles,
+            iterations=args.iterations,
+            mode=args.mode,
+        )
+        affinity = affinity_hit_rate(
+            n_backends=args.backends,
+            n_jobs=max(args.backends * 3, 6),
+            size=args.size,
+            circles=args.circles,
+            iterations=args.iterations,
+        )
+        failover = (
+            None
+            if args.skip_failover
+            else failover_recovery(n_backends=args.backends, mode=args.mode)
+        )
+    except BenchmarkError as exc:
+        print(f"CLUSTER BENCH FAILURE: {exc}", file=sys.stderr)
+        return 1
+
+    document = {
+        "benchmark": "cluster_layer",
+        "version": __version__,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "throughput": throughput,
+        "affinity": affinity,
+        "failover": failover,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+
+    rounds = throughput["rounds"]
+    for n in sorted(rounds, key=int):
+        row = rounds[n]
+        print(f"{n} backend(s): {row['jobs_per_second']:.2f} jobs/s "
+              f"(mean latency {row['latency_mean_seconds']:.2f}s)")
+    print(f"speedup {args.backends} vs 1: {throughput['speedup']:.2f}x "
+          f"on {os.cpu_count()} CPU(s)")
+    print(f"affinity hit rate: {affinity['hit_rate']:.0%} "
+          f"({affinity['warm']['n_cached']}/{affinity['config']['n_jobs']} "
+          f"warm jobs answered by the owning node's cache)")
+    if failover is not None:
+        print(f"failover: killed {failover['killed_node']}, recovered in "
+              f"{failover['recovery_seconds']:.2f}s "
+              f"({failover['n_found']} circles, "
+              f"{failover['router_failovers']} failover(s))")
+    print(f"wrote {args.out}")
+    if args.baseline is not None:
+        return run_baseline_gate(document, args.baseline, BASELINE_METRICS,
+                                 args.regression_threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,25 @@ from repro.bench.core import (  # noqa: E402
     serial_chain_throughput,
     strategy_throughput,
 )
+from repro.bench.reporting import BaselineMetric, run_baseline_gate  # noqa: E402
 from repro.errors import BenchmarkError  # noqa: E402
+
+
+def baseline_metrics(document: dict) -> list:
+    """The chain-kernel numbers tracked run over run."""
+    metrics = [
+        BaselineMetric("serial trial it/s",
+                       ("serial_chain", "trial_iters_per_second")),
+        BaselineMetric("serial legacy it/s",
+                       ("serial_chain", "legacy_iters_per_second")),
+    ]
+    for name in ((document.get("strategies") or {}).get("strategies") or {}):
+        metrics.append(BaselineMetric(
+            f"{name} end-to-end seconds",
+            ("strategies", "strategies", name, "trial_seconds"),
+            higher_is_better=False,
+        ))
+    return metrics
 
 
 def main() -> int:
@@ -49,6 +67,12 @@ def main() -> int:
                         help="iterations per end-to-end strategy run")
     parser.add_argument("--skip-strategies", action="store_true",
                         help="measure only the chain kernel (quick mode)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="prior BENCH_core.json to gate against "
+                             "(exit 3 past the regression threshold)")
+    parser.add_argument("--regression-threshold", type=float, default=0.8,
+                        help="tolerated fraction of the baseline "
+                             "(0.8 = fail beyond a 20%% slowdown)")
     args = parser.parse_args()
 
     try:
@@ -110,6 +134,10 @@ def main() -> int:
                 f"{row['n_found']} circles, bit-identical)"
             )
     print(f"wrote {args.out}")
+    if args.baseline is not None:
+        return run_baseline_gate(document, args.baseline,
+                                 baseline_metrics(document),
+                                 args.regression_threshold)
     return 0
 
 

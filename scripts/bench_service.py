@@ -21,7 +21,16 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro._version import __version__  # noqa: E402
+from repro.bench.reporting import BaselineMetric, run_baseline_gate  # noqa: E402
 from repro.bench.service import service_throughput  # noqa: E402
+
+#: The throughput numbers the trajectory tracks run over run.
+BASELINE_METRICS = [
+    BaselineMetric("cold jobs/s", ("cold", "jobs_per_second")),
+    BaselineMetric("warm jobs/s", ("warm", "jobs_per_second")),
+    BaselineMetric("cold mean latency s",
+                   ("cold", "latency_mean_seconds"), higher_is_better=False),
+]
 
 
 def main() -> int:
@@ -32,6 +41,12 @@ def main() -> int:
     parser.add_argument("--size", type=int, default=64)
     parser.add_argument("--circles", type=int, default=5)
     parser.add_argument("--iterations", type=int, default=400)
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="prior BENCH_service.json to gate against "
+                             "(exit 3 past the regression threshold)")
+    parser.add_argument("--regression-threshold", type=float, default=0.8,
+                        help="tolerated fraction of the baseline "
+                             "(0.8 = fail beyond a 20%% slowdown)")
     args = parser.parse_args()
 
     report = service_throughput(
@@ -64,6 +79,9 @@ def main() -> int:
         print(f"warm: {warm['jobs_per_second']:.2f} jobs/s "
               f"({warm['n_cached']} cache hits)")
     print(f"wrote {args.out}")
+    if args.baseline is not None:
+        return run_baseline_gate(document, args.baseline, BASELINE_METRICS,
+                                 args.regression_threshold)
     return 0
 
 

@@ -19,12 +19,22 @@ from repro.bench.core import (
     serial_chain_throughput,
     strategy_throughput,
 )
+from repro.bench.cluster import (
+    affinity_hit_rate,
+    cluster_throughput,
+    failover_recovery,
+)
 from repro.bench.harness import (
     fig2_cycle_specs,
     simulate_fig2_point,
     simulate_architecture,
 )
-from repro.bench.reporting import paper_vs_measured_table
+from repro.bench.reporting import (
+    BaselineMetric,
+    compare_to_baseline,
+    format_baseline_rows,
+    paper_vs_measured_table,
+)
 
 __all__ = [
     "Workload",
@@ -40,4 +50,10 @@ __all__ = [
     "simulate_fig2_point",
     "simulate_architecture",
     "paper_vs_measured_table",
+    "BaselineMetric",
+    "compare_to_baseline",
+    "format_baseline_rows",
+    "affinity_hit_rate",
+    "cluster_throughput",
+    "failover_recovery",
 ]

@@ -1,0 +1,206 @@
+"""Cluster-layer workloads: 1-vs-N throughput, affinity, failover.
+
+Three questions, each measured end to end over real sockets against a
+:class:`~repro.cluster.local.LocalCluster`:
+
+``cluster_throughput``
+    Does adding backends add jobs/second?  The same concurrent traffic
+    is driven through a router fronting 1 backend, then N; each backend
+    is its own OS process (``mode="process"``), so the scaling is real
+    core scaling, not GIL time-slicing.  On a single-core host the
+    ratio honestly degenerates to ~1.0 — the artifact records
+    ``cpu_count`` so the trajectory reader can tell.
+
+``affinity_hit_rate``
+    Does rendezvous routing actually land repeats on the node that
+    cached them?  Distinct jobs cold, identical traffic warm; the hit
+    rate is the fraction of warm jobs answered from a backend cache —
+    with per-node caches, every hit *is* a correct affinity decision.
+
+``failover_recovery``
+    How long does a mid-job backend death cost?  One streamed job, a
+    SIGKILL to its owner the moment the stream is live, and the clock
+    runs until the terminal event arrives from the failover node.
+
+``scripts/bench_cluster.py`` wraps all three into BENCH_cluster.json.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Optional
+
+from repro.bench.service import client_round
+from repro.cluster.local import LocalCluster
+from repro.errors import BenchmarkError
+from repro.service.protocol import scene_job
+
+__all__ = ["cluster_throughput", "affinity_hit_rate", "failover_recovery"]
+
+
+def _jobs(n_jobs: int, size: int, circles: int, iterations: int,
+          strategy: str, seed: int) -> list:
+    return [
+        scene_job(size=size, circles=circles, strategy=strategy,
+                  iterations=iterations, seed=seed + i)
+        for i in range(n_jobs)
+    ]
+
+
+def _round(address, jobs) -> Dict[str, Any]:
+    """One concurrent round via the shared service-bench driver, with
+    the per-job rows dropped (artifact documents carry aggregates)."""
+    doc = client_round(address, jobs)
+    doc.pop("jobs", None)
+    return doc
+
+
+def cluster_throughput(
+    backend_counts: Iterable[int] = (1, 3),
+    n_jobs: int = 12,
+    size: int = 48,
+    circles: int = 4,
+    iterations: int = 300,
+    workers: int = 1,
+    mode: str = "process",
+    strategy: str = "intelligent",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Jobs/second through the router for each backend count.
+
+    Every round reuses the same N distinct jobs (distinct seeds — no
+    cache help) against a fresh cluster, router included both times, so
+    the ratio isolates backend scaling from routing overhead.
+    """
+    rounds: Dict[str, Any] = {}
+    for n in backend_counts:
+        with LocalCluster(
+            n_backends=n, mode=mode, workers=workers,
+            queue_size=max(8, n_jobs), router_log=False,
+        ) as cluster:
+            jobs = _jobs(n_jobs, size, circles, iterations, strategy, seed)
+            rounds[str(n)] = {
+                "n_backends": n,
+                **_round(cluster.address, jobs),
+            }
+    counts = sorted(int(k) for k in rounds)
+    base, top = rounds[str(counts[0])], rounds[str(counts[-1])]
+    speedup = (
+        top["jobs_per_second"] / base["jobs_per_second"]
+        if base["jobs_per_second"] > 0 else float("inf")
+    )
+    return {
+        "config": {
+            "n_jobs": n_jobs, "size": size, "circles": circles,
+            "iterations": iterations, "workers": workers, "mode": mode,
+            "strategy": strategy, "seed": seed,
+        },
+        "rounds": rounds,
+        "speedup": speedup,
+    }
+
+
+def affinity_hit_rate(
+    n_backends: int = 3,
+    n_jobs: int = 9,
+    size: int = 48,
+    circles: int = 4,
+    iterations: int = 300,
+    mode: str = "thread",
+    strategy: str = "intelligent",
+    seed: int = 100,
+) -> Dict[str, Any]:
+    """Cold round, then the identical traffic warm; per-node caches mean
+    every warm cache hit proves the router re-derived the same owner."""
+    with LocalCluster(
+        n_backends=n_backends, mode=mode, workers=1,
+        queue_size=max(8, n_jobs), router_log=False,
+    ) as cluster:
+        jobs = _jobs(n_jobs, size, circles, iterations, strategy, seed)
+        cold = _round(cluster.address, jobs)
+        warm = _round(cluster.address, jobs)
+        with cluster.client() as client:
+            stats = client.stats()
+    spread = {
+        row["node_id"]: row["n_assigned"] for row in stats["backends"]
+    }
+    return {
+        "config": {
+            "n_backends": n_backends, "n_jobs": n_jobs, "size": size,
+            "circles": circles, "iterations": iterations, "mode": mode,
+            "strategy": strategy, "seed": seed,
+        },
+        "cold": cold,
+        "warm": warm,
+        "hit_rate": warm["n_cached"] / n_jobs if n_jobs else 0.0,
+        "router_affinity_hits": stats["n_affinity_hits"],
+        "assignment_spread": spread,
+    }
+
+
+def failover_recovery(
+    n_backends: int = 3,
+    size: int = 96,
+    circles: int = 8,
+    iterations: int = 8000,
+    mode: str = "process",
+    strategy: str = "naive",
+    seed: int = 7,
+    kill_after: float = 0.5,
+    options: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Kill the backend running a streamed job; time the recovery.
+
+    ``recovery_seconds`` is kill → terminal event: it covers the
+    router's dead-socket detection, the excluded-node rehash, the
+    re-dispatch, and the replacement's full (deterministic) re-run.
+    """
+    job = scene_job(size=size, circles=circles, strategy=strategy,
+                    iterations=iterations, seed=seed,
+                    options=dict(options or {"nx": 3, "ny": 3}))
+    with LocalCluster(
+        n_backends=n_backends, mode=mode, workers=1,
+        queue_size=8, router_log=False,
+    ) as cluster:
+        submitted = time.perf_counter()
+        with cluster.client() as client:
+            reply = client.submit(job)
+            rid, node = reply["job_id"], reply.get("node")
+            index = cluster.backend_index(node)
+            killed_at = None
+            terminal = None
+            n_events = 0
+            for event in client.stream(rid):
+                n_events += 1
+                if killed_at is None and (
+                    time.perf_counter() - submitted >= kill_after
+                ):
+                    cluster.kill_backend(index)
+                    killed_at = time.perf_counter()
+                if event.get("event") in ("result", "error", "cancelled"):
+                    terminal = event
+                    break
+            done_at = time.perf_counter()
+            stats = client.stats()
+    if terminal is None or terminal.get("event") != "result":
+        raise BenchmarkError(
+            f"failover job did not complete: terminal={terminal!r}"
+        )
+    if killed_at is None:
+        raise BenchmarkError(
+            "job finished before the kill fired — raise iterations "
+            "or lower kill_after so the failover path is actually measured"
+        )
+    return {
+        "config": {
+            "n_backends": n_backends, "size": size, "circles": circles,
+            "iterations": iterations, "mode": mode, "strategy": strategy,
+            "seed": seed, "kill_after": kill_after,
+        },
+        "killed_node": node,
+        "recovery_seconds": done_at - killed_at,
+        "total_seconds": done_at - submitted,
+        "n_events": n_events,
+        "n_found": len(terminal["result"]["circles"]),
+        "router_failovers": stats["n_failovers"],
+    }

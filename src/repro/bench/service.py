@@ -24,12 +24,14 @@ from repro.service.client import ServiceClient, StreamedDetection
 from repro.service.protocol import scene_job
 from repro.service.server import serve_background
 
-__all__ = ["service_throughput"]
+__all__ = ["client_round", "drive_job", "service_throughput"]
 
 
-def _drive_job(address, job, priority: int = 0) -> Dict[str, Any]:
+def drive_job(address, job, priority: int = 0) -> Dict[str, Any]:
     """One client's work: connect, submit (honouring backpressure),
-    stream to completion; return latency facts."""
+    stream to completion; return latency facts.  Shared with the
+    cluster bench — any address speaking the protocol works (service
+    or router)."""
     start = time.perf_counter()
     with ServiceClient(*address) as client:
         out: StreamedDetection = client.detect(job, priority=priority)
@@ -43,11 +45,13 @@ def _drive_job(address, job, priority: int = 0) -> Dict[str, Any]:
     }
 
 
-def _round(address, jobs) -> Dict[str, Any]:
+def client_round(address, jobs) -> Dict[str, Any]:
+    """Drive *jobs* concurrently (one client thread each) and collate
+    the round's throughput/latency facts."""
     watch = time.perf_counter()
     with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
         rows: List[Dict[str, Any]] = list(pool.map(
-            lambda job: _drive_job(address, job), jobs
+            lambda job: drive_job(address, job), jobs
         ))
     wall = time.perf_counter() - watch
     latencies = [r["latency_seconds"] for r in rows]
@@ -96,8 +100,8 @@ def service_throughput(
     )
     try:
         address = handle.address
-        cold = _round(address, jobs)
-        warm = _round(address, jobs) if use_cache else None
+        cold = client_round(address, jobs)
+        warm = client_round(address, jobs) if use_cache else None
         with ServiceClient(*address) as client:
             stats = client.stats()
     finally:

@@ -11,6 +11,8 @@ Usage::
     python -m repro detect --batch images/ --cache   # N PGMs, one pool
     python -m repro serve --port 7341 --workers 4 --cache
     python -m repro detect --server localhost:7341   # submit + stream
+    python -m repro cluster serve --backend h1:7341 --backend h2:7341
+    python -m repro cluster status --server localhost:7400 --json
     python -m repro calibrate --save     # tune `auto` executor budgets
     python -m repro cache stats --json   # result-cache hit rates
     python -m repro quickstart           # end-to-end detection demo
@@ -39,6 +41,17 @@ the detect job there instead of running locally and prints events as
 they stream in.  ``repro calibrate --save`` measures this host's
 per-iteration cost and writes the calibration file the engine's
 ``auto`` executor selection loads its budgets from.
+
+**Clustering**: ``repro cluster serve`` runs the shard router
+(:mod:`repro.cluster`) in front of N ``repro serve`` backends — one
+address, rendezvous-hashed cache-affine routing, health-probed failover,
+a durable job log (``--log``) replayed across router restarts, and
+per-client token-bucket quotas (``--quota-rate``).  The router speaks
+the service protocol, so ``repro detect --server`` pointed at the router
+works unchanged.  ``repro cluster status`` prints the router's view of
+its backends, and ``repro cluster route`` answers where a given scene
+job would be placed.  Give each backend ``--log``/``--node-id`` for
+per-node job persistence and stable identity.
 """
 
 from __future__ import annotations
@@ -487,7 +500,90 @@ def _run_serve(args) -> int:
         queue_size=args.queue_size,
         cache=_make_cache(args),
         executor=args.executor,
+        job_log=args.log,
+        node_id=args.node_id,
     )
+    return 0
+
+
+def _make_quota(args):
+    if args.quota_rate is None:
+        return None
+    from repro.cluster import QuotaPolicy
+
+    return QuotaPolicy(rate=args.quota_rate, burst=args.quota_burst)
+
+
+def _run_cluster(args) -> int:
+    """``repro cluster serve|status|route``: the shard-router layer."""
+    if args.action == "serve":
+        from repro.cluster import serve_cluster_forever
+
+        serve_cluster_forever(
+            backends=args.backend,
+            host=args.host,
+            port=args.port,
+            job_log=args.log,
+            quota=_make_quota(args),
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+        )
+        return 0
+
+    from repro.service import ServiceClient
+
+    host, port = _parse_server(args.server)
+    with ServiceClient(host, port) as client:
+        if args.action == "route":
+            from repro.service import scene_job
+
+            reply = client.route(scene_job(
+                size=args.size, circles=args.circles,
+                strategy=args.strategy, iterations=args.iterations,
+                seed=args.seed,
+            ))
+            if args.json:
+                print(json.dumps(reply))
+            else:
+                print(f"key {reply['key'][:16]}… -> node {reply['node']}")
+            return 0
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats))
+        return 0
+    role = stats.get("role", "service")
+    print(f"{role} {stats.get('node_id', '?')} "
+          f"(up {stats.get('uptime_seconds', 0.0):.0f}s)")
+    if role != "router":
+        t = Table("Service stats", ["field", "value"], precision=3)
+        for key in ("queue_depth", "queue_capacity", "workers",
+                    "n_submitted", "n_dispatched", "n_cache_hits",
+                    "n_rejected", "n_replayed"):
+            t.add_row([key, stats.get(key)])
+        print(t.render())
+        return 0
+    t = Table("Routing", ["field", "value"], precision=3)
+    for key in ("n_submitted", "n_routed", "n_failovers",
+                "n_affinity_hits", "n_replayed", "n_backends_healthy"):
+        t.add_row([key, stats.get(key)])
+    print(t.render())
+    bt = Table("Backends",
+               ["node", "healthy", "assigned", "queue depth",
+                "failures", "downs"], precision=0)
+    for row in stats.get("backends", []):
+        bt.add_row([row["node_id"], "yes" if row["healthy"] else "NO",
+                    row["n_assigned"], row.get("queue_depth"),
+                    row["n_failures"], row["n_downs"]])
+    print(bt.render())
+    if stats.get("job_log"):
+        log = stats["job_log"]
+        print(f"job log: {log.get('path')} — "
+              f"{log.get('n_appended')} record(s) this session, "
+              f"{log.get('n_compactions')} compaction(s)")
+    if stats.get("quota"):
+        q = stats["quota"]
+        print(f"quota: {q['rate']:g} jobs/s (burst {q['burst']:g}), "
+              f"{q['n_clients']} client(s), {q['n_rejected']} rejected")
     return 0
 
 
@@ -640,6 +736,46 @@ def main(argv=None) -> int:
     serve.add_argument("--cache", action="store_true",
                        help="consult/fill the on-disk result cache")
     serve.add_argument("--cache-dir", default=".repro-cache")
+    serve.add_argument("--log", metavar="PATH", default=None,
+                       help="durable job log (JSON-lines WAL): pending "
+                            "jobs survive a restart and are re-admitted")
+    serve.add_argument("--node-id", default=None,
+                       help="stable identity reported in stats "
+                            "(default: a fresh svc-… id)")
+    cluster = sub.add_parser(
+        "cluster",
+        help="shard-router layer: one address over N repro serve backends",
+    )
+    cluster.add_argument("action", choices=["serve", "status", "route"])
+    cluster.add_argument("--backend", action="append", default=[],
+                         metavar="HOST:PORT",
+                         help="backend service address (repeatable); "
+                              "required for `cluster serve`")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=7400)
+    cluster.add_argument("--log", metavar="PATH", default=None,
+                         help="durable router job log: routed jobs are "
+                              "replayed across router restarts")
+    cluster.add_argument("--quota-rate", type=float, default=None,
+                         help="per-client sustained submissions/second "
+                              "(off when omitted)")
+    cluster.add_argument("--quota-burst", type=float, default=None,
+                         help="per-client burst capacity "
+                              "(default: 2x the rate)")
+    cluster.add_argument("--probe-interval", type=float, default=2.0,
+                         help="seconds between backend health probes")
+    cluster.add_argument("--probe-timeout", type=float, default=5.0)
+    cluster.add_argument("--server", metavar="HOST:PORT",
+                         default="127.0.0.1:7400",
+                         help="router address for `cluster status/route`")
+    cluster.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    # route: which node would own this synthetic scene job
+    cluster.add_argument("--strategy", default="intelligent")
+    cluster.add_argument("--size", type=int, default=128)
+    cluster.add_argument("--circles", type=int, default=10)
+    cluster.add_argument("--iterations", type=int, default=2000)
+    cluster.add_argument("--seed", type=int, default=0)
     calibrate = sub.add_parser(
         "calibrate",
         help="measure this host's s/iteration and tune `auto` executor budgets",
@@ -695,6 +831,14 @@ def main(argv=None) -> int:
             return _run_detect(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "cluster":
+            if args.action == "serve" and not args.backend:
+                from repro.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "cluster serve needs at least one --backend HOST:PORT"
+                )
+            return _run_cluster(args)
         if args.command == "calibrate":
             return _run_calibrate(args)
         if args.command == "cache":

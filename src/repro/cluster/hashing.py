@@ -1,0 +1,73 @@
+"""Rendezvous (highest-random-weight) hashing for cache-affine routing.
+
+The router's placement problem is the overlay-routing one: spread keys
+across nodes so that (a) every router instance — current or restarted —
+agrees on the owner of a key with no shared state beyond the member
+list, and (b) membership churn moves as few keys as possible.
+Rendezvous hashing gives both: each (key, node) pair gets an
+independent pseudo-random score and the key lives on the highest-scoring
+node, so removing a node reassigns *only* that node's keys (each to its
+runner-up) and adding a node steals only the keys it now wins.
+
+That minimal-disruption property is exactly cache affinity for the
+detection cluster: a repeat request (same ``request_key``) keeps landing
+on the backend whose :class:`~repro.engine.cache.ResultCache` already
+holds its result, across router restarts and unrelated node churn.
+
+Scores are the first 8 bytes of ``sha256(key | node)`` — deterministic
+across processes and Python versions (no ``hash()``), uniform enough
+that K keys spread ~evenly over N nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.errors import ClusterError
+
+__all__ = ["node_score", "rendezvous_choose", "rendezvous_ranking"]
+
+
+def node_score(key: str, node_id: str) -> int:
+    """The deterministic score of *node_id* for *key* (64-bit int)."""
+    digest = hashlib.sha256(f"{key}|{node_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_ranking(key: str, node_ids: Sequence[str]) -> List[str]:
+    """All candidate nodes for *key*, best first.
+
+    The first entry is the key's owner; the rest are its failover order
+    — element k+1 is where the key moves if the first k nodes are down,
+    which is the order excluded-node rehashing walks.
+    """
+    if not isinstance(key, str) or not key:
+        raise ClusterError(f"routing keys are non-empty strings, got {key!r}")
+    # Tie-break on node id for full determinism (ties are ~impossible
+    # for sha256 scores, but the sort must still be a total order).
+    return sorted(node_ids, key=lambda nid: (node_score(key, nid), nid), reverse=True)
+
+
+def rendezvous_choose(
+    key: str,
+    node_ids: Sequence[str],
+    exclude: Optional[Iterable[str]] = None,
+) -> Optional[str]:
+    """The owning node for *key* among *node_ids* minus *exclude*.
+
+    Returns ``None`` when no candidate survives the exclusion — the
+    router maps that to a no-healthy-backends rejection.  Exclusion
+    rehashing is rank-stable: excluding the owner hands the key to its
+    runner-up, never reshuffling anyone else's keys.
+    """
+    excluded: Set[str] = set(exclude) if exclude is not None else set()
+    best: Optional[str] = None
+    best_rank = None
+    for nid in node_ids:
+        if nid in excluded:
+            continue
+        rank = (node_score(key, nid), nid)
+        if best_rank is None or rank > best_rank:
+            best, best_rank = nid, rank
+    return best

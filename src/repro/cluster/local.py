@@ -1,0 +1,329 @@
+"""LocalCluster: a whole cluster (router + N backends) on one machine.
+
+The test/bench harness behind every cluster guarantee in CI.  Two
+backend modes, one API:
+
+``mode="thread"``
+    Backends are in-process :func:`~repro.service.server.serve_background`
+    services.  Fast to spin up, fully deterministic, and a killed
+    backend is a *graceful-ish* death (its sockets close, its workers
+    cancel) — right for parity/failover/replay tests, wrong for
+    throughput numbers (every backend shares this process's GIL).
+
+``mode="process"``
+    Backends are ``python -m repro serve`` subprocesses, each with its
+    own interpreter, cores, and on-disk cache directory.  This is what
+    the 1-vs-N throughput bench runs, and ``kill_backend`` is a real
+    SIGKILL — the router sees exactly what a crashed host looks like.
+
+Either way the router runs in-process (it is IO-bound), with a durable
+:class:`~repro.cluster.joblog.JobLog` by default so
+:meth:`LocalCluster.restart_router` exercises the replay path on the
+same port with the same log.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.joblog import JobLog
+from repro.cluster.quota import QuotaPolicy
+from repro.cluster.router import RouterHandle, router_background
+from repro.engine.cache import ResultCache
+from repro.errors import ClusterError
+from repro.service.client import ServiceClient
+from repro.service.server import serve_background
+
+__all__ = ["LocalCluster"]
+
+_LISTEN_RE = re.compile(r"listening on ([\w.\-]+):(\d+)")
+
+
+class _ThreadBackend:
+    """One in-process backend service."""
+
+    def __init__(self, handle) -> None:
+        self.handle = handle
+        self.address: Tuple[str, int] = handle.address
+        self.alive = True
+
+    def kill(self) -> None:
+        if self.alive:
+            self.alive = False
+            self.handle.stop()
+
+    stop = kill  # in-process: graceful and hard death are the same
+
+
+class _ProcessBackend:
+    """One ``python -m repro serve`` subprocess."""
+
+    def __init__(self, argv: List[str], env: Dict[str, str],
+                 startup_timeout: float = 60.0) -> None:
+        self.proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True,
+        )
+        line = self._await_listen_line(startup_timeout)
+        match = _LISTEN_RE.search(line)
+        if match is None:
+            self.proc.kill()
+            raise ClusterError(f"backend did not announce its address: {line!r}")
+        self.address = (match.group(1), int(match.group(2)))
+        self.alive = True
+        # Keep draining stdout so the child never blocks on a full pipe.
+        threading.Thread(target=self._drain, daemon=True).start()
+
+    def _await_listen_line(self, timeout: float) -> str:
+        box: Dict[str, str] = {}
+
+        def read() -> None:
+            box["line"] = self.proc.stdout.readline()
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout)
+        if "line" not in box or not box["line"]:
+            self.proc.kill()
+            raise ClusterError(
+                f"backend process did not start within {timeout:.0f}s"
+            )
+        return box["line"]
+
+    def _drain(self) -> None:
+        try:
+            for _ in self.proc.stdout:
+                pass
+        except ValueError:  # stdout closed during shutdown
+            pass
+
+    def kill(self) -> None:
+        """SIGKILL — the hard host-death the failover bench measures."""
+        if self.alive:
+            self.alive = False
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.alive:
+            self.alive = False
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+class LocalCluster:
+    """Router + N backends, started together, torn down together.
+
+    Parameters
+    ----------
+    n_backends:
+        How many detection services to front.
+    mode:
+        ``"thread"`` (in-process backends) or ``"process"``
+        (subprocess backends) — see the module docstring.
+    workers, queue_size, executor:
+        Per-backend service knobs.
+    cache:
+        Give each backend its own result cache (in-memory for thread
+        mode, on-disk under ``base_dir`` for process mode) — the thing
+        cache-affine routing exists to exploit.
+    router_log:
+        Keep a durable router :class:`JobLog` under ``base_dir`` (on by
+        default; :meth:`restart_router` depends on it).
+    backend_logs:
+        Also give each backend its own durable job log.
+    quota:
+        Optional :class:`QuotaPolicy` installed on the router.
+    """
+
+    def __init__(
+        self,
+        n_backends: int = 3,
+        mode: str = "thread",
+        workers: int = 1,
+        queue_size: int = 16,
+        executor: Optional[str] = None,
+        cache: bool = True,
+        router_log: bool = True,
+        backend_logs: bool = False,
+        quota: Optional[QuotaPolicy] = None,
+        probe_interval: float = 0.5,
+        probe_timeout: float = 2.0,
+        backend_timeout: float = 60.0,
+        base_dir: Optional[str] = None,
+    ) -> None:
+        if n_backends < 1:
+            raise ClusterError(f"n_backends must be >= 1, got {n_backends}")
+        if mode not in ("thread", "process"):
+            raise ClusterError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self.n_backends = n_backends
+        self.mode = mode
+        self.workers = workers
+        self.queue_size = queue_size
+        self.executor = executor
+        self.cache = cache
+        self.router_log = router_log
+        self.backend_logs = backend_logs
+        self.quota = quota
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.backend_timeout = backend_timeout
+        self._own_dir = base_dir is None
+        self.base_dir = Path(base_dir) if base_dir is not None else None
+        self.backends: List[Any] = []
+        self.router_handle: Optional[RouterHandle] = None
+        self._router_port: Optional[int] = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        if self._started:
+            return self
+        if self.base_dir is None:
+            self.base_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+        self.base_dir.mkdir(parents=True, exist_ok=True)
+        for i in range(self.n_backends):
+            self.backends.append(self._start_backend(i))
+        self._start_router()
+        self._started = True
+        return self
+
+    def _start_backend(self, i: int):
+        if self.mode == "thread":
+            kwargs: Dict[str, Any] = {
+                "workers": self.workers,
+                "queue_size": self.queue_size,
+                "executor": self.executor,
+                "node_id": f"backend-{i}",
+            }
+            if self.cache:
+                kwargs["cache"] = ResultCache()
+            if self.backend_logs:
+                kwargs["job_log"] = JobLog(self.base_dir / f"backend-{i}.wal")
+            return _ThreadBackend(serve_background(**kwargs))
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", str(self.workers),
+            "--queue-size", str(self.queue_size),
+            "--node-id", f"backend-{i}",
+        ]
+        if self.executor is not None:
+            argv += ["--executor", self.executor]
+        if self.cache:
+            argv += ["--cache", "--cache-dir", str(self.base_dir / f"cache-{i}")]
+        if self.backend_logs:
+            argv += ["--log", str(self.base_dir / f"backend-{i}.wal")]
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return _ProcessBackend(argv, env)
+
+    def _start_router(self) -> None:
+        kwargs: Dict[str, Any] = {
+            "backends": self.backend_addresses,
+            "probe_interval": self.probe_interval,
+            "probe_timeout": self.probe_timeout,
+            "backend_timeout": self.backend_timeout,
+            "quota": self.quota,
+        }
+        if self.router_log:
+            kwargs["job_log"] = JobLog(self.router_log_path)
+        if self._router_port is not None:
+            kwargs["port"] = self._router_port
+        self.router_handle = router_background(**kwargs)
+        self._router_port = self.router_handle.address[1]
+
+    @property
+    def router_log_path(self) -> Path:
+        if self.base_dir is None:
+            raise ClusterError("cluster is not started")
+        return self.base_dir / "router.wal"
+
+    def stop(self) -> None:
+        if self.router_handle is not None:
+            self.router_handle.stop()
+            self.router_handle = None
+        for backend in self.backends:
+            if backend.alive:
+                backend.stop()
+        self.backends = []
+        self._started = False
+        if self._own_dir and self.base_dir is not None:
+            # Self-created scratch (WALs, per-backend caches): remove it,
+            # and forget the path so a later start() gets a fresh one.
+            shutil.rmtree(self.base_dir, ignore_errors=True)
+            self.base_dir = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- access ----------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self.router_handle is None:
+            raise ClusterError("cluster is not started")
+        return self.router_handle.address
+
+    @property
+    def router(self):
+        if self.router_handle is None:
+            raise ClusterError("cluster is not started")
+        return self.router_handle.router
+
+    @property
+    def backend_addresses(self) -> List[str]:
+        return [f"{b.address[0]}:{b.address[1]}" for b in self.backends]
+
+    def client(self, **kwargs: Any) -> ServiceClient:
+        """A fresh (unconnected) client pointed at the router."""
+        host, port = self.address
+        return ServiceClient(host, port, **kwargs)
+
+    # -- fault injection -------------------------------------------------------
+    def kill_backend(self, index: int) -> str:
+        """Kill backend *index*; returns its node id.  The router
+        notices via its next forwarded request or health probe."""
+        backend = self.backends[index]
+        node_id = f"{backend.address[0]}:{backend.address[1]}"
+        backend.kill()
+        return node_id
+
+    def node_id(self, index: int) -> str:
+        backend = self.backends[index]
+        return f"{backend.address[0]}:{backend.address[1]}"
+
+    def backend_index(self, node_id: str) -> int:
+        for i, backend in enumerate(self.backends):
+            if f"{backend.address[0]}:{backend.address[1]}" == node_id:
+                return i
+        raise ClusterError(f"unknown node id {node_id!r}")
+
+    def restart_router(self, settle: float = 0.0) -> None:
+        """Stop the router and start a fresh one on the same port with
+        the same job log — the restart-with-replay path."""
+        if self.router_handle is None:
+            raise ClusterError("cluster is not started")
+        self.router_handle.stop()
+        self.router_handle = None
+        if settle:
+            time.sleep(settle)
+        self._start_router()

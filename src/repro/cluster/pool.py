@@ -1,0 +1,216 @@
+"""Backend membership and health for the shard router.
+
+A :class:`BackendPool` holds the cluster's member list — one
+:class:`BackendNode` per ``repro.service`` backend — and keeps each
+node's health current two ways:
+
+* **periodic probes**: every ``probe_interval`` seconds the pool sends
+  each node an ``op: stats`` request (the service's cheapest op that
+  still exercises the full protocol loop) and records the reply; a
+  timeout or connection failure marks the node down, a later success
+  marks it back up — recovery is automatic, no operator action;
+* **demand signals**: the router calls :meth:`mark_down` the moment a
+  forwarded request hits a dead socket, so failover never waits out a
+  probe interval.
+
+The pool never decides placement — that is rendezvous hashing's job
+(:mod:`repro.cluster.hashing`); it only answers "who is alive" and
+keeps the per-node accounting the stats surface reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ClusterError
+from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = ["BackendNode", "BackendPool", "parse_address"]
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) → ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, _, port = str(address).rpartition(":")
+    if not host or not port.isdigit():
+        raise ClusterError(f"backend addresses are HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+@dataclass
+class BackendNode:
+    """One backend service as the pool sees it."""
+
+    node_id: str  #: canonical "host:port" — also the rendezvous hash id
+    host: str
+    port: int
+    healthy: bool = True
+    n_assigned: int = 0  #: jobs this router routed here
+    n_probes: int = 0
+    n_failures: int = 0  #: probe/forward failures observed
+    n_downs: int = 0  #: times the node transitioned healthy → down
+    last_probe_at: Optional[float] = None
+    last_error: Optional[str] = None
+    last_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def snapshot(self) -> Dict[str, Any]:
+        queue_depth = None
+        if isinstance(self.last_stats, dict):
+            queue_depth = self.last_stats.get("queue_depth")
+        return {
+            "node_id": self.node_id,
+            "healthy": self.healthy,
+            "n_assigned": self.n_assigned,
+            "n_probes": self.n_probes,
+            "n_failures": self.n_failures,
+            "n_downs": self.n_downs,
+            "queue_depth": queue_depth,
+            "last_error": self.last_error,
+        }
+
+
+class BackendPool:
+    """Health-tracked membership over a fixed set of backend addresses.
+
+    Membership changes at runtime go through :meth:`add` / :meth:`remove`
+    (the node-join/leave path the affinity tests exercise); day-to-day
+    churn — crashes and recoveries — is just health flapping on a stable
+    member list.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Union[str, Tuple[str, int]]],
+        probe_interval: float = 2.0,
+        probe_timeout: float = 5.0,
+    ) -> None:
+        if not addresses:
+            raise ClusterError("a backend pool needs at least one backend address")
+        if probe_interval <= 0 or probe_timeout <= 0:
+            raise ClusterError("probe_interval and probe_timeout must be positive")
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.nodes: Dict[str, BackendNode] = {}
+        for address in addresses:
+            self.add(address)
+        self._probe_task: Optional[asyncio.Task] = None
+
+    # -- membership ------------------------------------------------------------
+    def add(self, address: Union[str, Tuple[str, int]]) -> BackendNode:
+        host, port = parse_address(address)
+        node_id = f"{host}:{port}"
+        if node_id in self.nodes:
+            raise ClusterError(f"backend {node_id} is already in the pool")
+        node = BackendNode(node_id=node_id, host=host, port=port)
+        self.nodes[node_id] = node
+        return node
+
+    def remove(self, node_id: str) -> BackendNode:
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise ClusterError(f"unknown backend {node_id!r}")
+        return node
+
+    def node(self, node_id: str) -> BackendNode:
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ClusterError(f"unknown backend {node_id!r}")
+        return node
+
+    def healthy_ids(self) -> List[str]:
+        return [nid for nid, node in self.nodes.items() if node.healthy]
+
+    def is_healthy(self, node_id: str) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.healthy
+
+    # -- health ----------------------------------------------------------------
+    def mark_down(self, node_id: str, reason: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        node.n_failures += 1
+        node.last_error = reason
+        if node.healthy:
+            node.healthy = False
+            node.n_downs += 1
+
+    def mark_up(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.healthy = True
+            node.last_error = None
+
+    # -- probing ---------------------------------------------------------------
+    async def connect(self, node: BackendNode):
+        """A fresh connection to *node* (caller owns its lifecycle)."""
+        return await asyncio.open_connection(
+            node.host, node.port, limit=MAX_LINE_BYTES
+        )
+
+    async def probe(self, node: BackendNode) -> bool:
+        """One stats round-trip; updates the node's health in place."""
+        node.n_probes += 1
+        node.last_probe_at = time.monotonic()
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                self.connect(node), timeout=self.probe_timeout
+            )
+            writer.write(encode_line({"op": "stats"}))
+            await writer.drain()
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.probe_timeout
+            )
+            if not line:
+                raise ConnectionError("backend closed the probe connection")
+            reply = decode_line(line)
+            if not reply.get("ok"):
+                raise ConnectionError(f"stats probe rejected: {reply}")
+        except Exception as exc:  # noqa: BLE001 - any failure means down
+            self.mark_down(node.node_id, f"probe: {type(exc).__name__}: {exc}")
+            return False
+        else:
+            node.last_stats = reply
+            self.mark_up(node.node_id)
+            return True
+        finally:
+            if writer is not None:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+    async def probe_all(self) -> int:
+        """Probe every node concurrently; returns the healthy count."""
+        nodes = list(self.nodes.values())
+        results = await asyncio.gather(*(self.probe(node) for node in nodes))
+        return sum(1 for ok in results if ok)
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            with contextlib.suppress(Exception):
+                await self.probe_all()
+
+    def start_probing(self) -> None:
+        if self._probe_task is None:
+            self._probe_task = asyncio.create_task(
+                self._probe_loop(), name="repro-cluster-probe"
+            )
+
+    async def stop_probing(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._probe_task
+            self._probe_task = None
+
+    # -- introspection ---------------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [node.snapshot() for node in self.nodes.values()]

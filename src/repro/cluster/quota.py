@@ -1,0 +1,155 @@
+"""Per-client token-bucket quotas with retry-after backpressure.
+
+The cluster fronts many clients with finite backends; quotas keep one
+chatty client from monopolising them.  Each client id gets a token
+bucket refilled at ``rate`` jobs/second up to ``burst`` tokens; a
+submission spends one token, and an empty bucket rejects with
+:class:`~repro.errors.QuotaExceededError` carrying the exact
+``retry_after`` until the next token accrues — the same backpressure
+shape as a full job queue, so every retry loop that honours queue-full
+rejections (``ServiceClient.submit`` / ``submit_wait``) honours quotas
+with no new code.
+
+Clock injection (``clock=``) keeps the tests deterministic; production
+uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ClusterError, QuotaExceededError
+
+__all__ = ["TokenBucket", "QuotaPolicy"]
+
+#: Client id used when a submission carries none.
+ANONYMOUS_CLIENT = "anonymous"
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate``/s."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ClusterError(f"quota rate must be positive, got {rate}")
+        if burst < 1:
+            raise ClusterError(f"quota burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._updated = self._clock()
+        self.n_allowed = 0
+        self.n_rejected = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self) -> float:
+        """Spend one token; returns 0.0 on success, else the seconds
+        until one accrues (and counts a rejection)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.n_allowed += 1
+            return 0.0
+        self.n_rejected += 1
+        return (1.0 - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class QuotaPolicy:
+    """Token buckets keyed by client id, one shared configuration.
+
+    Parameters
+    ----------
+    rate:
+        Sustained jobs/second each client may submit.
+    burst:
+        Bucket capacity — how far a client may run ahead of the rate.
+        Defaults to ``max(1, 2 * rate)`` rounded up.
+    max_clients:
+        Bound on tracked buckets; the least-recently-seen client's
+        bucket is dropped beyond it (a fresh bucket is *more* permissive,
+        so eviction can never wrongly reject).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        max_clients: int = 4096,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_clients < 1:
+            raise ClusterError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2.0 * rate)
+        if self.rate <= 0:
+            raise ClusterError(f"quota rate must be positive, got {rate}")
+        if self.burst < 1:
+            raise ClusterError(f"quota burst must be >= 1, got {self.burst}")
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        # The policy is shared across threads: the service's blocking
+        # embedding submit() checks on the caller's thread while the
+        # protocol loop checks and snapshots on the loop thread.
+        self._mutex = threading.Lock()
+        self.n_rejected = 0
+
+    def check(self, client: Optional[str]) -> None:
+        """Spend one token for *client*, or raise
+        :class:`QuotaExceededError` with the retry-after hint."""
+        cid = client or ANONYMOUS_CLIENT
+        with self._mutex:
+            bucket = self._buckets.pop(cid, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[cid] = bucket  # re-insert: dict order is the LRU
+            while len(self._buckets) > self.max_clients:
+                oldest = next(iter(self._buckets))
+                if oldest == cid:
+                    break
+                del self._buckets[oldest]
+            retry_after = bucket.try_acquire()
+            if retry_after > 0.0:
+                self.n_rejected += 1
+        if retry_after > 0.0:
+            raise QuotaExceededError(
+                f"client {cid!r} exceeded its quota "
+                f"({self.rate:g} jobs/s, burst {self.burst:g})",
+                retry_after=retry_after,
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Machine-readable quota state for stats surfaces."""
+        with self._mutex:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "n_clients": len(self._buckets),
+                "n_rejected": self.n_rejected,
+                "clients": {
+                    cid: {
+                        "available": round(bucket.available, 3),
+                        "n_allowed": bucket.n_allowed,
+                        "n_rejected": bucket.n_rejected,
+                    }
+                    for cid, bucket in self._buckets.items()
+                },
+            }

@@ -1,0 +1,836 @@
+"""The cache-affine shard router.
+
+A :class:`ShardRouter` fronts N ``repro.service`` backends behind one
+address, speaking the *same* JSON-lines protocol the backends speak —
+an unmodified :class:`~repro.service.client.ServiceClient` cannot tell
+a router from a single service.  What it adds:
+
+* **cache-affine placement**: each submission's routing key is its
+  content-addressed :func:`~repro.engine.schema.request_key`, and
+  rendezvous hashing (:mod:`repro.cluster.hashing`) maps the key to a
+  backend — so a repeat request lands on the node whose
+  :class:`~repro.engine.cache.ResultCache` already holds it, and the
+  cluster-wide cache hit rate survives node churn with minimal key
+  movement;
+* **failover**: the :class:`~repro.cluster.pool.BackendPool` marks
+  nodes down (probe- or demand-driven) and routing rehashes with the
+  dead node excluded; a backend dying *mid-stream* re-dispatches the
+  job to the next node in the key's rendezvous order and keeps the
+  client's stream open — the client sees a longer job, not an error;
+* **durability**: every routed job is recorded in a
+  :class:`~repro.cluster.joblog.JobLog` (submit → assign → complete), so
+  a restarted router re-registers pending jobs under their original ids
+  and re-dispatches them on demand.  Completion is at-most-once in
+  effect: a job that finished just before an unlogged crash replays into
+  its owner's content-addressed cache and costs a lookup, not a rerun;
+* **per-client quotas**: optional token buckets
+  (:mod:`repro.cluster.quota`) reject over-limit submitters with the
+  queue's retry-after backpressure shape.
+
+Job ids: the router mints its own (``cjob-…``) and maps them to the
+backend-local ids, which is what makes restart/failover transparent —
+the client's id stays valid while the backend-side job moves nodes or
+is re-created.
+
+Consciously *not* done: spilling an over-quota or queue-full submission
+to a non-owner backend.  That would trade cache affinity for admission,
+and the backpressure contract already gives clients the right behaviour
+(retry later, same node).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Set, Tuple, Union
+
+from repro.cluster.hashing import rendezvous_choose
+from repro.cluster.joblog import JobLog
+from repro.cluster.pool import BackendNode, BackendPool
+from repro.cluster.quota import QuotaPolicy
+from repro.engine.schema import request_key
+from repro.errors import ClusterError, JobNotFoundError, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    TERMINAL_EVENTS,
+    decode_line,
+    encode_line,
+    error_reply,
+    request_from_wire,
+)
+from repro.service.server import LoopHandle, run_background_loop
+
+__all__ = [
+    "RouterJob",
+    "ShardRouter",
+    "RouterHandle",
+    "router_background",
+    "routing_key",
+    "serve_cluster_forever",
+]
+
+#: Terminal router jobs retained for status/stream routing.
+DEFAULT_JOB_RETENTION = 4096
+
+#: Wire event name → job-log completion state.
+_EVENT_STATE = {"result": "done", "error": "failed", "cancelled": "cancelled"}
+
+
+class _BackendDown(Exception):
+    """A forwarded request hit a dead backend socket."""
+
+
+class _ClientGone(Exception):
+    """The *client* side of a stream proxy dropped — not a backend
+    fault: the proxy just ends, no failover, no health change."""
+
+
+def routing_key(spec: Dict[str, Any]) -> str:
+    """The routing key of a job spec: its content-addressed
+    :func:`request_key` (which also validates the spec), or — for
+    uncacheable specs (entropy seeds) — a digest of the spec document
+    itself, so routing stays deterministic even when caching cannot.
+
+    O(pixels) for inline images; the router runs it on a parse thread,
+    exactly like the service does for admission.
+    """
+    request = request_from_wire(spec)  # raises ServiceError on a bad spec
+    key = request_key(request)
+    if key is not None:
+        return key
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _router_job_id() -> str:
+    return f"cjob-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class RouterJob:
+    """One routed job: the client-facing id plus its current placement."""
+
+    rid: str
+    spec: Dict[str, Any]
+    key: str
+    client: Optional[str] = None
+    priority: int = 0
+    state: str = "pending"  #: pending | routed | done | failed | cancelled
+    node_id: Optional[str] = None
+    backend_job_id: Optional[str] = None
+    n_dispatches: int = 0
+    replayed: bool = False
+    submitted_at: float = field(default_factory=time.monotonic)
+    lock: "asyncio.Lock" = field(default_factory=asyncio.Lock, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+class _BackendLink:
+    """One persistent request/reply connection to a backend, serialised
+    by a lock (streams use fresh connections instead — they hold the
+    wire for a whole job)."""
+
+    def __init__(self, pool: BackendPool, node: BackendNode, timeout: float) -> None:
+        self._pool = pool
+        self._node = node
+        self._timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def call(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        async with self._lock:
+            try:
+                if self._writer is None:
+                    self._reader, self._writer = await asyncio.wait_for(
+                        self._pool.connect(self._node), timeout=self._timeout
+                    )
+                self._writer.write(encode_line(msg))
+                await self._writer.drain()
+                line = await asyncio.wait_for(
+                    self._reader.readline(), timeout=self._timeout
+                )
+                if not line:
+                    raise ConnectionError("backend closed the connection")
+                return decode_line(line)
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                await self._teardown()
+                raise _BackendDown(
+                    f"{self._node.node_id}: {type(exc).__name__}: {exc}"
+                ) from exc
+
+    async def _teardown(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+        self._reader = self._writer = None
+
+    async def close(self) -> None:
+        async with self._lock:
+            await self._teardown()
+
+
+class ShardRouter:
+    """Asyncio TCP front: one address, N detection-service backends.
+
+    Parameters
+    ----------
+    backends:
+        Backend addresses (``"host:port"`` strings or tuples).
+    host, port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    job_log:
+        Optional :class:`JobLog` (or path) making routed jobs durable:
+        pending jobs are re-registered on start and re-dispatched on
+        demand.
+    quota:
+        Optional :class:`QuotaPolicy` applied per client id (the
+        ``client`` field of submit messages, else the peer host).
+    probe_interval, probe_timeout:
+        Backend health-probe cadence (see :class:`BackendPool`).
+    backend_timeout:
+        Per-request timeout for forwarded request/reply ops.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Union[str, Tuple[str, int]]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_log: Union[JobLog, str, None] = None,
+        quota: Optional[QuotaPolicy] = None,
+        probe_interval: float = 2.0,
+        probe_timeout: float = 5.0,
+        backend_timeout: float = 60.0,
+        job_retention: int = DEFAULT_JOB_RETENTION,
+        node_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.pool = BackendPool(
+            backends, probe_interval=probe_interval, probe_timeout=probe_timeout
+        )
+        if isinstance(job_log, (str, os.PathLike)):
+            job_log = JobLog(job_log)
+        self.job_log = job_log
+        self.quota = quota
+        self.backend_timeout = backend_timeout
+        self.job_retention = max(1, job_retention)
+        self.node_id = node_id or f"router-{uuid.uuid4().hex[:8]}"
+        self._jobs: "OrderedDict[str, RouterJob]" = OrderedDict()
+        self._links: Dict[str, _BackendLink] = {}
+        self._connections: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._replay_task: Optional[asyncio.Task] = None
+        self._parse_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-router-parse"
+        )
+        self.started_at = time.monotonic()
+        self.n_submitted = 0
+        self.n_routed = 0
+        self.n_failovers = 0
+        self.n_affinity_hits = 0
+        self.n_replayed = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.started_at = time.monotonic()
+        # Know who is alive before the first submission or replay.
+        await self.pool.probe_all()
+        self.pool.start_probing()
+        if self.job_log is not None:
+            self._register_replayed()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        if self.n_replayed:
+            self._replay_task = asyncio.create_task(
+                self._dispatch_replayed(), name="repro-router-replay"
+            )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise ClusterError("shard router is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._replay_task is not None:
+            self._replay_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._replay_task
+            self._replay_task = None
+        await self.pool.stop_probing()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Sever live client connections so streaming clients see EOF and
+        # reconnect (to the restarted router) instead of hanging.
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        await asyncio.sleep(0)
+        for link in self._links.values():
+            await link.close()
+        self._links.clear()
+        self._parse_pool.shutdown(wait=False, cancel_futures=True)
+        if self.job_log is not None:
+            self.job_log.close()
+
+    # -- restart replay --------------------------------------------------------
+    def _register_replayed(self) -> None:
+        """Re-register the log's pending jobs under their original ids.
+
+        The old assignment is deliberately dropped: the backend may have
+        restarted (losing the job) or died; re-dispatch re-derives the
+        owner from the key, which lands on the same node whenever that
+        node is alive.
+        """
+        replay = self.job_log.replay()
+        for pending in replay.pending.values():
+            if pending.job_id in self._jobs:
+                continue
+            key = pending.key or routing_key(pending.spec)
+            job = RouterJob(
+                rid=pending.job_id,
+                spec=pending.spec,
+                key=key,
+                client=pending.client,
+                priority=pending.priority,
+                replayed=True,
+            )
+            self._register(job)
+            self.n_replayed += 1
+
+    async def _dispatch_replayed(self) -> None:
+        for job in list(self._jobs.values()):
+            if not job.replayed or job.terminal or job.node_id is not None:
+                continue
+            try:
+                await self._ensure_assignment(job, set())
+            except (ServiceError, ClusterError):
+                # Leave it pending: the next status/stream for this id
+                # (or nothing — the job stays in the log) retries.
+                continue
+
+    # -- job registry ----------------------------------------------------------
+    def _register(self, job: RouterJob) -> None:
+        self._jobs[job.rid] = job
+        while len(self._jobs) > self.job_retention:
+            for rid, old in self._jobs.items():
+                if old.terminal:
+                    del self._jobs[rid]
+                    break
+            else:
+                break
+
+    def _job(self, rid: Any) -> RouterJob:
+        job = self._jobs.get(rid) if isinstance(rid, str) else None
+        if job is None:
+            raise JobNotFoundError(f"unknown job id {rid!r}")
+        return job
+
+    def _complete(self, job: RouterJob, state: str) -> None:
+        if job.terminal:
+            return
+        job.state = state
+        if self.job_log is not None:
+            self.job_log.log_complete(job.rid, state)
+
+    # -- placement -------------------------------------------------------------
+    def _link(self, node: BackendNode) -> _BackendLink:
+        link = self._links.get(node.node_id)
+        if link is None:
+            link = _BackendLink(self.pool, node, self.backend_timeout)
+            self._links[node.node_id] = link
+        return link
+
+    def choose_node(self, key: str, exclude: Optional[Set[str]] = None) -> str:
+        node_id = rendezvous_choose(key, self.pool.healthy_ids(), exclude=exclude)
+        if node_id is None:
+            raise ClusterError(
+                "no healthy backends available "
+                f"({len(self.pool.nodes)} configured, "
+                f"{len(self.pool.healthy_ids())} healthy, "
+                f"{len(exclude or ())} excluded)"
+            )
+        return node_id
+
+    async def _dispatch(
+        self, job: RouterJob, exclude: Optional[Set[str]] = None
+    ) -> Dict[str, Any]:
+        """Submit *job* to its rendezvous owner, walking the failover
+        order past dead nodes.  Returns the backend's reply verbatim —
+        ``ok: false`` replies (queue-full, quota) propagate untouched."""
+        exclude = set(exclude or ())
+        while True:
+            node_id = self.choose_node(job.key, exclude)
+            node = self.pool.node(node_id)
+            try:
+                reply = await self._link(node).call({
+                    "op": "submit",
+                    "job": job.spec,
+                    "priority": job.priority,
+                    "client": job.client,
+                })
+            except _BackendDown as exc:
+                self.pool.mark_down(node_id, str(exc))
+                exclude.add(node_id)
+                self.n_failovers += 1
+                continue
+            if reply.get("ok"):
+                job.node_id = node_id
+                job.backend_job_id = reply.get("job_id")
+                job.state = "routed"
+                job.n_dispatches += 1
+                node.n_assigned += 1
+                self.n_routed += 1
+                if reply.get("cached"):
+                    self.n_affinity_hits += 1
+                if self.job_log is not None:
+                    self.job_log.log_assign(
+                        job.rid, node=node_id, backend_job_id=job.backend_job_id
+                    )
+                if reply.get("state") in ("done", "failed", "cancelled"):
+                    self._complete(job, reply["state"])
+            return reply
+
+    def _clear_assignment(self, job: RouterJob) -> None:
+        job.node_id = None
+        job.backend_job_id = None
+        if not job.terminal:
+            job.state = "pending"
+
+    async def _ensure_assignment(
+        self, job: RouterJob, exclude: Set[str]
+    ) -> Tuple[str, str]:
+        """The job's live (node, backend job id), re-dispatching if its
+        assignment is missing, excluded, or on an unhealthy node."""
+        async with job.lock:
+            if (
+                job.node_id is not None
+                and job.node_id not in exclude
+                and self.pool.is_healthy(job.node_id)
+            ):
+                return job.node_id, job.backend_job_id
+            if job.terminal:
+                # Never resurrect a finished/cancelled job just because
+                # the node holding its history died — its completion is
+                # already on record (and possibly streamed to a client).
+                raise ClusterError(
+                    f"job {job.rid} is {job.state} and its backend is "
+                    "gone; its event history cannot be replayed"
+                )
+            self._clear_assignment(job)
+            reply = await self._dispatch(job, exclude=exclude)
+            if not reply.get("ok"):
+                raise ClusterError(
+                    f"re-dispatch of {job.rid} rejected: "
+                    f"{reply.get('message', reply.get('error', 'unknown error'))}"
+                )
+            return job.node_id, job.backend_job_id
+
+    # -- ops -------------------------------------------------------------------
+    async def _submit(self, msg: Dict[str, Any], peer: Optional[str]) -> Dict[str, Any]:
+        client = msg.get("client") or peer
+        if self.quota is not None:
+            self.quota.check(client)  # raises QuotaExceededError
+        priority = msg.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(f"priority must be an integer, got {priority!r}")
+        spec = msg.get("job")
+        if not isinstance(spec, dict):
+            raise ServiceError("submit needs a 'job' object")
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(self._parse_pool, routing_key, spec)
+        job = RouterJob(
+            rid=_router_job_id(), spec=spec, key=key,
+            client=client, priority=priority,
+        )
+        self.n_submitted += 1
+        self._register(job)
+        if self.job_log is not None:
+            self.job_log.log_submit(
+                job.rid, spec, key=key, client=client, priority=priority
+            )
+        try:
+            reply = await self._dispatch(job)
+        except ClusterError:
+            # No healthy backends: the client sees the rejection, so the
+            # logged submit must not replay after a restart.
+            self._complete(job, "cancelled")
+            raise
+        if not reply.get("ok"):
+            # The client saw the rejection; the job must not replay.
+            self._complete(job, "cancelled")
+            return reply
+        return {**reply, "job_id": job.rid, "node": job.node_id}
+
+    def _pending_doc(self, job: RouterJob) -> Dict[str, Any]:
+        return {"ok": True, "job_id": job.rid, "state": "queued",
+                "node": None, "pending_dispatch": True,
+                "priority": job.priority}
+
+    async def _status(self, rid: Any) -> Dict[str, Any]:
+        """Forward a status poll, re-dispatching a lost job on the way —
+        a client that only polls (never streams) still gets its job
+        recovered from a dead or amnesiac backend.
+
+        The (node, backend id) pair is snapshotted before awaiting: a
+        concurrent stream failover may re-assign the job mid-call, and
+        acting on the *new* assignment with the *old* call's failure
+        would mark a healthy node down.
+        """
+        job = self._job(rid)
+        for attempt in range(2):
+            if job.node_id is None:
+                if job.terminal:
+                    return {"ok": True, "job_id": job.rid, "state": job.state,
+                            "node": None}
+                try:
+                    await self._ensure_assignment(job, set())
+                except (ClusterError, ServiceError):
+                    return self._pending_doc(job)
+            node_id, bid = job.node_id, job.backend_job_id
+            try:
+                reply = await self._link(self.pool.node(node_id)).call(
+                    {"op": "status", "job_id": bid}
+                )
+            except _BackendDown as exc:
+                self.pool.mark_down(node_id, str(exc))
+                self.n_failovers += 1
+                if job.terminal:
+                    return {"ok": True, "job_id": job.rid, "state": job.state,
+                            "node": None}
+                if job.node_id == node_id:
+                    self._clear_assignment(job)
+                continue  # one re-dispatch try, then report pending
+            if job.node_id != node_id and not job.terminal:
+                continue  # re-assigned while we awaited: ask its new home
+            if not reply.get("ok"):
+                if reply.get("error") == "unknown-job":
+                    if job.terminal:
+                        # Backend restarted and forgot a finished job;
+                        # the router's own record still answers.
+                        return {"ok": True, "job_id": job.rid,
+                                "state": job.state, "node": None}
+                    # Forgot a live job: back to pending, re-dispatch.
+                    if job.node_id == node_id:
+                        self._clear_assignment(job)
+                    continue
+                return reply
+            if reply.get("state") in ("done", "failed", "cancelled"):
+                self._complete(job, reply["state"])
+            return {**reply, "job_id": job.rid, "node": node_id}
+        return self._pending_doc(job)
+
+    async def _cancel(self, rid: Any) -> Dict[str, Any]:
+        job = self._job(rid)
+        for attempt in range(2):
+            # Serialise with any in-flight dispatch (_ensure_assignment
+            # holds this lock across the backend submit): cancelling
+            # lock-free while a dispatch is mid-air would let the
+            # returning dispatch resurrect the terminal state.  The
+            # assignment is snapshotted under the lock — a concurrent
+            # failover may move the job while we await the backend.
+            async with job.lock:
+                if job.terminal:
+                    return {"ok": True, "job_id": job.rid, "state": job.state,
+                            "cancelled": job.state == "cancelled"}
+                if job.node_id is None:
+                    self._complete(job, "cancelled")
+                    return {"ok": True, "job_id": job.rid, "state": job.state,
+                            "cancelled": True}
+                node_id, bid = job.node_id, job.backend_job_id
+            try:
+                reply = await self._link(self.pool.node(node_id)).call(
+                    {"op": "cancel", "job_id": bid}
+                )
+            except _BackendDown as exc:
+                self.pool.mark_down(node_id, str(exc))
+                self.n_failovers += 1
+                async with job.lock:
+                    if job.node_id == node_id and not job.terminal:
+                        # Assignment unchanged: the job dies with its
+                        # node — never replayed.
+                        self._complete(job, "cancelled")
+                        return {"ok": True, "job_id": job.rid,
+                                "state": job.state, "cancelled": True}
+                continue  # the job moved meanwhile: cancel its new home
+            if job.node_id != node_id and not job.terminal:
+                continue  # re-assigned while we awaited
+            if reply.get("ok") and reply.get("cancelled"):
+                self._complete(job, "cancelled")
+            elif reply.get("ok") and reply.get("state") in ("done", "failed"):
+                self._complete(job, reply["state"])
+            if reply.get("ok"):
+                return {**reply, "job_id": job.rid, "node": node_id}
+            return reply
+        # Two moves in a row: report the current state without claiming
+        # the cancel landed; the client may retry.
+        return {"ok": True, "job_id": job.rid, "state": job.state,
+                "cancelled": job.state == "cancelled"}
+
+    async def _route(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """``op: route`` — where *would* this job go (no submission).
+
+        The introspection hook the affinity tests and ``repro cluster
+        status`` use; never spends quota, never touches a backend.
+        """
+        spec = msg.get("job")
+        if not isinstance(spec, dict):
+            raise ServiceError("route needs a 'job' object")
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(self._parse_pool, routing_key, spec)
+        return {"ok": True, "key": key, "node": self.choose_node(key)}
+
+    def stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        doc: Dict[str, Any] = {
+            "role": "router",
+            "node_id": self.node_id,
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "n_submitted": self.n_submitted,
+            "n_routed": self.n_routed,
+            "n_failovers": self.n_failovers,
+            "n_affinity_hits": self.n_affinity_hits,
+            "n_replayed": self.n_replayed,
+            "jobs": states,
+            "backends": self.pool.snapshot(),
+            "n_backends_healthy": len(self.pool.healthy_ids()),
+        }
+        if self.quota is not None:
+            doc["quota"] = self.quota.snapshot()
+        if self.job_log is not None:
+            # Cheap fields only — stats runs on the event loop; a full
+            # WAL replay here would stall every in-flight stream proxy
+            # (same rule as the service side).
+            doc["job_log"] = {
+                "path": str(self.job_log.path),
+                "n_appended": self.job_log.n_appended,
+                "n_compactions": self.job_log.n_compactions,
+            }
+        return doc
+
+    # -- streaming -------------------------------------------------------------
+    async def _stream_job(self, rid: Any, writer: asyncio.StreamWriter) -> None:
+        """Proxy a job's event stream, surviving backend death.
+
+        On a mid-stream backend failure the job is re-dispatched (dead
+        node excluded) and the replacement's stream takes over on the
+        same client connection.  The replacement replays its own history
+        from the top, so the client may see planning/fragment events
+        again — duplicates are benign (the terminal result is
+        deterministic); what never happens is a silently broken stream.
+        """
+        job = self._job(rid)
+        ack_sent = False
+        exclude: Set[str] = set()
+
+        async def to_client(payload_bytes: bytes) -> None:
+            # Client-side write failures are the *client's* death, never
+            # the backend's — conflating them would mark healthy nodes
+            # down and re-dispatch a running job once per disconnect.
+            try:
+                writer.write(payload_bytes)
+                await writer.drain()
+            except (OSError, ConnectionError, ConnectionResetError) as exc:
+                raise _ClientGone(str(exc)) from exc
+
+        try:
+            while True:
+                # A node stays excluded only while it is actually down:
+                # during a rolling restart every backend dies *briefly*,
+                # and a grow-only set would eventually exclude the whole
+                # healthy pool and fail a recoverable job.
+                exclude = {
+                    nid for nid in exclude if not self.pool.is_healthy(nid)
+                }
+                try:
+                    node_id, bid = await self._ensure_assignment(job, exclude)
+                except (ClusterError, ServiceError) as exc:
+                    if ack_sent:
+                        self._complete(job, "failed")
+                        payload = {"event": "error",
+                                   "error": f"ClusterError: {exc}"}
+                    else:
+                        payload = {"ok": False, "error": "no-backends",
+                                   "message": str(exc)}
+                    await to_client(encode_line(payload))
+                    return
+                node = self.pool.node(node_id)
+                bwriter = None
+                try:
+                    breader, bwriter = await asyncio.wait_for(
+                        self.pool.connect(node), timeout=self.backend_timeout
+                    )
+                    bwriter.write(encode_line({"op": "stream", "job_id": bid}))
+                    await bwriter.drain()
+                    ack_line = await asyncio.wait_for(
+                        breader.readline(), timeout=self.backend_timeout
+                    )
+                    if not ack_line:
+                        raise ConnectionError("EOF before stream ack")
+                    ack = decode_line(ack_line)
+                    if not ack.get("ok"):
+                        # Backend is alive but lost the job (restart):
+                        # re-dispatch without excluding the node.
+                        self._clear_assignment(job)
+                        continue
+                    if not ack_sent:
+                        await to_client(encode_line({
+                            "ok": True, "job_id": job.rid,
+                            "state": ack.get("state"), "node": node_id,
+                        }))
+                        ack_sent = True
+                    while True:
+                        line = await breader.readline()
+                        if not line:
+                            raise ConnectionError("EOF mid-stream")
+                        event = decode_line(line)
+                        await to_client(line)
+                        name = event.get("event")
+                        if name in TERMINAL_EVENTS:
+                            self._complete(job, _EVENT_STATE[name])
+                            return
+                except (OSError, ConnectionError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError) as exc:
+                    self.pool.mark_down(
+                        node_id, f"stream: {type(exc).__name__}: {exc}"
+                    )
+                    exclude.add(node_id)
+                    self.n_failovers += 1
+                    self._clear_assignment(job)
+                    continue
+                finally:
+                    if bwriter is not None:
+                        bwriter.close()
+                        with contextlib.suppress(Exception):
+                            await bwriter.wait_closed()
+        except _ClientGone:
+            # The job keeps running on its backend; a reconnecting
+            # client replays history via a fresh stream op.
+            return
+
+    # -- protocol loop ---------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else None
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    writer.write(encode_line(
+                        {"ok": False, "error": "bad-request",
+                         "message": "protocol line too long"}))
+                    await writer.drain()
+                    break
+                if not line.strip():
+                    if not line:
+                        break  # EOF
+                    continue
+                try:
+                    msg = decode_line(line)
+                    op = msg.get("op")
+                    if op == "stream":
+                        await self._stream_job(msg.get("job_id"), writer)
+                        continue
+                    if op == "submit":
+                        reply = await self._submit(msg, peer)
+                    elif op == "status":
+                        reply = await self._status(msg.get("job_id"))
+                    elif op == "cancel":
+                        reply = await self._cancel(msg.get("job_id"))
+                    elif op == "route":
+                        reply = await self._route(msg)
+                    elif op == "stats":
+                        reply = {"ok": True, **self.stats()}
+                    elif op == "ping":
+                        reply = {"ok": True, "pong": True, "role": "router"}
+                    else:
+                        raise ServiceError(f"unknown op {op!r}")
+                except ClusterError as exc:
+                    reply = {"ok": False, "error": "no-backends", "message": str(exc)}
+                except ServiceError as exc:
+                    reply = error_reply(exc)
+                writer.write(encode_line(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+# -- embedding helpers ---------------------------------------------------------
+
+class RouterHandle(LoopHandle):
+    """A router running on a private event loop in a daemon thread —
+    the router-flavoured :class:`~repro.service.server.LoopHandle`."""
+
+    def __init__(self, router: ShardRouter,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        super().__init__(router, loop, thread)
+        self.router = router
+
+
+def router_background(**kwargs: Any) -> RouterHandle:
+    """Start a :class:`ShardRouter` on a fresh loop in a daemon thread;
+    returns once the socket is bound (and log replay is registered)."""
+    router, loop, thread = run_background_loop(
+        lambda: ShardRouter(**kwargs), "repro-router",
+        ClusterError, "shard router",
+    )
+    return RouterHandle(router, loop, thread)
+
+
+def serve_cluster_forever(**kwargs: Any) -> None:
+    """Run a router in the foreground until interrupted (the CLI path)."""
+
+    async def main() -> None:
+        router = ShardRouter(**kwargs)
+        await router.start()
+        host, port = router.address
+        healthy = len(router.pool.healthy_ids())
+        print(
+            f"repro cluster router listening on {host}:{port} "
+            f"({healthy}/{len(router.pool.nodes)} backends healthy"
+            f"{', durable' if router.job_log is not None else ''}"
+            f"{', quotas' if router.quota is not None else ''})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await router.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("cluster router stopped")

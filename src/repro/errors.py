@@ -21,8 +21,11 @@ __all__ = [
     "EngineError",
     "UnknownStrategyError",
     "ServiceError",
+    "ServiceUnavailableError",
     "QueueFullError",
+    "QuotaExceededError",
     "JobNotFoundError",
+    "ClusterError",
 ]
 
 
@@ -88,5 +91,26 @@ class QueueFullError(ServiceError):
         self.retry_after = float(retry_after)
 
 
+class ServiceUnavailableError(ServiceError):
+    """The connection to a service was refused, reset, or closed
+    mid-request.  The client may transparently reconnect and retry
+    (see :class:`repro.service.client.ServiceClient`) — in a cluster,
+    this is what a router restart or a dying node looks like from
+    outside."""
+
+
+class QuotaExceededError(QueueFullError):
+    """A per-client quota rejected the submission; retry after a delay.
+
+    Subclasses :class:`QueueFullError` deliberately: quota rejections
+    reuse the queue's retry-after backpressure shape, so any client loop
+    that already honours queue-full rejections honours quotas for free.
+    """
+
+
 class JobNotFoundError(ServiceError):
     """A status/cancel/stream request named an unknown job id."""
+
+
+class ClusterError(ServiceError):
+    """Cluster-layer failures (no healthy backends, routing misuse, ...)."""

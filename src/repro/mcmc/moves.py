@@ -109,10 +109,10 @@ class Move:
       from the cached rasterisation masks, :meth:`rollback` undoes the
       configuration in O(1) without re-rasterising anything.
 
-    The base implementations fall back to apply/unapply (``SplitMove``
-    and ``MergeMove`` use them); the single-disc move classes override
-    all three with true trial pricing.  ``supports_trial`` advertises
-    which protocol a class actually implements.
+    The base implementations fall back to apply/unapply; every concrete
+    move class — the RJMCMC split/merge pair included — overrides all
+    three with true trial pricing.  ``supports_trial`` advertises which
+    protocol a class actually implements (``NullMove`` does not).
     """
 
     move_type: MoveType
@@ -444,6 +444,32 @@ class SplitMove(Move):
             )
         post.set_log_posterior(self._prev_lp)
 
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        # Same primitive order as apply: the second insert's overlap
+        # energy and pending-mask pricing must see the first insert.
+        self._removed, d0 = post.trial_delete_circle(self.idx)
+        self._i1, d1 = post.trial_insert_circle(self.c1.x, self.c1.y, self.c1.r)
+        self._i2, d2 = post.trial_insert_circle(self.c2.x, self.c2.y, self.c2.r)
+        return d0 + d1 + d2
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._removed is None or self._i1 is None or self._i2 is None:
+            raise ChainError("SplitMove.rollback before price")
+        post.discard_trial()
+        # Same config-op order as unapply (LIFO free-list, index identity).
+        post.rollback_insert(self._i2)
+        post.rollback_insert(self._i1)
+        restored = post.rollback_delete(self._removed)
+        if restored != self.idx:
+            raise ChainError(
+                f"split rollback restored index {restored}, expected {self.idx}"
+            )
+
 
 class MergeMove(Move):
     """Merge circles *i* and *j* into their exact split-inverse."""
@@ -517,6 +543,36 @@ class MergeMove(Move):
                 f"({self.i}, {self.j})"
             )
         post.set_log_posterior(self._prev_lp)
+
+    supports_trial = True
+
+    def price(self, post: PosteriorState) -> float:
+        # Same primitive order as apply; the insert prices against the
+        # pending state both deletions left behind.
+        _, d0 = post.trial_delete_circle(self.i)
+        _, d1 = post.trial_delete_circle(self.j)
+        self._idx_m, d2 = post.trial_insert_circle(
+            self.merged.x, self.merged.y, self.merged.r
+        )
+        return d0 + d1 + d2
+
+    def commit(self, post: PosteriorState) -> None:
+        post.commit_trial()
+
+    def rollback(self, post: PosteriorState) -> None:
+        if self._idx_m is None:
+            raise ChainError("MergeMove.rollback before price")
+        post.discard_trial()
+        # Same config-op order as unapply: drop the merged circle, then
+        # re-insert in reverse deletion order for index identity.
+        post.rollback_insert(self._idx_m)
+        rj = post.rollback_delete(self.cj)
+        ri = post.rollback_delete(self.ci)
+        if ri != self.i or rj != self.j:
+            raise ChainError(
+                f"merge rollback restored indices ({ri}, {rj}), expected "
+                f"({self.i}, {self.j})"
+            )
 
 
 class TranslateMove(Move):

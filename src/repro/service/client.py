@@ -1,15 +1,35 @@
-"""Blocking, stdlib-only client for the detection service.
+"""Blocking, stdlib-only client for the detection service *and* cluster.
 
 One persistent socket per client; every method is a request/reply pair
 except :meth:`ServiceClient.stream`, which consumes event lines until a
 terminal event.  The CLI (``repro detect --server``) and the service
 tests/benchmarks are the callers; nothing here imports numpy or the
-engine, so a thin consumer can talk to a heavy server.
+engine, so a thin consumer can talk to a heavy server.  A cluster
+router speaks the identical protocol, so the same client works against
+one service or a whole shard cluster without knowing which.
 
-Backpressure contract: :meth:`submit` raises
-:class:`~repro.errors.QueueFullError` (carrying the server's
-``retry_after``) when the queue rejects; :meth:`submit_wait` is the
-polite loop that honours it.
+Two resilience contracts, both bounded:
+
+* **Backpressure** — a queue-full or quota rejection carries the
+  server's ``retry_after`` hint.  :meth:`submit` honours it
+  automatically: it sleeps and retries up to ``submit_attempts`` times
+  before surfacing :class:`~repro.errors.QueueFullError` /
+  :class:`~repro.errors.QuotaExceededError` to the caller (pass
+  ``max_attempts=1`` for the raw single-shot behaviour);
+  :meth:`submit_wait` is the long-patience variant with an explicit
+  time budget.
+* **Node-down transparency** — a refused, reset, or mid-request-closed
+  connection raises :class:`~repro.errors.ServiceUnavailableError`
+  internally; the client reconnects and retries up to
+  ``reconnect_attempts`` times.  Retries are bounded *and honest about
+  idempotence*: a submit whose reply was lost mid-read is NOT replayed
+  (the server may have admitted it; a blind replay could duplicate the
+  job on a cache-less server) — it surfaces
+  :class:`ServiceUnavailableError`, and callers with content-addressed
+  jobs may safely resubmit, knowing the server collapses the repeat.
+  Mid-\\ :meth:`stream` drops re-attach to the same job id — against a
+  restarted cluster router this replays the job's history and follows
+  it to completion on whichever backend now owns it.
 """
 
 from __future__ import annotations
@@ -20,7 +40,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.errors import (
+    JobNotFoundError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service.protocol import TERMINAL_EVENTS
 
 __all__ = ["ServiceClient", "StreamedDetection"]
@@ -48,21 +74,64 @@ class StreamedDetection:
 
 
 class ServiceClient:
-    """A JSON-lines connection to one :class:`DetectionService`."""
+    """A JSON-lines connection to one service or cluster router.
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+    Parameters
+    ----------
+    host, port:
+        The server (or router) address.
+    timeout:
+        Per-request socket timeout; suspended while streaming.
+    client_id:
+        Optional self-declared identity sent with every submit — the
+        key per-client quotas account against (servers fall back to the
+        peer address when absent).
+    submit_attempts:
+        How many times :meth:`submit` tries against retry-after
+        backpressure before surfacing the rejection.
+    reconnect_attempts:
+        How many reconnect-and-retry rounds a dropped connection gets
+        before :class:`ServiceUnavailableError` reaches the caller.
+        ``0`` disables transparent reconnection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 120.0,
+        client_id: Optional[str] = None,
+        submit_attempts: int = 4,
+        reconnect_attempts: int = 2,
+        reconnect_backoff: float = 0.1,
+    ) -> None:
+        if submit_attempts < 1:
+            raise ServiceError(f"submit_attempts must be >= 1, got {submit_attempts}")
+        if reconnect_attempts < 0:
+            raise ServiceError(
+                f"reconnect_attempts must be >= 0, got {reconnect_attempts}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.client_id = client_id
+        self.submit_attempts = submit_attempts
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
         self._sock: Optional[socket.socket] = None
         self._file = None
 
     # -- connection ------------------------------------------------------------
     def connect(self) -> "ServiceClient":
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise ServiceUnavailableError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
             self._file = self._sock.makefile("rwb")
         return self
 
@@ -86,26 +155,75 @@ class ServiceClient:
     # -- wire ------------------------------------------------------------------
     def _send(self, payload: Dict[str, Any]) -> None:
         self.connect()
-        self._file.write(json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n")
-        self._file.flush()
+        try:
+            self._file.write(
+                json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+            )
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"connection to {self.host}:{self.port} lost while sending: {exc}"
+            ) from exc
 
     def _read_line(self) -> Dict[str, Any]:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"connection to {self.host}:{self.port} lost while reading: {exc}"
+            ) from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ServiceUnavailableError("server closed the connection")
         try:
             obj = json.loads(line.decode("utf-8"))
         except ValueError as exc:
             raise ServiceError(f"malformed server line: {exc}") from None
         return obj
 
-    def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._send(payload)
-        reply = self._read_line()
+    def _roundtrip(
+        self, payload: Dict[str, Any], idempotent: bool = True
+    ) -> Dict[str, Any]:
+        """One send/receive with transparent bounded reconnection.
+
+        Send-phase failures always reconnect and retry (the server never
+        saw the request).  Reply-phase failures — the request may have
+        been processed, only the answer was lost — retry only for
+        *idempotent* ops: replaying a submit there could duplicate the
+        job on a cache-less server, so non-idempotent ops surface
+        :class:`ServiceUnavailableError` and let the caller decide
+        (content-addressed jobs are safe to resubmit; the server
+        collapses them).
+        """
+        attempts = 1 + self.reconnect_attempts
+        for attempt in range(attempts):
+            try:
+                self._send(payload)
+            except ServiceUnavailableError:
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(self.reconnect_backoff * (2 ** attempt))
+                continue
+            try:
+                return self._read_line()
+            except ServiceUnavailableError:
+                self.close()
+                if not idempotent or attempt + 1 >= attempts:
+                    raise
+                time.sleep(self.reconnect_backoff * (2 ** attempt))
+        raise ServiceError("unreachable")  # pragma: no cover
+
+    def _call(self, payload: Dict[str, Any],
+              idempotent: bool = True) -> Dict[str, Any]:
+        reply = self._roundtrip(payload, idempotent=idempotent)
         if reply.get("ok"):
             return reply
         error = reply.get("error")
         message = reply.get("message", error or "request failed")
+        if error == "quota-exceeded":
+            raise QuotaExceededError(
+                message, retry_after=float(reply.get("retry_after", 1.0))
+            )
         if error == "queue-full":
             raise QueueFullError(message, retry_after=float(reply.get("retry_after", 1.0)))
         if error == "unknown-job":
@@ -116,25 +234,49 @@ class ServiceClient:
     def ping(self) -> bool:
         return bool(self._call({"op": "ping"}).get("pong"))
 
-    def submit(self, job: Dict[str, Any], priority: int = 0) -> Dict[str, Any]:
+    def _submit_payload(self, job: Dict[str, Any], priority: int) -> Dict[str, Any]:
+        payload = {"op": "submit", "job": job, "priority": priority}
+        if self.client_id is not None:
+            payload["client"] = self.client_id
+        return payload
+
+    def submit(
+        self, job: Dict[str, Any], priority: int = 0,
+        max_attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """Submit a job spec; returns the accept reply (``job_id`` etc.).
 
-        Raises :class:`QueueFullError` when the server applies
-        backpressure — catch it and wait ``exc.retry_after`` seconds,
-        or use :meth:`submit_wait`.
+        Honours retry-after backpressure automatically: a queue-full or
+        quota rejection sleeps the server's hint and retries, up to
+        *max_attempts* (default: the client's ``submit_attempts``)
+        before the :class:`QueueFullError` /
+        :class:`QuotaExceededError` reaches the caller.  Pass
+        ``max_attempts=1`` to surface the first rejection immediately.
         """
-        return self._call({"op": "submit", "job": job, "priority": priority})
+        attempts = self.submit_attempts if max_attempts is None else max_attempts
+        if attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {attempts}")
+        payload = self._submit_payload(job, priority)
+        for attempt in range(attempts):
+            try:
+                return self._call(payload, idempotent=False)
+            except QueueFullError as exc:  # QuotaExceededError included
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(exc.retry_after)
+        raise ServiceError("unreachable")  # pragma: no cover
 
     def submit_wait(
         self, job: Dict[str, Any], priority: int = 0,
         max_attempts: int = 20, max_wait: float = 60.0,
     ) -> Dict[str, Any]:
-        """Submit, honouring backpressure: sleep ``retry_after`` between
-        attempts until accepted or the patience budget runs out."""
+        """Submit with an explicit patience budget: sleep ``retry_after``
+        between single-shot attempts until accepted, *max_attempts*
+        tries, or *max_wait* seconds of accumulated waiting."""
         waited = 0.0
         for attempt in range(max_attempts):
             try:
-                return self.submit(job, priority=priority)
+                return self.submit(job, priority=priority, max_attempts=1)
             except QueueFullError as exc:
                 if attempt + 1 >= max_attempts or waited >= max_wait:
                     raise
@@ -152,6 +294,11 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._call({"op": "stats"})
 
+    def route(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Cluster-router introspection: where *would* this job land
+        (``{"key": ..., "node": ...}``)?  Plain services reject the op."""
+        return self._call({"op": "route", "job": job})
+
     def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
         """Yield the job's events — history first, then live — ending
         with the terminal event (``result``/``error``/``cancelled``).
@@ -159,21 +306,37 @@ class ServiceClient:
         The socket timeout is suspended while waiting: a job sitting
         behind a deep queue may legitimately produce no event for longer
         than any request/reply timeout.
+
+        A connection dropped mid-stream (node death, router restart) is
+        re-attached transparently up to ``reconnect_attempts`` times by
+        re-issuing the stream op for the same job id.  The server
+        replays the job's event history on re-attach, so consumers may
+        see duplicate planning/fragment events — the terminal event
+        still arrives exactly once per successful stream.
         """
-        self._call({"op": "stream", "job_id": job_id})  # ack header
-        previous = self._sock.gettimeout()
-        self._sock.settimeout(None)
-        try:
-            while True:
-                event = self._read_line()
-                yield event
-                if event.get("event") in TERMINAL_EVENTS:
-                    return
-        finally:
+        reconnects_left = self.reconnect_attempts
+        while True:
+            self._call({"op": "stream", "job_id": job_id})  # ack header
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(None)
             try:
-                self._sock.settimeout(previous)
-            except OSError:  # pragma: no cover - connection already gone
-                pass
+                while True:
+                    event = self._read_line()
+                    yield event
+                    if event.get("event") in TERMINAL_EVENTS:
+                        return
+            except ServiceUnavailableError:
+                self.close()
+                if reconnects_left <= 0:
+                    raise
+                reconnects_left -= 1
+                time.sleep(self.reconnect_backoff)
+            finally:
+                if self._sock is not None:
+                    try:
+                        self._sock.settimeout(previous)
+                    except OSError:  # pragma: no cover - connection gone
+                        pass
 
     # -- conveniences ----------------------------------------------------------
     def detect(self, job: Dict[str, Any], priority: int = 0) -> StreamedDetection:

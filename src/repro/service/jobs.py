@@ -72,6 +72,7 @@ class Job:
     error: Optional[str] = None
     result: Optional[DetectionResult] = None
     cancel_requested: bool = False
+    logged: bool = False  #: has a pending record in the service's job log
     events: List[Dict[str, Any]] = field(default_factory=list)
     _subscribers: List["asyncio.Queue"] = field(default_factory=list)
 

@@ -4,12 +4,18 @@ Every message is one JSON object per ``\\n``-terminated line, UTF-8.
 
 Client → server ops::
 
-    {"op": "submit", "job": {...job spec...}, "priority": 0}
+    {"op": "submit", "job": {...job spec...}, "priority": 0, "client": "id"}
     {"op": "status", "job_id": "job-..."}
     {"op": "cancel", "job_id": "job-..."}
     {"op": "stream", "job_id": "job-..."}   # server streams event lines
     {"op": "stats"}
     {"op": "ping"}
+
+``client`` is optional — a self-declared id for per-client quota
+accounting (servers fall back to the peer address).  A cluster router
+(:mod:`repro.cluster.router`) speaks this same protocol and adds one
+debug op, ``{"op": "route", "job": {...}}``, answering where a spec
+*would* be placed.
 
 A *job spec* names the image one of three ways plus the engine knobs:
 
@@ -54,7 +60,12 @@ from repro.engine.schema import (
     ResultEvent,
     TilePlannedEvent,
 )
-from repro.errors import ServiceError
+from repro.errors import (
+    JobNotFoundError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.imaging.image import Image
 
 __all__ = [
@@ -62,6 +73,7 @@ __all__ = [
     "TERMINAL_EVENTS",
     "encode_line",
     "decode_line",
+    "error_reply",
     "request_from_wire",
     "event_to_wire",
     "scene_job",
@@ -89,6 +101,22 @@ def decode_line(line: bytes) -> Dict[str, Any]:
     if not isinstance(obj, dict):
         raise ServiceError(f"protocol messages are JSON objects, got {type(obj).__name__}")
     return obj
+
+
+def error_reply(exc: ServiceError) -> Dict[str, Any]:
+    """The one exception → ``ok: false`` reply mapping — the wire-error
+    contract both the service's and the cluster router's protocol loops
+    speak (a handler may map its own subclasses *before* falling back
+    here, as the router does for its no-backends case)."""
+    if isinstance(exc, QuotaExceededError):
+        return {"ok": False, "error": "quota-exceeded",
+                "message": str(exc), "retry_after": exc.retry_after}
+    if isinstance(exc, QueueFullError):
+        return {"ok": False, "error": "queue-full",
+                "message": str(exc), "retry_after": exc.retry_after}
+    if isinstance(exc, JobNotFoundError):
+        return {"ok": False, "error": "unknown-job", "message": str(exc)}
+    return {"ok": False, "error": "bad-request", "message": str(exc)}
 
 
 # -- job spec → DetectionRequest ----------------------------------------------

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
@@ -48,12 +50,27 @@ from repro.service.protocol import (
     TERMINAL_EVENTS,
     decode_line,
     encode_line,
+    error_reply,
     event_to_wire,
     request_from_wire,
 )
 from repro.service.queue import JobQueue
 
-__all__ = ["DetectionService", "ServiceHandle", "serve_background", "serve_forever"]
+__all__ = [
+    "DetectionService",
+    "LoopHandle",
+    "ServiceHandle",
+    "run_background_loop",
+    "serve_background",
+    "serve_forever",
+]
+
+#: JobState → job-log completion state.
+_STATE_TO_LOG = {
+    JobState.DONE: "done",
+    JobState.FAILED: "failed",
+    JobState.CANCELLED: "cancelled",
+}
 
 #: Terminal jobs retained for status/stream replay before the oldest
 #: are forgotten (a long-lived server must not accumulate every job ever).
@@ -84,6 +101,18 @@ class DetectionService:
         Optional executor-choice override (``serial``/``thread``/
         ``process``/``auto``) forced onto every dispatched request —
         the service owns parallelism policy, not its clients.
+    job_log:
+        Optional durable job log (a :class:`~repro.cluster.joblog.JobLog`
+        or a path): every queued submission is recorded and every
+        terminal transition completes it, so a restarted service with
+        the same log re-admits the jobs that were pending — under their
+        original job ids, so clients' handles survive the restart.
+    quota:
+        Optional per-client :class:`~repro.cluster.quota.QuotaPolicy`;
+        over-limit submits are rejected with the retry-after shape.
+    node_id:
+        Stable identity reported in :meth:`stats` (cluster routers read
+        it); defaults to a fresh ``svc-…`` id per process.
     """
 
     def __init__(
@@ -95,6 +124,9 @@ class DetectionService:
         cache: Optional[ResultCache] = None,
         executor: Optional[str] = None,
         job_retention: int = DEFAULT_JOB_RETENTION,
+        job_log: Any = None,
+        quota: Any = None,
+        node_id: Optional[str] = None,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -104,10 +136,22 @@ class DetectionService:
         self.cache = cache
         self.executor = executor
         self.job_retention = max(1, job_retention)
+        if isinstance(job_log, (str, os.PathLike)):
+            # Lazy import: repro.cluster imports repro.service at module
+            # scope; this direction must resolve at call time only.
+            from repro.cluster.joblog import JobLog
+
+            job_log = JobLog(job_log)
+        self.job_log = job_log
+        self.quota = quota
+        self.node_id = node_id or f"svc-{uuid.uuid4().hex[:8]}"
+        self.started_at = time.monotonic()
+        self.n_replayed = 0
         self._queue = JobQueue(max_pending=queue_size)
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
         self._worker_tasks: list = []
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="repro-engine"
@@ -125,6 +169,9 @@ class DetectionService:
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
+        self.started_at = time.monotonic()
+        if self.job_log is not None:
+            await self._replay_pending()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -132,6 +179,34 @@ class DetectionService:
             asyncio.create_task(self._worker(), name=f"repro-worker-{i}")
             for i in range(self.workers)
         ]
+
+    async def _replay_pending(self) -> None:
+        """Re-admit the job log's pending submissions (restart path).
+
+        Original job ids are preserved, so a client holding a pre-restart
+        id can still status/stream its job.  Specs that no longer parse
+        are completed as failed; jobs the queue cannot admit stay pending
+        in the log for the next restart.
+        """
+        loop = asyncio.get_running_loop()
+        for pending in self.job_log.replay().pending.values():
+            if pending.job_id in self._jobs:
+                continue
+            try:
+                request, key = await loop.run_in_executor(
+                    self._parse_pool, self._parse_spec, pending.spec
+                )
+            except ServiceError:
+                self.job_log.log_complete(pending.job_id, "failed")
+                continue
+            try:
+                self.admit(
+                    request, key, pending.priority,
+                    job_id=pending.job_id, already_logged=True,
+                )
+            except QueueFullError:
+                continue  # still pending; the next restart retries
+            self.n_replayed += 1
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -152,10 +227,19 @@ class DetectionService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Sever live connections too: a stopped service must look dead
+        # to its peers *now* — a cluster router streaming a job from a
+        # killed in-process backend relies on this EOF to fail over.
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        await asyncio.sleep(0)  # let connection_lost callbacks run
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._parse_pool.shutdown(wait=False, cancel_futures=True)
         if self.cache is not None:
             self.cache.flush()
+        if self.job_log is not None:
+            self.job_log.close()
 
     # -- job control (loop thread) ---------------------------------------------
     @staticmethod
@@ -165,7 +249,7 @@ class DetectionService:
         return request, request_key(request)
 
     def submit(self, spec: Dict[str, Any], priority: int = 0,
-               timeout: float = 30.0) -> Dict[str, Any]:
+               timeout: float = 30.0, client: Optional[str] = None) -> Dict[str, Any]:
         """Parse and admit one job spec — the blocking embedding API.
 
         Loop state (queue, registry, subscriber fan-out) is only touched
@@ -176,6 +260,8 @@ class DetectionService:
         the job queued forever.  The protocol loop itself parses on the
         parse thread via :meth:`_submit_async` instead.
         """
+        if self.quota is not None:
+            self.quota.check(client)
         request, key = self._parse_spec(spec)
         loop = self._loop
         if loop is not None and loop.is_running():
@@ -185,30 +271,53 @@ class DetectionService:
                 running = None
             if running is not loop:
                 return asyncio.run_coroutine_threadsafe(
-                    self._admit_on_loop(request, key, priority), loop
+                    self._admit_on_loop(request, key, priority, spec, client), loop
                 ).result(timeout=timeout)
-        return self.admit(request, key, priority)
+        return self.admit(request, key, priority, spec=spec, client=client)
 
-    async def _admit_on_loop(self, request, key, priority: int) -> Dict[str, Any]:
-        return self.admit(request, key, priority)
+    async def _admit_on_loop(self, request, key, priority: int,
+                             spec=None, client=None) -> Dict[str, Any]:
+        return self.admit(request, key, priority, spec=spec, client=client)
 
-    async def _submit_async(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+    async def _submit_async(
+        self, msg: Dict[str, Any], peer: Optional[str] = None
+    ) -> Dict[str, Any]:
+        client = msg.get("client") or peer
+        if self.quota is not None:
+            self.quota.check(client)  # raises QuotaExceededError
         loop = asyncio.get_running_loop()
         request, key = await loop.run_in_executor(
             self._parse_pool, self._parse_spec, msg.get("job")
         )
-        return self.admit(request, key, msg.get("priority", 0))
+        return self.admit(request, key, msg.get("priority", 0),
+                          spec=msg.get("job"), client=client)
 
-    def admit(self, request, key, priority: int = 0) -> Dict[str, Any]:
+    def admit(
+        self,
+        request,
+        key,
+        priority: int = 0,
+        spec: Optional[Dict[str, Any]] = None,
+        client: Optional[str] = None,
+        job_id: Optional[str] = None,
+        already_logged: bool = False,
+    ) -> Dict[str, Any]:
         """Admit a parsed request; returns the wire reply.
 
         Raises :class:`QueueFullError` (backpressure) and
         :class:`ServiceError` (bad priority) for the handler to map
-        onto error replies.
+        onto error replies.  When a job log is configured and *spec* is
+        given, queued admissions are recorded for restart replay (cache
+        hits are not — they are already complete); *job_id* /
+        *already_logged* are the replay path re-admitting a logged job
+        under its original identity.
         """
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ServiceError(f"priority must be an integer, got {priority!r}")
         job = Job(request=request, key=key, priority=priority)
+        if job_id is not None:
+            job.id = job_id
+        job.logged = already_logged and self.job_log is not None
 
         hit = self.cache.get(key) if (self.cache is not None and key) else None
         if hit is not None:
@@ -224,6 +333,11 @@ class DetectionService:
             return {"ok": True, "job_id": job.id, "cached": True, "state": job.state.value}
 
         self._queue.put(job)  # raises QueueFullError when at capacity
+        if self.job_log is not None and spec is not None and not job.logged:
+            self.job_log.log_submit(
+                job.id, spec, key=key, client=client, priority=priority
+            )
+            job.logged = True
         self.n_submitted += 1
         job.publish({"event": "state", "state": JobState.QUEUED.value})
         self._register(job)
@@ -256,7 +370,10 @@ class DetectionService:
         states: Dict[str, int] = {state.value: 0 for state in JobState}
         for job in self._jobs.values():
             states[job.state.value] += 1
-        return {
+        doc: Dict[str, Any] = {
+            "role": "service",
+            "node_id": self.node_id,
+            "uptime_seconds": time.monotonic() - self.started_at,
             "queue_depth": self._queue.depth,
             "queue_capacity": self._queue.max_pending,
             "workers": self.workers,
@@ -265,8 +382,20 @@ class DetectionService:
             "n_dispatched": self.n_dispatched,
             "n_cache_hits": self.n_cache_hits,
             "n_rejected": self._queue.n_rejected,
+            "n_replayed": self.n_replayed,
             "cache": self.cache.summary() if self.cache is not None else None,
         }
+        if self.quota is not None:
+            doc["quota"] = self.quota.snapshot()
+        if self.job_log is not None:
+            # Cheap fields only: stats is the health-probe op, polled
+            # every probe interval — no full log scan here.
+            doc["job_log"] = {
+                "path": str(self.job_log.path),
+                "n_appended": self.job_log.n_appended,
+                "n_compactions": self.job_log.n_compactions,
+            }
+        return doc
 
     def _job(self, job_id: Any) -> Job:
         job = self._jobs.get(job_id) if isinstance(job_id, str) else None
@@ -288,6 +417,8 @@ class DetectionService:
     def _finish(self, job: Job, state: JobState, event: Dict[str, Any]) -> None:
         job.state = state
         job.finished_at = time.monotonic()
+        if self.job_log is not None and job.logged:
+            self.job_log.log_complete(job.id, _STATE_TO_LOG[state])
         # Terminal jobs live on only for status/replay: drop the request
         # (which pins the image pixels) and the strategy's raw detail
         # object, so retention holds wire documents — not images.
@@ -351,7 +482,12 @@ class DetectionService:
                 if isinstance(event, ResultEvent):
                     result = event.result
                 else:
-                    loop.call_soon_threadsafe(job.publish, event_to_wire(event))
+                    try:
+                        loop.call_soon_threadsafe(job.publish, event_to_wire(event))
+                    except RuntimeError:
+                        # Loop shut down mid-job (service killed): stop
+                        # the orphaned engine thread quietly.
+                        raise _JobCancelled() from None
         finally:
             gen.close()  # tears down the AsyncExecutor pool on early exit
             clear_worker_image()  # don't pin this job's image in the thread
@@ -363,6 +499,9 @@ class DetectionService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else None
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -384,21 +523,17 @@ class DetectionService:
                         await self._stream_job(msg.get("job_id"), writer)
                         continue
                     if op == "submit":
-                        reply = await self._submit_async(msg)
+                        reply = await self._submit_async(msg, peer)
                     else:
                         reply = self._dispatch_op(op, msg)
-                except QueueFullError as exc:
-                    reply = {"ok": False, "error": "queue-full",
-                             "message": str(exc), "retry_after": exc.retry_after}
-                except JobNotFoundError as exc:
-                    reply = {"ok": False, "error": "unknown-job", "message": str(exc)}
                 except ServiceError as exc:
-                    reply = {"ok": False, "error": "bad-request", "message": str(exc)}
+                    reply = error_reply(exc)
                 writer.write(encode_line(reply))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
@@ -436,17 +571,17 @@ class DetectionService:
 
 # -- embedding helpers ---------------------------------------------------------
 
-class ServiceHandle:
-    """A service running on a private event loop in a daemon thread.
-
-    The bridge tests / benchmarks / notebooks use: start with
-    :func:`serve_background`, talk to ``handle.address`` with a
-    :class:`~repro.service.client.ServiceClient`, then :meth:`stop`.
+class LoopHandle:
+    """A server object running on a private event loop in a daemon
+    thread.  The object must expose an ``address`` property and an
+    ``async stop()``; subclasses add a named attribute for it.  Shared
+    by the service's :class:`ServiceHandle` and the cluster router's
+    :class:`~repro.cluster.router.RouterHandle`.
     """
 
-    def __init__(self, service: DetectionService,
-                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
-        self.service = service
+    def __init__(self, obj: Any, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._obj = obj
         self._loop = loop
         self._thread = thread
         self._stopped = False
@@ -457,58 +592,97 @@ class ServiceHandle:
         return future.result(timeout=5)
 
     async def _address(self) -> Tuple[str, int]:
-        return self.service.address
+        return self._obj.address
 
     def stop(self, timeout: float = 10.0) -> None:
         if self._stopped:
             return
         self._stopped = True
         asyncio.run_coroutine_threadsafe(
-            self.service.stop(), self._loop
+            self._obj.stop(), self._loop
         ).result(timeout=timeout)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=timeout)
 
-    def __enter__(self) -> "ServiceHandle":
+    def __enter__(self) -> "LoopHandle":
         return self
 
     def __exit__(self, *exc) -> None:
         self.stop()
 
 
-def serve_background(**kwargs: Any) -> ServiceHandle:
-    """Start a :class:`DetectionService` on a fresh loop in a daemon
-    thread; returns once the socket is bound."""
+class ServiceHandle(LoopHandle):
+    """A service running on a private event loop in a daemon thread.
+
+    The bridge tests / benchmarks / notebooks use: start with
+    :func:`serve_background`, talk to ``handle.address`` with a
+    :class:`~repro.service.client.ServiceClient`, then :meth:`stop`.
+    """
+
+    def __init__(self, service: DetectionService,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        super().__init__(service, loop, thread)
+        self.service = service
+
+
+def run_background_loop(factory, thread_name: str, error_cls, what: str):
+    """Construct ``obj = factory()``, await ``obj.start()`` on a fresh
+    event loop in a daemon thread, and return ``(obj, loop, thread)``
+    once start completes (socket bound, replay registered).  The one
+    background-runner implementation behind :func:`serve_background`
+    and the router's ``router_background``."""
     started = threading.Event()
     box: Dict[str, Any] = {}
 
     def runner() -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
-        service = DetectionService(**kwargs)
         try:
-            loop.run_until_complete(service.start())
-        except BaseException as exc:  # surface bind errors to the caller
+            obj = factory()
+            loop.run_until_complete(obj.start())
+        except BaseException as exc:  # surface bind/config errors
             box["error"] = exc
             started.set()
             loop.close()
             return
-        box["service"] = service
+        box["obj"] = obj
         box["loop"] = loop
         started.set()
         try:
             loop.run_forever()
         finally:
+            # Unwind lingering handler tasks (open connections at stop
+            # time) so nothing dies noisily at GC with a closed loop;
+            # teardown-window callbacks (asyncio's stream protocol reads
+            # .exception() off cancelled tasks) are deliberately quiet.
+            loop.set_exception_handler(lambda _loop, _ctx: None)
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
 
-    thread = threading.Thread(target=runner, name="repro-service", daemon=True)
+    thread = threading.Thread(target=runner, name=thread_name, daemon=True)
     thread.start()
     if not started.wait(timeout=15):
-        raise ServiceError("detection service failed to start within 15s")
+        raise error_cls(f"{what} failed to start within 15s")
     if "error" in box:
-        raise ServiceError(f"detection service failed to start: {box['error']}")
-    return ServiceHandle(box["service"], box["loop"], thread)
+        raise error_cls(f"{what} failed to start: {box['error']}")
+    return box["obj"], box["loop"], thread
+
+
+def serve_background(**kwargs: Any) -> ServiceHandle:
+    """Start a :class:`DetectionService` on a fresh loop in a daemon
+    thread; returns once the socket is bound."""
+    service, loop, thread = run_background_loop(
+        lambda: DetectionService(**kwargs), "repro-service",
+        ServiceError, "detection service",
+    )
+    return ServiceHandle(service, loop, thread)
 
 
 def serve_forever(**kwargs: Any) -> None:
@@ -518,9 +692,12 @@ def serve_forever(**kwargs: Any) -> None:
         service = DetectionService(**kwargs)
         await service.start()
         host, port = service.address
+        # flush: cluster harnesses parse this line to learn the port.
         print(f"repro service listening on {host}:{port} "
               f"({service.workers} workers, queue {service._queue.max_pending}"
-              f"{', cached' if service.cache is not None else ''})")
+              f"{', cached' if service.cache is not None else ''}"
+              f"{', durable' if service.job_log is not None else ''})",
+              flush=True)
         try:
             await asyncio.Event().wait()
         finally:

@@ -1,0 +1,91 @@
+"""CLI coverage for ``repro cluster status/route`` and the cluster path
+of ``repro detect --server`` (the client must not care whether the
+address is a service or a router)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import LocalCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(n_backends=2, mode="thread", workers=1,
+                      router_log=False) as cluster:
+        yield cluster
+
+
+def _server_arg(cluster):
+    host, port = cluster.address
+    return f"{host}:{port}"
+
+
+class TestClusterStatus:
+    def test_status_json(self, cluster, capsys):
+        rc = main(["cluster", "status", "--server", _server_arg(cluster),
+                   "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["role"] == "router"
+        assert doc["n_backends_healthy"] == 2
+        assert len(doc["backends"]) == 2
+
+    def test_status_human_readable(self, cluster, capsys):
+        rc = main(["cluster", "status", "--server", _server_arg(cluster)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "router" in out
+        assert "Backends" in out
+
+    def test_status_against_plain_service_reports_service(self, capsys):
+        from repro.service import serve_background
+
+        handle = serve_background(workers=1, queue_size=4)
+        try:
+            host, port = handle.address
+            rc = main(["cluster", "status", "--server", f"{host}:{port}",
+                       "--json"])
+            assert rc == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["role"] == "service"
+        finally:
+            handle.stop()
+
+
+class TestClusterRoute:
+    def test_route_json_names_a_backend(self, cluster, capsys):
+        rc = main(["cluster", "route", "--server", _server_arg(cluster),
+                   "--size", "48", "--circles", "3", "--iterations", "200",
+                   "--seed", "5", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["node"] in cluster.backend_addresses
+        assert len(doc["key"]) == 64
+
+    def test_route_is_stable(self, cluster, capsys):
+        args = ["cluster", "route", "--server", _server_arg(cluster),
+                "--seed", "6", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+
+class TestClusterServeValidation:
+    def test_serve_without_backends_errors(self, capsys):
+        rc = main(["cluster", "serve"])
+        assert rc == 2
+        assert "--backend" in capsys.readouterr().err
+
+
+class TestDetectThroughRouter:
+    def test_detect_server_points_at_router(self, cluster, capsys):
+        rc = main(["detect", "--server", _server_arg(cluster),
+                   "--size", "48", "--circles", "3",
+                   "--iterations", "200", "--seed", "9", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job_id"].startswith("cjob-")
+        assert doc["n_found"] == len(doc["result"]["circles"])

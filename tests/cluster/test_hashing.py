@@ -1,0 +1,88 @@
+"""Rendezvous hashing: determinism, spread, and minimal churn."""
+
+import pytest
+
+from repro.cluster.hashing import node_score, rendezvous_choose, rendezvous_ranking
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.fast
+
+NODES = [f"10.0.0.{i}:7341" for i in range(1, 6)]
+KEYS = [f"{i:064x}" for i in range(200)]
+
+
+class TestDeterminism:
+    def test_score_is_stable_across_calls(self):
+        assert node_score("k", NODES[0]) == node_score("k", NODES[0])
+
+    def test_choice_is_pure_function_of_key_and_members(self):
+        for key in KEYS[:20]:
+            assert rendezvous_choose(key, NODES) == rendezvous_choose(key, list(NODES))
+
+    def test_choice_ignores_member_order(self):
+        for key in KEYS[:20]:
+            assert rendezvous_choose(key, NODES) == rendezvous_choose(
+                key, list(reversed(NODES))
+            )
+
+    def test_ranking_head_is_the_choice(self):
+        for key in KEYS[:20]:
+            assert rendezvous_ranking(key, NODES)[0] == rendezvous_choose(key, NODES)
+
+    def test_empty_or_bad_key_rejected(self):
+        with pytest.raises(ClusterError):
+            rendezvous_ranking("", NODES)
+        with pytest.raises(ClusterError):
+            rendezvous_ranking(None, NODES)
+
+
+class TestSpread:
+    def test_every_node_owns_a_fair_share(self):
+        owners = [rendezvous_choose(key, NODES) for key in KEYS]
+        counts = {node: owners.count(node) for node in NODES}
+        expected = len(KEYS) / len(NODES)
+        for node, count in counts.items():
+            assert count > 0.3 * expected, (node, counts)
+            assert count < 2.5 * expected, (node, counts)
+
+
+class TestMinimalChurn:
+    def test_leave_moves_only_the_dead_nodes_keys(self):
+        """Node leave (= exclusion): every key NOT owned by the removed
+        node keeps its owner — the cache-affinity stability property."""
+        before = {key: rendezvous_choose(key, NODES) for key in KEYS}
+        dead = NODES[2]
+        for key, owner in before.items():
+            after = rendezvous_choose(key, NODES, exclude={dead})
+            if owner != dead:
+                assert after == owner, f"{key} moved {owner} -> {after}"
+            else:
+                assert after != dead
+                # The orphan lands on its runner-up, not at random.
+                assert after == rendezvous_ranking(key, NODES)[1]
+
+    def test_join_steals_only_what_it_wins(self):
+        """Node join: keys either stay put or move to the new node —
+        never from one old node to another."""
+        before = {key: rendezvous_choose(key, NODES) for key in KEYS}
+        joined = NODES + ["10.0.0.99:7341"]
+        moved = 0
+        for key, owner in before.items():
+            after = rendezvous_choose(key, joined)
+            if after != owner:
+                assert after == "10.0.0.99:7341"
+                moved += 1
+        # The newcomer wins roughly 1/(N+1) of the keys.
+        assert 0 < moved < 2 * len(KEYS) / len(joined)
+
+    def test_exclusion_equals_removal(self):
+        """Excluding a node must be indistinguishable from a member list
+        without it — failover rehash == membership change."""
+        dead = NODES[0]
+        without = [n for n in NODES if n != dead]
+        for key in KEYS[:50]:
+            assert rendezvous_choose(key, NODES, exclude={dead}) == \
+                rendezvous_choose(key, without)
+
+    def test_all_excluded_returns_none(self):
+        assert rendezvous_choose(KEYS[0], NODES, exclude=set(NODES)) is None

@@ -1,0 +1,145 @@
+"""JobLog WAL semantics: replay, completion, torn lines, compaction."""
+
+import json
+
+import pytest
+
+from repro.cluster.joblog import JobLog
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.fast
+
+SPEC = {"scene": {"size": 32, "circles": 2, "seed": 0}, "strategy": "naive",
+        "iterations": 50, "seed": 0}
+
+
+@pytest.fixture
+def log(tmp_path):
+    return JobLog(tmp_path / "jobs.wal")
+
+
+class TestVerbsAndReplay:
+    def test_pending_is_submit_without_complete(self, log):
+        log.log_submit("a", SPEC, key="k1", client="alice", priority=2)
+        log.log_submit("b", SPEC, key="k2")
+        log.log_complete("a", "done")
+        replay = log.replay()
+        assert set(replay.pending) == {"b"}
+        assert replay.n_submitted == 2
+        assert replay.n_completed == 1
+        job = replay.pending["b"]
+        assert job.spec == SPEC and job.key == "k2" and job.priority == 0
+
+    def test_submit_order_preserved(self, log):
+        for i in range(5):
+            log.log_submit(f"j{i}", SPEC, key=f"k{i}")
+        log.log_complete("j2", "cancelled")
+        assert list(log.replay().pending) == ["j0", "j1", "j3", "j4"]
+
+    def test_assign_tracks_latest_placement(self, log):
+        log.log_submit("a", SPEC, key="k")
+        log.log_assign("a", node="n1:1", backend_job_id="b1")
+        log.log_assign("a", node="n2:2", backend_job_id="b2")
+        job = log.replay().pending["a"]
+        assert job.node == "n2:2"
+        assert job.backend_job_id == "b2"
+        assert job.n_assigns == 2
+
+    def test_metadata_survives_roundtrip(self, log):
+        log.log_submit("a", SPEC, key="k", client="c", priority=7)
+        job = log.replay().pending["a"]
+        assert (job.client, job.priority) == ("c", 7)
+        assert job.submitted_at > 0
+
+    def test_unknown_record_types_rejected(self, log):
+        with pytest.raises(ClusterError):
+            log.append({"type": "noop", "job_id": "a"})
+        with pytest.raises(ClusterError):
+            log.log_complete("a", "finished")
+
+    def test_empty_or_missing_file_replays_empty(self, log):
+        replay = log.replay()
+        assert replay.n_pending == 0 and replay.n_records == 0
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_is_skipped(self, log):
+        log.log_submit("a", SPEC, key="k1")
+        log.log_submit("b", SPEC, key="k2")
+        log.close()
+        with open(log.path, "a") as fh:
+            fh.write('{"type": "complete", "job_id": "b", "sta')  # torn write
+        replay = log.replay()
+        assert set(replay.pending) == {"a", "b"}
+        assert replay.n_corrupt == 1
+
+    def test_garbage_lines_are_skipped(self, log):
+        log.log_submit("a", SPEC, key="k")
+        log.close()
+        with open(log.path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"no": "type"}) + "\n")
+        log.log_submit("b", SPEC, key="k2")  # appends still work
+        replay = log.replay()
+        assert set(replay.pending) == {"a", "b"}
+        assert replay.n_corrupt == 2
+
+
+class TestCompaction:
+    def test_compact_keeps_only_pending(self, log):
+        for i in range(10):
+            log.log_submit(f"j{i}", SPEC, key=f"k{i}")
+            log.log_assign(f"j{i}", node="n:1", backend_job_id=f"b{i}")
+        for i in range(8):
+            log.log_complete(f"j{i}", "done")
+        dropped = log.compact()
+        assert dropped == 24  # 8 * (submit + assign + complete)
+        replay = log.replay()
+        assert set(replay.pending) == {"j8", "j9"}
+        assert replay.pending["j8"].node == "n:1"
+        # The rewritten file holds exactly the pending records.
+        assert replay.n_records == 4
+
+    def test_pending_jobs_survive_repeated_compaction(self, log):
+        log.log_submit("keep", SPEC, key="k")
+        log.compact()
+        log.compact()
+        assert set(log.replay().pending) == {"keep"}
+
+    def test_auto_compaction_fires_on_cadence(self, tmp_path):
+        import time
+
+        log = JobLog(tmp_path / "auto.wal", compact_every=10)
+        for i in range(10):
+            log.log_submit(f"j{i}", SPEC, key=f"k{i}")
+            log.log_complete(f"j{i}", "done")
+        # Auto-compaction runs on a background thread (append must not
+        # stall the caller's event loop); give it a moment.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and log.n_compactions == 0:
+            time.sleep(0.01)
+        assert log.n_compactions >= 1
+        # Completed pairs appended *after* the background snapshot wait
+        # for the next cycle; what must hold now is that nothing
+        # replayable survived, and a quiescent compact drains the rest.
+        assert log.replay().n_pending == 0
+        log.compact()
+        assert log.replay().n_records == 0
+
+    def test_worthwhile_guard_skips_live_logs(self, log):
+        for i in range(5):
+            log.log_submit(f"j{i}", SPEC, key=f"k{i}")
+        assert log.compact(only_if_worthwhile=True) == 0
+        assert log.replay().n_pending == 5
+
+
+class TestSummary:
+    def test_summary_reports_log_state(self, log):
+        log.log_submit("a", SPEC, key="k")
+        log.log_complete("a", "failed")
+        log.log_submit("b", SPEC, key="k2")
+        doc = log.summary()
+        assert doc["n_pending"] == 1
+        assert doc["n_completed"] == 1
+        assert doc["n_records"] == 3
+        assert doc["n_appended_this_session"] == 3

@@ -16,16 +16,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ChainError
+from repro.geometry.circle import Circle
 from repro.mcmc import (
     BirthMove,
     DeathMove,
     MarkovChain,
+    MergeMove,
     MoveConfig,
     MoveGenerator,
     PosteriorState,
     ReplaceMove,
     ResizeMove,
     SpeculativeChain,
+    SplitMove,
     TranslateMove,
     legacy_kernel,
 )
@@ -180,6 +183,13 @@ def _make_moves(ctx):
         "replace": lambda: ReplaceMove(1, 20.0, 70.0, 4.5, ctx),
         "translate": lambda: TranslateMove(0, 31.5, 28.5),
         "resize": lambda: ResizeMove(2, 5.1),
+        # RJMCMC pair: split circle 0; merge the overlapping pair (0, 2).
+        "split": lambda: SplitMove(
+            0, Circle(30.0, 30.0, 6.0), theta=0.3, d=3.0, a=0.4, ctx=ctx
+        ),
+        "merge": lambda: MergeMove(
+            0, 2, Circle(30.0, 30.0, 6.0), Circle(34.0, 35.0, 4.0), ctx
+        ),
     }
 
 
@@ -190,7 +200,10 @@ def ctx(small_spec, move_config):
 
 class TestMoveTrialProtocol:
     @pytest.mark.fast
-    @pytest.mark.parametrize("name", ["birth", "death", "replace", "translate", "resize"])
+    @pytest.mark.parametrize(
+        "name",
+        ["birth", "death", "replace", "translate", "resize", "split", "merge"],
+    )
     def test_price_commit_equals_apply(self, name, small_filtered, small_spec, ctx):
         post_a, post_b = _twin_posts(small_filtered, small_spec)
         move_a = _make_moves(ctx)[name]()
@@ -207,7 +220,10 @@ class TestMoveTrialProtocol:
         post_a.verify_consistency()
 
     @pytest.mark.fast
-    @pytest.mark.parametrize("name", ["birth", "death", "replace", "translate", "resize"])
+    @pytest.mark.parametrize(
+        "name",
+        ["birth", "death", "replace", "translate", "resize", "split", "merge"],
+    )
     def test_price_rollback_equals_apply_unapply(
         self, name, small_filtered, small_spec, ctx
     ):

@@ -129,7 +129,7 @@ class TestBackpressure:
             client.submit(job_spec(seed=0))
             client.submit(job_spec(seed=1))
             with pytest.raises(QueueFullError) as err:
-                client.submit(job_spec(seed=2))
+                client.submit(job_spec(seed=2), max_attempts=1)
             assert err.value.retry_after > 0
             assert client.stats()["n_rejected"] == 1
 
