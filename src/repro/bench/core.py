@@ -36,6 +36,7 @@ from repro.mcmc import (
     MarkovChain,
     MergeMove,
     MoveGenerator,
+    MultiproposalChain,
     PosteriorState,
     ReplaceMove,
     ResizeMove,
@@ -49,6 +50,7 @@ from repro.utils.rng import RngStream
 __all__ = [
     "serial_chain_throughput",
     "move_class_throughput",
+    "multiproposal_throughput",
     "strategy_throughput",
     "STRATEGIES",
 ]
@@ -140,6 +142,101 @@ def serial_chain_throughput(
         "legacy_iters_per_second": iterations / ref_elapsed,
         "speedup": ref_elapsed / trial_elapsed,
         "parity": True,
+    }
+
+
+def multiproposal_throughput(
+    size: int = 128,
+    n_circles: int = 10,
+    iterations: int = 30_000,
+    warmup: int = 2_000,
+    seed: int = 99,
+    workload_seed: int = 3,
+    widths: Sequence[int] = (1, 2, 4, 8),
+) -> Dict:
+    """K-way multiproposal round throughput across a width sweep.
+
+    For every width the batched kernel is gated bit-for-bit against the
+    sequential reference implementation (``batch=False``, identical RNG
+    consumption order); width 1 is additionally gated bit-for-bit
+    against :class:`~repro.mcmc.chain.MarkovChain` — the proof that the
+    batched engine is the classic chain, not an approximation of it.
+    Only the batched runs are timed.
+    """
+    workload = synthetic_workload(size=size, n_circles=n_circles, seed=workload_seed)
+
+    def fresh_mp(width: int, batch: bool) -> MultiproposalChain:
+        post = PosteriorState(workload.filtered, workload.model)
+        gen = MoveGenerator(workload.model, workload.moves)
+        return MultiproposalChain(
+            post, gen, width=width, seed=seed, record_every=100, batch=batch
+        )
+
+    base_chain = _fresh_chain(workload, seed)
+    base_chain.run(warmup)
+    t0 = time.perf_counter()
+    base_result = base_chain.run(iterations)
+    base_elapsed = time.perf_counter() - t0
+    base_ips = iterations / base_elapsed
+
+    per_width: Dict[str, Dict] = {}
+    best_width, best_ips = 0, 0.0
+    for width in widths:
+        chain = fresh_mp(width, batch=True)
+        chain.run(warmup)
+        t0 = time.perf_counter()
+        result = chain.run(iterations)
+        elapsed = time.perf_counter() - t0
+        ips = iterations / elapsed
+
+        ref_chain = fresh_mp(width, batch=False)
+        ref_chain.run(warmup)
+        ref_result = ref_chain.run(iterations)
+        _require(
+            result.final_circles == ref_result.final_circles
+            and result.posterior_trace.values == ref_result.posterior_trace.values
+            and result.posterior_trace.iterations == ref_result.posterior_trace.iterations
+            and result.count_trace.values == ref_result.count_trace.values
+            and result.rounds == ref_result.rounds
+            and result.stats.generated == ref_result.stats.generated
+            and result.stats.proposed == ref_result.stats.proposed
+            and result.stats.accepted == ref_result.stats.accepted
+            and chain.post.log_posterior == ref_chain.post.log_posterior,
+            f"width-{width} batched round diverges from sequential reference",
+        )
+        if width == 1:
+            _require(
+                result.final_circles == base_result.final_circles
+                and result.posterior_trace.values == base_result.posterior_trace.values
+                and result.posterior_trace.iterations
+                == base_result.posterior_trace.iterations
+                and result.count_trace.values == base_result.count_trace.values
+                and result.stats.generated == base_result.stats.generated
+                and result.stats.proposed == base_result.stats.proposed
+                and result.stats.accepted == base_result.stats.accepted
+                and chain.post.log_posterior == base_chain.post.log_posterior
+                and bool(np.array_equal(chain.post.coverage.counts,
+                                        base_chain.post.coverage.counts)),
+                "width-1 multiproposal chain diverges from MarkovChain",
+            )
+        per_width[str(width)] = {
+            "iters_per_second": ips,
+            "rounds": result.rounds,
+            "iterations_per_round": result.iterations_per_round,
+            "speedup_vs_single": ips / base_ips,
+            "parity": True,
+        }
+        if ips > best_ips:
+            best_width, best_ips = width, ips
+
+    return {
+        "workload": workload.name,
+        "iterations": iterations,
+        "warmup": warmup,
+        "single_chain_iters_per_second": base_ips,
+        "widths": per_width,
+        "best_width": best_width,
+        "best_speedup_vs_single": best_ips / base_ips,
     }
 
 

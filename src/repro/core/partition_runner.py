@@ -18,6 +18,7 @@ final coordinates compose across partitions without interaction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.imaging.image import Image
 from repro.mcmc.chain import MarkovChain
+from repro.mcmc.coverage import CoverageRaster
 from repro.mcmc.diagnostics import AcceptanceStats
 from repro.mcmc.moves import MoveGenerator
 from repro.mcmc.posterior import PosteriorState
@@ -43,6 +45,27 @@ __all__ = [
     "build_local_phase_tasks",
     "apply_local_phase_results",
 ]
+
+#: Per-thread cache of one scratch-warmed CoverageRaster per worker.
+#: Local-phase tasks arrive every cycle with similar patch sizes, so
+#: reusing a raster (counts plane + trial/batch scratch, all grown to
+#: the high-water mark) removes the per-task allocation burst.  Keyed
+#: per thread: serial and thread executors share this process, process
+#: executors each get their own module copy — all cases are race-free.
+_worker_state = threading.local()
+
+
+def _acquire_worker_raster(height: int, width: int) -> CoverageRaster:
+    """The calling thread's cached raster (created on first use).
+
+    The caller hands it to :class:`PosteriorState` via ``coverage=``,
+    which resets it to the task's window and offsets.
+    """
+    raster: Optional[CoverageRaster] = getattr(_worker_state, "raster", None)
+    if raster is None:
+        raster = CoverageRaster(height, width)
+        _worker_state.raster = raster
+    return raster
 
 
 @dataclass(frozen=True)
@@ -100,6 +123,7 @@ def run_local_phase_task(task: LocalPhaseTask) -> LocalPhaseResult:
         row_offset=rows.start,
         col_offset=cols.start,
         bounds=Rect(0.0, 0.0, float(task.spec.width), float(task.spec.height)),
+        coverage=_acquire_worker_raster(patch.shape[0], patch.shape[1]),
     )
     # Load modifiable features first so their local indices are 0..k-1,
     # then the frozen context.  The cache is left at an arbitrary offset
@@ -122,7 +146,17 @@ def run_local_phase_task(task: LocalPhaseTask) -> LocalPhaseResult:
         allowed_indices=local_ids,
         constraint=(rect, task.margin),
     )
-    if task.speculative_width > 1:
+    if task.move_config.proposal_batch >= 1:
+        from repro.mcmc.speculative import MultiproposalChain
+
+        mp_chain = MultiproposalChain(
+            post, gen, width=task.move_config.proposal_batch,
+            seed=RngStream(task.seed), record_every=max(1, task.iterations),
+        )
+        mp_chain.run(task.iterations)
+        stats = mp_chain.stats
+        rounds = mp_chain.rounds
+    elif task.speculative_width > 1:
         from repro.mcmc.speculative import SpeculativeChain
 
         spec_chain = SpeculativeChain(

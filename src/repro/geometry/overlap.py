@@ -37,8 +37,14 @@ def circle_circle_overlap_area(
         return math.pi * rmin * rmin
     # Lens area: sum of the two circular segments.
     d2, r02, r12 = d * d, r0 * r0, r1 * r1
-    alpha = math.acos(_clamp((d2 + r02 - r12) / (2.0 * d * r0)))
-    beta = math.acos(_clamp((d2 + r12 - r02) / (2.0 * d * r1)))
+    den0, den1 = 2.0 * d * r0, 2.0 * d * r1
+    if den0 == 0.0 or den1 == 0.0:
+        # Subnormal d can underflow 2·d·r to exactly 0 while the
+        # containment test above still sees d > rmax − rmin; the discs
+        # are concentric to machine precision.
+        return math.pi * rmin * rmin
+    alpha = math.acos(_clamp((d2 + r02 - r12) / den0))
+    beta = math.acos(_clamp((d2 + r12 - r02) / den1))
     return (
         r02 * (alpha - math.sin(2.0 * alpha) / 2.0)
         + r12 * (beta - math.sin(2.0 * beta) / 2.0)
@@ -81,11 +87,23 @@ def circle_overlap_areas(
         d2 = dp * dp
         r02 = r * r
         r12 = rp * rp
-        alpha = np.arccos(np.clip((d2 + r02 - r12) / (2.0 * dp * r), -1.0, 1.0))
-        beta = np.arccos(np.clip((d2 + r12 - r02) / (2.0 * dp * rp), -1.0, 1.0))
-        out[partial] = r02 * (alpha - np.sin(2.0 * alpha) / 2.0) + r12 * (
+        den0 = 2.0 * dp * r
+        den1 = 2.0 * dp * rp
+        # Subnormal separations underflow 2·d·r to exactly 0 (concentric
+        # to machine precision) — substitute a safe denominator and patch
+        # in the contained-disc area afterwards.
+        degenerate = (den0 == 0.0) | (den1 == 0.0)
+        if degenerate.any():
+            den0 = np.where(degenerate, 1.0, den0)
+            den1 = np.where(degenerate, 1.0, den1)
+        alpha = np.arccos(np.clip((d2 + r02 - r12) / den0, -1.0, 1.0))
+        beta = np.arccos(np.clip((d2 + r12 - r02) / den1, -1.0, 1.0))
+        vals = r02 * (alpha - np.sin(2.0 * alpha) / 2.0) + r12 * (
             beta - np.sin(2.0 * beta) / 2.0
         )
+        if degenerate.any():
+            vals = np.where(degenerate, math.pi * np.minimum(r, rp) ** 2, vals)
+        out[partial] = vals
     return out
 
 

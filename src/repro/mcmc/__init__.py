@@ -43,10 +43,12 @@ from repro.mcmc.moves import (
     MoveGenerator,
 )
 from repro.mcmc.kernel import (
+    MultiproposalRound,
     StepResult,
     evaluate_move,
     legacy_kernel,
     metropolis_hastings_step,
+    multiproposal_step,
     price_move,
     set_trial_kernel,
     trial_kernel_enabled,
@@ -58,7 +60,12 @@ from repro.mcmc.diagnostics import (
     convergence_iteration,
     effective_sample_size,
 )
-from repro.mcmc.speculative import SpeculativeChain, speculative_speedup
+from repro.mcmc.speculative import (
+    MultiproposalChain,
+    MultiproposalResult,
+    SpeculativeChain,
+    speculative_speedup,
+)
 from repro.mcmc.mc3 import MetropolisCoupledChains
 from repro.mcmc.samples import SampleCollector, PosteriorSummary
 from repro.mcmc.adaptation import AdaptationResult, adapt_local_steps
@@ -88,6 +95,8 @@ __all__ = [
     "NullMove",
     "MoveGenerator",
     "metropolis_hastings_step",
+    "multiproposal_step",
+    "MultiproposalRound",
     "evaluate_move",
     "price_move",
     "legacy_kernel",
@@ -102,6 +111,8 @@ __all__ = [
     "effective_sample_size",
     "SpeculativeChain",
     "speculative_speedup",
+    "MultiproposalChain",
+    "MultiproposalResult",
     "MetropolisCoupledChains",
     "SampleCollector",
     "PosteriorSummary",

@@ -331,6 +331,10 @@ class TestChainParity:
         for post_t, post_r in zip(trial.posts, ref.posts):
             assert post_t.log_posterior == post_r.log_posterior
             assert post_t.snapshot_circles() == post_r.snapshot_circles()
+            # Cross-check cached coverage/posterior state against a full
+            # debug rebuild on every tempered chain, not just the cold one.
+            post_t.verify_consistency()
+            post_r.verify_consistency()
 
 
 # -- allocation discipline ----------------------------------------------------
