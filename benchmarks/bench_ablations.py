@@ -16,7 +16,6 @@
 """
 
 import numpy as np
-import pytest
 
 from conftest import emit
 from repro.core.theory import eq4_runtime

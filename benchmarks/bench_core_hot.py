@@ -11,7 +11,6 @@ throughout — the wall-clock numbers land in BENCH_core.json via
 benchmark suite alongside the paper experiments.
 """
 
-import pytest
 
 from conftest import emit
 from repro.bench.core import move_class_throughput, serial_chain_throughput

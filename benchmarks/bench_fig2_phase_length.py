@@ -13,7 +13,6 @@ Q6600.  Two reproductions:
   same knee-then-plateau shape with this substrate's own constants.
 """
 
-import pytest
 
 from conftest import emit
 from repro.core import PeriodicPartitioningSampler, PhaseSchedule

@@ -10,7 +10,6 @@ total = the slowest quadrant; merged model as good as the sequential
 one (no boundary duplicates/losses).
 """
 
-import pytest
 
 from conftest import emit
 from repro.core.blind_pipeline import run_blind_pipeline

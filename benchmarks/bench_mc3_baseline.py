@@ -7,13 +7,11 @@ single chain (k chains advance per sweep), while periodic partitioning
 keeps per-iteration cost ~1× and spreads it over cores.
 """
 
-import pytest
 
 from conftest import emit
 from repro.mcmc import (
     MetropolisCoupledChains,
     MarkovChain,
-    MoveConfig,
     MoveGenerator,
     PosteriorState,
 )

@@ -11,11 +11,10 @@ Shape to reproduce: naive partitioning's anomalies concentrate at the
 cuts; blind partitioning's merge heuristics remove them.
 """
 
-import pytest
 
 from conftest import emit
 from repro.core.blind_pipeline import run_blind_pipeline
-from repro.core.evaluation import anomalies_near_lines, evaluate_model
+from repro.core.evaluation import anomalies_near_lines
 from repro.core.naive import run_naive_partitioning
 from repro.geometry.circle import Circle
 from repro.imaging.density import estimate_count

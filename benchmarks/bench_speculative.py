@@ -11,7 +11,7 @@ the module docstring of repro.mcmc.speculative).
 import pytest
 
 from conftest import emit
-from repro.mcmc import MoveConfig, MoveGenerator, PosteriorState, SpeculativeChain
+from repro.mcmc import MoveGenerator, PosteriorState, SpeculativeChain
 from repro.mcmc.speculative import speculative_speedup
 from repro.utils.tables import Table
 

@@ -13,7 +13,6 @@ with relative runtime far above the other two, and the overall saving
 (1 − max relative runtime) is small.
 """
 
-import pytest
 
 from conftest import emit
 from repro.core.evaluation import evaluate_model

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Emit the BENCH_gateway.json gateway-layer artifact.
+
+Runs the two gateway workloads of :mod:`repro.bench.gateway` — HTTP/SSE
+vs TCP throughput on the same live cluster (the overhead ratio is the
+price of the REST front) and serial submit→first-SSE-event latency —
+and writes the combined document plus host facts.  CI's gateway-smoke
+job uploads the file next to the other BENCH_* artifacts.
+
+Like its siblings, ``--baseline PATH`` gates the run against a prior
+artifact and exits 3 past the regression threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.bench.gateway import gateway_throughput, sse_latency  # noqa: E402
+from repro.bench.reporting import BaselineMetric, run_baseline_gate  # noqa: E402
+from repro.errors import BenchmarkError  # noqa: E402
+
+BASELINE_METRICS = [
+    BaselineMetric("http jobs/s", ("throughput", "http", "jobs_per_second")),
+    BaselineMetric("http overhead ratio", ("throughput", "overhead_ratio"),
+                   higher_is_better=False),
+    BaselineMetric("first SSE event s",
+                   ("latency", "first_event_mean_seconds"),
+                   higher_is_better=False),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_gateway.json")
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--backends", type=int, default=2)
+    parser.add_argument("--size", type=int, default=48)
+    parser.add_argument("--circles", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=300)
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="prior BENCH_gateway.json to gate against "
+                             "(exit 3 past the regression threshold)")
+    parser.add_argument("--regression-threshold", type=float, default=0.8)
+    args = parser.parse_args()
+
+    try:
+        throughput = gateway_throughput(
+            n_jobs=args.jobs,
+            n_backends=args.backends,
+            size=args.size,
+            circles=args.circles,
+            iterations=args.iterations,
+        )
+        latency = sse_latency(
+            size=args.size,
+            circles=args.circles,
+            iterations=args.iterations,
+        )
+    except BenchmarkError as exc:
+        print(f"GATEWAY BENCH FAILURE: {exc}", file=sys.stderr)
+        return 1
+
+    document = {
+        "benchmark": "gateway_layer",
+        "version": __version__,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "throughput": throughput,
+        "latency": latency,
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+
+    http, tcp = throughput["http"], throughput["tcp"]
+    print(f"HTTP/SSE: {http['jobs_per_second']:.2f} jobs/s "
+          f"(mean latency {http['latency_mean_seconds']:.2f}s)")
+    print(f"TCP     : {tcp['jobs_per_second']:.2f} jobs/s "
+          f"(mean latency {tcp['latency_mean_seconds']:.2f}s)")
+    print(f"HTTP overhead ratio: {throughput['overhead_ratio']:.2f}x "
+          f"(>1 means the REST front was slower)")
+    print(f"submit→ack {latency['ack_mean_seconds'] * 1000:.1f}ms, "
+          f"submit→first SSE event "
+          f"{latency['first_event_mean_seconds'] * 1000:.1f}ms mean "
+          f"({latency['first_event_max_seconds'] * 1000:.1f}ms max)")
+    print(f"wrote {args.out}")
+    if args.baseline is not None:
+        return run_baseline_gate(document, args.baseline, BASELINE_METRICS,
+                                 args.regression_threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,8 @@ simulated curves inherit the genuine variability of partition sizes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 import numpy as np
 

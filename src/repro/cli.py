@@ -13,6 +13,11 @@ Usage::
     python -m repro detect --server localhost:7341   # submit + stream
     python -m repro cluster serve --backend h1:7341 --backend h2:7341
     python -m repro cluster status --server localhost:7400 --json
+    python -m repro gateway serve --backend h1:7341 --backend h2:7341
+    python -m repro cluster status --gateway localhost:7500
+    python -m repro cluster join --gateway localhost:7500 --node h3:7341
+    python -m repro cluster leave --gateway localhost:7500 --node h3:7341
+    python -m repro cluster drain --gateway localhost:7500 --wait
     python -m repro calibrate --save     # tune `auto` executor budgets
     python -m repro cache stats --json   # result-cache hit rates
     python -m repro quickstart           # end-to-end detection demo
@@ -52,6 +57,15 @@ works unchanged.  ``repro cluster status`` prints the router's view of
 its backends, and ``repro cluster route`` answers where a given scene
 job would be placed.  Give each backend ``--log``/``--node-id`` for
 per-node job persistence and stable identity.
+
+**Gateway**: ``repro gateway serve`` puts an HTTP/SSE front
+(:mod:`repro.gateway`) over an in-process router (with ``--backend``)
+or detection service (without) — ``POST /v1/jobs`` submits, ``GET
+/v1/jobs/{id}/events`` streams the same event documents over SSE, and
+``/admin/...`` is the cluster control plane.  The operator verbs
+``repro cluster status|join|leave|drain --gateway HOST:PORT`` drive
+that control plane: live backend membership, per-node drain-then-remove
+(in-flight streams finish first), and whole-gateway drain mode.
 """
 
 from __future__ import annotations
@@ -59,7 +73,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict
+from typing import Dict
 
 from repro.utils.tables import Table, format_series
 
@@ -514,8 +528,147 @@ def _make_quota(args):
     return QuotaPolicy(rate=args.quota_rate, burst=args.quota_burst)
 
 
+def _run_gateway(args) -> int:
+    """``repro gateway serve``: the HTTP/SSE front, foreground.
+
+    With ``--backend`` it fronts an in-process shard router over those
+    backends; without, it fronts an in-process detection service.
+    """
+    from repro.gateway import serve_gateway_forever
+
+    if args.backend:
+        from repro.cluster import ShardRouter
+
+        def target_factory():
+            return ShardRouter(
+                backends=args.backend,
+                job_log=args.log,
+                quota=_make_quota(args),
+                probe_interval=args.probe_interval,
+                probe_timeout=args.probe_timeout,
+            )
+    else:
+        from repro.service import DetectionService
+
+        def target_factory():
+            return DetectionService(
+                workers=args.workers,
+                queue_size=args.queue_size,
+                cache=_make_cache(args),
+                executor=args.executor,
+                job_log=args.log,
+                quota=_make_quota(args),
+            )
+
+    serve_gateway_forever(target_factory, host=args.host, port=args.port)
+    return 0
+
+
+def _render_gateway_status(doc) -> None:
+    gw = doc.get("gateway", {})
+    target = doc.get("target", {})
+    print(f"gateway fronting a {gw.get('target_role', '?')} "
+          f"(up {gw.get('uptime_seconds', 0.0):.0f}s"
+          f"{', DRAINING' if gw.get('draining') else ''})")
+    t = Table("Gateway", ["field", "value"], precision=3)
+    for key in ("n_requests", "n_submitted", "n_streams",
+                "n_active_streams", "n_quota_rejections"):
+        t.add_row([key, gw.get(key)])
+    print(t.render())
+    if target.get("role") == "router":
+        rt = Table("Routing", ["field", "value"], precision=3)
+        for key in ("n_submitted", "n_routed", "n_failovers",
+                    "n_affinity_hits", "n_replayed", "n_backends_healthy"):
+            rt.add_row([key, target.get(key)])
+        print(rt.render())
+        bt = Table("Backends",
+                   ["node", "healthy", "draining", "assigned", "streams",
+                    "queue depth", "cache hit rate"], precision=3)
+        for row in target.get("backends", []):
+            bt.add_row([row["node_id"], "yes" if row["healthy"] else "NO",
+                        "yes" if row.get("draining") else "no",
+                        row["n_assigned"], row.get("n_active_streams"),
+                        row.get("queue_depth"), row.get("cache_hit_rate")])
+        print(bt.render())
+    else:
+        st = Table("Service", ["field", "value"], precision=3)
+        for key in ("queue_depth", "queue_capacity", "workers",
+                    "n_submitted", "n_dispatched", "n_cache_hits",
+                    "n_cache_misses", "cache_hit_rate", "n_rejected"):
+            st.add_row([key, target.get(key)])
+        print(st.render())
+    if target.get("quota"):
+        q = target["quota"]
+        print(f"quota: {q['rate']:g} jobs/s (burst {q['burst']:g}), "
+              f"{q['n_clients']} client(s), {q['n_rejected']} rejected")
+
+
+def _run_cluster_gateway(args) -> int:
+    """``repro cluster status|join|leave|drain --gateway`` — the HTTP
+    operator verbs against a running gateway's control plane."""
+    from repro.errors import ConfigurationError
+    from repro.gateway import GatewayClient
+
+    client = GatewayClient(args.gateway)
+    if args.action == "status":
+        doc = client.cluster()
+        if args.json:
+            print(json.dumps(doc))
+        else:
+            _render_gateway_status(doc)
+        return 0
+    if args.action == "join":
+        if not args.node:
+            raise ConfigurationError("cluster join needs --node HOST:PORT")
+        reply = client.join(args.node)
+        if args.json:
+            print(json.dumps(reply))
+        else:
+            node = reply["node"]
+            print(f"joined {node['node_id']} "
+                  f"({'healthy' if node['healthy'] else 'UNREACHABLE'}); "
+                  f"{reply['n_backends']} backend(s) in the pool")
+        return 0
+    if args.action == "leave":
+        if not args.node:
+            raise ConfigurationError("cluster leave needs --node HOST:PORT")
+        reply = client.leave(args.node, drain=not args.no_drain, wait=args.wait)
+        if args.json:
+            print(json.dumps(reply))
+        elif "removed" in reply:
+            print(f"removed {reply['removed']}; "
+                  f"{reply['n_backends']} backend(s) remain")
+        else:
+            print(f"draining {reply['draining']} "
+                  f"({reply.get('active_streams', 0)} active stream(s)); "
+                  f"it will be removed when they finish")
+        return 0
+    if args.action == "drain":
+        reply = client.drain(wait=args.wait)
+        if args.json:
+            print(json.dumps(reply))
+        else:
+            state = "drained" if reply.get("drained") else (
+                f"draining ({reply.get('active_streams', 0)} active stream(s))")
+            print(f"gateway is {state}; new submissions are refused")
+        return 0
+    raise ConfigurationError(
+        f"cluster {args.action} is not a --gateway operation"
+    )
+
+
 def _run_cluster(args) -> int:
-    """``repro cluster serve|status|route``: the shard-router layer."""
+    """``repro cluster serve|status|route|join|leave|drain``."""
+    if args.action in ("join", "leave", "drain") or (
+            args.action == "status" and args.gateway):
+        from repro.errors import ConfigurationError
+
+        if not args.gateway:
+            raise ConfigurationError(
+                f"cluster {args.action} needs --gateway HOST:PORT "
+                "(the control plane lives on the HTTP gateway)"
+            )
+        return _run_cluster_gateway(args)
     if args.action == "serve":
         from repro.cluster import serve_cluster_forever
 
@@ -742,11 +895,44 @@ def main(argv=None) -> int:
     serve.add_argument("--node-id", default=None,
                        help="stable identity reported in stats "
                             "(default: a fresh svc-… id)")
+    gateway = sub.add_parser(
+        "gateway",
+        help="HTTP/SSE gateway: REST job control over a service or cluster",
+    )
+    gateway.add_argument("action", choices=["serve"])
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="HTTP bind host")
+    gateway.add_argument("--port", type=int, default=7500,
+                         help="HTTP bind port (0 picks a free one)")
+    gateway.add_argument("--backend", action="append", default=[],
+                         metavar="HOST:PORT",
+                         help="backend service address (repeatable); with "
+                              "any, the gateway fronts an in-process shard "
+                              "router, without it fronts an in-process "
+                              "detection service")
+    gateway.add_argument("--workers", type=int, default=2,
+                         help="service-mode engine workers")
+    gateway.add_argument("--queue-size", type=int, default=16,
+                         help="service-mode queue capacity")
+    gateway.add_argument("--executor", default=None,
+                         choices=["auto", "serial", "thread", "process"],
+                         help="service-mode executor override")
+    gateway.add_argument("--cache", action="store_true",
+                         help="service mode: consult/fill the result cache")
+    gateway.add_argument("--cache-dir", default=".repro-cache")
+    gateway.add_argument("--log", metavar="PATH", default=None,
+                         help="durable job log for the fronted target")
+    gateway.add_argument("--quota-rate", type=float, default=None,
+                         help="per-client sustained submissions/second")
+    gateway.add_argument("--quota-burst", type=float, default=None)
+    gateway.add_argument("--probe-interval", type=float, default=2.0)
+    gateway.add_argument("--probe-timeout", type=float, default=5.0)
     cluster = sub.add_parser(
         "cluster",
         help="shard-router layer: one address over N repro serve backends",
     )
-    cluster.add_argument("action", choices=["serve", "status", "route"])
+    cluster.add_argument("action", choices=["serve", "status", "route",
+                                            "join", "leave", "drain"])
     cluster.add_argument("--backend", action="append", default=[],
                          metavar="HOST:PORT",
                          help="backend service address (repeatable); "
@@ -768,6 +954,17 @@ def main(argv=None) -> int:
     cluster.add_argument("--server", metavar="HOST:PORT",
                          default="127.0.0.1:7400",
                          help="router address for `cluster status/route`")
+    cluster.add_argument("--gateway", metavar="HOST:PORT", default=None,
+                         help="gateway address for the HTTP operator verbs "
+                              "(status/join/leave/drain)")
+    cluster.add_argument("--node", metavar="HOST:PORT", default=None,
+                         help="backend node for `cluster join/leave`")
+    cluster.add_argument("--no-drain", action="store_true",
+                         help="`cluster leave`: remove immediately instead "
+                              "of draining first")
+    cluster.add_argument("--wait", action="store_true",
+                         help="`cluster leave/drain`: block until the drain "
+                              "completes")
     cluster.add_argument("--json", action="store_true",
                          help="machine-readable output")
     # route: which node would own this synthetic scene job
@@ -831,6 +1028,8 @@ def main(argv=None) -> int:
             return _run_detect(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "gateway":
+            return _run_gateway(args)
         if args.command == "cluster":
             if args.action == "serve" and not args.backend:
                 from repro.errors import ConfigurationError

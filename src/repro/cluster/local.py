@@ -147,6 +147,12 @@ class LocalCluster:
         Also give each backend its own durable job log.
     quota:
         Optional :class:`QuotaPolicy` installed on the router.
+    gateway:
+        Also put an HTTP/SSE :class:`~repro.gateway.server.Gateway` in
+        front of the router (sharing its event loop).  The router's TCP
+        address keeps working — :attr:`gateway_address` /
+        :meth:`gateway_client` add the HTTP surface the gateway tests
+        and smoke script drive.
     """
 
     def __init__(
@@ -164,6 +170,7 @@ class LocalCluster:
         probe_timeout: float = 2.0,
         backend_timeout: float = 60.0,
         base_dir: Optional[str] = None,
+        gateway: bool = False,
     ) -> None:
         if n_backends < 1:
             raise ClusterError(f"n_backends must be >= 1, got {n_backends}")
@@ -185,7 +192,10 @@ class LocalCluster:
         self.base_dir = Path(base_dir) if base_dir is not None else None
         self.backends: List[Any] = []
         self.router_handle: Optional[RouterHandle] = None
+        self.gateway = gateway
+        self.gateway_handle: Optional[Any] = None
         self._router_port: Optional[int] = None
+        self._gateway_port: Optional[int] = None
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -246,8 +256,21 @@ class LocalCluster:
             kwargs["job_log"] = JobLog(self.router_log_path)
         if self._router_port is not None:
             kwargs["port"] = self._router_port
-        self.router_handle = router_background(**kwargs)
-        self._router_port = self.router_handle.address[1]
+        if self.gateway:
+            # Router + gateway on one loop: the gateway calls straight
+            # into loop-owned router state, so they must be born together.
+            from repro.cluster.router import ShardRouter
+            from repro.gateway.server import gateway_background
+
+            self.gateway_handle = gateway_background(
+                lambda: ShardRouter(**kwargs),
+                port=self._gateway_port or 0,
+            )
+            self._gateway_port = self.gateway_handle.address[1]
+            self._router_port = self.gateway_handle.gateway.target.address[1]
+        else:
+            self.router_handle = router_background(**kwargs)
+            self._router_port = self.router_handle.address[1]
 
     @property
     def router_log_path(self) -> Path:
@@ -256,6 +279,9 @@ class LocalCluster:
         return self.base_dir / "router.wal"
 
     def stop(self) -> None:
+        if self.gateway_handle is not None:
+            self.gateway_handle.stop()  # stops the router it owns too
+            self.gateway_handle = None
         if self.router_handle is not None:
             self.router_handle.stop()
             self.router_handle = None
@@ -279,15 +305,32 @@ class LocalCluster:
     # -- access ----------------------------------------------------------------
     @property
     def address(self) -> Tuple[str, int]:
+        if self.gateway_handle is not None:
+            return self.gateway_handle.gateway.target.address
         if self.router_handle is None:
             raise ClusterError("cluster is not started")
         return self.router_handle.address
 
     @property
     def router(self):
+        if self.gateway_handle is not None:
+            return self.gateway_handle.gateway.target
         if self.router_handle is None:
             raise ClusterError("cluster is not started")
         return self.router_handle.router
+
+    @property
+    def gateway_address(self) -> Tuple[str, int]:
+        if self.gateway_handle is None:
+            raise ClusterError("cluster was not started with gateway=True")
+        return self.gateway_handle.address
+
+    def gateway_client(self, **kwargs: Any):
+        """A fresh :class:`~repro.gateway.client.GatewayClient` pointed
+        at the gateway's HTTP address."""
+        from repro.gateway.client import GatewayClient
+
+        return GatewayClient(self.gateway_address, **kwargs)
 
     @property
     def backend_addresses(self) -> List[str]:
@@ -318,12 +361,17 @@ class LocalCluster:
         raise ClusterError(f"unknown node id {node_id!r}")
 
     def restart_router(self, settle: float = 0.0) -> None:
-        """Stop the router and start a fresh one on the same port with
-        the same job log — the restart-with-replay path."""
-        if self.router_handle is None:
+        """Stop the router (and its gateway, if any) and start fresh on
+        the same port(s) with the same job log — the restart-with-replay
+        path."""
+        if self.gateway_handle is not None:
+            self.gateway_handle.stop()
+            self.gateway_handle = None
+        elif self.router_handle is None:
             raise ClusterError("cluster is not started")
-        self.router_handle.stop()
-        self.router_handle = None
+        else:
+            self.router_handle.stop()
+            self.router_handle = None
         if settle:
             time.sleep(settle)
         self._start_router()

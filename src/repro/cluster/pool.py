@@ -51,26 +51,33 @@ class BackendNode:
     host: str
     port: int
     healthy: bool = True
+    draining: bool = False  #: excluded from new placement, serving old work
     n_assigned: int = 0  #: jobs this router routed here
     n_probes: int = 0
     n_failures: int = 0  #: probe/forward failures observed
     n_downs: int = 0  #: times the node transitioned healthy → down
+    n_active_streams: int = 0  #: live stream proxies reading from this node
     last_probe_at: Optional[float] = None
     last_error: Optional[str] = None
     last_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def snapshot(self) -> Dict[str, Any]:
         queue_depth = None
+        cache_hit_rate = None
         if isinstance(self.last_stats, dict):
             queue_depth = self.last_stats.get("queue_depth")
+            cache_hit_rate = self.last_stats.get("cache_hit_rate")
         return {
             "node_id": self.node_id,
             "healthy": self.healthy,
+            "draining": self.draining,
             "n_assigned": self.n_assigned,
             "n_probes": self.n_probes,
             "n_failures": self.n_failures,
             "n_downs": self.n_downs,
+            "n_active_streams": self.n_active_streams,
             "queue_depth": queue_depth,
+            "cache_hit_rate": cache_hit_rate,
             "last_error": self.last_error,
         }
 
@@ -123,8 +130,20 @@ class BackendPool:
             raise ClusterError(f"unknown backend {node_id!r}")
         return node
 
+    def drain(self, node_id: str) -> BackendNode:
+        """Mark a node draining: no *new* placements land on it, but
+        existing assignments (and their live streams) keep running.
+        The control plane removes the node once its streams finish."""
+        node = self.node(node_id)
+        node.draining = True
+        return node
+
     def healthy_ids(self) -> List[str]:
-        return [nid for nid, node in self.nodes.items() if node.healthy]
+        """Nodes eligible for *new* placement: healthy and not draining."""
+        return [
+            nid for nid, node in self.nodes.items()
+            if node.healthy and not node.draining
+        ]
 
     def is_healthy(self, node_id: str) -> bool:
         node = self.nodes.get(node_id)

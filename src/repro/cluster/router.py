@@ -633,104 +633,113 @@ class ShardRouter:
         return doc
 
     # -- streaming -------------------------------------------------------------
-    async def _stream_job(self, rid: Any, writer: asyncio.StreamWriter) -> None:
-        """Proxy a job's event stream, surviving backend death.
+    async def job_events(self, rid: Any):
+        """Yield a job's wire documents — ack first, then every event —
+        surviving backend death.
+
+        This is the one stream implementation behind both wire surfaces:
+        the TCP ``op: stream`` proxy (:meth:`_stream_job`) and the HTTP
+        gateway's SSE endpoint consume it and only differ in framing.
 
         On a mid-stream backend failure the job is re-dispatched (dead
-        node excluded) and the replacement's stream takes over on the
-        same client connection.  The replacement replays its own history
-        from the top, so the client may see planning/fragment events
-        again — duplicates are benign (the terminal result is
-        deterministic); what never happens is a silently broken stream.
+        node excluded) and the replacement's stream takes over in the
+        same generator.  The replacement replays its own history from
+        the top, so consumers may see planning/fragment events again —
+        duplicates are benign (the terminal result is deterministic);
+        what never happens is a silently broken stream.  Streams pin
+        their node's ``n_active_streams`` while attached, which is what
+        drain-mode membership removal waits on.
         """
         job = self._job(rid)
         ack_sent = False
         exclude: Set[str] = set()
-
-        async def to_client(payload_bytes: bytes) -> None:
-            # Client-side write failures are the *client's* death, never
-            # the backend's — conflating them would mark healthy nodes
-            # down and re-dispatch a running job once per disconnect.
+        while True:
+            # A node stays excluded only while it is actually down:
+            # during a rolling restart every backend dies *briefly*,
+            # and a grow-only set would eventually exclude the whole
+            # healthy pool and fail a recoverable job.
+            exclude = {
+                nid for nid in exclude if not self.pool.is_healthy(nid)
+            }
             try:
-                writer.write(payload_bytes)
-                await writer.drain()
-            except (OSError, ConnectionError, ConnectionResetError) as exc:
-                raise _ClientGone(str(exc)) from exc
-
-        try:
-            while True:
-                # A node stays excluded only while it is actually down:
-                # during a rolling restart every backend dies *briefly*,
-                # and a grow-only set would eventually exclude the whole
-                # healthy pool and fail a recoverable job.
-                exclude = {
-                    nid for nid in exclude if not self.pool.is_healthy(nid)
-                }
-                try:
-                    node_id, bid = await self._ensure_assignment(job, exclude)
-                except (ClusterError, ServiceError) as exc:
-                    if ack_sent:
-                        self._complete(job, "failed")
-                        payload = {"event": "error",
-                                   "error": f"ClusterError: {exc}"}
-                    else:
-                        payload = {"ok": False, "error": "no-backends",
-                                   "message": str(exc)}
-                    await to_client(encode_line(payload))
-                    return
-                node = self.pool.node(node_id)
-                bwriter = None
-                try:
-                    breader, bwriter = await asyncio.wait_for(
-                        self.pool.connect(node), timeout=self.backend_timeout
-                    )
-                    bwriter.write(encode_line({"op": "stream", "job_id": bid}))
-                    await bwriter.drain()
-                    ack_line = await asyncio.wait_for(
-                        breader.readline(), timeout=self.backend_timeout
-                    )
-                    if not ack_line:
-                        raise ConnectionError("EOF before stream ack")
-                    ack = decode_line(ack_line)
-                    if not ack.get("ok"):
-                        # Backend is alive but lost the job (restart):
-                        # re-dispatch without excluding the node.
-                        self._clear_assignment(job)
-                        continue
-                    if not ack_sent:
-                        await to_client(encode_line({
-                            "ok": True, "job_id": job.rid,
-                            "state": ack.get("state"), "node": node_id,
-                        }))
-                        ack_sent = True
-                    while True:
-                        line = await breader.readline()
-                        if not line:
-                            raise ConnectionError("EOF mid-stream")
-                        event = decode_line(line)
-                        await to_client(line)
-                        name = event.get("event")
-                        if name in TERMINAL_EVENTS:
-                            self._complete(job, _EVENT_STATE[name])
-                            return
-                except (OSError, ConnectionError, asyncio.TimeoutError,
-                        asyncio.IncompleteReadError) as exc:
-                    self.pool.mark_down(
-                        node_id, f"stream: {type(exc).__name__}: {exc}"
-                    )
-                    exclude.add(node_id)
-                    self.n_failovers += 1
+                node_id, bid = await self._ensure_assignment(job, exclude)
+            except (ClusterError, ServiceError) as exc:
+                if ack_sent:
+                    self._complete(job, "failed")
+                    yield {"event": "error", "error": f"ClusterError: {exc}"}
+                else:
+                    yield {"ok": False, "error": "no-backends",
+                           "message": str(exc)}
+                return
+            node = self.pool.node(node_id)
+            node.n_active_streams += 1
+            bwriter = None
+            try:
+                breader, bwriter = await asyncio.wait_for(
+                    self.pool.connect(node), timeout=self.backend_timeout
+                )
+                bwriter.write(encode_line({"op": "stream", "job_id": bid}))
+                await bwriter.drain()
+                ack_line = await asyncio.wait_for(
+                    breader.readline(), timeout=self.backend_timeout
+                )
+                if not ack_line:
+                    raise ConnectionError("EOF before stream ack")
+                ack = decode_line(ack_line)
+                if not ack.get("ok"):
+                    # Backend is alive but lost the job (restart):
+                    # re-dispatch without excluding the node.
                     self._clear_assignment(job)
                     continue
-                finally:
-                    if bwriter is not None:
-                        bwriter.close()
-                        with contextlib.suppress(Exception):
-                            await bwriter.wait_closed()
+                if not ack_sent:
+                    yield {"ok": True, "job_id": job.rid,
+                           "state": ack.get("state"), "node": node_id}
+                    ack_sent = True
+                while True:
+                    line = await breader.readline()
+                    if not line:
+                        raise ConnectionError("EOF mid-stream")
+                    event = decode_line(line)
+                    yield event
+                    name = event.get("event")
+                    if name in TERMINAL_EVENTS:
+                        self._complete(job, _EVENT_STATE[name])
+                        return
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                self.pool.mark_down(
+                    node_id, f"stream: {type(exc).__name__}: {exc}"
+                )
+                exclude.add(node_id)
+                self.n_failovers += 1
+                self._clear_assignment(job)
+                continue
+            finally:
+                node.n_active_streams -= 1
+                if bwriter is not None:
+                    bwriter.close()
+                    with contextlib.suppress(Exception):
+                        await bwriter.wait_closed()
+
+    async def _stream_job(self, rid: Any, writer: asyncio.StreamWriter) -> None:
+        """``op: stream`` — :meth:`job_events` in JSON-lines framing."""
+        events = self.job_events(rid)
+        try:
+            async for doc in events:
+                # Client-side write failures are the *client's* death,
+                # never the backend's — the generator must not see them
+                # as stream faults (it would mark healthy nodes down),
+                # so they end the proxy here.  The job keeps running; a
+                # reconnecting client replays history via a fresh op.
+                try:
+                    writer.write(encode_line(doc))
+                    await writer.drain()
+                except (OSError, ConnectionError, ConnectionResetError) as exc:
+                    raise _ClientGone(str(exc)) from exc
         except _ClientGone:
-            # The job keeps running on its backend; a reconnecting
-            # client replays history via a fresh stream op.
             return
+        finally:
+            await events.aclose()
 
     # -- protocol loop ---------------------------------------------------------
     async def _handle_connection(

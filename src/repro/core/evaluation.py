@@ -10,7 +10,6 @@ the signature failure mode of naive partitioning.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 

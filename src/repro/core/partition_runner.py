@@ -22,10 +22,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import PartitioningError
-from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.imaging.image import Image
 from repro.mcmc.chain import MarkovChain

@@ -14,9 +14,8 @@ unpartitioned law).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -14,11 +14,9 @@ parameters only.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.errors import PartitioningError
 from repro.geometry.circle import Circle

@@ -20,7 +20,7 @@ the paper's measurements exhibit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.mcmc.speculative import speculative_speedup

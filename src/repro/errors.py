@@ -26,6 +26,7 @@ __all__ = [
     "QuotaExceededError",
     "JobNotFoundError",
     "ClusterError",
+    "GatewayError",
 ]
 
 
@@ -114,3 +115,7 @@ class JobNotFoundError(ServiceError):
 
 class ClusterError(ServiceError):
     """Cluster-layer failures (no healthy backends, routing misuse, ...)."""
+
+
+class GatewayError(ServiceError):
+    """HTTP-gateway failures (malformed requests, bad admin ops, ...)."""

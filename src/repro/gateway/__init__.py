@@ -1,0 +1,29 @@
+"""HTTP/SSE gateway over the detection service and cluster router.
+
+`repro.gateway.http`
+    stdlib HTTP/1.1 parsing + response/SSE framing (the wire layer).
+`repro.gateway.server`
+    the :class:`Gateway` itself — REST job control, SSE streaming,
+    and the cluster control plane (backend join/leave/drain).
+`repro.gateway.client`
+    the blocking :class:`GatewayClient` the CLI and smoke tests use.
+"""
+
+from repro.gateway.client import GatewayClient
+from repro.gateway.http import HttpError, HttpRequest
+from repro.gateway.server import (
+    Gateway,
+    GatewayHandle,
+    gateway_background,
+    serve_gateway_forever,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayHandle",
+    "HttpError",
+    "HttpRequest",
+    "gateway_background",
+    "serve_gateway_forever",
+]

@@ -1,0 +1,221 @@
+"""Blocking HTTP client for the gateway — stdlib ``http.client`` only.
+
+The gateway's REST/SSE counterpart to
+:class:`~repro.service.client.ServiceClient`: the CLI operator verbs
+(``repro cluster status|join|leave|drain``), the gateway smoke script,
+and the tests all talk through this.  Rejections surface as the same
+exception types the TCP client raises — a 429 is a
+:class:`QuotaExceededError`/:class:`QueueFullError` with the server's
+``Retry-After``, a 404 on a job id is :class:`JobNotFoundError` — so
+calling code does not care which wire it used.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import (
+    ClusterError,
+    GatewayError,
+    JobNotFoundError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
+
+__all__ = ["GatewayClient", "parse_sse_stream"]
+
+
+def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, _, port = str(address).rpartition(":")
+    if not host or not port.isdigit():
+        raise GatewayError(f"gateway addresses are HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def parse_sse_stream(fp) -> Iterator[Tuple[Optional[str], str]]:
+    """Yield ``(event_name, data)`` frames off a binary file-like SSE
+    body.  *data* is the raw payload string — byte-comparable (after
+    encoding) to the TCP protocol's JSON lines."""
+    event: Optional[str] = None
+    data_lines: list = []
+    while True:
+        raw = fp.readline()
+        if not raw:
+            break  # server closed the stream
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if not line:  # blank line: frame boundary
+            if data_lines:
+                yield event, "\n".join(data_lines)
+            event, data_lines = None, []
+            continue
+        if line.startswith(":"):
+            continue  # comment/keep-alive
+        name, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if name == "event":
+            event = value
+        elif name == "data":
+            data_lines.append(value)
+    if data_lines:  # stream ended mid-frame: surface what arrived
+        yield event, "\n".join(data_lines)
+
+
+class GatewayClient:
+    """One gateway, many requests (a fresh connection per call — the
+    gateway keeps per-request state server-side, so this client stays
+    trivially re-entrant and fork-safe)."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]],
+                 client_id: Optional[str] = None, timeout: float = 60.0) -> None:
+        self.host, self.port = _parse_address(address)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+    def _connect(self, timeout: Optional[float] = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One request/response cycle; raises the mapped exception for
+        error statuses (see module docstring)."""
+        conn = self._connect()
+        try:
+            payload = None
+            headers = self._headers()
+            if body is not None:
+                payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise GatewayError(
+                    f"gateway {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            return self._decode(response, raw)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(response, raw: bytes) -> Dict[str, Any]:
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as exc:
+            raise GatewayError(
+                f"gateway sent undecodable JSON (HTTP {response.status}): {exc}"
+            ) from None
+        if response.status == 429:
+            retry_after = doc.get("retry_after")
+            if retry_after is None:
+                retry_after = float(response.headers.get("Retry-After", 1.0))
+            cls = (QuotaExceededError if doc.get("error") == "quota-exceeded"
+                   else QueueFullError)
+            raise cls(doc.get("message", "rejected"), retry_after)
+        if response.status == 404 and doc.get("error") == "unknown-job":
+            raise JobNotFoundError(doc.get("message", "unknown job"))
+        if response.status == 503:
+            raise ClusterError(doc.get("message", "gateway unavailable"))
+        if response.status >= 400:
+            raise ServiceError(
+                doc.get("message", f"gateway rejected the request "
+                                   f"(HTTP {response.status})")
+            )
+        return doc
+
+    # -- data plane ------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any], priority: int = 0,
+               client: Optional[str] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"job": spec, "priority": priority}
+        if client or self.client_id:
+            body["client"] = client or self.client_id
+        return self.request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+    def stream_raw(self, job_id: str,
+                   timeout: Optional[float] = None) -> Iterator[Tuple[Optional[str], str]]:
+        """The job's SSE frames as ``(event_name, raw_data_str)`` — the
+        raw payloads the bit-parity gate compares against TCP lines.
+        The ack frame comes first; the iterator ends after the terminal
+        event (the gateway closes the stream)."""
+        conn = self._connect(timeout=timeout)
+        try:
+            headers = {**self._headers(), "Accept": "text/event-stream"}
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events", headers=headers)
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise GatewayError(
+                    f"gateway {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if response.status != 200:
+                self._decode(response, response.read())  # raises mapped error
+                raise GatewayError(
+                    f"stream refused with HTTP {response.status}"
+                )
+            yield from parse_sse_stream(response)
+        finally:
+            conn.close()
+
+    def stream(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """The job's stream documents, decoded — the SSE spelling of
+        ``ServiceClient.stream``."""
+        for _event, data in self.stream_raw(job_id, timeout=timeout):
+            yield json.loads(data)
+
+    def detect(self, spec: Dict[str, Any], priority: int = 0) -> Dict[str, Any]:
+        """Submit + stream to completion; returns the terminal document."""
+        ack = self.submit(spec, priority=priority)
+        last: Dict[str, Any] = ack
+        for doc in self.stream(ack["job_id"]):
+            last = doc
+        if last.get("event") == "error":
+            raise ServiceError(f"job failed: {last.get('error')}")
+        return last
+
+    # -- control plane ---------------------------------------------------------
+    def cluster(self) -> Dict[str, Any]:
+        return self.request("GET", "/admin/cluster")
+
+    def join(self, address: str) -> Dict[str, Any]:
+        return self.request("POST", "/admin/backends", {"address": address})
+
+    def leave(self, node_id: str, drain: bool = False,
+              wait: bool = False) -> Dict[str, Any]:
+        query = []
+        if drain:
+            query.append("drain=true")
+        if wait:
+            query.append("wait=true")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self.request("DELETE", f"/admin/backends/{node_id}{suffix}")
+
+    def drain(self, wait: bool = False) -> Dict[str, Any]:
+        suffix = "?wait=true" if wait else ""
+        return self.request("POST", f"/admin/drain{suffix}")

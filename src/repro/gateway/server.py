@@ -1,0 +1,580 @@
+"""The HTTP/SSE gateway: REST job control plus a cluster control plane.
+
+A :class:`Gateway` fronts either a single
+:class:`~repro.service.server.DetectionService` or a
+:class:`~repro.cluster.router.ShardRouter` with an HTTP/1.1 surface —
+curl-able job submission where the TCP protocol needs a JSON-lines
+client:
+
+* ``POST /v1/jobs``                 submit a job spec (429 + Retry-After
+  on quota/queue rejection — the HTTP spelling of the backpressure
+  contract);
+* ``GET /v1/jobs/{id}``             status;
+* ``DELETE /v1/jobs/{id}``          cancel;
+* ``GET /v1/jobs/{id}/events``      Server-Sent Events stream whose
+  ``data:`` payloads are byte-identical to the TCP ``op: stream``
+  lines for the same job (both consume the target's single
+  ``job_events`` generator and differ only in framing);
+* ``GET /v1/stats``                 the target's ``op: stats`` document.
+
+Control plane (router targets):
+
+* ``GET /admin/cluster``            gateway + backend health/affinity;
+* ``POST /admin/backends``          add a backend to the live pool;
+* ``DELETE /admin/backends/{id}``   remove one — with ``?drain=true``
+  the node first stops taking *new* placements, keeps serving its
+  in-flight streams, and is removed only once they finish;
+* ``POST /admin/drain``             gateway drain mode: stop admitting
+  submissions (503), finish streaming, report drained.
+
+Threading: the gateway shares its target's event loop — service and
+router state is loop-owned, so the gateway must live on that loop to
+call into them without marshalling.  :func:`gateway_background`
+constructs both on one fresh loop in a daemon thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+from repro.errors import (
+    ClusterError,
+    GatewayError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.gateway.http import (
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    sse_event_bytes,
+    sse_headers_bytes,
+)
+from repro.service.protocol import error_reply
+from repro.service.server import LoopHandle, run_background_loop
+
+__all__ = [
+    "Gateway",
+    "GatewayHandle",
+    "gateway_background",
+    "serve_gateway_forever",
+    "CLIENT_HEADER",
+]
+
+#: The client-identity header quotas are keyed on.  Anything presenting
+#: it is "authenticated" as that client id; without it the peer host
+#: stands in (exactly the TCP protocol's ``client`` field fallback).
+CLIENT_HEADER = "x-repro-client"
+
+#: How long a drain-remove waits for a backend's streams to finish
+#: before the background remover gives up and removes it anyway.
+DRAIN_REMOVE_TIMEOUT = 300.0
+
+
+class _Binding:
+    """The target-facing face of the gateway: submit/status/cancel/
+    events/stats against either target type, identical call shapes."""
+
+    role = "unknown"
+
+    def __init__(self, target: Any) -> None:
+        self.target = target
+
+    @property
+    def pool(self):
+        return None
+
+    async def submit(self, msg: Dict[str, Any], peer: Optional[str]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def job_events(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        return self.target.job_events(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.target.stats()
+
+
+class _ServiceBinding(_Binding):
+    """Gateway mounted straight on a :class:`DetectionService`."""
+
+    role = "service"
+
+    async def submit(self, msg: Dict[str, Any], peer: Optional[str]) -> Dict[str, Any]:
+        return await self.target._submit_async(msg, peer)
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        return self.target.status(job_id)
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.target.cancel(job_id)
+
+
+class _RouterBinding(_Binding):
+    """Gateway mounted on a :class:`ShardRouter` — the cluster face."""
+
+    role = "router"
+
+    @property
+    def pool(self):
+        return self.target.pool
+
+    async def submit(self, msg: Dict[str, Any], peer: Optional[str]) -> Dict[str, Any]:
+        return await self.target._submit(msg, peer)
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        return await self.target._status(job_id)
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        return await self.target._cancel(job_id)
+
+
+def _make_binding(target: Any) -> _Binding:
+    if hasattr(target, "pool") and hasattr(target, "choose_node"):
+        return _RouterBinding(target)
+    if hasattr(target, "job_events") and hasattr(target, "admit"):
+        return _ServiceBinding(target)
+    raise GatewayError(
+        f"gateway targets are DetectionService or ShardRouter instances, "
+        f"got {type(target).__name__}"
+    )
+
+
+class Gateway:
+    """HTTP front for a detection service or shard router.
+
+    Parameters
+    ----------
+    target:
+        A :class:`DetectionService` or :class:`ShardRouter`.  If it is
+        not yet started, :meth:`start` starts it on the gateway's loop
+        and :meth:`stop` stops it; an already-started target (sharing
+        this loop) is left under its owner's control.
+    host, port:
+        HTTP bind address; port 0 picks a free port (see
+        :attr:`address`).
+    """
+
+    def __init__(self, target: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.binding = _make_binding(target)
+        self.target = target
+        self.host = host
+        self.port = port
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.n_requests = 0
+        self.n_submitted = 0
+        self.n_streams = 0  #: SSE streams ever opened
+        self.n_quota_rejections = 0  #: 429s sent (quota or queue-full)
+        self._active_streams = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._started_target = False
+        self._drained: Optional[asyncio.Event] = None
+        self._drain_tasks: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        self._drained = asyncio.Event()
+        self.started_at = time.monotonic()
+        try:
+            self.target.address
+        except (ServiceError, ClusterError):
+            await self.target.start()
+            self._started_target = True
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise GatewayError("gateway is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        for task in list(self._drain_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._drain_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        await asyncio.sleep(0)
+        if self._started_target:
+            await self.target.stop()
+            self._started_target = False
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "role": "gateway",
+            "target_role": self.binding.role,
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "draining": self.draining,
+            "n_requests": self.n_requests,
+            "n_submitted": self.n_submitted,
+            "n_streams": self.n_streams,
+            "n_active_streams": self._active_streams,
+            "n_quota_rejections": self.n_quota_rejections,
+        }
+
+    # -- connection loop -------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else None
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    # Malformed request: answer it, then close — the
+                    # framing may be desynchronised beyond repair.
+                    writer.write(json_response(
+                        exc.status,
+                        {"ok": False, "error": "bad-request", "message": str(exc)},
+                        close=True,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                self.n_requests += 1
+                if await self._respond(request, writer):
+                    break  # SSE (or Connection: close) ends the socket
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _respond(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; returns True when the connection is done
+        (stream endpoints own the socket until the stream ends)."""
+        try:
+            if self._is_events_path(request):
+                await self._handle_events(request, writer)
+                return True
+            payload = await self._dispatch(request)
+        except ServiceError as exc:
+            status, doc = self._error_doc(exc)
+            extra = None
+            if status == 429:
+                self.n_quota_rejections += 1
+                retry_after = doc.get("retry_after", 1.0)
+                extra = {"Retry-After": f"{max(0.0, float(retry_after)):.3f}"}
+            writer.write(json_response(
+                status, doc, extra_headers=extra, close=not request.keep_alive
+            ))
+            await writer.drain()
+            return not request.keep_alive
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the loop
+            writer.write(json_response(
+                500,
+                {"ok": False, "error": "internal",
+                 "message": f"{type(exc).__name__}: {exc}"},
+                close=True,
+            ))
+            await writer.drain()
+            return True
+        status, doc = payload
+        writer.write(json_response(status, doc, close=not request.keep_alive))
+        await writer.drain()
+        return not request.keep_alive
+
+    @staticmethod
+    def _error_doc(exc: ServiceError) -> Tuple[int, Dict[str, Any]]:
+        """Exception → (HTTP status, ``ok: false`` body).  The body is
+        :func:`error_reply`'s wire document — HTTP clients read the same
+        error shapes TCP clients do."""
+        if isinstance(exc, HttpError):
+            return exc.status, {"ok": False, "error": "bad-request",
+                                "message": str(exc)}
+        if isinstance(exc, QueueFullError):  # QuotaExceededError included
+            return 429, error_reply(exc)
+        if isinstance(exc, JobNotFoundError):
+            return 404, error_reply(exc)
+        if isinstance(exc, ClusterError):
+            return 503, {"ok": False, "error": "no-backends", "message": str(exc)}
+        return 400, error_reply(exc)
+
+    # -- routing ---------------------------------------------------------------
+    @staticmethod
+    def _is_events_path(request: HttpRequest) -> bool:
+        parts = [p for p in request.path.split("/") if p]
+        return (
+            request.method == "GET"
+            and len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "events"
+        )
+
+    def _client_id(self, request: HttpRequest, peer: Optional[str]) -> Optional[str]:
+        return request.headers.get(CLIENT_HEADER) or peer
+
+    async def _dispatch(self, request: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2 and method == "POST":
+                return await self._handle_submit(request)
+            if len(parts) == 3 and method == "GET":
+                return 200, await self.binding.status(parts[2])
+            if len(parts) == 3 and method == "DELETE":
+                return 200, await self.binding.cancel(parts[2])
+        if parts == ["v1", "stats"] and method == "GET":
+            return 200, {"ok": True, **self.binding.stats()}
+        if parts == ["admin", "cluster"] and method == "GET":
+            return 200, self._cluster_doc()
+        if parts == ["admin", "drain"] and method == "POST":
+            return await self._handle_gateway_drain(request)
+        if parts == ["admin", "backends"] and method == "POST":
+            return await self._handle_backend_add(request)
+        if parts[:2] == ["admin", "backends"] and len(parts) == 3 \
+                and method == "DELETE":
+            return await self._handle_backend_remove(request, parts[2])
+        raise HttpError(404, f"no route for {method} {request.path}")
+
+    # -- data plane ------------------------------------------------------------
+    async def _handle_submit(self, request: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        if self.draining:
+            raise ClusterError("gateway is draining; not admitting new jobs")
+        body = request.json()
+        spec = body.get("job")
+        if not isinstance(spec, dict):
+            raise HttpError(400, "submit body needs a 'job' object")
+        msg = {
+            "op": "submit",
+            "job": spec,
+            "priority": body.get("priority", 0),
+            "client": body.get("client") or request.headers.get(CLIENT_HEADER),
+        }
+        reply = await self.binding.submit(msg, peer=None)
+        if reply.get("ok"):
+            self.n_submitted += 1
+            return 202, reply
+        # ok:false replies that did not raise (router propagating a
+        # backend rejection verbatim) still map onto HTTP statuses.
+        if reply.get("error") in ("queue-full", "quota-exceeded"):
+            raise QueueFullError(
+                reply.get("message", "rejected"),
+                reply.get("retry_after", 1.0),
+            )
+        return 400, reply
+
+    async def _handle_events(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """SSE: ack + events of one job, ``data:`` payloads byte-equal
+        to the TCP stream lines.  The response head is only written
+        after the first document arrives, so unknown jobs still get a
+        clean 404 instead of a dead event stream."""
+        job_id = [p for p in request.path.split("/") if p][2]
+        events = self.binding.job_events(job_id)
+        try:
+            try:
+                first = await events.__anext__()
+            except StopAsyncIteration:
+                writer.write(json_response(
+                    500, {"ok": False, "error": "internal",
+                          "message": "event stream produced no documents"},
+                    close=True,
+                ))
+                await writer.drain()
+                return
+            except ServiceError as exc:
+                status, doc = self._error_doc(exc)
+                writer.write(json_response(status, doc, close=True))
+                await writer.drain()
+                return
+            if not first.get("ok"):
+                status = 503 if first.get("error") == "no-backends" else 400
+                writer.write(json_response(status, first, close=True))
+                await writer.drain()
+                return
+            self.n_streams += 1
+            self._active_streams += 1
+            try:
+                writer.write(sse_headers_bytes())
+                writer.write(sse_event_bytes(first))
+                await writer.drain()
+                async for doc in events:
+                    writer.write(sse_event_bytes(doc, event=doc.get("event")))
+                    await writer.drain()
+            except (OSError, ConnectionError, ConnectionResetError):
+                return  # client went away: end the proxy, job keeps running
+            finally:
+                self._active_streams -= 1
+                if self.draining and self._active_streams == 0:
+                    self._drained.set()
+        finally:
+            await events.aclose()
+
+    # -- control plane ---------------------------------------------------------
+    def _cluster_doc(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "gateway": self.stats(),
+            "target": self.binding.stats(),
+        }
+
+    async def _handle_gateway_drain(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        self.draining = True
+        if self._active_streams == 0:
+            self._drained.set()
+        if request.query.get("wait") in ("1", "true", "yes"):
+            timeout = float(request.query.get("timeout", 60.0))
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._drained.wait(), timeout=timeout)
+        return 200, {
+            "ok": True,
+            "draining": True,
+            "drained": self._drained.is_set(),
+            "active_streams": self._active_streams,
+        }
+
+    def _pool_or_400(self):
+        pool = self.binding.pool
+        if pool is None:
+            raise HttpError(
+                400, "backend membership needs a router target; this gateway "
+                     "fronts a single service"
+            )
+        return pool
+
+    async def _handle_backend_add(
+        self, request: HttpRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        pool = self._pool_or_400()
+        address = request.json().get("address")
+        if not address:
+            raise HttpError(400, "add-backend body needs an 'address'")
+        try:
+            node = pool.add(address)
+        except ClusterError as exc:
+            raise HttpError(409, str(exc)) from None
+        # Probe before answering: a reachable node joins already-healthy
+        # (placeable), an unreachable one joins marked down.
+        await pool.probe(node)
+        return 200, {"ok": True, "node": node.snapshot(),
+                     "n_backends": len(pool.nodes)}
+
+    async def _handle_backend_remove(
+        self, request: HttpRequest, node_id: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        pool = self._pool_or_400()
+        drain = request.query.get("drain") in ("1", "true", "yes")
+        try:
+            node = pool.node(node_id)
+        except ClusterError as exc:
+            raise HttpError(404, str(exc)) from None
+        if not drain or node.n_active_streams == 0:
+            pool.remove(node_id)
+            return 200, {"ok": True, "removed": node_id, "drained": not drain,
+                         "n_backends": len(pool.nodes)}
+        # Drain: excluded from new placement immediately; removed by a
+        # background waiter once its live streams finish — the operator
+        # polls /admin/cluster to watch it leave.
+        pool.drain(node_id)
+        task = asyncio.create_task(
+            self._remove_when_drained(node_id),
+            name=f"repro-gateway-drain-{node_id}",
+        )
+        self._drain_tasks.add(task)
+        task.add_done_callback(self._drain_tasks.discard)
+        if request.query.get("wait") in ("1", "true", "yes"):
+            timeout = float(request.query.get("timeout", DRAIN_REMOVE_TIMEOUT))
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.shield(task), timeout=timeout)
+        removed = node_id not in pool.nodes
+        return (200 if removed else 202), {
+            "ok": True, "removed" if removed else "draining": node_id,
+            "active_streams": node.n_active_streams,
+            "n_backends": len(pool.nodes),
+        }
+
+    async def _remove_when_drained(self, node_id: str) -> None:
+        pool = self.binding.pool
+        deadline = time.monotonic() + DRAIN_REMOVE_TIMEOUT
+        while time.monotonic() < deadline:
+            node = pool.nodes.get(node_id)
+            if node is None:
+                return  # someone else removed it
+            if node.n_active_streams == 0:
+                break
+            await asyncio.sleep(0.05)
+        with contextlib.suppress(ClusterError):
+            pool.remove(node_id)
+
+
+# -- embedding helpers ---------------------------------------------------------
+
+class GatewayHandle(LoopHandle):
+    """A gateway (plus the target it owns) on a private event loop in a
+    daemon thread — the gateway-flavoured :class:`LoopHandle`."""
+
+    def __init__(self, gateway: Gateway,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        super().__init__(gateway, loop, thread)
+        self.gateway = gateway
+
+
+def gateway_background(target_factory, host: str = "127.0.0.1",
+                       port: int = 0) -> GatewayHandle:
+    """Start ``Gateway(target_factory())`` on a fresh loop in a daemon
+    thread.  *target_factory* is called *on that loop's thread* — the
+    service/router must be born where its state will live."""
+    gateway, loop, thread = run_background_loop(
+        lambda: Gateway(target_factory(), host=host, port=port),
+        "repro-gateway", GatewayError, "gateway",
+    )
+    return GatewayHandle(gateway, loop, thread)
+
+
+def serve_gateway_forever(target_factory, host: str = "127.0.0.1",
+                          port: int = 0) -> None:
+    """Run a gateway in the foreground until interrupted (the CLI path)."""
+
+    async def main() -> None:
+        gateway = Gateway(target_factory(), host=host, port=port)
+        await gateway.start()
+        ghost, gport = gateway.address
+        # flush: harnesses parse this line to learn the port.
+        print(f"repro gateway listening on {ghost}:{gport} "
+              f"(fronting a {gateway.binding.role})", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("gateway stopped")

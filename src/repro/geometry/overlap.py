@@ -10,7 +10,6 @@ provided.
 from __future__ import annotations
 
 import math
-from typing import Union
 
 import numpy as np
 

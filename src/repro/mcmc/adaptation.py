@@ -17,13 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.mcmc.chain import MarkovChain
 from repro.mcmc.moves import MoveGenerator
 from repro.mcmc.posterior import PosteriorState
-from repro.mcmc.spec import LOCAL_MOVES, ModelSpec, MoveConfig, MoveType
+from repro.mcmc.spec import LOCAL_MOVES, ModelSpec, MoveConfig
 from repro.utils.rng import SeedLike, coerce_stream
 
 __all__ = ["AdaptationResult", "adapt_local_steps"]

@@ -53,7 +53,7 @@ delta is bit-identical to the corresponding sequential trial call.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

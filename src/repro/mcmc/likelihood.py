@@ -19,9 +19,7 @@ exactly what :class:`~repro.mcmc.coverage.CoverageRaster` reports.
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from repro.errors import ChainError
 from repro.imaging.image import Image

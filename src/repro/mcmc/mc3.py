@@ -16,15 +16,15 @@ that distinction.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.mcmc.diagnostics import AcceptanceStats, Trace
 from repro.mcmc.kernel import multiproposal_step, trial_kernel_enabled
 from repro.mcmc.moves import MoveGenerator, NullMove
 from repro.mcmc.posterior import PosteriorState
-from repro.utils.rng import RngStream, SeedLike, coerce_stream
+from repro.utils.rng import SeedLike, coerce_stream
 
 __all__ = ["MetropolisCoupledChains", "MC3Result"]
 

@@ -40,8 +40,8 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,13 +49,7 @@ from repro.errors import ChainError, ConfigurationError
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
 from repro.mcmc.posterior import PosteriorState
-from repro.mcmc.spec import (
-    GLOBAL_MOVES,
-    LOCAL_MOVES,
-    ModelSpec,
-    MoveConfig,
-    MoveType,
-)
+from repro.mcmc.spec import ModelSpec, MoveConfig, MoveType
 from repro.utils.rng import RngStream
 
 __all__ = [

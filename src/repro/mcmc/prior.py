@@ -19,9 +19,8 @@ consumes, so full posterior evaluation only happens in tests.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry.overlap import circle_circle_overlap_area

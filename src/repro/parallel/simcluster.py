@@ -23,7 +23,7 @@ curves inherit the true variability of partition sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.parallel.machines import MachineProfile

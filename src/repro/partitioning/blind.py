@@ -15,7 +15,7 @@ image).  MCMC runs on the expanded sub-image; the merge step
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import PartitioningError
 from repro.geometry.rect import Rect

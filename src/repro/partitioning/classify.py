@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import PartitioningError
 from repro.geometry.rect import Rect

@@ -23,11 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.errors import PartitioningError
 from repro.geometry.rect import Rect
-from repro.utils.rng import RngStream, SeedLike, coerce_stream
+from repro.utils.rng import SeedLike, coerce_stream
 
 __all__ = ["PartitionGrid", "grid_partitions", "single_point_partition"]
 

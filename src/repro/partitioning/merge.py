@@ -38,7 +38,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import PartitioningError
 from repro.geometry.circle import Circle

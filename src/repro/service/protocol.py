@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 import numpy as np
 

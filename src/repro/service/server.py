@@ -35,7 +35,7 @@ import os
 import threading
 import time
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Dict, Optional, Tuple
@@ -79,6 +79,53 @@ DEFAULT_JOB_RETENTION = 1024
 
 class _JobCancelled(Exception):
     """Internal: a worker thread observed the job's cancel flag."""
+
+
+class StageLatencies:
+    """Per-stage latency counters for the stats surface.
+
+    Bounded windows of recent durations per pipeline stage (``parse``,
+    ``queue_wait``, ``run``), snapshotted as count/mean/percentiles —
+    the per-stage breakdown the cluster health probe and the gateway's
+    ``/admin/cluster`` endpoint read.  Thread-safe: the blocking
+    embedding API records from caller threads while the protocol loop
+    records and snapshots from the loop thread.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        self._window = window
+        self._mutex = threading.Lock()
+        self._recent: Dict[str, "deque"] = {}
+        self._counts: Dict[str, int] = {}
+        self._totals: Dict[str, float] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._mutex:
+            if stage not in self._recent:
+                self._recent[stage] = deque(maxlen=self._window)
+                self._counts[stage] = 0
+                self._totals[stage] = 0.0
+            self._recent[stage].append(seconds)
+            self._counts[stage] += 1
+            self._totals[stage] += seconds
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._mutex:
+            doc: Dict[str, Dict[str, float]] = {}
+            for stage, recent in self._recent.items():
+                window = sorted(recent)
+                n = len(window)
+                doc[stage] = {
+                    "count": self._counts[stage],
+                    "total_seconds": self._totals[stage],
+                    "mean_seconds": self._totals[stage] / self._counts[stage],
+                    "p50_seconds": window[n // 2],
+                    "p95_seconds": window[min(n - 1, (19 * n) // 20)],
+                    "max_seconds": window[-1],
+                }
+            return doc
 
 
 class DetectionService:
@@ -165,6 +212,8 @@ class DetectionService:
         self.n_submitted = 0
         self.n_dispatched = 0
         self.n_cache_hits = 0
+        self.n_cache_misses = 0
+        self.stage_latencies = StageLatencies()
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
@@ -242,11 +291,13 @@ class DetectionService:
             self.job_log.close()
 
     # -- job control (loop thread) ---------------------------------------------
-    @staticmethod
-    def _parse_spec(spec: Dict[str, Any]):
+    def _parse_spec(self, spec: Dict[str, Any]):
         """Spec → (request, key).  O(pixels); runs on the parse thread."""
+        parse_started = time.monotonic()
         request = request_from_wire(spec)
-        return request, request_key(request)
+        key = request_key(request)
+        self.stage_latencies.record("parse", time.monotonic() - parse_started)
+        return request, key
 
     def submit(self, spec: Dict[str, Any], priority: int = 0,
                timeout: float = 30.0, client: Optional[str] = None) -> Dict[str, Any]:
@@ -320,6 +371,8 @@ class DetectionService:
         job.logged = already_logged and self.job_log is not None
 
         hit = self.cache.get(key) if (self.cache is not None and key) else None
+        if self.cache is not None and key and hit is None:
+            self.n_cache_misses += 1
         if hit is not None:
             self.n_cache_hits += 1
             self.n_submitted += 1
@@ -381,8 +434,14 @@ class DetectionService:
             "n_submitted": self.n_submitted,
             "n_dispatched": self.n_dispatched,
             "n_cache_hits": self.n_cache_hits,
+            "n_cache_misses": self.n_cache_misses,
+            "cache_hit_rate": (
+                self.n_cache_hits / (self.n_cache_hits + self.n_cache_misses)
+                if (self.n_cache_hits + self.n_cache_misses) else None
+            ),
             "n_rejected": self._queue.n_rejected,
             "n_replayed": self.n_replayed,
+            "stage_latency": self.stage_latencies.snapshot(),
             "cache": self.cache.summary() if self.cache is not None else None,
         }
         if self.quota is not None:
@@ -439,6 +498,9 @@ class DetectionService:
                 continue
             job.state = JobState.RUNNING
             job.started_at = time.monotonic()
+            self.stage_latencies.record(
+                "queue_wait", job.started_at - job.submitted_at
+            )
             job.publish({"event": "state", "state": JobState.RUNNING.value})
             self.n_dispatched += 1
             try:
@@ -455,7 +517,9 @@ class DetectionService:
                 job.result = result
                 if self.cache is not None and job.key:
                     self.cache.put(job.key, result)
-                self._queue.record_duration(time.monotonic() - job.started_at)
+                elapsed = time.monotonic() - job.started_at
+                self._queue.record_duration(elapsed)
+                self.stage_latencies.record("run", elapsed)
                 self._finish(job, JobState.DONE,
                              {"event": "result", "cached": False,
                               "result": result_to_json(result)})
@@ -549,24 +613,39 @@ class DetectionService:
             return {"ok": True, "pong": True}
         raise ServiceError(f"unknown op {op!r}")
 
-    async def _stream_job(self, job_id: Any, writer: asyncio.StreamWriter) -> None:
-        """``op: stream`` — replay the job's history, then follow live
-        until a terminal event; the connection then returns to the
-        request/reply loop."""
+    async def job_events(self, job_id: Any):
+        """All of one job's stream documents, ack first: replay the
+        job's history, then follow live until a terminal event.
+
+        The single stream implementation behind both transports — the
+        TCP ``op: stream`` proxy writes each yielded document as a
+        JSON line, the HTTP gateway frames the *same* documents as SSE
+        ``data:`` payloads — which is what keeps the two byte-identical.
+        Raises :class:`JobNotFoundError` before the first yield for an
+        unknown id, so consumers can still choose their error framing.
+        """
         job = self._job(job_id)
         events = job.subscribe()
         try:
-            writer.write(encode_line(
-                {"ok": True, "job_id": job.id, "state": job.state.value}))
-            await writer.drain()
+            yield {"ok": True, "job_id": job.id, "state": job.state.value}
             while True:
                 event = await events.get()
-                writer.write(encode_line(event))
-                await writer.drain()
+                yield event
                 if event.get("event") in TERMINAL_EVENTS:
                     break
         finally:
             job.unsubscribe(events)
+
+    async def _stream_job(self, job_id: Any, writer: asyncio.StreamWriter) -> None:
+        """``op: stream`` — proxy :meth:`job_events` onto the wire; the
+        connection then returns to the request/reply loop."""
+        events = self.job_events(job_id)
+        try:
+            async for doc in events:
+                writer.write(encode_line(doc))
+                await writer.drain()
+        finally:
+            await events.aclose()
 
 
 # -- embedding helpers ---------------------------------------------------------

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.calibration import CalibrationResult, calibrate_iteration_cost
+from repro.bench.calibration import calibrate_iteration_cost
 from repro.errors import CalibrationError
 
 

@@ -5,7 +5,6 @@ Everything is seeded — a failing test reproduces exactly.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.imaging import Image, SceneSpec, generate_scene, threshold_filter

@@ -1,6 +1,5 @@
 """Tests for repro.core.partition_runner — the local-phase worker path."""
 
-import numpy as np
 import pytest
 
 from repro.core.partition_runner import (

@@ -8,7 +8,7 @@ from repro.core import PeriodicPartitioningSampler, PhaseSchedule
 from repro.core.blind_pipeline import run_blind_pipeline
 from repro.core.intelligent_pipeline import PartitionRunReport, run_intelligent_pipeline
 from repro.core.naive import run_naive_partitioning
-from repro.engine import DetectionRequest, auto_executor_kind, run
+from repro.engine import auto_executor_kind, run
 from repro.errors import (
     ConfigurationError,
     EngineError,

@@ -1,8 +1,6 @@
 """Tests for repro.geometry.spatial_hash."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

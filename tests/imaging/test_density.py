@@ -1,6 +1,5 @@
 """Tests for repro.imaging.density — the eq. (5) estimator."""
 
-import math
 
 import numpy as np
 import pytest

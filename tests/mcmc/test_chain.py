@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ChainError
 from repro.mcmc.chain import MarkovChain
 from repro.mcmc.moves import MoveGenerator
-from repro.mcmc.spec import MoveConfig
 
 
 class TestRun:

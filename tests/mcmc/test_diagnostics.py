@@ -1,6 +1,5 @@
 """Tests for repro.mcmc.diagnostics."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.mcmc.samples."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ChainError

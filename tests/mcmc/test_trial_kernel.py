@@ -22,7 +22,6 @@ from repro.mcmc import (
     DeathMove,
     MarkovChain,
     MergeMove,
-    MoveConfig,
     MoveGenerator,
     PosteriorState,
     ReplaceMove,

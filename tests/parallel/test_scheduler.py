@@ -1,6 +1,5 @@
 """Tests for repro.parallel.scheduler — LPT properties."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for repro.partitioning.adaptive."""
 
-import math
 
 import pytest
 

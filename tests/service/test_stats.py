@@ -1,0 +1,106 @@
+"""The op:stats surface: queue depth, cache hit/miss counters, and
+per-stage latency counters — new keys only, the pre-existing key set
+must survive untouched (cluster health probes parse it)."""
+
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.service import ServiceClient, scene_job, serve_background
+from repro.service.server import StageLatencies
+
+#: The stats keys older clients (and the router's health probe) already
+#: read — extending stats must never drop or rename these.
+LEGACY_KEYS = {
+    "ok", "role", "node_id", "uptime_seconds", "queue_depth",
+    "queue_capacity", "workers", "jobs", "n_submitted", "n_dispatched",
+    "n_cache_hits", "n_rejected", "n_replayed", "cache",
+}
+
+
+def job_spec(seed=0):
+    return scene_job(size=64, circles=4, strategy="intelligent",
+                     iterations=300, seed=seed)
+
+
+class TestStageLatencies:
+    @pytest.mark.fast
+    def test_record_and_snapshot(self):
+        lat = StageLatencies(window=8)
+        for ms in (1, 2, 3, 4, 5):
+            lat.record("run", ms / 1000.0)
+        snap = lat.snapshot()["run"]
+        assert snap["count"] == 5
+        assert snap["max_seconds"] == pytest.approx(0.005)
+        assert snap["mean_seconds"] == pytest.approx(0.003)
+        assert snap["p50_seconds"] == pytest.approx(0.003)
+        assert 0 < snap["p95_seconds"] <= 0.005
+
+    @pytest.mark.fast
+    def test_window_bounds_percentiles_not_totals(self):
+        lat = StageLatencies(window=4)
+        for _ in range(100):
+            lat.record("parse", 0.001)
+        snap = lat.snapshot()["parse"]
+        assert snap["count"] == 100  # totals keep counting
+        assert snap["total_seconds"] == pytest.approx(0.1)
+
+    @pytest.mark.fast
+    def test_negative_durations_ignored(self):
+        lat = StageLatencies()
+        lat.record("run", -1.0)
+        assert lat.snapshot() == {}
+
+
+class TestStatsSurface:
+    def test_legacy_keys_survive_and_new_keys_present(self):
+        handle = serve_background(workers=2, queue_size=8)
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.detect(job_spec())
+                stats = client.stats()
+        finally:
+            handle.stop()
+        assert LEGACY_KEYS <= set(stats)
+        assert {"n_cache_misses", "cache_hit_rate", "stage_latency"} <= set(stats)
+        # One uncached job ran: every pipeline stage has a sample.
+        for stage in ("parse", "queue_wait", "run"):
+            assert stats["stage_latency"][stage]["count"] >= 1, stage
+
+    def test_cache_hit_miss_accounting(self):
+        handle = serve_background(workers=2, queue_size=8, cache=ResultCache())
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.detect(job_spec(seed=7))   # miss, computed
+                reply = client.submit_wait(job_spec(seed=7))  # hit
+                assert reply.get("cached")
+                stats = client.stats()
+        finally:
+            handle.stop()
+        assert stats["n_cache_misses"] == 1
+        assert stats["n_cache_hits"] == 1
+        assert stats["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_hit_rate_none_without_cache(self):
+        handle = serve_background(workers=0, queue_size=4)
+        try:
+            with ServiceClient(*handle.address) as client:
+                stats = client.stats()
+        finally:
+            handle.stop()
+        assert stats["cache_hit_rate"] is None
+        assert stats["n_cache_misses"] == 0
+
+    def test_queue_depth_reflects_queued_jobs(self):
+        handle = serve_background(workers=0, queue_size=4)  # never dispatches
+        try:
+            with ServiceClient(*handle.address) as client:
+                for seed in range(3):
+                    client.submit_wait(job_spec(seed=seed))
+                stats = client.stats()
+                assert stats["queue_depth"] == 3
+                assert stats["queue_capacity"] == 4
+                # Queued-only: no queue_wait/run samples yet.
+                assert "run" not in stats["stage_latency"]
+        finally:
+            handle.stop()

@@ -1,6 +1,5 @@
 """Tests for repro.utils.validation."""
 
-import math
 
 import pytest
 
