@@ -74,7 +74,9 @@ def _lookup(document: Dict[str, Any], path: Sequence[str]) -> Optional[float]:
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return float(node) if isinstance(node, (int, float)) else None
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None  # bools are ints to isinstance, never metric values
+    return float(node)
 
 
 def compare_to_baseline(
@@ -98,8 +100,21 @@ def compare_to_baseline(
     for metric in metrics:
         base = _lookup(baseline, metric.path)
         cur = _lookup(current, metric.path)
-        if base is None or cur is None or base <= 0:
-            continue  # missing key or unusable baseline — not comparable
+        if cur is not None and (base is None or base <= 0):
+            # A series the current run tracks but the baseline predates
+            # (artifacts grow metrics over time): visible, never gated —
+            # silently dropping it would read as "compared and passed".
+            rows.append({
+                "label": metric.label,
+                "baseline": None,
+                "current": cur,
+                "ratio": None,
+                "regressed": False,
+                "new": True,
+            })
+            continue
+        if base is None or cur is None:
+            continue  # missing from the current run — not comparable
         # A current value collapsing to zero is the worst regression a
         # higher-is-better metric can have, never a skip; a zero runtime
         # can only be an improvement for lower-is-better ones.
@@ -128,9 +143,15 @@ def format_baseline_rows(rows: Sequence[Dict[str, Any]], threshold: float) -> st
         precision=3,
     )
     for row in rows:
+        if row.get("new"):
+            verdict = "new (no baseline)"
+        elif row["regressed"]:
+            verdict = "REGRESSED"
+        else:
+            verdict = "ok"
         t.add_row([
             row["label"], row["baseline"], row["current"], row["ratio"],
-            "REGRESSED" if row["regressed"] else "ok",
+            verdict,
         ])
     return t.render()
 

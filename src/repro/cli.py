@@ -564,6 +564,16 @@ def _run_gateway(args) -> int:
     return 0
 
 
+def _print_cluster_cache_line(summary) -> None:
+    """The cluster-wide weighted cache hit rate (total hits over total
+    lookups across backends — per-node rates can't be averaged into
+    this, idle nodes would be over-weighted)."""
+    if not isinstance(summary, dict) or not summary.get("n_lookups"):
+        return
+    print(f"cluster cache: {summary['n_cache_hits']}/{summary['n_lookups']} "
+          f"lookups hit ({summary['cache_hit_rate']:.1%} weighted)")
+
+
 def _render_gateway_status(doc) -> None:
     gw = doc.get("gateway", {})
     target = doc.get("target", {})
@@ -590,6 +600,7 @@ def _render_gateway_status(doc) -> None:
                         row["n_assigned"], row.get("n_active_streams"),
                         row.get("queue_depth"), row.get("cache_hit_rate")])
         print(bt.render())
+        _print_cluster_cache_line(target.get("cluster_cache"))
     else:
         st = Table("Service", ["field", "value"], precision=3)
         for key in ("queue_depth", "queue_capacity", "workers",
@@ -728,6 +739,7 @@ def _run_cluster(args) -> int:
                     row["n_assigned"], row.get("queue_depth"),
                     row["n_failures"], row["n_downs"]])
     print(bt.render())
+    _print_cluster_cache_line(stats.get("cluster_cache"))
     if stats.get("job_log"):
         log = stats["job_log"]
         print(f"job log: {log.get('path')} — "
@@ -738,6 +750,70 @@ def _run_cluster(args) -> int:
         print(f"quota: {q['rate']:g} jobs/s (burst {q['burst']:g}), "
               f"{q['n_clients']} client(s), {q['n_rejected']} rejected")
     return 0
+
+
+def _render_metric_families(families) -> None:
+    for name in sorted(families):
+        doc = families[name]
+        for sample in doc.get("samples", []):
+            labels = sample.get("labels") or {}
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            suffix = f"{{{rendered}}}" if rendered else ""
+            if "value" in sample:
+                print(f"{name}{suffix} {sample['value']:g}")
+            elif "count" in sample:
+                print(f"{name}{suffix} count={sample['count']} "
+                      f"mean={sample['mean_seconds']:.6f}s "
+                      f"p50={sample['p50_seconds']:.6f}s "
+                      f"p99={sample['p99_seconds']:.6f}s "
+                      f"max={sample['max_seconds']:.6f}s")
+
+
+def _run_metrics(args) -> int:
+    """``repro metrics``: one obs snapshot (or a ``--watch`` loop) from
+    a running server/router (TCP ``op:metrics``) or gateway (HTTP
+    ``GET /metrics?format=json``)."""
+    import time as _time
+
+    if args.gateway:
+        from repro.gateway import GatewayClient
+
+        gclient = GatewayClient(args.gateway)
+
+        def fetch():
+            return gclient.metrics(spans=args.spans)
+    else:
+        from repro.service import ServiceClient
+
+        host, port = _parse_server(args.server)
+
+        def fetch():
+            with ServiceClient(host, port) as client:
+                return client.metrics(spans=args.spans)
+
+    first = True
+    while True:
+        if not first:
+            _time.sleep(args.watch)
+        first = False
+        doc = fetch()
+        if args.json:
+            print(json.dumps(doc), flush=True)
+        else:
+            where = args.gateway or args.server
+            role = doc.get("role", "gateway" if args.gateway else "?")
+            node = doc.get("node_id") or doc.get("target_role") or ""
+            print(f"-- metrics from {role} {node} @ {where} --")
+            _render_metric_families(doc.get("metrics", {}))
+            if args.spans:
+                for span in doc.get("spans", []):
+                    parent = span.get("parent_id") or "-"
+                    print(f"span {span.get('name')} "
+                          f"{span.get('duration_seconds', 0.0):.6f}s "
+                          f"id={span.get('span_id')} parent={parent}")
+            sys.stdout.flush()
+        if args.watch is None:
+            return 0
 
 
 def _run_calibrate(args) -> int:
@@ -973,6 +1049,26 @@ def main(argv=None) -> int:
     cluster.add_argument("--circles", type=int, default=10)
     cluster.add_argument("--iterations", type=int, default=2000)
     cluster.add_argument("--seed", type=int, default=0)
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape the unified obs surface of a running server, "
+             "router, or gateway",
+    )
+    metrics.add_argument("--server", metavar="HOST:PORT",
+                         default="127.0.0.1:7341",
+                         help="service/router address for the TCP "
+                              "op:metrics verb (default: 127.0.0.1:7341)")
+    metrics.add_argument("--gateway", metavar="HOST:PORT", default=None,
+                         help="scrape GET /metrics?format=json on a gateway "
+                              "instead (covers every layer behind it)")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw exposition document")
+    metrics.add_argument("--watch", nargs="?", const=2.0, type=float,
+                         default=None, metavar="SECONDS",
+                         help="refresh every SECONDS (default 2) until "
+                              "interrupted")
+    metrics.add_argument("--spans", action="store_true",
+                         help="include the recent-span trace ring")
     calibrate = sub.add_parser(
         "calibrate",
         help="measure this host's s/iteration and tune `auto` executor budgets",
@@ -1038,6 +1134,8 @@ def main(argv=None) -> int:
                     "cluster serve needs at least one --backend HOST:PORT"
                 )
             return _run_cluster(args)
+        if args.command == "metrics":
+            return _run_metrics(args)
         if args.command == "calibrate":
             return _run_calibrate(args)
         if args.command == "cache":

@@ -211,9 +211,10 @@ class LocalCluster:
         self._started = True
         return self
 
-    def _start_backend(self, i: int):
+    def _start_backend(self, i: int, port: int = 0):
         if self.mode == "thread":
             kwargs: Dict[str, Any] = {
+                "port": port,
                 "workers": self.workers,
                 "queue_size": self.queue_size,
                 "executor": self.executor,
@@ -226,7 +227,7 @@ class LocalCluster:
             return _ThreadBackend(serve_background(**kwargs))
         argv = [
             sys.executable, "-m", "repro", "serve",
-            "--port", "0",
+            "--port", str(port),
             "--workers", str(self.workers),
             "--queue-size", str(self.queue_size),
             "--node-id", f"backend-{i}",
@@ -349,6 +350,22 @@ class LocalCluster:
         node_id = f"{backend.address[0]}:{backend.address[1]}"
         backend.kill()
         return node_id
+
+    def revive_backend(self, index: int) -> str:
+        """Restart a killed backend on its *original* address — host
+        recovery, as the router sees it: the node id is unchanged, so
+        the next health probe marks it back up and rendezvous placement
+        returns its keys.  Thread-mode revivals start with a cold
+        in-memory cache; process-mode revivals keep their on-disk one.
+        Returns the node id.  The soak harness's kill/restart loop is
+        the primary caller.
+        """
+        backend = self.backends[index]
+        if backend.alive:
+            return self.node_id(index)
+        host, port = backend.address
+        self.backends[index] = self._start_backend(index, port=port)
+        return self.node_id(index)
 
     def node_id(self, index: int) -> str:
         backend = self.backends[index]

@@ -96,6 +96,7 @@ class BackendPool:
         addresses: Sequence[Union[str, Tuple[str, int]]],
         probe_interval: float = 2.0,
         probe_timeout: float = 5.0,
+        obs: Any = None,
     ) -> None:
         if not addresses:
             raise ClusterError("a backend pool needs at least one backend address")
@@ -103,6 +104,9 @@ class BackendPool:
             raise ClusterError("probe_interval and probe_timeout must be positive")
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
+        #: Optional :class:`repro.obs.MetricsRegistry` receiving
+        #: per-node health-transition counters (the router passes its own).
+        self.obs = obs
         self.nodes: Dict[str, BackendNode] = {}
         for address in addresses:
             self.add(address)
@@ -150,6 +154,16 @@ class BackendPool:
         return node is not None and node.healthy
 
     # -- health ----------------------------------------------------------------
+    def _count_transition(self, node_id: str, to: str) -> None:
+        if self.obs is None:
+            return
+        self.obs.counter(
+            "cluster_health_transitions_total",
+            help="Backend health transitions observed by this router.",
+            node=node_id,
+            to=to,
+        ).inc()
+
     def mark_down(self, node_id: str, reason: str) -> None:
         node = self.nodes.get(node_id)
         if node is None:
@@ -159,10 +173,13 @@ class BackendPool:
         if node.healthy:
             node.healthy = False
             node.n_downs += 1
+            self._count_transition(node_id, "down")
 
     def mark_up(self, node_id: str) -> None:
         node = self.nodes.get(node_id)
         if node is not None:
+            if not node.healthy:
+                self._count_transition(node_id, "up")
             node.healthy = True
             node.last_error = None
 
@@ -233,3 +250,37 @@ class BackendPool:
     # -- introspection ---------------------------------------------------------
     def snapshot(self) -> List[Dict[str, Any]]:
         return [node.snapshot() for node in self.nodes.values()]
+
+    def cache_totals(self) -> Tuple[int, int]:
+        """Cluster-wide ``(hits, misses)`` from the last probed stats.
+
+        The *weighted* aggregate: summing raw counters before dividing
+        weighs each backend by its traffic, unlike averaging the
+        per-node ``cache_hit_rate`` values (which over-weights idle
+        nodes).  Backends that have never answered a probe contribute
+        nothing.
+        """
+        def count(stats: Dict[str, Any], field_name: str) -> int:
+            value = stats.get(field_name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return int(value)
+            return 0
+
+        hits = misses = 0
+        for node in self.nodes.values():
+            if isinstance(node.last_stats, dict):
+                hits += count(node.last_stats, "n_cache_hits")
+                misses += count(node.last_stats, "n_cache_misses")
+        return hits, misses
+
+    def cache_summary(self) -> Dict[str, Any]:
+        """The cluster-wide cache doc: total hits/misses/lookups and the
+        weighted hit rate (``None`` until any backend reports lookups)."""
+        hits, misses = self.cache_totals()
+        lookups = hits + misses
+        return {
+            "n_cache_hits": hits,
+            "n_cache_misses": misses,
+            "n_lookups": lookups,
+            "cache_hit_rate": (hits / lookups) if lookups else None,
+        }

@@ -59,6 +59,13 @@ from repro.cluster.pool import BackendNode, BackendPool
 from repro.cluster.quota import QuotaPolicy
 from repro.engine.schema import request_key
 from repro.errors import ClusterError, JobNotFoundError, ServiceError
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    merge_families,
+    recent_spans,
+    render_json,
+)
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     TERMINAL_EVENTS,
@@ -221,8 +228,12 @@ class ShardRouter:
     ) -> None:
         self.host = host
         self.port = port
+        # Instance-private metrics registry: routing/failover counters,
+        # backend health transitions (via the pool), live health gauges.
+        self.obs = MetricsRegistry()
         self.pool = BackendPool(
-            backends, probe_interval=probe_interval, probe_timeout=probe_timeout
+            backends, probe_interval=probe_interval, probe_timeout=probe_timeout,
+            obs=self.obs,
         )
         if isinstance(job_log, (str, os.PathLike)):
             job_log = JobLog(job_log)
@@ -246,6 +257,37 @@ class ShardRouter:
         self.n_failovers = 0
         self.n_affinity_hits = 0
         self.n_replayed = 0
+        self.obs.gauge(
+            "cluster_backends_healthy",
+            help="Backends currently eligible for new placement.",
+            fn=lambda: len(self.pool.healthy_ids()),
+        )
+        self.obs.gauge(
+            "cluster_backends_configured",
+            help="Backends in the pool, healthy or not.",
+            fn=lambda: len(self.pool.nodes),
+        )
+        if self.job_log is not None:
+            self.obs.gauge(
+                "cluster_wal_appends",
+                help="Records appended to the router's durable job log.",
+                fn=lambda: self.job_log.n_appended,
+            )
+            self.obs.gauge(
+                "cluster_wal_compactions",
+                help="Compaction passes on the router's durable job log.",
+                fn=lambda: self.job_log.n_compactions,
+            )
+
+    def _count(self, name: str, help_text: str, **labels) -> None:
+        self.obs.counter(name, help=help_text, **labels).inc()
+
+    def _note_failover(self) -> None:
+        self.n_failovers += 1
+        self._count(
+            "cluster_failovers_total",
+            "Dead-backend encounters triggering re-dispatch/rerouting.",
+        )
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
@@ -394,7 +436,7 @@ class ShardRouter:
             except _BackendDown as exc:
                 self.pool.mark_down(node_id, str(exc))
                 exclude.add(node_id)
-                self.n_failovers += 1
+                self._note_failover()
                 continue
             if reply.get("ok"):
                 job.node_id = node_id
@@ -403,8 +445,17 @@ class ShardRouter:
                 job.n_dispatches += 1
                 node.n_assigned += 1
                 self.n_routed += 1
+                self._count(
+                    "cluster_routed_total",
+                    "Jobs successfully placed on a backend.",
+                    node=node_id,
+                )
                 if reply.get("cached"):
                     self.n_affinity_hits += 1
+                    self._count(
+                        "cluster_affinity_hits_total",
+                        "Placements answered from the owner's result cache.",
+                    )
                 if self.job_log is not None:
                     self.job_log.log_assign(
                         job.rid, node=node_id, backend_job_id=job.backend_job_id
@@ -466,6 +517,9 @@ class ShardRouter:
             client=client, priority=priority,
         )
         self.n_submitted += 1
+        self._count(
+            "cluster_submissions_total", "Client submissions this router accepted."
+        )
         self._register(job)
         if self.job_log is not None:
             self.job_log.log_submit(
@@ -516,7 +570,7 @@ class ShardRouter:
                 )
             except _BackendDown as exc:
                 self.pool.mark_down(node_id, str(exc))
-                self.n_failovers += 1
+                self._note_failover()
                 if job.terminal:
                     return {"ok": True, "job_id": job.rid, "state": job.state,
                             "node": None}
@@ -566,7 +620,7 @@ class ShardRouter:
                 )
             except _BackendDown as exc:
                 self.pool.mark_down(node_id, str(exc))
-                self.n_failovers += 1
+                self._note_failover()
                 async with job.lock:
                     if job.node_id == node_id and not job.terminal:
                         # Assignment unchanged: the job dies with its
@@ -618,6 +672,10 @@ class ShardRouter:
             "jobs": states,
             "backends": self.pool.snapshot(),
             "n_backends_healthy": len(self.pool.healthy_ids()),
+            # Cluster-wide weighted cache aggregate (total hits / total
+            # lookups across backends) — the per-node rates above can't
+            # be eyeballed into a cluster number at N nodes.
+            "cluster_cache": self.pool.cache_summary(),
         }
         if self.quota is not None:
             doc["quota"] = self.quota.snapshot()
@@ -631,6 +689,56 @@ class ShardRouter:
                 "n_compactions": self.job_log.n_compactions,
             }
         return doc
+
+    def metrics(self, include_spans: bool = False) -> Dict[str, Any]:
+        """The ``op:metrics`` document: the router's registry merged
+        with the process-wide engine registry, as exposition JSON."""
+        doc: Dict[str, Any] = {
+            "ok": True,
+            "role": "router",
+            "node_id": self.node_id,
+            "metrics": render_json(self.obs, get_registry()),
+        }
+        if include_spans:
+            doc["spans"] = recent_spans(64)
+        return doc
+
+    async def metrics_async(self, include_spans: bool = False) -> Dict[str, Any]:
+        """The wire ``op:metrics`` reply: the local document plus the
+        backend fan-out, so a plain TCP scrape of the router covers the
+        service layer exactly like the gateway's ``GET /metrics``."""
+        doc = self.metrics(include_spans=include_spans)
+        merge_families(doc["metrics"], await self.backend_metric_families())
+        return doc
+
+    async def backend_metric_families(self) -> Dict[str, Any]:
+        """Every healthy backend's ``op:metrics`` families, merged, each
+        sample tagged ``node=<backend id>`` — the service-layer half of
+        a cluster-wide scrape (the gateway folds this into
+        ``GET /metrics`` so one endpoint covers backends the scraper
+        cannot reach by registry reference).  A backend that fails the
+        fetch contributes nothing; health marking is left to the probe
+        loop (a scrape is not a health verdict)."""
+
+        async def fetch(node: BackendNode):
+            try:
+                reply = await self._link(node).call({"op": "metrics"})
+            except _BackendDown:
+                return None
+            if not reply.get("ok"):
+                return None
+            return node.node_id, reply.get("metrics")
+
+        healthy = [n for n in self.pool.nodes.values() if n.healthy]
+        results = await asyncio.gather(*(fetch(node) for node in healthy))
+        merged: Dict[str, Any] = {}
+        for item in results:
+            if item is None:
+                continue
+            node_id, families = item
+            if isinstance(families, dict):
+                merge_families(merged, families, extra_labels={"node": node_id})
+        return merged
 
     # -- streaming -------------------------------------------------------------
     async def job_events(self, rid: Any):
@@ -711,7 +819,7 @@ class ShardRouter:
                     node_id, f"stream: {type(exc).__name__}: {exc}"
                 )
                 exclude.add(node_id)
-                self.n_failovers += 1
+                self._note_failover()
                 self._clear_assignment(job)
                 continue
             finally:
@@ -778,6 +886,9 @@ class ShardRouter:
                         reply = await self._route(msg)
                     elif op == "stats":
                         reply = {"ok": True, **self.stats()}
+                    elif op == "metrics":
+                        reply = await self.metrics_async(
+                            include_spans=bool(msg.get("spans")))
                     elif op == "ping":
                         reply = {"ok": True, "pong": True, "role": "router"}
                     else:

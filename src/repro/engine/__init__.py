@@ -119,6 +119,11 @@ from repro.engine.schema import (
     snapshot_seed,
     spawn_seeds,
 )
+from repro.obs import (
+    get_registry as _obs_registry,
+    record_span as _record_span,
+    trace as _trace,
+)
 from repro.utils.timing import Stopwatch
 
 # Importing the built-in strategies registers them.
@@ -163,6 +168,28 @@ __all__ = [
 ]
 
 
+def _observe_run(strategy: str, output: StrategyOutput, elapsed: float) -> None:
+    """Fold one finished run into the process-wide metrics registry."""
+    obs = _obs_registry()
+    obs.counter(
+        "engine_runs_total",
+        help="Completed engine runs, by strategy.",
+        strategy=strategy,
+    ).inc()
+    obs.histogram(
+        "engine_run_seconds",
+        help="End-to-end engine run wall time, by strategy.",
+        strategy=strategy,
+    ).observe(elapsed)
+    partitions = obs.histogram(
+        "engine_partition_seconds",
+        help="Per-partition chain wall time, by strategy.",
+        strategy=strategy,
+    )
+    for report in output.reports:
+        partitions.observe(report.elapsed_seconds)
+
+
 def run(request: DetectionRequest) -> DetectionResult:
     """Execute *request* under its named strategy.
 
@@ -181,8 +208,10 @@ def run(request: DetectionRequest) -> DetectionResult:
     strategy.validate(request)
     request = _replace(request, seed=snapshot_seed(request.seed))
     watch = Stopwatch().start()
-    output = strategy.execute(request)
+    with _trace("engine.run", strategy=request.strategy):
+        output = strategy.execute(request)
     elapsed = watch.stop()
+    _observe_run(request.strategy, output, elapsed)
     return DetectionResult(
         strategy=request.strategy,
         circles=output.circles,
@@ -223,11 +252,14 @@ def run_stream(request: DetectionRequest) -> _Iterator[DetectionEvent]:
             output = stop.value
             break
         yield event
+    elapsed = watch.stop()
+    _record_span("engine.run_stream", elapsed, strategy=request.strategy)
+    _observe_run(request.strategy, output, elapsed)
     yield ResultEvent(result=DetectionResult(
         strategy=request.strategy,
         circles=output.circles,
         reports=output.reports,
-        elapsed_seconds=watch.stop(),
+        elapsed_seconds=elapsed,
         executor_kind=output.executor_kind,
         n_tasks=output.n_tasks,
         raw=output.raw,

@@ -33,6 +33,15 @@ from repro.engine.schema import DetectionResult, PartitionReport
 from repro.errors import EngineError
 from repro.geometry.circle import Circle
 from repro.geometry.rect import Rect
+from repro.obs import get_registry as _obs_registry
+
+
+def _count_cache(event: str) -> None:
+    _obs_registry().counter(
+        "engine_cache_events_total",
+        help="ResultCache lookups/stores/evictions across the process.",
+        event=event,
+    ).inc()
 
 __all__ = ["CacheStats", "ResultCache", "result_to_json", "result_from_json"]
 
@@ -170,13 +179,16 @@ class ResultCache:
         if hit is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            _count_cache("hit")
             return hit
         disk = self._disk_get(key)
         if disk is not None:
             self._remember(key, disk)
             self.stats.hits += 1
+            _count_cache("hit")
             return disk
         self.stats.misses += 1
+        _count_cache("miss")
         return None
 
     def put(self, key: str, result: DetectionResult) -> None:
@@ -184,6 +196,7 @@ class ResultCache:
         _check_key(key)
         self._remember(key, result)
         self.stats.stores += 1
+        _count_cache("store")
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self.directory / f"{key}.json"
@@ -195,6 +208,7 @@ class ResultCache:
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            _count_cache("eviction")
 
     def _disk_get(self, key: str) -> Optional[DetectionResult]:
         if self.directory is None:

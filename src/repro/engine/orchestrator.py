@@ -18,9 +18,10 @@ optional content-addressed result cache answering repeats.
 
 from __future__ import annotations
 
+import time
 from abc import abstractmethod
 from dataclasses import replace
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.subimage import (
     SubImageResult,
@@ -49,11 +50,32 @@ from repro.engine.schema import (
     TilePlannedEvent,
     request_key,
 )
+from repro.obs import get_registry as _obs_registry
 from repro.parallel.sharedmem import set_worker_image
 from repro.utils.rng import coerce_stream
 from repro.utils.timing import Stopwatch
 
 __all__ = ["TiledStrategy", "run_batch"]
+
+
+def _observe_executor_wait(
+    submit_times: Dict[int, float], index: int, res: SubImageResult
+) -> None:
+    """Record submit→completion overhead beyond the chain's own run time.
+
+    The chain reports its compute wall clock (``elapsed_seconds``);
+    anything above that between ``AsyncExecutor.submit`` and result
+    arrival is queueing/scheduling — the signal for "the pool is the
+    bottleneck, not the chains".
+    """
+    submitted = submit_times.pop(index, None)
+    if submitted is None:
+        return
+    wait = (time.perf_counter() - submitted) - res.elapsed_seconds
+    _obs_registry().histogram(
+        "engine_executor_wait_seconds",
+        help="Executor queue/scheduling wait beyond chain compute time.",
+    ).observe(max(wait, 0.0))
 
 #: Sentinel: plan_stream has not yet returned its merge context.
 _PLAN_PENDING = object()
@@ -190,6 +212,7 @@ class TiledStrategy(Strategy):
                 record_every=request.record_every,
             )
 
+        submit_times: Dict[int, float] = {}
         with AsyncExecutor(request, request.image, expected_tasks=expected) as pool:
             pending = iter(buffered)
             while True:
@@ -203,6 +226,7 @@ class TiledStrategy(Strategy):
                         context = stop.value
                         break
                 index = pool.submit(run_subimage_task, build_task(tile))
+                submit_times[index] = time.perf_counter()
                 tiles.append(tile)
                 yield TilePlannedEvent(
                     index=index,
@@ -210,9 +234,11 @@ class TiledStrategy(Strategy):
                     expected_count=tile.expected_count,
                 )
                 for done_index, res in pool.completed():
+                    _observe_executor_wait(submit_times, done_index, res)
                     yield self._fragment_event(tiles, done_index, res, None)
             n_tasks = len(tiles)
             for done_index, res in pool.iter_completed():
+                _observe_executor_wait(submit_times, done_index, res)
                 yield self._fragment_event(tiles, done_index, res, n_tasks)
             sub_results = pool.results()
             kind = pool.kind

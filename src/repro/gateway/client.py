@@ -156,6 +156,33 @@ class GatewayClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("GET", "/v1/stats")
 
+    def metrics(self, spans: bool = False) -> Dict[str, Any]:
+        """The JSON metric-families document from ``GET /metrics``."""
+        suffix = "&spans=true" if spans else ""
+        return self.request("GET", f"/metrics?format=json{suffix}")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition (``request`` decodes JSON,
+        so the scrape surface needs its own fetch)."""
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", "/metrics", headers=self._headers())
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise GatewayError(
+                    f"gateway {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            if response.status != 200:
+                raise GatewayError(
+                    f"metrics scrape refused with HTTP {response.status}"
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def stream_raw(self, job_id: str,
                    timeout: Optional[float] = None) -> Iterator[Tuple[Optional[str], str]]:
         """The job's SSE frames as ``(event_name, raw_data_str)`` — the

@@ -15,7 +15,10 @@ client:
   ``data:`` payloads are byte-identical to the TCP ``op: stream``
   lines for the same job (both consume the target's single
   ``job_events`` generator and differ only in framing);
-* ``GET /v1/stats``                 the target's ``op: stats`` document.
+* ``GET /v1/stats``                 the target's ``op: stats`` document;
+* ``GET /metrics``                  Prometheus text exposition merging
+  the gateway's, the target's, and the process-global engine metric
+  registries (``?format=json`` for the JSON families document).
 
 Control plane (router targets):
 
@@ -53,8 +56,18 @@ from repro.gateway.http import (
     HttpRequest,
     json_response,
     read_request,
+    response_bytes,
     sse_event_bytes,
     sse_headers_bytes,
+)
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    families_to_prometheus,
+    get_registry,
+    merge_families,
+    recent_spans,
+    render_json,
 )
 from repro.service.protocol import error_reply
 from repro.service.server import LoopHandle, run_background_loop
@@ -105,6 +118,12 @@ class _Binding:
     def stats(self) -> Dict[str, Any]:
         return self.target.stats()
 
+    async def metric_families(self) -> Dict[str, Any]:
+        """Metric families reachable only over the wire — in-process
+        registries merge by reference; router targets scrape their
+        backends here."""
+        return {}
+
 
 class _ServiceBinding(_Binding):
     """Gateway mounted straight on a :class:`DetectionService`."""
@@ -138,6 +157,9 @@ class _RouterBinding(_Binding):
 
     async def cancel(self, job_id: str) -> Dict[str, Any]:
         return await self.target._cancel(job_id)
+
+    async def metric_families(self) -> Dict[str, Any]:
+        return await self.target.backend_metric_families()
 
 
 def _make_binding(target: Any) -> _Binding:
@@ -178,6 +200,17 @@ class Gateway:
         self.n_streams = 0  #: SSE streams ever opened
         self.n_quota_rejections = 0  #: 429s sent (quota or queue-full)
         self._active_streams = 0
+        #: Gateway-owned metrics; ``GET /metrics`` merges this with the
+        #: target's registry and the process-global engine registry.
+        self.obs = MetricsRegistry()
+        self.obs.gauge(
+            "gateway_active_streams",
+            help="SSE streams currently open on this gateway.",
+        ).set_function(lambda: self._active_streams)
+        self.obs.gauge(
+            "gateway_draining",
+            help="1 while the gateway refuses new submissions.",
+        ).set_function(lambda: 1.0 if self.draining else 0.0)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._started_target = False
@@ -236,6 +269,57 @@ class Gateway:
             "n_quota_rejections": self.n_quota_rejections,
         }
 
+    # -- observability ---------------------------------------------------------
+    def _count_response(self, status: int) -> None:
+        self.obs.counter(
+            "gateway_http_responses_total",
+            help="HTTP responses written, by status code.",
+            status=str(status),
+        ).inc()
+
+    def _metrics_registries(self) -> list:
+        """The registries ``/metrics`` merges: gateway-owned, the
+        target's (service or router), and the process-global engine
+        registry.  The exposition layer dedupes shared registries."""
+        registries = [self.obs]
+        target_obs = getattr(self.target, "obs", None)
+        if target_obs is not None:
+            registries.append(target_obs)
+        registries.append(get_registry())
+        return registries
+
+    async def _handle_metrics(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """``GET /metrics``: Prometheus text by default, the JSON
+        families document with ``?format=json`` (add ``&spans=true``
+        for the recent-span ring).  Covers all five layers: the local
+        registries (gateway + target + process-global engine) merged
+        with the wire-scraped backend families (router targets)."""
+        families = render_json(*self._metrics_registries())
+        merge_families(families, await self.binding.metric_families())
+        self._count_response(200)
+        if request.query.get("format") == "json":
+            doc: Dict[str, Any] = {
+                "ok": True,
+                "role": "gateway",
+                "target_role": self.binding.role,
+                "metrics": families,
+            }
+            if request.query.get("spans") in ("1", "true", "yes"):
+                doc["spans"] = recent_spans(64)
+            writer.write(json_response(200, doc, close=not request.keep_alive))
+        else:
+            text = families_to_prometheus(families)
+            writer.write(response_bytes(
+                200,
+                text.encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+                close=not request.keep_alive,
+            ))
+        await writer.drain()
+        return not request.keep_alive
+
     # -- connection loop -------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -250,6 +334,7 @@ class Gateway:
                 except HttpError as exc:
                     # Malformed request: answer it, then close — the
                     # framing may be desynchronised beyond repair.
+                    self._count_response(exc.status)
                     writer.write(json_response(
                         exc.status,
                         {"ok": False, "error": "bad-request", "message": str(exc)},
@@ -279,20 +364,29 @@ class Gateway:
             if self._is_events_path(request):
                 await self._handle_events(request, writer)
                 return True
+            if request.method == "GET" and \
+                    (request.path.rstrip("/") or "/") == "/metrics":
+                return await self._handle_metrics(request, writer)
             payload = await self._dispatch(request)
         except ServiceError as exc:
             status, doc = self._error_doc(exc)
             extra = None
             if status == 429:
                 self.n_quota_rejections += 1
+                self.obs.counter(
+                    "gateway_quota_rejections_total",
+                    help="429s written (quota or queue-full backpressure).",
+                ).inc()
                 retry_after = doc.get("retry_after", 1.0)
                 extra = {"Retry-After": f"{max(0.0, float(retry_after)):.3f}"}
+            self._count_response(status)
             writer.write(json_response(
                 status, doc, extra_headers=extra, close=not request.keep_alive
             ))
             await writer.drain()
             return not request.keep_alive
         except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the loop
+            self._count_response(500)
             writer.write(json_response(
                 500,
                 {"ok": False, "error": "internal",
@@ -302,6 +396,7 @@ class Gateway:
             await writer.drain()
             return True
         status, doc = payload
+        self._count_response(status)
         writer.write(json_response(status, doc, close=not request.keep_alive))
         await writer.drain()
         return not request.keep_alive
@@ -400,6 +495,7 @@ class Gateway:
             try:
                 first = await events.__anext__()
             except StopAsyncIteration:
+                self._count_response(500)
                 writer.write(json_response(
                     500, {"ok": False, "error": "internal",
                           "message": "event stream produced no documents"},
@@ -409,16 +505,20 @@ class Gateway:
                 return
             except ServiceError as exc:
                 status, doc = self._error_doc(exc)
+                self._count_response(status)
                 writer.write(json_response(status, doc, close=True))
                 await writer.drain()
                 return
             if not first.get("ok"):
                 status = 503 if first.get("error") == "no-backends" else 400
+                self._count_response(status)
                 writer.write(json_response(status, first, close=True))
                 await writer.drain()
                 return
             self.n_streams += 1
             self._active_streams += 1
+            self._count_response(200)
+            stream_started = time.perf_counter()
             try:
                 writer.write(sse_headers_bytes())
                 writer.write(sse_event_bytes(first))
@@ -430,6 +530,10 @@ class Gateway:
                 return  # client went away: end the proxy, job keeps running
             finally:
                 self._active_streams -= 1
+                self.obs.histogram(
+                    "gateway_sse_stream_seconds",
+                    help="Lifetime of SSE streams, open to close.",
+                ).observe(time.perf_counter() - stream_started)
                 if self.draining and self._active_streams == 0:
                     self._drained.set()
         finally:

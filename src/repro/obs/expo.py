@@ -1,0 +1,201 @@
+"""Exposition: merge registries into JSON or Prometheus text.
+
+Both renderers take any number of registries (``None`` entries and
+duplicates are dropped) so a component can expose *its* registry merged
+with the process-wide engine registry — the gateway additionally folds
+in its target's.  JSON keeps the raw family structure for programmatic
+consumers (``op:metrics``, ``repro metrics --json``); the Prometheus
+renderer emits text format 0.0.4 with histograms as summaries
+(``quantile`` series plus ``_sum``/``_count``, and a non-standard but
+legal untyped ``_max`` series for the windowed max).
+
+The JSON family document is also the *wire* shape: a router scrapes its
+backends' ``op:metrics`` docs, merges them with
+:func:`merge_families` (adding a ``node`` label per backend), and the
+gateway renders the merged doc with :func:`families_to_prometheus` —
+so one ``GET /metrics`` covers processes the gateway cannot reach by
+registry reference.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    SNAPSHOT_PERCENTILES,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "families_to_prometheus",
+    "merge_families",
+    "render_json",
+    "render_prometheus",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _dedupe(registries) -> List[MetricsRegistry]:
+    seen, out = set(), []
+    for reg in registries:
+        if reg is None or id(reg) in seen:
+            continue
+        seen.add(id(reg))
+        out.append(reg)
+    return out
+
+
+def render_json(*registries: Optional[MetricsRegistry]) -> Dict[str, dict]:
+    """Merged family docs: ``{name: {type, help, samples: [...]}}``.
+
+    Counter/gauge samples carry ``value``; histogram samples inline the
+    snapshot doc (``count``/``total_seconds``/percentiles).  A family
+    registered in several registries merges its samples; a same-name
+    family of a *different* kind keeps the first kind and appends its
+    samples anyway rather than erroring an exposition pass.
+    """
+    merged: Dict[str, dict] = {}
+    for reg in _dedupe(registries):
+        for family in reg.families():
+            doc = merged.setdefault(
+                family.name,
+                {"type": family.kind, "help": family.help, "samples": []},
+            )
+            if family.help and not doc["help"]:
+                doc["help"] = family.help
+            for key, metric in family.series():
+                sample: Dict[str, object] = {"labels": dict(key)}
+                if isinstance(metric, Histogram):
+                    sample.update(metric.snapshot())
+                else:
+                    sample["value"] = metric.value
+                doc["samples"].append(sample)
+    return merged
+
+
+def merge_families(
+    target: Dict[str, dict],
+    source: Dict[str, dict],
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> Dict[str, dict]:
+    """Fold *source* family docs into *target* in place.
+
+    *extra_labels* are prepended to every merged sample's labels —
+    the hook a scraping router uses to tag each backend's families with
+    ``node=...`` so same-named series from N backends stay distinct.
+    """
+    if not isinstance(source, dict):
+        return target
+    for name, doc in source.items():
+        if not isinstance(doc, dict):
+            continue
+        dst = target.setdefault(
+            name,
+            {"type": doc.get("type", "untyped"),
+             "help": doc.get("help", ""), "samples": []},
+        )
+        if doc.get("help") and not dst["help"]:
+            dst["help"] = doc["help"]
+        for sample in doc.get("samples", ()):
+            if not isinstance(sample, dict):
+                continue
+            merged_sample = dict(sample)
+            if extra_labels:
+                merged_sample["labels"] = {
+                    **extra_labels, **(sample.get("labels") or {})
+                }
+            dst["samples"].append(merged_sample)
+    return target
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    full = f"{namespace}_{name}" if namespace else name
+    full = _NAME_OK.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_labels(pairs: Tuple[Tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    parts = []
+    for k, v in pairs:
+        k = _NAME_OK.sub("_", str(k))
+        v = str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{k}="{v}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), ".10g")
+
+
+def families_to_prometheus(
+    families: Dict[str, dict], namespace: str = "repro"
+) -> str:
+    """A JSON family document (:func:`render_json` /
+    :func:`merge_families` output) as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for fam_name, doc in families.items():
+        samples = [s for s in doc.get("samples", ()) if isinstance(s, dict)]
+        name = _prom_name(fam_name, namespace)
+        fam_kind = doc.get("type", "untyped")
+        kind = "summary" if fam_kind == "histogram" else fam_kind
+        emitted_any = False
+        for sample in samples:
+            key = tuple(sorted((sample.get("labels") or {}).items()))
+            if "value" in sample:
+                if not emitted_any:
+                    emitted_any = True
+                    _emit_header(lines, name, kind, doc.get("help", ""))
+                lines.append(
+                    f"{name}{_prom_labels(key)} {_prom_value(sample['value'])}"
+                )
+            elif "count" in sample:  # histogram snapshot, non-empty
+                if not emitted_any:
+                    emitted_any = True
+                    _emit_header(lines, name, kind, doc.get("help", ""))
+                for p in SNAPSHOT_PERCENTILES:
+                    q = key + (("quantile", format(p / 100.0, "g")),)
+                    lines.append(
+                        f"{name}{_prom_labels(q)} "
+                        f"{_prom_value(sample[f'p{p}_seconds'])}"
+                    )
+                lines.append(
+                    f"{name}_sum{_prom_labels(key)} "
+                    f"{_prom_value(sample['total_seconds'])}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(key)} {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_max{_prom_labels(key)} "
+                    f"{_prom_value(sample['max_seconds'])}"
+                )
+            # A labels-only sample is an empty histogram window: no lines.
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _emit_header(lines: List[str], name: str, kind: str, help_text: str) -> None:
+    if help_text:
+        escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+        lines.append(f"# HELP {name} {escaped}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(
+    *registries: Optional[MetricsRegistry], namespace: str = "repro"
+) -> str:
+    """Prometheus text exposition (format 0.0.4) of merged registries."""
+    return families_to_prometheus(render_json(*registries), namespace=namespace)

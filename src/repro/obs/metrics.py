@@ -1,0 +1,273 @@
+"""Metric primitives and the registry that owns them.
+
+Three instrument kinds, all thread-safe and allocation-light enough to
+sit on request paths (never inside the MCMC iteration loop):
+
+- :class:`Counter` — monotonically increasing total.
+- :class:`Gauge` — a settable level, or a callable sampled at read
+  time (queue depths, pool health) so the value is never stale.
+- :class:`Histogram` — unbounded ``count``/``total`` plus a bounded
+  window of recent samples for percentile snapshots.  The percentile
+  math is the service's original ``StageLatencies`` rank formula
+  (``sorted_window[min(n - 1, (p * n) // 100)]``) so the migrated
+  ``op:stats`` ``stage_latency`` values are bit-identical to what the
+  bespoke class produced, with p90/p99 added alongside p50/p95.
+
+A :class:`MetricsRegistry` maps ``(name, labels)`` to a single shared
+instrument: ``registry.counter("x_total", node="a")`` is get-or-create,
+so instrumentation sites never hold references apart from hot-path
+locals.  Families keep creation order for stable exposition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+
+#: Percentiles a histogram snapshot reports, in snapshot-key order.
+SNAPSHOT_PERCENTILES = (50, 90, 95, 99)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A level that can go up or down — or track a callable.
+
+    With ``fn`` bound, reads sample the callable so the gauge can
+    mirror live state (queue depth, healthy-backend count) without a
+    writer having to push every change.  Sampling errors read as 0.0
+    rather than poisoning an exposition pass.
+    """
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Optional[Callable[[], float]]) -> None:
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            sampled = fn()
+        except Exception:
+            return 0.0
+        return float(sampled) if sampled is not None else 0.0
+
+
+class Histogram:
+    """Unbounded totals plus a windowed percentile view, in seconds.
+
+    ``count``/``total_seconds`` accumulate forever; percentiles and the
+    max come from the last *window* samples only, so a long-running
+    process reports *recent* latency, not its lifetime blur.  Negative
+    samples are dropped (clock skew should not poison a window).
+    """
+
+    __slots__ = ("_lock", "_count", "_total", "_window")
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            self._window.append(seconds)
+
+    def time(self) -> "_HistogramTimer":
+        """``with hist.time():`` — observe the block's wall duration."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary doc: totals plus windowed percentiles and max.
+
+        Empty histograms return ``{}`` so exposition (and the legacy
+        ``stage_latency`` doc) only lists stages that have samples.
+        """
+        with self._lock:
+            if self._count == 0:
+                return {}
+            count, total = self._count, self._total
+            window = sorted(self._window)
+        n = len(window)
+        snap: Dict[str, float] = {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count,
+        }
+        for p in SNAPSHOT_PERCENTILES:
+            snap[f"p{p}_seconds"] = window[min(n - 1, (p * n) // 100)]
+        snap["max_seconds"] = window[-1]
+        return snap
+
+
+class _HistogramTimer:
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._start)
+
+
+class MetricFamily:
+    """All label-variants of one named metric (one exposition block)."""
+
+    __slots__ = ("name", "kind", "help", "_series")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self._series: Dict[LabelKey, object] = {}
+
+    def series(self) -> List[Tuple[LabelKey, object]]:
+        return list(self._series.items())
+
+
+class MetricsRegistry:
+    """Get-or-create home for metric families.
+
+    One registry per long-lived component (plus the process default for
+    the engine layer); exposition merges registries, it never requires
+    instruments to share one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Dict[str, object],
+        factory: Callable[[], object],
+    ):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            metric = family._series.get(key)
+            if metric is None:
+                metric = factory()
+                family._series[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        **labels,
+    ) -> Gauge:
+        gauge = self._series(name, "gauge", help, labels, Gauge)
+        if fn is not None:
+            gauge.set_function(fn)
+        return gauge
+
+    def histogram(
+        self, name: str, help: str = "", window: int = 256, **labels
+    ) -> Histogram:
+        return self._series(
+            name, "histogram", help, labels, lambda: Histogram(window=window)
+        )
+
+    def families(self) -> Iterator[MetricFamily]:
+        with self._lock:
+            return iter(list(self._families.values()))
+
+
+#: The process-wide default registry — home of the engine layer's
+#: metrics (free functions and caches have no component to hang one on).
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,137 @@
+"""Span-style tracing: timed blocks with parent links.
+
+``with trace("engine.run_stream"):`` times the block and records a
+:class:`Span`.  Nesting is tracked through :mod:`contextvars`, so a
+span opened inside another (even across ``await`` points, per-task in
+asyncio) carries its parent's id — enough structure to reconstruct a
+per-request stage tree from the ring buffer without dragging in a real
+tracer.  Finished spans also fold their duration into a
+``trace_span_seconds{span=...}`` histogram on the target registry, so
+the metrics surface gets per-stage percentiles for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["Span", "current_span", "record_span", "recent_spans", "trace"]
+
+#: How many finished spans the in-process ring keeps.
+RECENT_SPAN_LIMIT = 512
+
+_ids = itertools.count(1)
+_current: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span", default=None)
+_ring_lock = threading.Lock()
+_recent: Deque["Span"] = deque(maxlen=RECENT_SPAN_LIMIT)
+
+
+@dataclass
+class Span:
+    """One timed block: name, identity, parentage, duration."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str] = None
+    labels: Dict[str, str] = field(default_factory=dict)
+    started: float = 0.0  # time.time() at entry, for ordering/reporting
+    duration_seconds: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "labels": dict(self.labels),
+            "started": self.started,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span in this context, if any."""
+    return _current.get()
+
+
+def recent_spans(limit: Optional[int] = None) -> List[Dict[str, object]]:
+    """The most recent finished spans, oldest first."""
+    with _ring_lock:
+        spans = list(_recent)
+    if limit is not None:
+        spans = spans[-limit:]
+    return [span.as_dict() for span in spans]
+
+
+def record_span(
+    name: str,
+    duration_seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+    **labels,
+) -> Span:
+    """Record an already-measured span.
+
+    For code that cannot hold a ``with`` block open across its whole
+    duration — generator pipelines like ``engine.run_stream`` measure
+    the wall clock themselves and report it here at the terminal, so
+    the span never leaks into the consumer's context between yields.
+    """
+    parent = _current.get()
+    span = Span(
+        name=name,
+        span_id=format(next(_ids), "x"),
+        parent_id=parent.span_id if parent is not None else None,
+        labels={str(k): str(v) for k, v in labels.items()},
+        started=time.time() - max(duration_seconds, 0.0),
+        duration_seconds=duration_seconds,
+    )
+    with _ring_lock:
+        _recent.append(span)
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(
+        "trace_span_seconds",
+        help="Durations of traced spans, by span name.",
+        span=name,
+        **labels,
+    ).observe(duration_seconds)
+    return span
+
+
+@contextmanager
+def trace(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    **labels,
+) -> Iterator[Span]:
+    """Time a block as a span under the current context's parent."""
+    parent = _current.get()
+    span = Span(
+        name=name,
+        span_id=format(next(_ids), "x"),
+        parent_id=parent.span_id if parent is not None else None,
+        labels={str(k): str(v) for k, v in labels.items()},
+        started=time.time(),
+    )
+    token = _current.set(span)
+    t0 = time.perf_counter()
+    try:
+        yield span
+    finally:
+        span.duration_seconds = time.perf_counter() - t0
+        _current.reset(token)
+        with _ring_lock:
+            _recent.append(span)
+        reg = registry if registry is not None else get_registry()
+        reg.histogram(
+            "trace_span_seconds",
+            help="Durations of traced spans, by span name.",
+            span=name,
+            **labels,
+        ).observe(span.duration_seconds)

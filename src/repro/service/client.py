@@ -294,6 +294,14 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._call({"op": "stats"})
 
+    def metrics(self, spans: bool = False) -> Dict[str, Any]:
+        """The server's ``op:metrics`` exposition document (merged
+        registries as JSON; *spans* adds the recent-span ring)."""
+        payload: Dict[str, Any] = {"op": "metrics"}
+        if spans:
+            payload["spans"] = True
+        return self._call(payload)
+
     def route(self, job: Dict[str, Any]) -> Dict[str, Any]:
         """Cluster-router introspection: where *would* this job land
         (``{"key": ..., "node": ...}``)?  Plain services reject the op."""

@@ -9,6 +9,7 @@ Client → server ops::
     {"op": "cancel", "job_id": "job-..."}
     {"op": "stream", "job_id": "job-..."}   # server streams event lines
     {"op": "stats"}
+    {"op": "metrics", "spans": false}   # obs exposition (JSON families)
     {"op": "ping"}
 
 ``client`` is optional — a self-declared id for per-client quota

@@ -35,7 +35,7 @@ import os
 import threading
 import time
 import uuid
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Dict, Optional, Tuple
@@ -44,6 +44,13 @@ from repro.engine import run_stream
 from repro.engine.cache import ResultCache, result_to_json
 from repro.engine.schema import ResultEvent, request_key
 from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    recent_spans,
+    render_json,
+)
 from repro.service.jobs import Job, JobState
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -79,53 +86,6 @@ DEFAULT_JOB_RETENTION = 1024
 
 class _JobCancelled(Exception):
     """Internal: a worker thread observed the job's cancel flag."""
-
-
-class StageLatencies:
-    """Per-stage latency counters for the stats surface.
-
-    Bounded windows of recent durations per pipeline stage (``parse``,
-    ``queue_wait``, ``run``), snapshotted as count/mean/percentiles —
-    the per-stage breakdown the cluster health probe and the gateway's
-    ``/admin/cluster`` endpoint read.  Thread-safe: the blocking
-    embedding API records from caller threads while the protocol loop
-    records and snapshots from the loop thread.
-    """
-
-    def __init__(self, window: int = 256) -> None:
-        self._window = window
-        self._mutex = threading.Lock()
-        self._recent: Dict[str, "deque"] = {}
-        self._counts: Dict[str, int] = {}
-        self._totals: Dict[str, float] = {}
-
-    def record(self, stage: str, seconds: float) -> None:
-        if seconds < 0:
-            return
-        with self._mutex:
-            if stage not in self._recent:
-                self._recent[stage] = deque(maxlen=self._window)
-                self._counts[stage] = 0
-                self._totals[stage] = 0.0
-            self._recent[stage].append(seconds)
-            self._counts[stage] += 1
-            self._totals[stage] += seconds
-
-    def snapshot(self) -> Dict[str, Dict[str, float]]:
-        with self._mutex:
-            doc: Dict[str, Dict[str, float]] = {}
-            for stage, recent in self._recent.items():
-                window = sorted(recent)
-                n = len(window)
-                doc[stage] = {
-                    "count": self._counts[stage],
-                    "total_seconds": self._totals[stage],
-                    "mean_seconds": self._totals[stage] / self._counts[stage],
-                    "p50_seconds": window[n // 2],
-                    "p95_seconds": window[min(n - 1, (19 * n) // 20)],
-                    "max_seconds": window[-1],
-                }
-            return doc
 
 
 class DetectionService:
@@ -213,7 +173,72 @@ class DetectionService:
         self.n_dispatched = 0
         self.n_cache_hits = 0
         self.n_cache_misses = 0
-        self.stage_latencies = StageLatencies()
+        # Instance-private metrics registry: per-stage latency histograms
+        # (the op:stats ``stage_latency`` doc is built from these — the
+        # successor to the old bespoke ``StageLatencies`` class), live
+        # queue gauges, and lifecycle counters.  Exposed via op:metrics
+        # merged with the process-wide engine registry.
+        self.obs = MetricsRegistry()
+        self._stage_hist: "OrderedDict[str, Histogram]" = OrderedDict()
+        self._stage_lock = threading.Lock()
+        self.obs.gauge(
+            "service_queue_depth",
+            help="Jobs admitted but not yet dispatched.",
+            fn=lambda: self._queue.depth,
+        )
+        self.obs.gauge(
+            "service_queue_capacity",
+            help="Queue admission limit.",
+            fn=lambda: self._queue.max_pending,
+        )
+        if self.job_log is not None:
+            self.obs.gauge(
+                "service_wal_appends",
+                help="Records appended to the durable job log.",
+                fn=lambda: self.job_log.n_appended,
+            )
+            self.obs.gauge(
+                "service_wal_compactions",
+                help="Compaction passes on the durable job log.",
+                fn=lambda: self.job_log.n_compactions,
+            )
+
+    # -- obs helpers -----------------------------------------------------------
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        """Record one pipeline-stage duration (parse/queue_wait/run).
+
+        The per-stage histograms live in :attr:`obs` under
+        ``service_stage_seconds{stage=...}``; a side index keeps
+        first-record order so the legacy ``stage_latency`` doc lists
+        stages in the order they first ran, as the old class did.
+        """
+        with self._stage_lock:
+            hist = self._stage_hist.get(stage)
+            if hist is None:
+                hist = self.obs.histogram(
+                    "service_stage_seconds",
+                    help="Pipeline stage durations (parse/queue_wait/run).",
+                    stage=stage,
+                )
+                self._stage_hist[stage] = hist
+        hist.observe(seconds)
+
+    def _count_submission(self, outcome: str) -> None:
+        self.obs.counter(
+            "service_submissions_total",
+            help="Job submissions, by admission outcome.",
+            outcome=outcome,
+        ).inc()
+
+    def _stage_latency_doc(self) -> Dict[str, Dict[str, float]]:
+        doc: Dict[str, Dict[str, float]] = {}
+        with self._stage_lock:
+            stages = list(self._stage_hist.items())
+        for stage, hist in stages:
+            snap = hist.snapshot()
+            if snap:
+                doc[stage] = snap
+        return doc
 
     # -- lifecycle -------------------------------------------------------------
     async def start(self) -> None:
@@ -296,8 +321,20 @@ class DetectionService:
         parse_started = time.monotonic()
         request = request_from_wire(spec)
         key = request_key(request)
-        self.stage_latencies.record("parse", time.monotonic() - parse_started)
+        self._record_stage("parse", time.monotonic() - parse_started)
         return request, key
+
+    def _check_quota(self, client: Optional[str]) -> None:
+        if self.quota is None:
+            return
+        try:
+            self.quota.check(client)  # raises QuotaExceededError
+        except ServiceError:
+            self.obs.counter(
+                "service_quota_rejections_total",
+                help="Submissions rejected by per-client quota.",
+            ).inc()
+            raise
 
     def submit(self, spec: Dict[str, Any], priority: int = 0,
                timeout: float = 30.0, client: Optional[str] = None) -> Dict[str, Any]:
@@ -311,8 +348,7 @@ class DetectionService:
         the job queued forever.  The protocol loop itself parses on the
         parse thread via :meth:`_submit_async` instead.
         """
-        if self.quota is not None:
-            self.quota.check(client)
+        self._check_quota(client)
         request, key = self._parse_spec(spec)
         loop = self._loop
         if loop is not None and loop.is_running():
@@ -334,8 +370,7 @@ class DetectionService:
         self, msg: Dict[str, Any], peer: Optional[str] = None
     ) -> Dict[str, Any]:
         client = msg.get("client") or peer
-        if self.quota is not None:
-            self.quota.check(client)  # raises QuotaExceededError
+        self._check_quota(client)
         loop = asyncio.get_running_loop()
         request, key = await loop.run_in_executor(
             self._parse_pool, self._parse_spec, msg.get("job")
@@ -371,11 +406,18 @@ class DetectionService:
         job.logged = already_logged and self.job_log is not None
 
         hit = self.cache.get(key) if (self.cache is not None and key) else None
+        if self.cache is not None and key:
+            self.obs.counter(
+                "service_cache_lookups_total",
+                help="Admission-time result-cache lookups, by outcome.",
+                result="hit" if hit is not None else "miss",
+            ).inc()
         if self.cache is not None and key and hit is None:
             self.n_cache_misses += 1
         if hit is not None:
             self.n_cache_hits += 1
             self.n_submitted += 1
+            self._count_submission("cache_hit")
             job.cached = True
             job.result = hit
             job.started_at = time.monotonic()
@@ -385,13 +427,18 @@ class DetectionService:
             self._register(job)
             return {"ok": True, "job_id": job.id, "cached": True, "state": job.state.value}
 
-        self._queue.put(job)  # raises QueueFullError when at capacity
+        try:
+            self._queue.put(job)  # raises QueueFullError when at capacity
+        except QueueFullError:
+            self._count_submission("queue_full")
+            raise
         if self.job_log is not None and spec is not None and not job.logged:
             self.job_log.log_submit(
                 job.id, spec, key=key, client=client, priority=priority
             )
             job.logged = True
         self.n_submitted += 1
+        self._count_submission("queued")
         job.publish({"event": "state", "state": JobState.QUEUED.value})
         self._register(job)
         return {
@@ -441,7 +488,7 @@ class DetectionService:
             ),
             "n_rejected": self._queue.n_rejected,
             "n_replayed": self.n_replayed,
-            "stage_latency": self.stage_latencies.snapshot(),
+            "stage_latency": self._stage_latency_doc(),
             "cache": self.cache.summary() if self.cache is not None else None,
         }
         if self.quota is not None:
@@ -454,6 +501,19 @@ class DetectionService:
                 "n_appended": self.job_log.n_appended,
                 "n_compactions": self.job_log.n_compactions,
             }
+        return doc
+
+    def metrics(self, include_spans: bool = False) -> Dict[str, Any]:
+        """The ``op:metrics`` document: this instance's registry merged
+        with the process-wide engine registry, as exposition JSON."""
+        doc: Dict[str, Any] = {
+            "ok": True,
+            "role": "service",
+            "node_id": self.node_id,
+            "metrics": render_json(self.obs, get_registry()),
+        }
+        if include_spans:
+            doc["spans"] = recent_spans(64)
         return doc
 
     def _job(self, job_id: Any) -> Job:
@@ -476,6 +536,11 @@ class DetectionService:
     def _finish(self, job: Job, state: JobState, event: Dict[str, Any]) -> None:
         job.state = state
         job.finished_at = time.monotonic()
+        self.obs.counter(
+            "service_jobs_total",
+            help="Jobs reaching a terminal state, by outcome.",
+            state=state.value,
+        ).inc()
         if self.job_log is not None and job.logged:
             self.job_log.log_complete(job.id, _STATE_TO_LOG[state])
         # Terminal jobs live on only for status/replay: drop the request
@@ -498,7 +563,7 @@ class DetectionService:
                 continue
             job.state = JobState.RUNNING
             job.started_at = time.monotonic()
-            self.stage_latencies.record(
+            self._record_stage(
                 "queue_wait", job.started_at - job.submitted_at
             )
             job.publish({"event": "state", "state": JobState.RUNNING.value})
@@ -519,7 +584,7 @@ class DetectionService:
                     self.cache.put(job.key, result)
                 elapsed = time.monotonic() - job.started_at
                 self._queue.record_duration(elapsed)
-                self.stage_latencies.record("run", elapsed)
+                self._record_stage("run", elapsed)
                 self._finish(job, JobState.DONE,
                              {"event": "result", "cached": False,
                               "result": result_to_json(result)})
@@ -609,6 +674,8 @@ class DetectionService:
             return self.cancel(msg.get("job_id"))
         if op == "stats":
             return {"ok": True, **self.stats()}
+        if op == "metrics":
+            return self.metrics(include_spans=bool(msg.get("spans")))
         if op == "ping":
             return {"ok": True, "pong": True}
         raise ServiceError(f"unknown op {op!r}")

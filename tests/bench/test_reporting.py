@@ -98,6 +98,38 @@ class TestCompareToBaseline:
         )
         assert rows == [] and regressions == []
 
+    def test_series_new_in_current_reported_not_gated(self):
+        # A metric the baseline predates (artifact schema growth) must
+        # show up as a "new" row and never count as a regression.
+        baseline = {"strategy": {"seconds": 2.0}}
+        current = {"serial": {"iters_per_second": 900.0},
+                   "strategy": {"seconds": 2.1}}
+        rows, regressions = compare_to_baseline(
+            current, baseline, self.METRICS, threshold=0.8
+        )
+        assert regressions == []
+        new_rows = [r for r in rows if r.get("new")]
+        assert [r["label"] for r in new_rows] == ["it/s"]
+        assert new_rows[0]["baseline"] is None
+        assert new_rows[0]["current"] == pytest.approx(900.0)
+        assert not new_rows[0]["regressed"]
+        out = format_baseline_rows(rows, 0.8)
+        assert "new (no baseline)" in out
+
+    def test_null_or_bool_baseline_values_count_as_absent(self):
+        # JSON null and true/false are not numbers; a baseline carrying
+        # them behaves exactly like one missing the key.
+        baseline = {"serial": {"iters_per_second": None},
+                    "strategy": {"seconds": True}}
+        current = {"serial": {"iters_per_second": 900.0},
+                   "strategy": {"seconds": 2.0}}
+        rows, regressions = compare_to_baseline(
+            current, baseline, self.METRICS, threshold=0.8
+        )
+        assert regressions == []
+        assert all(r.get("new") for r in rows)
+        assert {r["label"] for r in rows} == {"it/s", "runtime"}
+
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError):
             compare_to_baseline({}, {}, self.METRICS, threshold=0.0)

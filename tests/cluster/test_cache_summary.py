@@ -1,0 +1,46 @@
+"""Cluster-wide weighted cache aggregation on the backend pool."""
+
+import pytest
+
+from repro.cluster.pool import BackendPool
+
+pytestmark = pytest.mark.fast
+
+
+def make_pool():
+    return BackendPool(["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"])
+
+
+class TestCacheTotals:
+    def test_sums_raw_counters_across_nodes(self):
+        pool = make_pool()
+        nodes = list(pool.nodes.values())
+        # A busy node with a poor rate and an idle node with a perfect
+        # one: the weighted aggregate must follow the traffic.
+        nodes[0].last_stats = {"n_cache_hits": 10, "n_cache_misses": 90}
+        nodes[1].last_stats = {"n_cache_hits": 1, "n_cache_misses": 0}
+        assert pool.cache_totals() == (11, 90)
+        summary = pool.cache_summary()
+        assert summary["n_lookups"] == 101
+        assert summary["cache_hit_rate"] == pytest.approx(11 / 101)
+        # The naive average of per-node rates would be ~0.55 — the
+        # weighted rate must not be anywhere near it.
+        assert summary["cache_hit_rate"] < 0.2
+
+    def test_unprobed_and_malformed_stats_contribute_nothing(self):
+        pool = make_pool()
+        nodes = list(pool.nodes.values())
+        nodes[0].last_stats = {"n_cache_hits": 5, "n_cache_misses": 5}
+        nodes[1].last_stats = None  # never probed
+        nodes[2].last_stats = {"n_cache_hits": None, "n_cache_misses": True}
+        assert pool.cache_totals() == (5, 5)
+
+    def test_no_lookups_reports_none_rate(self):
+        pool = make_pool()
+        summary = pool.cache_summary()
+        assert summary == {
+            "n_cache_hits": 0,
+            "n_cache_misses": 0,
+            "n_lookups": 0,
+            "cache_hit_rate": None,
+        }

@@ -1,0 +1,115 @@
+"""The gateway ``GET /metrics`` surface over a live LocalCluster.
+
+One scrape must cover all five layers — engine, service, cluster,
+gateway, and trace spans — which exercises the whole exposition chain:
+per-component registries, the router's backend ``op:metrics`` fan-out
+(service metrics live in the backends, reachable only over the wire),
+and the Prometheus/JSON renderers.
+"""
+
+import http.client
+
+import pytest
+
+from repro.cluster.local import LocalCluster
+from repro.obs import PROMETHEUS_CONTENT_TYPE
+from repro.service import ServiceClient, scene_job
+
+
+def job_spec(seed=0):
+    return scene_job(size=48, circles=3, strategy="intelligent",
+                     iterations=200, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = LocalCluster(n_backends=3, mode="thread", gateway=True)
+    cluster.start()
+    client = cluster.gateway_client()
+    # One computed job + one affinity replay: every layer has samples.
+    client.detect(job_spec(seed=3))
+    client.detect(job_spec(seed=3))
+    yield cluster
+    cluster.stop()
+
+
+class TestPrometheusScrape:
+    def test_covers_all_five_layers(self, cluster):
+        text = cluster.gateway_client().metrics_text()
+        lines = text.splitlines()
+        for prefix in ("repro_engine_", "repro_service_", "repro_cluster_",
+                       "repro_gateway_", "repro_trace_span_seconds"):
+            assert any(l.startswith(prefix) for l in lines), prefix
+
+    def test_backend_samples_carry_node_labels(self, cluster):
+        text = cluster.gateway_client().metrics_text()
+        stage_lines = [l for l in text.splitlines()
+                       if l.startswith("repro_service_stage_seconds_count")]
+        assert stage_lines
+        assert all('node="' in l for l in stage_lines)
+
+    def test_content_type_and_format(self, cluster):
+        host, port = cluster.gateway_address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        # Text format 0.0.4: TYPE comments and bare sample lines.
+        assert "# TYPE repro_gateway_http_responses_total counter" in body
+        for line in body.splitlines():
+            if line and not line.startswith("#"):
+                name_part, _, value = line.rpartition(" ")
+                assert name_part
+                float(value)  # every sample value parses
+
+    def test_http_status_counter_counts_this_scrape(self, cluster):
+        client = cluster.gateway_client()
+        doc1 = client.metrics()
+        doc2 = client.metrics()
+
+        def count_200(doc):
+            fam = doc["metrics"]["gateway_http_responses_total"]
+            for sample in fam["samples"]:
+                if sample["labels"] == {"status": "200"}:
+                    return sample["value"]
+            return 0.0
+
+        assert count_200(doc2) > count_200(doc1)
+
+
+class TestJsonVariant:
+    def test_document_shape(self, cluster):
+        doc = cluster.gateway_client().metrics(spans=True)
+        assert doc["ok"] is True
+        assert doc["role"] == "gateway"
+        assert doc["target_role"] == "router"
+        fam = doc["metrics"]["engine_runs_total"]
+        assert fam["type"] == "counter"
+        assert any(s["labels"].get("strategy") == "intelligent"
+                   for s in fam["samples"])
+        assert isinstance(doc["spans"], list)
+        assert any(s["name"] == "engine.run_stream" for s in doc["spans"])
+
+
+class TestTcpMetricsVerb:
+    def test_router_op_metrics(self, cluster):
+        with ServiceClient(*cluster.address) as client:
+            doc = client.metrics()
+        assert doc["ok"] is True
+        assert doc["role"] == "router"
+        assert "cluster_submissions_total" in doc["metrics"]
+        assert "spans" not in doc
+
+    def test_backend_op_metrics_with_spans(self, cluster):
+        host, port = cluster.backends[0].address
+        with ServiceClient(host, port) as client:
+            doc = client.metrics(spans=True)
+        assert doc["ok"] is True
+        assert doc["role"] == "service"
+        assert "service_queue_depth" in doc["metrics"]
+        assert isinstance(doc["spans"], list)

@@ -1,0 +1,178 @@
+"""The obs metrics substrate: instruments, registry, exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    families_to_prometheus,
+    get_registry,
+    merge_families,
+    render_json,
+    render_prometheus,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == pytest.approx(4.0)
+
+    def test_function_backed_reads_live(self):
+        depth = [0]
+        g = Gauge()
+        g.set_function(lambda: depth[0])
+        depth[0] = 7
+        assert g.value == 7.0
+
+    def test_function_error_reads_zero(self):
+        g = Gauge()
+        g.set_function(lambda: 1 / 0)
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_timer_context_manager(self):
+        h = Histogram()
+        with h.time():
+            pass
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["max_seconds"] >= 0.0
+
+    def test_percentile_ordering(self):
+        h = Histogram(window=128)
+        for ms in range(1, 101):
+            h.observe(ms / 1000.0)
+        snap = h.snapshot()
+        assert (snap["p50_seconds"] <= snap["p90_seconds"]
+                <= snap["p95_seconds"] <= snap["p99_seconds"]
+                <= snap["max_seconds"])
+
+    def test_window_evicts_old_observations_from_percentiles(self):
+        h = Histogram(window=4)
+        h.observe(100.0)  # pushed out by the next four
+        for _ in range(4):
+            h.observe(0.001)
+        snap = h.snapshot()
+        assert snap["p99_seconds"] == pytest.approx(0.001)
+        assert snap["count"] == 5  # totals never evict
+
+
+class TestRegistry:
+    def test_get_or_create_shares_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", node="a")
+        b = reg.counter("hits_total", node="a")
+        assert a is b
+        other = reg.counter("hits_total", node="b")
+        assert other is not a
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", alpha="1", beta="2")
+        b = reg.counter("x_total", beta="2", alpha="1")
+        assert a is b
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError):
+            reg.gauge("thing")
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", help="Requests.", code="200").inc(3)
+        reg.gauge("depth", help="Queue depth.").set(2)
+        reg.histogram("latency_seconds", help="Latency.").observe(0.25)
+        reg.histogram("empty_seconds")  # no samples: must not render
+        return reg
+
+    def test_render_json_shapes(self):
+        doc = render_json(self._registry())
+        assert doc["requests_total"]["type"] == "counter"
+        assert doc["requests_total"]["samples"][0] == {
+            "labels": {"code": "200"}, "value": 3.0,
+        }
+        hist = doc["latency_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["p99_seconds"] == pytest.approx(0.25)
+        assert doc["empty_seconds"]["samples"] == [{"labels": {}}]
+
+    def test_render_prometheus_text(self):
+        text = render_prometheus(self._registry())
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{code="200"} 3' in text
+        assert '# TYPE repro_latency_seconds summary' in text
+        assert 'repro_latency_seconds{quantile="0.99"} 0.25' in text
+        assert 'repro_latency_seconds_count 1' in text
+        assert 'repro_latency_seconds_max 0.25' in text
+        assert "empty_seconds" not in text  # empty window: no series
+
+    def test_duplicate_and_none_registries_dropped(self):
+        reg = self._registry()
+        merged = render_json(reg, None, reg)
+        assert len(merged["requests_total"]["samples"]) == 1
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_merge_families_adds_node_label(self):
+        local = render_json(self._registry())
+        remote = render_json(self._registry())
+        merge_families(local, remote, extra_labels={"node": "b1"})
+        samples = local["requests_total"]["samples"]
+        assert len(samples) == 2
+        assert samples[1]["labels"] == {"node": "b1", "code": "200"}
+        text = families_to_prometheus(local)
+        assert 'repro_requests_total{code="200",node="b1"} 3' in text
+
+    def test_merge_families_tolerates_malformed_docs(self):
+        target = {}
+        merge_families(target, None)
+        merge_families(target, {"x": "not-a-doc", "y": {"samples": ["bad"]}})
+        assert target["y"]["samples"] == []

@@ -1,0 +1,71 @@
+"""Span tracing: parent links, the recent-span ring, the histogram."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    current_span,
+    recent_spans,
+    record_span,
+    trace,
+)
+
+pytestmark = pytest.mark.fast
+
+
+class TestTrace:
+    def test_block_is_timed_and_ringed(self):
+        reg = MetricsRegistry()
+        with trace("unit.block", registry=reg) as span:
+            assert current_span() is span
+        assert current_span() is None
+        assert span.duration_seconds >= 0.0
+        names = [s["name"] for s in recent_spans()]
+        assert "unit.block" in names
+
+    def test_nested_spans_link_parents(self):
+        reg = MetricsRegistry()
+        with trace("outer", registry=reg) as outer:
+            with trace("inner", registry=reg) as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_feeds_histogram_with_labels(self):
+        reg = MetricsRegistry()
+        with trace("unit.labelled", registry=reg, strategy="naive"):
+            pass
+        doc = {f.name: f for f in reg.families()}["trace_span_seconds"]
+        keys = [dict(key) for key, _ in doc.series()]
+        assert {"span": "unit.labelled", "strategy": "naive"} in keys
+
+    def test_exception_still_closes_span(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with trace("unit.fails", registry=reg) as span:
+                raise RuntimeError("boom")
+        assert span.duration_seconds is not None
+        assert current_span() is None
+
+
+class TestRecordSpan:
+    def test_records_pre_measured_duration(self):
+        reg = MetricsRegistry()
+        span = record_span("unit.stream", 0.125, registry=reg)
+        assert span.duration_seconds == pytest.approx(0.125)
+        hist = reg.histogram("trace_span_seconds", span="unit.stream")
+        assert hist.snapshot()["max_seconds"] == pytest.approx(0.125)
+
+    def test_parented_to_enclosing_trace(self):
+        reg = MetricsRegistry()
+        with trace("outer", registry=reg) as outer:
+            span = record_span("unit.terminal", 0.01, registry=reg)
+        assert span.parent_id == outer.span_id
+
+    def test_ring_limit_respected(self):
+        reg = MetricsRegistry()
+        for i in range(20):
+            record_span("unit.ring", 0.001, registry=reg, i=str(i))
+        tail = recent_spans(5)
+        assert len(tail) == 5
+        # Oldest-first ordering: the last entry is the newest.
+        assert tail[-1]["labels"]["i"] == "19"

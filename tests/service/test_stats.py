@@ -6,8 +6,8 @@ must survive untouched (cluster health probes parse it)."""
 import pytest
 
 from repro.engine import ResultCache
+from repro.obs import Histogram
 from repro.service import ServiceClient, scene_job, serve_background
-from repro.service.server import StageLatencies
 
 #: The stats keys older clients (and the router's health probe) already
 #: read — extending stats must never drop or rename these.
@@ -23,33 +23,39 @@ def job_spec(seed=0):
                      iterations=300, seed=seed)
 
 
-class TestStageLatencies:
+class TestStageHistogram:
+    """The obs.Histogram that replaced the bespoke ``StageLatencies``
+    class must reproduce its snapshot math exactly — these are the old
+    class's tests, re-pointed."""
+
     @pytest.mark.fast
     def test_record_and_snapshot(self):
-        lat = StageLatencies(window=8)
+        hist = Histogram(window=8)
         for ms in (1, 2, 3, 4, 5):
-            lat.record("run", ms / 1000.0)
-        snap = lat.snapshot()["run"]
+            hist.observe(ms / 1000.0)
+        snap = hist.snapshot()
         assert snap["count"] == 5
         assert snap["max_seconds"] == pytest.approx(0.005)
         assert snap["mean_seconds"] == pytest.approx(0.003)
         assert snap["p50_seconds"] == pytest.approx(0.003)
         assert 0 < snap["p95_seconds"] <= 0.005
+        # New percentiles ride along without disturbing the legacy keys.
+        assert 0 < snap["p90_seconds"] <= snap["p99_seconds"] <= 0.005
 
     @pytest.mark.fast
     def test_window_bounds_percentiles_not_totals(self):
-        lat = StageLatencies(window=4)
+        hist = Histogram(window=4)
         for _ in range(100):
-            lat.record("parse", 0.001)
-        snap = lat.snapshot()["parse"]
+            hist.observe(0.001)
+        snap = hist.snapshot()
         assert snap["count"] == 100  # totals keep counting
         assert snap["total_seconds"] == pytest.approx(0.1)
 
     @pytest.mark.fast
     def test_negative_durations_ignored(self):
-        lat = StageLatencies()
-        lat.record("run", -1.0)
-        assert lat.snapshot() == {}
+        hist = Histogram()
+        hist.observe(-1.0)
+        assert hist.snapshot() == {}
 
 
 class TestStatsSurface:

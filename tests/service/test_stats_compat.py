@@ -1,0 +1,138 @@
+"""Golden-keys backward-compat gate for the ``op:stats`` surfaces.
+
+The obs subsystem re-implemented the counters *behind* stats (the
+service's ``StageLatencies`` became ``repro.obs.Histogram``; the router
+grew a metrics registry), but every pre-existing stats key is parsed by
+older clients, the cluster health probe, and the CI smoke scripts — so
+the documents must keep every legacy name with its legacy type.  These
+tests pin that schema: a rename or type drift fails here before it
+breaks a deployed scraper.
+"""
+
+import numbers
+
+from repro.engine import ResultCache
+from repro.service import ServiceClient, scene_job, serve_background
+
+#: name -> type(s) older consumers assume.  ``stage_latency`` values are
+#: checked separately (per-stage snapshot docs).
+SERVICE_GOLDEN_TYPES = {
+    "ok": bool,
+    "role": str,
+    "node_id": str,
+    "uptime_seconds": numbers.Real,
+    "queue_depth": numbers.Integral,
+    "queue_capacity": numbers.Integral,
+    "workers": numbers.Integral,
+    "jobs": dict,
+    "n_submitted": numbers.Integral,
+    "n_dispatched": numbers.Integral,
+    "n_cache_hits": numbers.Integral,
+    "n_cache_misses": numbers.Integral,
+    "n_rejected": numbers.Integral,
+    "n_replayed": numbers.Integral,
+    "cache": (dict, type(None)),
+    "stage_latency": dict,
+}
+
+#: The per-stage snapshot keys the pre-obs ``StageLatencies`` emitted.
+#: ``p90_seconds``/``p99_seconds`` ride along as additive keys.
+STAGE_SNAPSHOT_GOLDEN = (
+    "count", "total_seconds", "mean_seconds",
+    "p50_seconds", "p95_seconds", "max_seconds",
+)
+
+ROUTER_GOLDEN_TYPES = {
+    "ok": bool,
+    "role": str,
+    "node_id": str,
+    "uptime_seconds": numbers.Real,
+    "n_submitted": numbers.Integral,
+    "n_routed": numbers.Integral,
+    "n_failovers": numbers.Integral,
+    "n_affinity_hits": numbers.Integral,
+    "n_replayed": numbers.Integral,
+    "jobs": dict,
+    "backends": list,
+    "n_backends_healthy": numbers.Integral,
+}
+
+BACKEND_SNAPSHOT_GOLDEN = (
+    "node_id", "healthy", "draining", "n_assigned", "n_probes",
+    "n_failures", "n_downs", "n_active_streams", "queue_depth",
+    "cache_hit_rate", "last_error",
+)
+
+
+def _assert_schema(doc, golden, where):
+    for key, expected in golden.items():
+        assert key in doc, f"{where} lost legacy key {key!r}"
+        # bool is an int subclass: never let an Integral key silently
+        # become a flag.
+        if expected is not bool and not (
+            isinstance(expected, tuple) and bool in expected
+        ):
+            assert not isinstance(doc[key], bool), (key, doc[key])
+        assert isinstance(doc[key], expected), (key, type(doc[key]))
+
+
+class TestServiceStatsGolden:
+    def test_names_and_types_survive(self):
+        handle = serve_background(workers=2, queue_size=8, cache=ResultCache())
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.detect(scene_job(size=48, circles=3,
+                                        iterations=200, seed=0))
+                stats = client.stats()
+        finally:
+            handle.stop()
+        _assert_schema(stats, SERVICE_GOLDEN_TYPES, "service stats")
+        assert stats["role"] == "service"
+        # cache_hit_rate is float-or-None by contract.
+        assert stats["cache_hit_rate"] is None or isinstance(
+            stats["cache_hit_rate"], float
+        )
+        for stage in ("parse", "queue_wait", "run"):
+            snap = stats["stage_latency"][stage]
+            for key in STAGE_SNAPSHOT_GOLDEN:
+                assert key in snap, f"stage_latency.{stage} lost {key!r}"
+            assert isinstance(snap["count"], numbers.Integral)
+            assert not isinstance(snap["count"], bool)
+            for key in STAGE_SNAPSHOT_GOLDEN[1:]:
+                assert isinstance(snap[key], float), (stage, key)
+
+    def test_empty_service_stage_latency_is_empty_doc(self):
+        # Before any job, StageLatencies reported {} — still true.
+        handle = serve_background(workers=0, queue_size=4)
+        try:
+            with ServiceClient(*handle.address) as client:
+                stats = client.stats()
+        finally:
+            handle.stop()
+        assert stats["stage_latency"] == {}
+
+
+class TestRouterStatsGolden:
+    def test_names_and_types_survive(self):
+        from repro.cluster.local import LocalCluster
+
+        cluster = LocalCluster(n_backends=2, mode="thread")
+        cluster.start()
+        try:
+            with ServiceClient(*cluster.address) as client:
+                client.detect(scene_job(size=48, circles=3,
+                                        iterations=200, seed=0))
+                stats = client.stats()
+        finally:
+            cluster.stop()
+        _assert_schema(stats, ROUTER_GOLDEN_TYPES, "router stats")
+        assert stats["role"] == "router"
+        assert len(stats["backends"]) == 2
+        for snapshot in stats["backends"]:
+            for key in BACKEND_SNAPSHOT_GOLDEN:
+                assert key in snapshot, f"backend snapshot lost {key!r}"
+        # Additive keys must be additions, not replacements.
+        assert "cluster_cache" in stats
+        summary = stats["cluster_cache"]
+        assert set(summary) == {"n_cache_hits", "n_cache_misses",
+                                "n_lookups", "cache_hit_rate"}
