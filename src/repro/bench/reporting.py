@@ -113,8 +113,23 @@ def compare_to_baseline(
                 "new": True,
             })
             continue
+        if cur is None and base is not None:
+            # The mirror case: the baseline tracked this series but the
+            # current run lost it (a renamed key, a silently-skipped
+            # scenario).  Disappearing data must be visible — it is
+            # often the first symptom of a broken harness — but it is
+            # not a numeric regression, so it never gates.
+            rows.append({
+                "label": metric.label,
+                "baseline": base,
+                "current": None,
+                "ratio": None,
+                "regressed": False,
+                "missing": True,
+            })
+            continue
         if base is None or cur is None:
-            continue  # missing from the current run — not comparable
+            continue  # in neither document — not comparable
         # A current value collapsing to zero is the worst regression a
         # higher-is-better metric can have, never a skip; a zero runtime
         # can only be an improvement for lower-is-better ones.
@@ -145,6 +160,8 @@ def format_baseline_rows(rows: Sequence[Dict[str, Any]], threshold: float) -> st
     for row in rows:
         if row.get("new"):
             verdict = "new (no baseline)"
+        elif row.get("missing"):
+            verdict = "missing vs baseline"
         elif row["regressed"]:
             verdict = "REGRESSED"
         else:

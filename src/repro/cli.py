@@ -543,6 +543,8 @@ def _run_gateway(args) -> int:
             return ShardRouter(
                 backends=args.backend,
                 job_log=args.log,
+                result_index=args.result_index,
+                replication_factor=args.replication_factor,
                 quota=_make_quota(args),
                 probe_interval=args.probe_interval,
                 probe_timeout=args.probe_timeout,
@@ -688,6 +690,8 @@ def _run_cluster(args) -> int:
             host=args.host,
             port=args.port,
             job_log=args.log,
+            result_index=args.result_index,
+            replication_factor=args.replication_factor,
             quota=_make_quota(args),
             probe_interval=args.probe_interval,
             probe_timeout=args.probe_timeout,
@@ -998,6 +1002,12 @@ def main(argv=None) -> int:
     gateway.add_argument("--cache-dir", default=".repro-cache")
     gateway.add_argument("--log", metavar="PATH", default=None,
                          help="durable job log for the fronted target")
+    gateway.add_argument("--result-index", metavar="PATH", default=None,
+                         help="router mode: durable index of terminal job "
+                              "ids, answering status across restarts")
+    gateway.add_argument("--replication-factor", type=int, default=1,
+                         help="router mode: >= 2 mirrors each placement to "
+                              "the key's rendezvous runner-up (warm standby)")
     gateway.add_argument("--quota-rate", type=float, default=None,
                          help="per-client sustained submissions/second")
     gateway.add_argument("--quota-burst", type=float, default=None)
@@ -1018,6 +1028,12 @@ def main(argv=None) -> int:
     cluster.add_argument("--log", metavar="PATH", default=None,
                          help="durable router job log: routed jobs are "
                               "replayed across router restarts")
+    cluster.add_argument("--result-index", metavar="PATH", default=None,
+                         help="durable index of terminal job ids: finished "
+                              "jobs answer status across router restarts")
+    cluster.add_argument("--replication-factor", type=int, default=1,
+                         help=">= 2 mirrors each placement to the key's "
+                              "rendezvous runner-up as a warm standby")
     cluster.add_argument("--quota-rate", type=float, default=None,
                          help="per-client sustained submissions/second "
                               "(off when omitted)")

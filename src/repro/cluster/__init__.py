@@ -26,6 +26,9 @@ The pieces:
 * :mod:`~repro.cluster.joblog` — the durable JSON-lines WAL (replay +
   compaction) both the router and individual backends persist pending
   jobs through;
+* :mod:`~repro.cluster.resultindex` — the durable index of *terminal*
+  job ids (state + result digest), so finished jobs keep answering
+  status across router restarts;
 * :mod:`~repro.cluster.quota` — per-client token buckets rejecting with
   the retry-after backpressure shape;
 * :mod:`~repro.cluster.router` — the shard router itself: routing,
@@ -45,6 +48,7 @@ from repro.cluster.joblog import JobLog, JobLogReplay, PendingJob
 from repro.cluster.local import LocalCluster
 from repro.cluster.pool import BackendNode, BackendPool
 from repro.cluster.quota import QuotaPolicy, TokenBucket
+from repro.cluster.resultindex import IndexedResult, ResultIndex
 from repro.cluster.router import (
     RouterHandle,
     RouterJob,
@@ -66,6 +70,8 @@ __all__ = [
     "BackendPool",
     "QuotaPolicy",
     "TokenBucket",
+    "IndexedResult",
+    "ResultIndex",
     "RouterHandle",
     "RouterJob",
     "ShardRouter",

@@ -163,6 +163,20 @@ class JobLog:
     def _write_line(self, line: str) -> None:
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Seal a torn final line from a previous crash before
+            # appending: without its newline, the torn fragment and the
+            # next record would merge into one corrupt line, losing a
+            # good record along with the torn one.
+            if self.path.is_file():
+                with open(self.path, "rb") as fh:
+                    try:
+                        fh.seek(-1, os.SEEK_END)
+                        torn = fh.read(1) != b"\n"
+                    except OSError:
+                        torn = False
+                if torn:
+                    with open(self.path, "ab") as fh:
+                        fh.write(b"\n")
             self._file = open(self.path, "a", encoding="utf-8")
         self._file.write(line)
         self._file.flush()

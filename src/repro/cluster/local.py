@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import re
 import shutil
+import signal
 import subprocess
 import sys
 import tempfile
@@ -143,6 +144,13 @@ class LocalCluster:
     router_log:
         Keep a durable router :class:`JobLog` under ``base_dir`` (on by
         default; :meth:`restart_router` depends on it).
+    router_index:
+        Keep a durable router result index under ``base_dir`` (on by
+        default when ``router_log`` is on) so terminal job ids answer
+        status across :meth:`restart_router`.
+    replication_factor:
+        Router replication: ``>= 2`` mirrors every placement to the
+        key's rendezvous runner-up (warm standby).
     backend_logs:
         Also give each backend its own durable job log.
     quota:
@@ -164,11 +172,14 @@ class LocalCluster:
         executor: Optional[str] = None,
         cache: bool = True,
         router_log: bool = True,
+        router_index: Optional[bool] = None,
+        replication_factor: int = 1,
         backend_logs: bool = False,
         quota: Optional[QuotaPolicy] = None,
         probe_interval: float = 0.5,
         probe_timeout: float = 2.0,
         backend_timeout: float = 60.0,
+        stream_timeout: Optional[float] = None,
         base_dir: Optional[str] = None,
         gateway: bool = False,
     ) -> None:
@@ -183,11 +194,14 @@ class LocalCluster:
         self.executor = executor
         self.cache = cache
         self.router_log = router_log
+        self.router_index = router_log if router_index is None else router_index
+        self.replication_factor = replication_factor
         self.backend_logs = backend_logs
         self.quota = quota
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
         self.backend_timeout = backend_timeout
+        self.stream_timeout = stream_timeout
         self._own_dir = base_dir is None
         self.base_dir = Path(base_dir) if base_dir is not None else None
         self.backends: List[Any] = []
@@ -252,9 +266,13 @@ class LocalCluster:
             "probe_timeout": self.probe_timeout,
             "backend_timeout": self.backend_timeout,
             "quota": self.quota,
+            "replication_factor": self.replication_factor,
+            "stream_timeout": self.stream_timeout,
         }
         if self.router_log:
             kwargs["job_log"] = JobLog(self.router_log_path)
+        if self.router_index:
+            kwargs["result_index"] = str(self.router_index_path)
         if self._router_port is not None:
             kwargs["port"] = self._router_port
         if self.gateway:
@@ -278,6 +296,12 @@ class LocalCluster:
         if self.base_dir is None:
             raise ClusterError("cluster is not started")
         return self.base_dir / "router.wal"
+
+    @property
+    def router_index_path(self) -> Path:
+        if self.base_dir is None:
+            raise ClusterError("cluster is not started")
+        return self.base_dir / "router.idx"
 
     def stop(self) -> None:
         if self.gateway_handle is not None:
@@ -365,6 +389,39 @@ class LocalCluster:
             return self.node_id(index)
         host, port = backend.address
         self.backends[index] = self._start_backend(index, port=port)
+        return self.node_id(index)
+
+    def pause_backend(self, index: int) -> str:
+        """SIGSTOP backend *index* (process mode only): the node is
+        alive-but-frozen — sockets accept, nothing answers.  The
+        grey-failure case probe timeouts and ``stream_timeout`` exist
+        for, distinct from :meth:`kill_backend`'s clean death.
+        Returns the node id."""
+        backend = self.backends[index]
+        if not isinstance(backend, _ProcessBackend):
+            raise ClusterError("pause_backend needs mode='process'")
+        os.kill(backend.proc.pid, signal.SIGSTOP)
+        return self.node_id(index)
+
+    def resume_backend(self, index: int) -> str:
+        """SIGCONT a paused backend; returns the node id."""
+        backend = self.backends[index]
+        if not isinstance(backend, _ProcessBackend):
+            raise ClusterError("resume_backend needs mode='process'")
+        os.kill(backend.proc.pid, signal.SIGCONT)
+        return self.node_id(index)
+
+    def set_backend_latency(self, index: int, seconds: float) -> str:
+        """Inject *seconds* of reply latency into backend *index*
+        (thread mode only — the hook lives on the in-process service).
+        Latency above the router's probe timeout turns the node into a
+        slow-node grey failure: probes time out, the router routes
+        around it, and recovery is just setting ``0.0`` back.
+        Returns the node id."""
+        backend = self.backends[index]
+        if not isinstance(backend, _ThreadBackend):
+            raise ClusterError("set_backend_latency needs mode='thread'")
+        backend.handle.service.response_delay = max(0.0, float(seconds))
         return self.node_id(index)
 
     def node_id(self, index: int) -> str:

@@ -26,7 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ServiceError
+from repro.service.policy import RetryPolicy, RetryState
 from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
 
 __all__ = ["BackendNode", "BackendPool", "parse_address"]
@@ -60,6 +61,11 @@ class BackendNode:
     last_probe_at: Optional[float] = None
     last_error: Optional[str] = None
     last_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: Backoff bookkeeping while the node is down: probes of a dead
+    #: node decay toward the policy's max delay instead of hammering
+    #: the corpse every interval.
+    retry_state: Optional[RetryState] = field(default=None, repr=False)
+    next_probe_at: float = 0.0  #: monotonic; 0 = due immediately
 
     def snapshot(self) -> Dict[str, Any]:
         queue_depth = None
@@ -97,6 +103,7 @@ class BackendPool:
         probe_interval: float = 2.0,
         probe_timeout: float = 5.0,
         obs: Any = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not addresses:
             raise ClusterError("a backend pool needs at least one backend address")
@@ -104,6 +111,15 @@ class BackendPool:
             raise ClusterError("probe_interval and probe_timeout must be positive")
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
+        #: Paces re-probes of *down* nodes: unlimited attempts (a node
+        #: may come back any time), decorrelated jitter from one probe
+        #: interval out to 8x, so a dead backend costs O(log) probes
+        #: instead of one per interval forever.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=None,
+            base_delay=probe_interval,
+            max_delay=probe_interval * 8,
+        )
         #: Optional :class:`repro.obs.MetricsRegistry` receiving
         #: per-node health-transition counters (the router passes its own).
         self.obs = obs
@@ -174,6 +190,18 @@ class BackendPool:
             node.healthy = False
             node.n_downs += 1
             self._count_transition(node_id, "down")
+        # Schedule the next probe of this (now confirmed-dead) node on
+        # the policy's backoff instead of the flat interval.
+        if node.retry_state is None:
+            node.retry_state = self.retry_policy.start(op="pool.probe")
+        try:
+            delay = node.retry_state.next_delay()
+        except ServiceError:
+            # A bounded custom policy ran out of attempts: keep probing
+            # at the slowest cadence — membership is static, so "give
+            # up forever" is never right for a pool node.
+            delay = self.retry_policy.max_delay
+        node.next_probe_at = time.monotonic() + delay
 
     def mark_up(self, node_id: str) -> None:
         node = self.nodes.get(node_id)
@@ -182,6 +210,8 @@ class BackendPool:
                 self._count_transition(node_id, "up")
             node.healthy = True
             node.last_error = None
+            node.retry_state = None
+            node.next_probe_at = 0.0
 
     # -- probing ---------------------------------------------------------------
     async def connect(self, node: BackendNode):
@@ -222,9 +252,18 @@ class BackendPool:
                 with contextlib.suppress(Exception):
                     await writer.wait_closed()
 
-    async def probe_all(self) -> int:
-        """Probe every node concurrently; returns the healthy count."""
-        nodes = list(self.nodes.values())
+    async def probe_all(self, due_only: bool = False) -> int:
+        """Probe every node concurrently; returns the healthy count.
+
+        With *due_only*, down nodes whose backoff window has not
+        elapsed are skipped — the periodic loop's mode; explicit calls
+        (router start, tests) probe everything.
+        """
+        now = time.monotonic()
+        nodes = [
+            node for node in self.nodes.values()
+            if not due_only or node.healthy or now >= node.next_probe_at
+        ]
         results = await asyncio.gather(*(self.probe(node) for node in nodes))
         return sum(1 for ok in results if ok)
 
@@ -232,7 +271,7 @@ class BackendPool:
         while True:
             await asyncio.sleep(self.probe_interval)
             with contextlib.suppress(Exception):
-                await self.probe_all()
+                await self.probe_all(due_only=True)
 
     def start_probing(self) -> None:
         if self._probe_task is None:

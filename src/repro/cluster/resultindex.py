@@ -1,0 +1,243 @@
+"""Durable result index: terminal job ids survive router restarts.
+
+The :class:`~repro.cluster.joblog.JobLog` remembers *pending* work — a
+restart replays incomplete jobs and forgets finished ones, which is
+right for the WAL but wrong for clients: a poller holding the job id of
+a run that completed just before the restart would get ``job-not-found``
+from the reborn router.  The :class:`ResultIndex` closes that gap with a
+second, much smaller JSON-lines file mapping every *terminal* job id to
+what a status call needs: the content-addressed request key, the final
+state, and a digest of the result document.  On restart the router
+re-registers these ids as already-terminal jobs, so ``op:status`` /
+``GET /v1/jobs/{id}`` keep answering across the restart.  (Event
+*history* is not retained — streams replay from the backends' own logs;
+the index answers "what happened to job X", not "show me its bytes".)
+
+Same durability model as the job log: line-atomic appends flushed every
+write, torn final lines skipped on load, compaction by atomic rewrite
+keeping the newest ``max_entries`` records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ClusterError
+
+__all__ = ["IndexedResult", "ResultIndex"]
+
+#: Terminal states an index record may carry (mirrors the wire states).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class IndexedResult:
+    """One terminal job as the index remembers it."""
+
+    job_id: str
+    state: str
+    key: Optional[str] = None  #: content-addressed request_key
+    digest: Optional[str] = None  #: sha256 of the canonical result doc
+    error: Optional[str] = None
+    finished_at: float = 0.0
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "key": self.key,
+            "digest": self.digest,
+            "error": self.error,
+            "t": self.finished_at,
+        }
+
+
+class ResultIndex:
+    """An append-only JSON-lines index of terminal jobs.
+
+    Parameters
+    ----------
+    path:
+        The index file; created (with parents) on first append.
+    max_entries:
+        Compaction target — when the file accumulates more than twice
+        this many records, it is rewritten keeping only the newest
+        *max_entries*.  ``0`` disables compaction.
+    fsync:
+        Force every append to stable storage (off by default, matching
+        the job log's process-death durability model).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_entries: int = 4096,
+        fsync: bool = False,
+    ) -> None:
+        if max_entries < 0:
+            raise ClusterError(f"max_entries must be >= 0, got {max_entries}")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self.fsync = fsync
+        self._file = None
+        self._lock = threading.Lock()
+        self._appends_since_load = 0
+        self.n_appended = 0
+        self.n_compactions = 0
+
+    # -- writing ---------------------------------------------------------------
+    def record(
+        self,
+        job_id: str,
+        state: str,
+        key: Optional[str] = None,
+        digest: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Remember that *job_id* finished in *state*."""
+        if not isinstance(job_id, str) or not job_id:
+            raise ClusterError(f"result-index records need a string job_id: {job_id!r}")
+        if state not in TERMINAL_STATES:
+            raise ClusterError(
+                f"result-index state must be one of {sorted(TERMINAL_STATES)}, "
+                f"got {state!r}"
+            )
+        entry = IndexedResult(
+            job_id=job_id,
+            state=state,
+            key=key,
+            digest=digest,
+            error=error,
+            finished_at=time.time(),
+        )
+        line = json.dumps(entry.as_record(), separators=(",", ":")) + "\n"
+        compact_now = False
+        with self._lock:
+            self._write_line(line)
+            self.n_appended += 1
+            self._appends_since_load += 1
+            if self.max_entries > 0 and self._appends_since_load >= self.max_entries:
+                compact_now = True
+                self._appends_since_load = 0
+        if compact_now:
+            self.compact()
+
+    def _write_line(self, line: str) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Seal a torn final line from a previous crash: appending to
+            # a file whose last line lacks its newline would merge two
+            # records into one corrupt line.
+            if self.path.is_file():
+                with open(self.path, "rb") as fh:
+                    try:
+                        fh.seek(-1, os.SEEK_END)
+                        torn = fh.read(1) != b"\n"
+                    except OSError:
+                        torn = False
+                if torn:
+                    with open(self.path, "ab") as fh:
+                        fh.write(b"\n")
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(line)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    # -- reading ---------------------------------------------------------------
+    def load(self) -> "OrderedDict[str, IndexedResult]":
+        """Every remembered terminal job, oldest first, last record wins.
+
+        Torn or undecodable lines are skipped, never fatal.
+        """
+        out: "OrderedDict[str, IndexedResult]" = OrderedDict()
+        if not self.path.is_file():
+            return out
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                job_id = record.get("job_id")
+                state = record.get("state")
+                if not isinstance(job_id, str) or state not in TERMINAL_STATES:
+                    continue
+                entry = IndexedResult(
+                    job_id=job_id,
+                    state=state,
+                    key=record.get("key"),
+                    digest=record.get("digest"),
+                    error=record.get("error"),
+                    finished_at=float(record.get("t") or 0.0),
+                )
+                # Last record wins, and re-recording moves the id to the
+                # newest end so compaction keeps recently-touched ids.
+                out.pop(job_id, None)
+                out[job_id] = entry
+        return out
+
+    # -- compaction ------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the file keeping the newest ``max_entries`` records.
+
+        Returns the number of entries dropped.  Atomic via
+        ``os.replace``; appends are excluded for the duration (the file
+        is small by construction, so the hold is short).
+        """
+        with self._lock:
+            entries = self.load()
+            keep = list(entries.values())
+            dropped = 0
+            if self.max_entries > 0 and len(keep) > self.max_entries:
+                dropped = len(keep) - self.max_entries
+                keep = keep[-self.max_entries:]
+            tmp = self.path.with_suffix(self.path.suffix + ".compact")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for entry in keep:
+                    fh.write(json.dumps(entry.as_record(),
+                                        separators=(",", ":")) + "\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            os.replace(tmp, self.path)
+            self.n_compactions += 1
+            return dropped
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "ResultIndex":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable index state for stats surfaces."""
+        entries = self.load()
+        return {
+            "path": str(self.path),
+            "n_entries": len(entries),
+            "n_appended_this_session": self.n_appended,
+            "n_compactions": self.n_compactions,
+        }

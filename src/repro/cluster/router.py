@@ -25,7 +25,17 @@ a router from a single service.  What it adds:
   its owner's content-addressed cache and costs a lookup, not a rerun;
 * **per-client quotas**: optional token buckets
   (:mod:`repro.cluster.quota`) reject over-limit submitters with the
-  queue's retry-after backpressure shape.
+  queue's retry-after backpressure shape;
+* **warm standbys** (``replication_factor=2``): each placement is
+  mirrored to the key's rendezvous runner-up, so a primary that dies
+  mid-stream is *promoted away from* — the standby already holds the
+  job (often mid-run or finished) and the stream re-attaches to it
+  instead of re-dispatching from scratch.  Duplicate completions
+  collapse in the backends' content-addressed caches;
+* **a durable result index**: terminal job ids (state + result digest)
+  persist in a :class:`~repro.cluster.resultindex.ResultIndex` beside
+  the WAL, so ``op:status`` keeps answering for *finished* jobs across
+  router restarts — the WAL alone only resurrects pending ones.
 
 Job ids: the router mints its own (``cjob-…``) and maps them to the
 backend-local ids, which is what makes restart/failover transparent —
@@ -53,19 +63,28 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Set, Tuple, Union
 
-from repro.cluster.hashing import rendezvous_choose
+from repro.cluster.hashing import rendezvous_choose, rendezvous_ranking
 from repro.cluster.joblog import JobLog
 from repro.cluster.pool import BackendNode, BackendPool
 from repro.cluster.quota import QuotaPolicy
+from repro.cluster.resultindex import ResultIndex
 from repro.engine.schema import request_key
-from repro.errors import ClusterError, JobNotFoundError, ServiceError
+from repro.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    JobNotFoundError,
+    ServiceError,
+)
 from repro.obs import (
     MetricsRegistry,
     get_registry,
     merge_families,
     recent_spans,
+    remote_parent,
     render_json,
+    trace,
 )
+from repro.service.policy import RetryPolicy
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     TERMINAL_EVENTS,
@@ -136,6 +155,23 @@ class RouterJob:
     backend_job_id: Optional[str] = None
     n_dispatches: int = 0
     replayed: bool = False
+    #: Restored from the result index after a restart: terminal by
+    #: construction, spec-less — answers status, never streams/replays.
+    restored: bool = False
+    #: Warm-standby copy (replication_factor >= 2): the runner-up node
+    #: holding a mirror of this job, promoted to primary if the primary
+    #: dies before completion.
+    standby_node_id: Optional[str] = None
+    standby_job_id: Optional[str] = None
+    #: Absolute monotonic deadline (propagated wire deadline); the
+    #: remaining budget is forwarded on every (re-)dispatch.
+    deadline_at: Optional[float] = None
+    #: Remote parent span id — forwarded so backend engine spans parent
+    #: under this router's submit span in a cluster-wide scrape.
+    trace_id: Optional[str] = None
+    #: sha256 of the terminal wire event, once seen (also what the
+    #: result index persists).
+    result_digest: Optional[str] = None
     submitted_at: float = field(default_factory=time.monotonic)
     lock: "asyncio.Lock" = field(default_factory=asyncio.Lock, repr=False)
 
@@ -211,6 +247,24 @@ class ShardRouter:
         Backend health-probe cadence (see :class:`BackendPool`).
     backend_timeout:
         Per-request timeout for forwarded request/reply ops.
+    replication_factor:
+        ``1`` (default): single placement, failover re-dispatches.
+        ``>= 2``: every placement is mirrored to the key's rendezvous
+        runner-up and a dead primary *promotes* the warm standby
+        instead of re-dispatching cold.
+    result_index:
+        Optional :class:`ResultIndex` (or path) remembering terminal
+        job ids across restarts, so completed jobs keep answering
+        ``op:status`` instead of 404ing after a restart.
+    retry_policy:
+        The :class:`~repro.service.policy.RetryPolicy` pacing restart
+        re-dispatch of replayed jobs (default: 4 attempts, decorrelated
+        jitter from 0.25 s).
+    stream_timeout:
+        Optional inter-event timeout for proxied streams; a backend
+        that stalls mid-stream longer than this (e.g. SIGSTOPped) is
+        marked down and failed over.  ``None`` (default) waits forever,
+        matching the service's own streaming contract.
     """
 
     def __init__(
@@ -225,6 +279,10 @@ class ShardRouter:
         backend_timeout: float = 60.0,
         job_retention: int = DEFAULT_JOB_RETENTION,
         node_id: Optional[str] = None,
+        replication_factor: int = 1,
+        result_index: Union[ResultIndex, str, None] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        stream_timeout: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -238,8 +296,21 @@ class ShardRouter:
         if isinstance(job_log, (str, os.PathLike)):
             job_log = JobLog(job_log)
         self.job_log = job_log
+        if isinstance(result_index, (str, os.PathLike)):
+            result_index = ResultIndex(result_index)
+        self.result_index = result_index
         self.quota = quota
         self.backend_timeout = backend_timeout
+        self.stream_timeout = stream_timeout
+        if not isinstance(replication_factor, int) or replication_factor < 1:
+            raise ClusterError(
+                f"replication_factor must be an integer >= 1, "
+                f"got {replication_factor!r}"
+            )
+        self.replication_factor = replication_factor
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=4, base_delay=0.25, max_delay=2.0
+        )
         self.job_retention = max(1, job_retention)
         self.node_id = node_id or f"router-{uuid.uuid4().hex[:8]}"
         self._jobs: "OrderedDict[str, RouterJob]" = OrderedDict()
@@ -248,6 +319,7 @@ class ShardRouter:
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._replay_task: Optional[asyncio.Task] = None
+        self._side_tasks: set = set()  #: mirror/standby-cancel fire-and-forgets
         self._parse_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-router-parse"
         )
@@ -257,6 +329,9 @@ class ShardRouter:
         self.n_failovers = 0
         self.n_affinity_hits = 0
         self.n_replayed = 0
+        self.n_restored = 0
+        self.n_mirrored = 0
+        self.n_standby_promotions = 0
         self.obs.gauge(
             "cluster_backends_healthy",
             help="Backends currently eligible for new placement.",
@@ -298,6 +373,8 @@ class ShardRouter:
         self.pool.start_probing()
         if self.job_log is not None:
             self._register_replayed()
+        if self.result_index is not None:
+            self._register_indexed()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -319,6 +396,11 @@ class ShardRouter:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._replay_task
             self._replay_task = None
+        for task in list(self._side_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._side_tasks.clear()
         await self.pool.stop_probing()
         if self._server is not None:
             self._server.close()
@@ -336,6 +418,8 @@ class ShardRouter:
         self._parse_pool.shutdown(wait=False, cancel_futures=True)
         if self.job_log is not None:
             self.job_log.close()
+        if self.result_index is not None:
+            self.result_index.close()
 
     # -- restart replay --------------------------------------------------------
     def _register_replayed(self) -> None:
@@ -362,16 +446,59 @@ class ShardRouter:
             self._register(job)
             self.n_replayed += 1
 
+    def _register_indexed(self) -> None:
+        """Re-register the result index's terminal jobs.
+
+        Runs *after* WAL replay, which wins on conflict (an id that is
+        both pending in the WAL and terminal in the index means the
+        complete record raced the crash — replaying is the safe side).
+        Restored jobs carry no spec and no event history: they answer
+        ``op:status`` and refuse resurrection, which is exactly the
+        restart contract clients polling a finished id need.
+        """
+        for entry in self.result_index.load().values():
+            if entry.job_id in self._jobs:
+                continue
+            self._register(RouterJob(
+                rid=entry.job_id,
+                spec={},
+                key=entry.key or "",
+                state=entry.state,
+                restored=True,
+                result_digest=entry.digest,
+            ))
+            self.n_restored += 1
+
     async def _dispatch_replayed(self) -> None:
-        for job in list(self._jobs.values()):
-            if not job.replayed or job.terminal or job.node_id is not None:
-                continue
+        """Re-dispatch replayed jobs, pacing rounds by the retry policy.
+
+        A job whose dispatch fails (no healthy backends yet, backend
+        queue full) stays pending and is retried next round; when the
+        policy's attempts run out the survivors are left pending — the
+        next status/stream for the id (or the next restart) retries.
+        """
+        retry = self.retry_policy.start(op="router.redispatch")
+        while True:
+            remaining = [
+                job for job in self._jobs.values()
+                if job.replayed and not job.terminal and job.node_id is None
+            ]
+            if not remaining:
+                return
+            for job in remaining:
+                try:
+                    await self._ensure_assignment(job, set())
+                except (ServiceError, ClusterError):
+                    continue
+            if not any(
+                job.replayed and not job.terminal and job.node_id is None
+                for job in self._jobs.values()
+            ):
+                return
             try:
-                await self._ensure_assignment(job, set())
-            except (ServiceError, ClusterError):
-                # Leave it pending: the next status/stream for this id
-                # (or nothing — the job stays in the log) retries.
-                continue
+                await retry.asleep()
+            except ServiceError:
+                return  # attempts exhausted: leave the rest pending
 
     # -- job registry ----------------------------------------------------------
     def _register(self, job: RouterJob) -> None:
@@ -396,6 +523,49 @@ class ShardRouter:
         job.state = state
         if self.job_log is not None:
             self.job_log.log_complete(job.rid, state)
+        if self.result_index is not None:
+            self.result_index.record(
+                job.rid, state, key=job.key or None, digest=job.result_digest
+            )
+        # A finished job no longer needs its warm standby: cancel the
+        # mirror copy (fire-and-forget — the standby may be dead, and a
+        # cancel that misses only costs the standby a redundant run
+        # that its cache collapses anyway).
+        standby_node, standby_bid = job.standby_node_id, job.standby_job_id
+        job.standby_node_id = job.standby_job_id = None
+        if standby_node is not None and standby_bid is not None:
+            self._spawn_side_task(
+                self._cancel_backend_job(standby_node, standby_bid)
+            )
+
+    @staticmethod
+    def _digest_event(event: Dict[str, Any]) -> str:
+        """sha256 of a terminal wire event's canonical JSON — the
+        cross-restart result fingerprint the index persists."""
+        canonical = json.dumps(
+            event, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _spawn_side_task(self, coro) -> None:
+        """Run *coro* as a tracked fire-and-forget task (mirrors,
+        standby cancels); dropped silently when no loop is running
+        (router already stopping)."""
+        if self._loop is None or not self._loop.is_running():
+            coro.close()
+            return
+        task = self._loop.create_task(coro)
+        self._side_tasks.add(task)
+        task.add_done_callback(self._side_tasks.discard)
+
+    async def _cancel_backend_job(self, node_id: str, backend_job_id: str) -> None:
+        node = self.pool.nodes.get(node_id)
+        if node is None:
+            return
+        with contextlib.suppress(_BackendDown, ServiceError):
+            await self._link(node).call(
+                {"op": "cancel", "job_id": backend_job_id}
+            )
 
     # -- placement -------------------------------------------------------------
     def _link(self, node: BackendNode) -> _BackendLink:
@@ -422,17 +592,21 @@ class ShardRouter:
         """Submit *job* to its rendezvous owner, walking the failover
         order past dead nodes.  Returns the backend's reply verbatim —
         ``ok: false`` replies (queue-full, quota) propagate untouched."""
+        if job.deadline_at is not None and time.monotonic() >= job.deadline_at:
+            # The client's budget is spent: shed instead of dispatching
+            # doomed work.  Completed so the WAL never replays it.
+            self._complete(job, "failed")
+            raise DeadlineExceededError(
+                f"job {job.rid} shed — deadline expired before dispatch"
+            )
         exclude = set(exclude or ())
         while True:
             node_id = self.choose_node(job.key, exclude)
             node = self.pool.node(node_id)
             try:
-                reply = await self._link(node).call({
-                    "op": "submit",
-                    "job": job.spec,
-                    "priority": job.priority,
-                    "client": job.client,
-                })
+                reply = await self._link(node).call(
+                    self._submit_msg(job)
+                )
             except _BackendDown as exc:
                 self.pool.mark_down(node_id, str(exc))
                 exclude.add(node_id)
@@ -461,8 +635,75 @@ class ShardRouter:
                         job.rid, node=node_id, backend_job_id=job.backend_job_id
                     )
                 if reply.get("state") in ("done", "failed", "cancelled"):
+                    job.result_digest = self._digest_event(reply)
                     self._complete(job, reply["state"])
+                elif self.replication_factor > 1:
+                    self._spawn_side_task(self._mirror(job))
             return reply
+
+    def _submit_msg(self, job: RouterJob) -> Dict[str, Any]:
+        """The backend submit message for *job*, with the remaining
+        deadline budget and the trace parent on the wire."""
+        msg: Dict[str, Any] = {
+            "op": "submit",
+            "job": job.spec,
+            "priority": job.priority,
+            "client": job.client,
+        }
+        if job.deadline_at is not None:
+            msg["deadline"] = max(0.0, job.deadline_at - time.monotonic())
+        if job.trace_id:
+            msg["trace"] = job.trace_id
+        return msg
+
+    async def _mirror(self, job: RouterJob) -> None:
+        """Place a warm-standby copy of *job* on the key's rendezvous
+        runner-up (replication_factor >= 2).
+
+        Best-effort by design: a standby that cannot be placed (one
+        healthy node, full queue, racing death) degrades to plain
+        failover re-dispatch — never to an error the client sees.  The
+        copy is a real submission, so by promotion time the standby has
+        either finished the job (content-addressed cache collapses the
+        duplicate) or is mid-run and warm.
+        """
+        primary = job.node_id
+        if primary is None or job.terminal:
+            return
+        if (
+            job.standby_node_id is not None
+            and job.standby_node_id != primary
+            and self.pool.is_healthy(job.standby_node_id)
+        ):
+            return  # current standby is still good
+        ranking = rendezvous_ranking(job.key, self.pool.healthy_ids())
+        candidates = [nid for nid in ranking if nid != primary]
+        if not candidates:
+            return  # no second healthy node to mirror onto
+        node_id = candidates[0]
+        node = self.pool.node(node_id)
+        try:
+            reply = await self._link(node).call(self._submit_msg(job))
+        except _BackendDown as exc:
+            self.pool.mark_down(node_id, str(exc))
+            return
+        if not reply.get("ok"):
+            return  # backpressure on the standby: mirror later, not louder
+        if job.terminal:
+            # Finished while the mirror was in flight: the copy is
+            # already useless — reap it.
+            backend_bid = reply.get("job_id")
+            if backend_bid:
+                await self._cancel_backend_job(node_id, backend_bid)
+            return
+        job.standby_node_id = node_id
+        job.standby_job_id = reply.get("job_id")
+        self.n_mirrored += 1
+        self._count(
+            "cluster_mirrored_total",
+            "Warm-standby copies placed on rendezvous runner-ups.",
+            node=node_id,
+        )
 
     def _clear_assignment(self, job: RouterJob) -> None:
         job.node_id = None
@@ -491,6 +732,35 @@ class ShardRouter:
                     "gone; its event history cannot be replayed"
                 )
             self._clear_assignment(job)
+            # Warm-standby promotion: if a mirror copy is alive on a
+            # healthy node, adopt it as the new primary — no fresh
+            # dispatch, no cold start; the standby is already running
+            # (or done with) this job.
+            standby_node = job.standby_node_id
+            if (
+                standby_node is not None
+                and job.standby_job_id is not None
+                and standby_node not in exclude
+                and self.pool.is_healthy(standby_node)
+            ):
+                job.node_id = standby_node
+                job.backend_job_id = job.standby_job_id
+                job.state = "routed"
+                job.standby_node_id = job.standby_job_id = None
+                self.n_standby_promotions += 1
+                self._count(
+                    "standby_promotions_total",
+                    "Warm standbys promoted to primary after a dead node.",
+                    node=standby_node,
+                )
+                if self.job_log is not None:
+                    self.job_log.log_assign(
+                        job.rid, node=standby_node,
+                        backend_job_id=job.backend_job_id,
+                    )
+                if self.replication_factor > 1:
+                    self._spawn_side_task(self._mirror(job))  # re-arm
+                return job.node_id, job.backend_job_id
             reply = await self._dispatch(job, exclude=exclude)
             if not reply.get("ok"):
                 raise ClusterError(
@@ -510,38 +780,66 @@ class ShardRouter:
         spec = msg.get("job")
         if not isinstance(spec, dict):
             raise ServiceError("submit needs a 'job' object")
+        deadline = msg.get("deadline")
+        deadline_at = None
+        if isinstance(deadline, (int, float)) and not isinstance(deadline, bool):
+            deadline_at = time.monotonic() + max(0.0, float(deadline))
+        wire_trace = msg.get("trace")
         loop = asyncio.get_running_loop()
-        key = await loop.run_in_executor(self._parse_pool, routing_key, spec)
-        job = RouterJob(
-            rid=_router_job_id(), spec=spec, key=key,
-            client=client, priority=priority,
-        )
-        self.n_submitted += 1
-        self._count(
-            "cluster_submissions_total", "Client submissions this router accepted."
-        )
-        self._register(job)
-        if self.job_log is not None:
-            self.job_log.log_submit(
-                job.rid, spec, key=key, client=client, priority=priority
-            )
-        try:
-            reply = await self._dispatch(job)
-        except ClusterError:
-            # No healthy backends: the client sees the rejection, so the
-            # logged submit must not replay after a restart.
-            self._complete(job, "cancelled")
-            raise
-        if not reply.get("ok"):
-            # The client saw the rejection; the job must not replay.
-            self._complete(job, "cancelled")
-            return reply
-        return {**reply, "job_id": job.rid, "node": job.node_id}
+        # The routing span parents under the submitter's wire span (if
+        # any) and its own id rides to the backend, so a cluster-wide
+        # scrape shows client → router → backend as one span tree.
+        with remote_parent(wire_trace if isinstance(wire_trace, str) else None):
+            with trace("cluster.submit", registry=self.obs) as span:
+                key = await loop.run_in_executor(
+                    self._parse_pool, routing_key, spec
+                )
+                job = RouterJob(
+                    rid=_router_job_id(), spec=spec, key=key,
+                    client=client, priority=priority,
+                    deadline_at=deadline_at, trace_id=span.span_id,
+                )
+                self.n_submitted += 1
+                self._count(
+                    "cluster_submissions_total",
+                    "Client submissions this router accepted.",
+                )
+                self._register(job)
+                if self.job_log is not None:
+                    self.job_log.log_submit(
+                        job.rid, spec, key=key, client=client,
+                        priority=priority,
+                    )
+                try:
+                    reply = await self._dispatch(job)
+                except ClusterError:
+                    # No healthy backends: the client sees the
+                    # rejection, so the logged submit must not replay
+                    # after a restart.
+                    self._complete(job, "cancelled")
+                    raise
+                if not reply.get("ok"):
+                    # The client saw the rejection; must not replay.
+                    self._complete(job, "cancelled")
+                    return reply
+                return {**reply, "job_id": job.rid, "node": job.node_id}
 
     def _pending_doc(self, job: RouterJob) -> Dict[str, Any]:
         return {"ok": True, "job_id": job.rid, "state": "queued",
                 "node": None, "pending_dispatch": True,
                 "priority": job.priority}
+
+    def _terminal_doc(self, job: RouterJob) -> Dict[str, Any]:
+        """Status answered from the router's own record — the backend
+        holding the job's history is gone (or was never this router's,
+        for index-restored jobs)."""
+        doc: Dict[str, Any] = {"ok": True, "job_id": job.rid,
+                               "state": job.state, "node": None}
+        if job.restored:
+            doc["restored"] = True
+        if job.result_digest:
+            doc["digest"] = job.result_digest
+        return doc
 
     async def _status(self, rid: Any) -> Dict[str, Any]:
         """Forward a status poll, re-dispatching a lost job on the way —
@@ -557,8 +855,7 @@ class ShardRouter:
         for attempt in range(2):
             if job.node_id is None:
                 if job.terminal:
-                    return {"ok": True, "job_id": job.rid, "state": job.state,
-                            "node": None}
+                    return self._terminal_doc(job)
                 try:
                     await self._ensure_assignment(job, set())
                 except (ClusterError, ServiceError):
@@ -572,8 +869,7 @@ class ShardRouter:
                 self.pool.mark_down(node_id, str(exc))
                 self._note_failover()
                 if job.terminal:
-                    return {"ok": True, "job_id": job.rid, "state": job.state,
-                            "node": None}
+                    return self._terminal_doc(job)
                 if job.node_id == node_id:
                     self._clear_assignment(job)
                 continue  # one re-dispatch try, then report pending
@@ -584,14 +880,15 @@ class ShardRouter:
                     if job.terminal:
                         # Backend restarted and forgot a finished job;
                         # the router's own record still answers.
-                        return {"ok": True, "job_id": job.rid,
-                                "state": job.state, "node": None}
+                        return self._terminal_doc(job)
                     # Forgot a live job: back to pending, re-dispatch.
                     if job.node_id == node_id:
                         self._clear_assignment(job)
                     continue
                 return reply
             if reply.get("state") in ("done", "failed", "cancelled"):
+                if job.result_digest is None:
+                    job.result_digest = self._digest_event(reply)
                 self._complete(job, reply["state"])
             return {**reply, "job_id": job.rid, "node": node_id}
         return self._pending_doc(job)
@@ -669,6 +966,10 @@ class ShardRouter:
             "n_failovers": self.n_failovers,
             "n_affinity_hits": self.n_affinity_hits,
             "n_replayed": self.n_replayed,
+            "n_restored": self.n_restored,
+            "n_mirrored": self.n_mirrored,
+            "n_standby_promotions": self.n_standby_promotions,
+            "replication_factor": self.replication_factor,
             "jobs": states,
             "backends": self.pool.snapshot(),
             "n_backends_healthy": len(self.pool.healthy_ids()),
@@ -687,6 +988,13 @@ class ShardRouter:
                 "path": str(self.job_log.path),
                 "n_appended": self.job_log.n_appended,
                 "n_compactions": self.job_log.n_compactions,
+            }
+        if self.result_index is not None:
+            # Cheap fields only, same event-loop rule as the job log.
+            doc["result_index"] = {
+                "path": str(self.result_index.path),
+                "n_appended": self.result_index.n_appended,
+                "n_compactions": self.result_index.n_compactions,
             }
         return doc
 
@@ -788,8 +1096,14 @@ class ShardRouter:
                 )
                 bwriter.write(encode_line({"op": "stream", "job_id": bid}))
                 await bwriter.drain()
+                # A SIGSTOP'd backend accepts the connection (kernel
+                # backlog) but never sends the ack — the stall guard
+                # must cover this first read, not just inter-event ones.
                 ack_line = await asyncio.wait_for(
-                    breader.readline(), timeout=self.backend_timeout
+                    breader.readline(),
+                    timeout=(self.stream_timeout
+                             if self.stream_timeout is not None
+                             else self.backend_timeout),
                 )
                 if not ack_line:
                     raise ConnectionError("EOF before stream ack")
@@ -804,13 +1118,23 @@ class ShardRouter:
                            "state": ack.get("state"), "node": node_id}
                     ack_sent = True
                 while True:
-                    line = await breader.readline()
+                    if self.stream_timeout is not None:
+                        # A backend that stalls mid-stream (paused, not
+                        # dead — SIGSTOP) would otherwise hang this
+                        # readline forever; the timeout lands in the
+                        # failover except-clause below.
+                        line = await asyncio.wait_for(
+                            breader.readline(), timeout=self.stream_timeout
+                        )
+                    else:
+                        line = await breader.readline()
                     if not line:
                         raise ConnectionError("EOF mid-stream")
                     event = decode_line(line)
                     yield event
                     name = event.get("event")
                     if name in TERMINAL_EVENTS:
+                        job.result_digest = self._digest_event(event)
                         self._complete(job, _EVENT_STATE[name])
                         return
             except (OSError, ConnectionError, asyncio.TimeoutError,
@@ -942,6 +1266,8 @@ def serve_cluster_forever(**kwargs: Any) -> None:
             f"repro cluster router listening on {host}:{port} "
             f"({healthy}/{len(router.pool.nodes)} backends healthy"
             f"{', durable' if router.job_log is not None else ''}"
+            f"{', indexed' if router.result_index is not None else ''}"
+            f"{f', rf={router.replication_factor}' if router.replication_factor > 1 else ''}"
             f"{', quotas' if router.quota is not None else ''})",
             flush=True,
         )

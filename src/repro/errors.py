@@ -25,6 +25,7 @@ __all__ = [
     "QueueFullError",
     "QuotaExceededError",
     "JobNotFoundError",
+    "DeadlineExceededError",
     "ClusterError",
     "GatewayError",
 ]
@@ -111,6 +112,18 @@ class QuotaExceededError(QueueFullError):
 
 class JobNotFoundError(ServiceError):
     """A status/cancel/stream request named an unknown job id."""
+
+
+class DeadlineExceededError(ServiceError):
+    """An operation's overall deadline expired before it could finish.
+
+    Distinct from :class:`QueueFullError` (the server asked for a
+    retry) and :class:`ServiceUnavailableError` (the connection died):
+    this is the *caller's* time budget running out — raised by
+    :class:`repro.service.policy.RetryPolicy` instead of sleeping into
+    a wait that cannot succeed, and by servers shedding queued work
+    whose propagated wire deadline has already passed.
+    """
 
 
 class ClusterError(ServiceError):

@@ -18,12 +18,14 @@ from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import (
     ClusterError,
+    DeadlineExceededError,
     GatewayError,
     JobNotFoundError,
     QueueFullError,
     QuotaExceededError,
     ServiceError,
 )
+from repro.service.policy import RetryPolicy
 
 __all__ = ["GatewayClient", "parse_sse_stream"]
 
@@ -72,10 +74,17 @@ class GatewayClient:
     trivially re-entrant and fork-safe)."""
 
     def __init__(self, address: Union[str, Tuple[str, int]],
-                 client_id: Optional[str] = None, timeout: float = 60.0) -> None:
+                 client_id: Optional[str] = None, timeout: float = 60.0,
+                 deadline: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.host, self.port = _parse_address(address)
         self.client_id = client_id
         self.timeout = timeout
+        #: Default overall deadline (seconds) for retrying submits.
+        self.deadline = deadline
+        #: Backoff shape for retried submits; ``Retry-After`` hints
+        #: from 429s replace the computed delay verbatim.
+        self.retry_policy = retry_policy or RetryPolicy()
 
     # -- plumbing --------------------------------------------------------------
     def _connect(self, timeout: Optional[float] = None) -> http.client.HTTPConnection:
@@ -90,13 +99,16 @@ class GatewayClient:
         return headers
 
     def request(self, method: str, path: str,
-                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                body: Optional[Dict[str, Any]] = None,
+                extra_headers: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
         """One request/response cycle; raises the mapped exception for
         error statuses (see module docstring)."""
         conn = self._connect()
         try:
             payload = None
             headers = self._headers()
+            if extra_headers:
+                headers.update(extra_headers)
             if body is not None:
                 payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -130,6 +142,8 @@ class GatewayClient:
             raise cls(doc.get("message", "rejected"), retry_after)
         if response.status == 404 and doc.get("error") == "unknown-job":
             raise JobNotFoundError(doc.get("message", "unknown job"))
+        if doc.get("error") == "deadline-exceeded":
+            raise DeadlineExceededError(doc.get("message", "deadline exceeded"))
         if response.status == 503:
             raise ClusterError(doc.get("message", "gateway unavailable"))
         if response.status >= 400:
@@ -141,11 +155,43 @@ class GatewayClient:
 
     # -- data plane ------------------------------------------------------------
     def submit(self, spec: Dict[str, Any], priority: int = 0,
-               client: Optional[str] = None) -> Dict[str, Any]:
+               client: Optional[str] = None,
+               max_attempts: Optional[int] = 1,
+               deadline: Optional[float] = None,
+               trace: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a job spec; 202's body is the ack.
+
+        With ``max_attempts > 1`` (or ``None`` for the policy default),
+        429 backpressure is retried on the client's
+        :class:`~repro.service.policy.RetryPolicy`, honoring the
+        server's ``Retry-After`` verbatim.  *deadline* (seconds,
+        default: the client's) bounds the whole retry loop — it is also
+        sent as ``X-Repro-Deadline`` so the cluster sheds the job if
+        the budget expires server-side.  *trace* rides as
+        ``X-Repro-Trace`` for cross-process span parenting.
+        """
         body: Dict[str, Any] = {"job": spec, "priority": priority}
         if client or self.client_id:
             body["client"] = client or self.client_id
-        return self.request("POST", "/v1/jobs", body)
+        if deadline is None:
+            deadline = self.deadline
+        policy = self.retry_policy
+        if max_attempts is not None:
+            policy = policy.with_(max_attempts=max_attempts)
+        retry = policy.start(deadline=deadline, op="gateway.submit")
+        while True:
+            retry.check_deadline()
+            headers: Dict[str, str] = {}
+            if retry.deadline_at is not None:
+                remaining = retry.remaining()
+                headers["X-Repro-Deadline"] = f"{max(0.0, remaining):.3f}"
+            if trace:
+                headers["X-Repro-Trace"] = trace
+            try:
+                return self.request("POST", "/v1/jobs", body,
+                                    extra_headers=headers)
+            except QueueFullError as exc:  # QuotaExceededError included
+                retry.sleep(retry_after=exc.retry_after, error=exc)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self.request("GET", f"/v1/jobs/{job_id}")

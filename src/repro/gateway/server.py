@@ -78,12 +78,22 @@ __all__ = [
     "gateway_background",
     "serve_gateway_forever",
     "CLIENT_HEADER",
+    "DEADLINE_HEADER",
+    "TRACE_HEADER",
 ]
 
 #: The client-identity header quotas are keyed on.  Anything presenting
 #: it is "authenticated" as that client id; without it the peer host
 #: stands in (exactly the TCP protocol's ``client`` field fallback).
 CLIENT_HEADER = "x-repro-client"
+
+#: Seconds the client is still willing to wait — forwarded as the wire
+#: ``deadline`` so routers/backends shed work whose client gave up.
+DEADLINE_HEADER = "x-repro-deadline"
+
+#: Submitter's span id — forwarded as the wire ``trace`` so backend
+#: spans parent under the HTTP caller's span in a cluster-wide scrape.
+TRACE_HEADER = "x-repro-trace"
 
 #: How long a drain-remove waits for a backend's streams to finish
 #: before the background remover gives up and removes it anyway.
@@ -469,6 +479,18 @@ class Gateway:
             "priority": body.get("priority", 0),
             "client": body.get("client") or request.headers.get(CLIENT_HEADER),
         }
+        deadline = request.headers.get(DEADLINE_HEADER, body.get("deadline"))
+        if deadline is not None:
+            try:
+                msg["deadline"] = max(0.0, float(deadline))
+            except (TypeError, ValueError):
+                raise HttpError(
+                    400, f"{DEADLINE_HEADER} must be a number of seconds, "
+                         f"got {deadline!r}"
+                ) from None
+        trace_id = request.headers.get(TRACE_HEADER, body.get("trace"))
+        if isinstance(trace_id, str) and trace_id:
+            msg["trace"] = trace_id
         reply = await self.binding.submit(msg, peer=None)
         if reply.get("ok"):
             self.n_submitted += 1

@@ -33,7 +33,14 @@ from repro.obs.expo import (
     render_json,
     render_prometheus,
 )
-from repro.obs.trace import Span, current_span, record_span, recent_spans, trace
+from repro.obs.trace import (
+    Span,
+    current_span,
+    record_span,
+    recent_spans,
+    remote_parent,
+    trace,
+)
 
 __all__ = [
     "Counter",
@@ -50,5 +57,6 @@ __all__ = [
     "current_span",
     "record_span",
     "recent_spans",
+    "remote_parent",
     "trace",
 ]

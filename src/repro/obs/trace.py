@@ -8,6 +8,14 @@ per-request stage tree from the ring buffer without dragging in a real
 tracer.  Finished spans also fold their duration into a
 ``trace_span_seconds{span=...}`` histogram on the target registry, so
 the metrics surface gets per-stage percentiles for free.
+
+Spans also parent *across processes*: a submitter puts its span id on
+the wire (the ``trace`` field of submit messages, the
+``X-Repro-Trace`` HTTP header) and the receiving worker wraps the
+job's run in :func:`remote_parent`, so a cluster-wide span scrape
+shows backend engine spans nested under the router's submit span.
+Span ids carry a per-process random prefix precisely so ids minted by
+different processes in one cluster never collide in that merged view.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -23,15 +32,29 @@ from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["Span", "current_span", "record_span", "recent_spans", "trace"]
+__all__ = [
+    "Span",
+    "current_span",
+    "record_span",
+    "recent_spans",
+    "remote_parent",
+    "trace",
+]
 
 #: How many finished spans the in-process ring keeps.
 RECENT_SPAN_LIMIT = 512
 
 _ids = itertools.count(1)
+#: Per-process uniquifier: local counters would collide when spans from
+#: several cluster processes are merged into one scrape.
+_ID_PREFIX = uuid.uuid4().hex[:6]
 _current: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span", default=None)
 _ring_lock = threading.Lock()
 _recent: Deque["Span"] = deque(maxlen=RECENT_SPAN_LIMIT)
+
+
+def _next_span_id() -> str:
+    return f"{_ID_PREFIX}-{next(_ids):x}"
 
 
 @dataclass
@@ -86,7 +109,7 @@ def record_span(
     parent = _current.get()
     span = Span(
         name=name,
-        span_id=format(next(_ids), "x"),
+        span_id=_next_span_id(),
         parent_id=parent.span_id if parent is not None else None,
         labels={str(k): str(v) for k, v in labels.items()},
         started=time.time() - max(duration_seconds, 0.0),
@@ -105,6 +128,29 @@ def record_span(
 
 
 @contextmanager
+def remote_parent(span_id: Optional[str]) -> Iterator[Optional[Span]]:
+    """Parent spans opened inside this block under a *remote* span id.
+
+    The cross-process half of span propagation: a worker that received
+    a submitter's span id on the wire wraps the job's execution in
+    ``with remote_parent(trace_id):`` and every span recorded inside —
+    on this thread/task — links to the submitter's span.  The synthetic
+    placeholder span is never recorded itself (it has no duration
+    here); a falsy *span_id* makes the block a no-op so call sites
+    need no conditional.
+    """
+    if not span_id:
+        yield None
+        return
+    placeholder = Span(name="remote", span_id=str(span_id))
+    token = _current.set(placeholder)
+    try:
+        yield placeholder
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
 def trace(
     name: str,
     registry: Optional[MetricsRegistry] = None,
@@ -114,7 +160,7 @@ def trace(
     parent = _current.get()
     span = Span(
         name=name,
-        span_id=format(next(_ids), "x"),
+        span_id=_next_span_id(),
         parent_id=parent.span_id if parent is not None else None,
         labels={str(k): str(v) for k, v in labels.items()},
         started=time.time(),

@@ -40,6 +40,7 @@ numerical drift.
 
 from repro.service.client import ServiceClient, StreamedDetection
 from repro.service.jobs import Job, JobState, TERMINAL_STATES
+from repro.service.policy import RetryPolicy, RetryState
 from repro.service.protocol import (
     event_to_wire,
     pgm_job,
@@ -62,6 +63,8 @@ __all__ = [
     "serve_forever",
     "ServiceClient",
     "StreamedDetection",
+    "RetryPolicy",
+    "RetryState",
     "Job",
     "JobState",
     "TERMINAL_STATES",

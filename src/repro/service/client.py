@@ -36,17 +36,18 @@ from __future__ import annotations
 
 import json
 import socket
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
+    DeadlineExceededError,
     JobNotFoundError,
     QueueFullError,
     QuotaExceededError,
     ServiceError,
     ServiceUnavailableError,
 )
+from repro.service.policy import RetryPolicy
 from repro.service.protocol import TERMINAL_EVENTS
 
 __all__ = ["ServiceClient", "StreamedDetection"]
@@ -93,6 +94,18 @@ class ServiceClient:
         How many reconnect-and-retry rounds a dropped connection gets
         before :class:`ServiceUnavailableError` reaches the caller.
         ``0`` disables transparent reconnection.
+    deadline:
+        Optional overall time budget (seconds) applied to every
+        :meth:`submit`: propagated on the wire so the server can shed
+        the job once it expires, and raised client-side as
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        sleeping into a retry that cannot finish in time.
+    retry_policy:
+        Optional :class:`~repro.service.policy.RetryPolicy` override
+        for the reconnect backoff.  The default is derived from the
+        legacy ``reconnect_attempts``/``reconnect_backoff`` knobs
+        (deterministic exponential ladder, no jitter) so existing
+        callers keep their exact timing.
     """
 
     def __init__(
@@ -104,6 +117,8 @@ class ServiceClient:
         submit_attempts: int = 4,
         reconnect_attempts: int = 2,
         reconnect_backoff: float = 0.1,
+        deadline: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if submit_attempts < 1:
             raise ServiceError(f"submit_attempts must be >= 1, got {submit_attempts}")
@@ -118,6 +133,13 @@ class ServiceClient:
         self.submit_attempts = submit_attempts
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_backoff = reconnect_backoff
+        self.deadline = deadline
+        self.reconnect_policy = retry_policy or RetryPolicy(
+            max_attempts=1 + reconnect_attempts,
+            base_delay=reconnect_backoff,
+            max_delay=max(reconnect_backoff, 5.0),
+            jitter=False,
+        )
         self._sock: Optional[socket.socket] = None
         self._file = None
 
@@ -194,24 +216,21 @@ class ServiceClient:
         (content-addressed jobs are safe to resubmit; the server
         collapses them).
         """
-        attempts = 1 + self.reconnect_attempts
-        for attempt in range(attempts):
+        retry = self.reconnect_policy.start(op="client.reconnect")
+        while True:
             try:
                 self._send(payload)
-            except ServiceUnavailableError:
+            except ServiceUnavailableError as exc:
                 self.close()
-                if attempt + 1 >= attempts:
-                    raise
-                time.sleep(self.reconnect_backoff * (2 ** attempt))
+                retry.sleep(error=exc)
                 continue
             try:
                 return self._read_line()
-            except ServiceUnavailableError:
+            except ServiceUnavailableError as exc:
                 self.close()
-                if not idempotent or attempt + 1 >= attempts:
+                if not idempotent:
                     raise
-                time.sleep(self.reconnect_backoff * (2 ** attempt))
-        raise ServiceError("unreachable")  # pragma: no cover
+                retry.sleep(error=exc)
 
     def _call(self, payload: Dict[str, Any],
               idempotent: bool = True) -> Dict[str, Any]:
@@ -228,6 +247,8 @@ class ServiceClient:
             raise QueueFullError(message, retry_after=float(reply.get("retry_after", 1.0)))
         if error == "unknown-job":
             raise JobNotFoundError(message)
+        if error == "deadline-exceeded":
+            raise DeadlineExceededError(message)
         raise ServiceError(message)
 
     # -- ops -------------------------------------------------------------------
@@ -243,6 +264,7 @@ class ServiceClient:
     def submit(
         self, job: Dict[str, Any], priority: int = 0,
         max_attempts: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Submit a job spec; returns the accept reply (``job_id`` etc.).
 
@@ -252,38 +274,48 @@ class ServiceClient:
         before the :class:`QueueFullError` /
         :class:`QuotaExceededError` reaches the caller.  Pass
         ``max_attempts=1`` to surface the first rejection immediately.
+
+        *deadline* (default: the client's) bounds the whole operation:
+        the remaining budget rides on the wire as the submit message's
+        ``deadline`` field (servers shed the job once it expires), and
+        a retry that cannot fit in the budget raises
+        :class:`~repro.errors.DeadlineExceededError` instead of
+        sleeping.
         """
         attempts = self.submit_attempts if max_attempts is None else max_attempts
-        if attempts < 1:
-            raise ServiceError(f"max_attempts must be >= 1, got {attempts}")
-        payload = self._submit_payload(job, priority)
-        for attempt in range(attempts):
+        if deadline is None:
+            deadline = self.deadline
+        retry = RetryPolicy(max_attempts=attempts).start(
+            deadline=deadline, op="client.submit"
+        )
+        while True:
+            retry.check_deadline()
+            payload = self._submit_payload(job, priority)
+            if retry.deadline_at is not None:
+                payload["deadline"] = max(0.0, retry.remaining())
             try:
                 return self._call(payload, idempotent=False)
             except QueueFullError as exc:  # QuotaExceededError included
-                if attempt + 1 >= attempts:
-                    raise
-                time.sleep(exc.retry_after)
-        raise ServiceError("unreachable")  # pragma: no cover
+                retry.sleep(retry_after=exc.retry_after, error=exc)
 
     def submit_wait(
         self, job: Dict[str, Any], priority: int = 0,
         max_attempts: int = 20, max_wait: float = 60.0,
     ) -> Dict[str, Any]:
         """Submit with an explicit patience budget: sleep ``retry_after``
-        between single-shot attempts until accepted, *max_attempts*
-        tries, or *max_wait* seconds of accumulated waiting."""
-        waited = 0.0
-        for attempt in range(max_attempts):
+        between single-shot attempts until accepted, for up to
+        *max_attempts* tries or *max_wait* seconds.  Exhausting the
+        attempt budget re-raises the server's rejection; exhausting the
+        *time* budget raises
+        :class:`~repro.errors.DeadlineExceededError`."""
+        retry = RetryPolicy(max_attempts=max_attempts).start(
+            deadline=max_wait, op="client.submit_wait"
+        )
+        while True:
             try:
                 return self.submit(job, priority=priority, max_attempts=1)
             except QueueFullError as exc:
-                if attempt + 1 >= max_attempts or waited >= max_wait:
-                    raise
-                pause = min(exc.retry_after, max_wait - waited)
-                time.sleep(pause)
-                waited += pause
-        raise ServiceError("unreachable")  # pragma: no cover
+                retry.sleep(retry_after=exc.retry_after, error=exc)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._call({"op": "status", "job_id": job_id})
@@ -322,7 +354,7 @@ class ServiceClient:
         see duplicate planning/fragment events — the terminal event
         still arrives exactly once per successful stream.
         """
-        reconnects_left = self.reconnect_attempts
+        retry = self.reconnect_policy.start(op="client.stream")
         while True:
             self._call({"op": "stream", "job_id": job_id})  # ack header
             previous = self._sock.gettimeout()
@@ -333,12 +365,9 @@ class ServiceClient:
                     yield event
                     if event.get("event") in TERMINAL_EVENTS:
                         return
-            except ServiceUnavailableError:
+            except ServiceUnavailableError as exc:
                 self.close()
-                if reconnects_left <= 0:
-                    raise
-                reconnects_left -= 1
-                time.sleep(self.reconnect_backoff)
+                retry.sleep(error=exc)
             finally:
                 if self._sock is not None:
                     try:

@@ -73,6 +73,13 @@ class Job:
     result: Optional[DetectionResult] = None
     cancel_requested: bool = False
     logged: bool = False  #: has a pending record in the service's job log
+    #: Absolute monotonic time after which the client has given up
+    #: (propagated wire deadline); workers shed the job instead of
+    #: running it past this point.
+    deadline_at: Optional[float] = None
+    #: Remote parent span id (wire ``trace`` field) — engine spans of
+    #: this job's run parent under the submitter's span.
+    trace_id: Optional[str] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
     _subscribers: List["asyncio.Queue"] = field(default_factory=list)
 

@@ -1,0 +1,249 @@
+"""The unified retry/deadline policy behind every bounded retry loop.
+
+Before this module each retry site hand-rolled its own constants —
+``ServiceClient`` slept ``reconnect_backoff * 2**attempt``, ``submit``
+slept the server's raw ``retry_after``, the router's replay dispatcher
+gave up silently, and the pool re-probed dead nodes on a fixed cadence
+forever.  :class:`RetryPolicy` replaces all of them with one shape:
+
+* **exponential backoff with decorrelated jitter** (the AWS
+  architecture-blog variant: each delay is drawn uniformly from
+  ``[base, 3 * previous]``, capped) so synchronized clients spread out
+  instead of thundering back in lockstep;
+* **honored ``Retry-After``** — a server backpressure hint is
+  authoritative and replaces the computed backoff verbatim (the server
+  knows when capacity frees; jittering past it only adds latency,
+  retrying sooner hammers the queue);
+* **an overall deadline** — when sleeping the next delay cannot
+  possibly leave time to succeed, the loop raises
+  :class:`~repro.errors.DeadlineExceededError` *now* instead of
+  sleeping into a wait that is already doomed;
+* **a per-attempt timeout** bound to whichever is tighter: the
+  policy's cap or the time left on the deadline.
+
+The policy object is a frozen value; each retry loop calls
+:meth:`RetryPolicy.start` for a private :class:`RetryState` carrying
+the mutable attempt/deadline bookkeeping.  Clocks, RNG, and the sleep
+functions are injectable so tests run deterministically without real
+waiting.  Every computed delay lands in the process-global obs
+registry (``retries_total`` / ``retry_backoff_seconds`` by ``op``), so
+a metrics scrape shows where a deployment is burning time in backoff.
+
+Deadlines also *propagate*: callers put ``RetryState.remaining()`` on
+the wire (the ``deadline`` field of submit messages, the
+``X-Repro-Deadline`` HTTP header) so a backend can shed work whose
+client has already given up rather than burn chains on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlineExceededError, ServiceError
+
+__all__ = ["RetryPolicy", "RetryState"]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An immutable description of how a loop retries and when it stops.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included) before the triggering error
+        is re-raised.  ``None`` retries forever (probe loops).
+    base_delay, max_delay:
+        Backoff bounds in seconds.
+    multiplier:
+        Growth factor for the deterministic (``jitter=False``) ladder:
+        ``base_delay * multiplier**(n-1)``, capped at ``max_delay``.
+    jitter:
+        Decorrelated jitter — each delay drawn from
+        ``uniform(base_delay, 3 * previous_delay)``, capped.  The
+        default; disable only where tests need exact delays.
+    attempt_timeout:
+        Optional per-attempt cap in seconds (see
+        :meth:`RetryState.attempt_timeout`).
+    deadline:
+        Optional overall budget in seconds, measured from
+        :meth:`start`.  Overridable per call site via ``start()``.
+    """
+
+    max_attempts: Optional[int] = 4
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    jitter: bool = True
+    attempt_timeout: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ServiceError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}..{self.max_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ServiceError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def with_(self, **overrides: Any) -> "RetryPolicy":
+        """A copy with *overrides* applied (``dataclasses.replace``)."""
+        return replace(self, **overrides)
+
+    def start(
+        self,
+        deadline: Any = _UNSET,
+        op: str = "retry",
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "RetryState":
+        """A fresh :class:`RetryState` for one logical operation.
+
+        *deadline* (seconds from now) overrides the policy's own;
+        *op* labels the obs counters; *clock*/*rng*/*sleep* are test
+        injection points.
+        """
+        if deadline is _UNSET:
+            deadline = self.deadline
+        return RetryState(self, deadline=deadline, op=op,
+                          clock=clock, rng=rng, sleep=sleep)
+
+
+class RetryState:
+    """Mutable per-operation companion of a :class:`RetryPolicy`."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        deadline: Optional[float],
+        op: str,
+        clock: Callable[[], float],
+        rng: Optional[random.Random],
+        sleep: Callable[[float], None],
+    ) -> None:
+        self.policy = policy
+        self.op = op
+        self._clock = clock
+        self._rng = rng if rng is not None else random
+        self._sleep = sleep
+        self.started = clock()
+        self.deadline = deadline
+        self.deadline_at = None if deadline is None else self.started + deadline
+        self.n_failures = 0
+        self.last_delay: Optional[float] = None
+
+    # -- deadline --------------------------------------------------------------
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the overall deadline (``None``: no deadline)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - self._clock()
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceededError(
+                f"{self.op}: deadline of {self.deadline:g}s exceeded "
+                f"after {self.n_failures} failed attempt(s)"
+            )
+
+    def attempt_timeout(self, default: Optional[float] = None) -> Optional[float]:
+        """The timeout this attempt should run under: the tightest of
+        the policy's per-attempt cap, the deadline's remaining budget,
+        and *default*.  Raises :class:`DeadlineExceededError` when the
+        budget is already spent."""
+        self.check_deadline()
+        candidates = [t for t in (self.policy.attempt_timeout,
+                                  self.remaining(), default) if t is not None]
+        return min(candidates) if candidates else None
+
+    # -- backoff ---------------------------------------------------------------
+    def next_delay(self, retry_after: Optional[float] = None,
+                   error: Optional[BaseException] = None) -> float:
+        """Record a failed attempt and return how long to back off.
+
+        Raises *error* (or :class:`ServiceError`) once attempts are
+        exhausted, and :class:`DeadlineExceededError` when the delay
+        cannot fit in the remaining deadline — a retry that starts
+        after the deadline can never be useful, so the caller learns
+        *now*.  Does not sleep: probe schedulers use the raw delay;
+        blocking/async loops use :meth:`sleep` / :meth:`asleep`.
+        """
+        self.n_failures += 1
+        limit = self.policy.max_attempts
+        if limit is not None and self.n_failures >= limit:
+            if error is not None:
+                raise error
+            raise ServiceError(
+                f"{self.op}: retry attempts exhausted ({limit})"
+            )
+        if retry_after is not None:
+            delay = max(0.0, float(retry_after))
+        elif self.policy.jitter:
+            previous = self.last_delay if self.last_delay else self.policy.base_delay
+            delay = min(self.policy.max_delay,
+                        self._rng.uniform(self.policy.base_delay, previous * 3.0))
+        else:
+            delay = min(self.policy.max_delay,
+                        self.policy.base_delay
+                        * self.policy.multiplier ** (self.n_failures - 1))
+        remaining = self.remaining()
+        if remaining is not None and delay >= remaining:
+            exc = DeadlineExceededError(
+                f"{self.op}: deadline of {self.deadline:g}s leaves "
+                f"{max(0.0, remaining):.3f}s — not enough for a "
+                f"{delay:.3f}s backoff (attempt {self.n_failures})"
+            )
+            if error is not None:
+                raise exc from error
+            raise exc
+        self.last_delay = delay
+        self._observe(delay)
+        return delay
+
+    def sleep(self, retry_after: Optional[float] = None,
+              error: Optional[BaseException] = None) -> float:
+        """Blocking backoff: :meth:`next_delay` then sleep it."""
+        delay = self.next_delay(retry_after, error)
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+    async def asleep(self, retry_after: Optional[float] = None,
+                     error: Optional[BaseException] = None) -> float:
+        """Async backoff: :meth:`next_delay` then ``asyncio.sleep``."""
+        delay = self.next_delay(retry_after, error)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return delay
+
+    def _observe(self, delay: float) -> None:
+        # Late import: policy is imported by the thin client, which must
+        # stay importable without dragging the whole obs module graph in
+        # at module import time (it is stdlib-only, but cycles bite).
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.counter(
+            "retries_total",
+            help="Backoff retries taken, by logical operation.",
+            op=self.op,
+        ).inc()
+        registry.histogram(
+            "retry_backoff_seconds",
+            help="Backoff delays slept before retrying, by operation.",
+            op=self.op,
+        ).observe(delay)

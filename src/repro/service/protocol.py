@@ -62,6 +62,7 @@ from repro.engine.schema import (
     TilePlannedEvent,
 )
 from repro.errors import (
+    DeadlineExceededError,
     JobNotFoundError,
     QueueFullError,
     QuotaExceededError,
@@ -117,6 +118,8 @@ def error_reply(exc: ServiceError) -> Dict[str, Any]:
                 "message": str(exc), "retry_after": exc.retry_after}
     if isinstance(exc, JobNotFoundError):
         return {"ok": False, "error": "unknown-job", "message": str(exc)}
+    if isinstance(exc, DeadlineExceededError):
+        return {"ok": False, "error": "deadline-exceeded", "message": str(exc)}
     return {"ok": False, "error": "bad-request", "message": str(exc)}
 
 

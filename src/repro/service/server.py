@@ -43,12 +43,18 @@ from typing import Any, Dict, Optional, Tuple
 from repro.engine import run_stream
 from repro.engine.cache import ResultCache, result_to_json
 from repro.engine.schema import ResultEvent, request_key
-from repro.errors import JobNotFoundError, QueueFullError, ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
 from repro.obs import (
     Histogram,
     MetricsRegistry,
     get_registry,
     recent_spans,
+    remote_parent,
     render_json,
 )
 from repro.service.jobs import Job, JobState
@@ -152,6 +158,11 @@ class DetectionService:
         self.job_log = job_log
         self.quota = quota
         self.node_id = node_id or f"svc-{uuid.uuid4().hex[:8]}"
+        #: Fault-injection hook (chaos harness): seconds of artificial
+        #: latency added before every request/reply answer.  Pushing it
+        #: past a router's probe timeout simulates a slow-but-alive
+        #: node; 0.0 (the default) is a no-op.
+        self.response_delay = 0.0
         self.started_at = time.monotonic()
         self.n_replayed = 0
         self._queue = JobQueue(max_pending=queue_size)
@@ -376,7 +387,9 @@ class DetectionService:
             self._parse_pool, self._parse_spec, msg.get("job")
         )
         return self.admit(request, key, msg.get("priority", 0),
-                          spec=msg.get("job"), client=client)
+                          spec=msg.get("job"), client=client,
+                          deadline=msg.get("deadline"),
+                          trace_id=msg.get("trace"))
 
     def admit(
         self,
@@ -387,6 +400,8 @@ class DetectionService:
         client: Optional[str] = None,
         job_id: Optional[str] = None,
         already_logged: bool = False,
+        deadline: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Admit a parsed request; returns the wire reply.
 
@@ -396,7 +411,12 @@ class DetectionService:
         given, queued admissions are recorded for restart replay (cache
         hits are not — they are already complete); *job_id* /
         *already_logged* are the replay path re-admitting a logged job
-        under its original identity.
+        under its original identity.  *deadline* (seconds of client
+        budget left, from the wire) arms work-shedding: a queued job
+        whose budget expires before a worker reaches it fails with
+        ``deadline-exceeded`` instead of burning chains for a client
+        that already gave up.  *trace_id* parents the run's engine
+        spans under the submitter's span.
         """
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ServiceError(f"priority must be an integer, got {priority!r}")
@@ -404,6 +424,10 @@ class DetectionService:
         if job_id is not None:
             job.id = job_id
         job.logged = already_logged and self.job_log is not None
+        if isinstance(deadline, (int, float)) and not isinstance(deadline, bool):
+            job.deadline_at = time.monotonic() + max(0.0, float(deadline))
+        if isinstance(trace_id, str) and trace_id:
+            job.trace_id = trace_id
 
         hit = self.cache.get(key) if (self.cache is not None and key) else None
         if self.cache is not None and key:
@@ -561,6 +585,22 @@ class DetectionService:
             if job.cancel_requested:
                 self._finish(job, JobState.CANCELLED, {"event": "cancelled"})
                 continue
+            if job.deadline_at is not None and time.monotonic() >= job.deadline_at:
+                # The client's propagated deadline expired while the job
+                # sat queued: shed it — running chains for a caller that
+                # already gave up wastes a worker slot.
+                self.obs.counter(
+                    "service_deadline_shed_total",
+                    help="Queued jobs shed because their wire deadline expired.",
+                ).inc()
+                job.error = (
+                    f"DeadlineExceededError: job {job.id} shed — "
+                    "deadline expired before dispatch"
+                )
+                self._finish(job, JobState.FAILED,
+                             {"event": "error", "error": job.error,
+                              "deadline_exceeded": True})
+                continue
             job.state = JobState.RUNNING
             job.started_at = time.monotonic()
             self._record_stage(
@@ -603,23 +643,31 @@ class DetectionService:
         if self.executor is not None:
             request = replace(request, executor=self.executor)
         result = None
-        gen = run_stream(request)
-        try:
-            for event in gen:
-                if job.cancel_requested:
-                    raise _JobCancelled()
-                if isinstance(event, ResultEvent):
-                    result = event.result
-                else:
-                    try:
-                        loop.call_soon_threadsafe(job.publish, event_to_wire(event))
-                    except RuntimeError:
-                        # Loop shut down mid-job (service killed): stop
-                        # the orphaned engine thread quietly.
-                        raise _JobCancelled() from None
-        finally:
-            gen.close()  # tears down the AsyncExecutor pool on early exit
-            clear_worker_image()  # don't pin this job's image in the thread
+        # Engine spans recorded on this thread (engine.run_stream etc.)
+        # parent under the submitter's wire-propagated span, so a
+        # cluster scrape shows backend work nested under the router's
+        # submit span.  The contextvar set here is thread-local to this
+        # executor thread for the duration of the run.
+        with remote_parent(job.trace_id):
+            gen = run_stream(request)
+            try:
+                for event in gen:
+                    if job.cancel_requested:
+                        raise _JobCancelled()
+                    if isinstance(event, ResultEvent):
+                        result = event.result
+                    else:
+                        try:
+                            loop.call_soon_threadsafe(
+                                job.publish, event_to_wire(event)
+                            )
+                        except RuntimeError:
+                            # Loop shut down mid-job (service killed):
+                            # stop the orphaned engine thread quietly.
+                            raise _JobCancelled() from None
+            finally:
+                gen.close()  # tears down the AsyncExecutor on early exit
+                clear_worker_image()  # don't pin the image in the thread
         if result is None:  # pragma: no cover - run_stream always terminates
             raise ServiceError("engine stream ended without a result")
         return result
@@ -657,6 +705,8 @@ class DetectionService:
                         reply = self._dispatch_op(op, msg)
                 except ServiceError as exc:
                     reply = error_reply(exc)
+                if self.response_delay > 0:
+                    await asyncio.sleep(self.response_delay)
                 writer.write(encode_line(reply))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):

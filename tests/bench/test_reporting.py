@@ -116,6 +116,26 @@ class TestCompareToBaseline:
         out = format_baseline_rows(rows, 0.8)
         assert "new (no baseline)" in out
 
+    def test_series_missing_from_current_reported_not_gated(self):
+        # The mirror of "new": a series the baseline tracked but the
+        # current run lost (renamed key, skipped scenario).  Must be
+        # visible as a "missing" row, never a numeric regression.
+        baseline = {"serial": {"iters_per_second": 900.0},
+                    "strategy": {"seconds": 2.0}}
+        current = {"strategy": {"seconds": 2.1}}
+        rows, regressions = compare_to_baseline(
+            current, baseline, self.METRICS, threshold=0.8
+        )
+        assert regressions == []
+        missing = [r for r in rows if r.get("missing")]
+        assert [r["label"] for r in missing] == ["it/s"]
+        assert missing[0]["baseline"] == pytest.approx(900.0)
+        assert missing[0]["current"] is None
+        assert missing[0]["ratio"] is None
+        assert not missing[0]["regressed"]
+        out = format_baseline_rows(rows, 0.8)
+        assert "missing vs baseline" in out
+
     def test_null_or_bool_baseline_values_count_as_absent(self):
         # JSON null and true/false are not numbers; a baseline carrying
         # them behaves exactly like one missing the key.

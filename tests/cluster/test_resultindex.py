@@ -1,0 +1,132 @@
+"""ResultIndex durability: last-wins load, torn tails, compaction."""
+
+import json
+
+import pytest
+
+from repro.cluster.resultindex import ResultIndex, TERMINAL_STATES
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.fast
+
+
+@pytest.fixture
+def index(tmp_path):
+    return ResultIndex(tmp_path / "router.idx")
+
+
+class TestRecordAndLoad:
+    def test_roundtrip_preserves_every_field(self, index):
+        index.record("a", "done", key="k1", digest="d1")
+        index.record("b", "failed", key="k2", error="boom")
+        entries = index.load()
+        assert list(entries) == ["a", "b"]
+        assert entries["a"].state == "done"
+        assert entries["a"].key == "k1"
+        assert entries["a"].digest == "d1"
+        assert entries["b"].error == "boom"
+        assert entries["b"].finished_at > 0
+
+    def test_last_record_wins_and_moves_to_newest_end(self, index):
+        index.record("a", "done")
+        index.record("b", "done")
+        index.record("a", "cancelled")  # re-touch: newest end, new state
+        entries = index.load()
+        assert list(entries) == ["b", "a"]
+        assert entries["a"].state == "cancelled"
+
+    def test_only_terminal_states_accepted(self, index):
+        for state in TERMINAL_STATES:
+            index.record(f"job-{state}", state)
+        with pytest.raises(ClusterError):
+            index.record("x", "running")
+        with pytest.raises(ClusterError):
+            index.record("", "done")
+
+    def test_missing_file_loads_empty(self, index):
+        assert index.load() == {}
+
+
+class TestTornTail:
+    def test_torn_final_line_is_skipped_on_load(self, index):
+        index.record("a", "done")
+        index.close()
+        with open(index.path, "ab") as fh:
+            fh.write(b'{"job_id":"b","state":"done"')  # crash mid-write
+        assert list(ResultIndex(index.path).load()) == ["a"]
+
+    def test_next_append_seals_the_torn_tail(self, index):
+        index.record("a", "done")
+        index.close()
+        with open(index.path, "ab") as fh:
+            fh.write(b'{"job_id":"b","state":"done"')
+        reborn = ResultIndex(index.path)
+        reborn.record("c", "done")  # must not merge with the torn bytes
+        entries = reborn.load()
+        assert list(entries) == ["a", "c"]
+        # Every surviving line is intact JSON.
+        lines = index.path.read_text().splitlines()
+        assert json.loads(lines[-1])["job_id"] == "c"
+
+    def test_garbage_lines_never_fatal(self, index):
+        index.record("a", "done")
+        index.close()
+        with open(index.path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"job_id": 42, "state": "done"}\n')  # non-string id
+            fh.write('{"job_id": "x", "state": "running"}\n')  # non-terminal
+        entries = ResultIndex(index.path).load()
+        assert list(entries) == ["a"]
+
+
+class TestCompaction:
+    def test_appends_trigger_automatic_compaction(self, tmp_path):
+        index = ResultIndex(tmp_path / "r.idx", max_entries=3)
+        for i in range(7):
+            index.record(f"job-{i}", "done")
+        assert index.n_compactions >= 1
+        entries = index.load()
+        assert len(entries) <= 3 + 2  # max_entries plus the post-compact tail
+        assert "job-6" in entries  # newest always survives
+
+    def test_explicit_compact_keeps_newest_and_reports_dropped(self, tmp_path):
+        index = ResultIndex(tmp_path / "r.idx", max_entries=0)  # no auto
+        for i in range(5):
+            index.record(f"job-{i}", "done")
+        index.max_entries = 2
+        dropped = index.compact()
+        assert dropped == 3
+        assert list(index.load()) == ["job-3", "job-4"]
+        index.record("job-5", "done")  # file still appendable after replace
+        assert "job-5" in index.load()
+
+    def test_retouched_ids_survive_compaction(self, tmp_path):
+        index = ResultIndex(tmp_path / "r.idx", max_entries=0)
+        index.record("old", "done")
+        for i in range(3):
+            index.record(f"job-{i}", "done")
+        index.record("old", "done")  # re-touch: back to the newest end
+        index.max_entries = 2
+        index.compact()
+        assert "old" in index.load()
+
+    def test_zero_max_entries_disables_compaction(self, tmp_path):
+        index = ResultIndex(tmp_path / "r.idx", max_entries=0)
+        for i in range(50):
+            index.record(f"job-{i}", "done")
+        assert index.n_compactions == 0
+        assert len(index.load()) == 50
+
+    def test_negative_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ClusterError):
+            ResultIndex(tmp_path / "r.idx", max_entries=-1)
+
+
+class TestSummary:
+    def test_summary_reports_machine_readable_state(self, index):
+        index.record("a", "done")
+        doc = index.summary()
+        assert doc["n_entries"] == 1
+        assert doc["n_appended_this_session"] == 1
+        assert doc["n_compactions"] == 0
+        assert doc["path"].endswith("router.idx")

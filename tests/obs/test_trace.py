@@ -7,6 +7,7 @@ from repro.obs import (
     current_span,
     recent_spans,
     record_span,
+    remote_parent,
     trace,
 )
 
@@ -45,6 +46,26 @@ class TestTrace:
                 raise RuntimeError("boom")
         assert span.duration_seconds is not None
         assert current_span() is None
+
+
+class TestRemoteParent:
+    def test_wire_trace_id_parents_local_spans(self):
+        reg = MetricsRegistry()
+        with remote_parent("abcd1234"):
+            with trace("cluster.submit", registry=reg) as span:
+                pass
+        # Cross-process link: the local span hangs off the submitter's
+        # span id that arrived on the wire.
+        assert span.parent_id == "abcd1234"
+        assert current_span() is None
+
+    def test_falsy_trace_id_is_a_no_op(self):
+        reg = MetricsRegistry()
+        for trace_id in (None, ""):
+            with remote_parent(trace_id):
+                with trace("cluster.submit", registry=reg) as span:
+                    pass
+            assert span.parent_id is None
 
 
 class TestRecordSpan:

@@ -1,0 +1,198 @@
+"""ServiceClient resilience edges against a scripted wire peer.
+
+A real TCP listener plays back exact per-connection scripts, so the
+reconnect/backpressure/deadline paths are pinned byte-for-byte without
+needing a real service (or real failures) behind them.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceUnavailableError,
+)
+from repro.service.client import ServiceClient
+
+pytestmark = pytest.mark.fast
+
+JOB = {"scene": {"size": 32, "circles": 2, "seed": 0},
+       "strategy": "naive", "iterations": 50, "seed": 0}
+
+
+def send(fp, doc):
+    fp.write(json.dumps(doc).encode("utf-8") + b"\n")
+    fp.flush()
+
+
+def recv(fp):
+    line = fp.readline()
+    return json.loads(line) if line else None
+
+
+class ScriptedServer:
+    """One script per accepted connection; returning closes it (EOF)."""
+
+    def __init__(self, *scripts):
+        self.scripts = list(scripts)
+        self.accepted = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.host, self.port = self._sock.getsockname()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            self.accepted += 1
+            script = self.scripts.pop(0) if self.scripts else None
+            if script is None:
+                conn.close()
+                continue
+            threading.Thread(target=self._run, args=(script, conn),
+                             daemon=True).start()
+
+    @staticmethod
+    def _run(script, conn):
+        fp = conn.makefile("rwb")
+        try:
+            script(fp)
+        finally:
+            try:
+                fp.close()
+            except OSError:
+                pass
+            conn.close()
+
+    def close(self):
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class TestMidStreamReattach:
+    def test_eof_mid_stream_reattaches_to_the_same_job(self):
+        def first(fp):
+            assert recv(fp)["op"] == "stream"
+            send(fp, {"ok": True, "job_id": "j1", "state": "running"})
+            send(fp, {"event": "planning", "n_partitions": 2})
+            # return = close: EOF lands mid-stream on the client
+
+        def second(fp):
+            msg = recv(fp)
+            assert msg == {"op": "stream", "job_id": "j1"}
+            send(fp, {"ok": True, "job_id": "j1", "state": "running"})
+            # Re-attach replays history from the top, then finishes.
+            send(fp, {"event": "planning", "n_partitions": 2})
+            send(fp, {"event": "result", "result": {"circles": []}})
+
+        with ScriptedServer(first, second) as server:
+            client = ServiceClient(server.host, server.port,
+                                   reconnect_backoff=0.01)
+            events = [e.get("event") for e in client.stream("j1")]
+            client.close()
+        assert events == ["planning", "planning", "result"]
+        assert server.accepted == 2
+
+    def test_reconnect_attempts_bound_the_reattach_loop(self):
+        def ack_then_die(fp):
+            recv(fp)
+            send(fp, {"ok": True, "job_id": "j1", "state": "running"})
+
+        with ScriptedServer(ack_then_die, ack_then_die) as server:
+            client = ServiceClient(server.host, server.port,
+                                   reconnect_attempts=1,
+                                   reconnect_backoff=0.01)
+            with pytest.raises(ServiceUnavailableError):
+                list(client.stream("j1"))
+            client.close()
+        assert server.accepted == 2  # original + exactly one re-attach
+
+
+class TestBackpressureRetry:
+    def test_retry_after_is_honored_under_quota_rejection(self):
+        def script(fp):
+            assert recv(fp)["op"] == "submit"
+            send(fp, {"ok": False, "error": "quota-exceeded",
+                      "message": "later", "retry_after": 0.2})
+            assert recv(fp)["op"] == "submit"
+            send(fp, {"ok": True, "job_id": "j1", "state": "queued"})
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(server.host, server.port)
+            started = time.monotonic()
+            reply = client.submit(JOB, max_attempts=3)
+            elapsed = time.monotonic() - started
+            client.close()
+        assert reply["job_id"] == "j1"
+        assert elapsed >= 0.2  # the server's hint, verbatim, not a ladder
+
+    def test_single_shot_surfaces_the_rejection_with_its_hint(self):
+        def script(fp):
+            recv(fp)
+            send(fp, {"ok": False, "error": "quota-exceeded",
+                      "message": "later", "retry_after": 3.5})
+
+        with ScriptedServer(script) as server:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(QuotaExceededError) as exc_info:
+                client.submit(JOB, max_attempts=1)
+            client.close()
+        assert exc_info.value.retry_after == pytest.approx(3.5)
+
+
+class TestDeadlines:
+    def test_doomed_backoff_raises_deadline_not_queue_full(self):
+        def always_full(fp):
+            while recv(fp) is not None:
+                send(fp, {"ok": False, "error": "queue-full",
+                          "message": "full", "retry_after": 5.0})
+
+        with ScriptedServer(always_full) as server:
+            client = ServiceClient(server.host, server.port)
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceededError) as exc_info:
+                client.submit(JOB, max_attempts=10, deadline=0.2)
+            client.close()
+        # Distinct type: callers can tell "budget spent" from "try later".
+        assert not isinstance(exc_info.value, QueueFullError)
+        assert time.monotonic() - started < 2.0  # failed fast, no 5s sleep
+
+    def test_server_side_shed_maps_to_deadline_exceeded(self):
+        def shed(fp):
+            recv(fp)
+            send(fp, {"ok": False, "error": "deadline-exceeded",
+                      "message": "shed before dispatch"})
+
+        with ScriptedServer(shed) as server:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(DeadlineExceededError):
+                client.submit(JOB)
+            client.close()
+
+    def test_remaining_budget_rides_the_wire(self):
+        seen = []
+
+        def capture(fp):
+            seen.append(recv(fp))
+            send(fp, {"ok": True, "job_id": "j1", "state": "queued"})
+
+        with ScriptedServer(capture) as server:
+            client = ServiceClient(server.host, server.port)
+            client.submit(JOB, deadline=0.5)
+            client.close()
+        assert 0.0 < seen[0]["deadline"] <= 0.5

@@ -1,0 +1,161 @@
+"""RetryPolicy/RetryState: backoff shapes, deadlines, Retry-After.
+
+Everything runs on injected clocks/rngs/sleeps — no real waiting, every
+delay asserted exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+from repro.service.policy import RetryPolicy
+
+pytestmark = pytest.mark.fast
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestBackoffShapes:
+    def test_deterministic_ladder_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=None, base_delay=0.1,
+                             max_delay=5.0, multiplier=2.0, jitter=False)
+        retry = policy.start()
+        delays = [retry.next_delay() for _ in range(8)]
+        assert delays[:6] == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.6, 3.2])
+        assert delays[6:] == pytest.approx([5.0, 5.0])  # capped
+
+    def test_jitter_draws_from_base_to_triple_previous(self):
+        policy = RetryPolicy(max_attempts=None, base_delay=0.1,
+                             max_delay=5.0, jitter=True)
+        retry = policy.start(rng=random.Random(7))
+        previous = policy.base_delay
+        for _ in range(20):
+            delay = retry.next_delay()
+            assert policy.base_delay <= delay <= min(policy.max_delay,
+                                                     previous * 3.0)
+            previous = delay
+
+    def test_retry_after_replaces_computed_delay_verbatim(self):
+        policy = RetryPolicy(max_attempts=None, max_delay=5.0)
+        retry = policy.start()
+        # Authoritative server hint: honored even beyond max_delay.
+        assert retry.next_delay(retry_after=7.5) == 7.5
+        assert retry.next_delay(retry_after=-3.0) == 0.0  # clamped, not slept
+
+    def test_sleep_uses_injected_sleeper(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=None, base_delay=0.5, jitter=False)
+        retry = policy.start(sleep=slept.append)
+        retry.sleep()
+        retry.sleep(retry_after=0.0)  # zero delay: no sleep call at all
+        assert slept == [0.5]
+
+
+class TestAttemptLimits:
+    def test_exhaustion_reraises_the_triggering_error(self):
+        retry = RetryPolicy(max_attempts=3, jitter=False).start()
+        cause = QueueFullError("full", retry_after=1.0)
+        retry.next_delay(error=cause)
+        retry.next_delay(error=cause)
+        with pytest.raises(QueueFullError) as exc_info:
+            retry.next_delay(error=cause)
+        assert exc_info.value is cause
+
+    def test_exhaustion_without_error_raises_service_error(self):
+        retry = RetryPolicy(max_attempts=1).start(op="unit.op")
+        with pytest.raises(ServiceError, match="unit.op"):
+            retry.next_delay()
+
+    def test_none_attempts_never_exhaust(self):
+        retry = RetryPolicy(max_attempts=None, jitter=False).start()
+        for _ in range(100):
+            retry.next_delay()
+        assert retry.n_failures == 100
+
+
+class TestDeadlines:
+    def test_remaining_tracks_the_injected_clock(self):
+        clock = FakeClock()
+        retry = RetryPolicy().start(deadline=2.0, clock=clock)
+        assert retry.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert retry.remaining() == pytest.approx(0.5)
+        retry.check_deadline()  # still inside the budget
+        clock.advance(0.6)
+        with pytest.raises(DeadlineExceededError):
+            retry.check_deadline()
+
+    def test_delay_that_cannot_fit_raises_instead_of_sleeping(self):
+        clock = FakeClock()
+        retry = RetryPolicy(max_attempts=None).start(
+            deadline=1.0, clock=clock)
+        clock.advance(0.9)
+        # A 5s Retry-After against 0.1s of budget is a doomed wait.
+        with pytest.raises(DeadlineExceededError):
+            retry.next_delay(retry_after=5.0)
+
+    def test_doomed_wait_chains_the_triggering_error(self):
+        clock = FakeClock()
+        retry = RetryPolicy(max_attempts=None).start(
+            deadline=0.5, clock=clock)
+        cause = QueueFullError("full", retry_after=9.0)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            retry.next_delay(retry_after=9.0, error=cause)
+        assert exc_info.value.__cause__ is cause
+
+    def test_no_deadline_means_unbounded(self):
+        retry = RetryPolicy(max_attempts=None, jitter=False).start()
+        assert retry.remaining() is None
+        retry.check_deadline()  # never raises
+        assert retry.next_delay(retry_after=3600.0) == 3600.0
+
+    def test_start_deadline_overrides_policy_deadline(self):
+        clock = FakeClock()
+        policy = RetryPolicy(deadline=10.0)
+        assert policy.start(clock=clock).remaining() == pytest.approx(10.0)
+        assert policy.start(deadline=1.0,
+                            clock=clock).remaining() == pytest.approx(1.0)
+        assert policy.start(deadline=None, clock=clock).remaining() is None
+
+    def test_attempt_timeout_takes_the_tightest_bound(self):
+        clock = FakeClock()
+        policy = RetryPolicy(attempt_timeout=2.0)
+        retry = policy.start(deadline=5.0, clock=clock)
+        assert retry.attempt_timeout(default=30.0) == pytest.approx(2.0)
+        clock.advance(4.5)  # 0.5s of budget left, tighter than the cap
+        assert retry.attempt_timeout(default=30.0) == pytest.approx(0.5)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            retry.attempt_timeout()
+
+    def test_attempt_timeout_none_when_unbounded(self):
+        retry = RetryPolicy().start()
+        assert retry.attempt_timeout() is None
+        assert retry.attempt_timeout(default=7.0) == pytest.approx(7.0)
+
+
+class TestPolicyValue:
+    def test_with_returns_an_updated_copy(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1)
+        bounded = policy.with_(max_attempts=1)
+        assert bounded.max_attempts == 1
+        assert bounded.base_delay == policy.base_delay
+        assert policy.max_attempts == 4  # original untouched
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(multiplier=0.5)
