@@ -17,7 +17,11 @@ correctness contract:
    in-flight stream;
 5. a drained gateway finishes in-flight streams but refuses new
    submissions with 503;
-6. per-client quotas answer 429 with a ``Retry-After`` header.
+6. per-client quotas answer 429 with a ``Retry-After`` header;
+7. a completed job's ``GET /v1/jobs/{id}/trace`` returns one assembled
+   span tree — gateway, router, service, engine and at least one
+   per-partition worker span, every span parent-linked to the gateway
+   root and ``node``-labeled.
 
 Exit status is non-zero on any violation.
 """
@@ -111,6 +115,29 @@ def main() -> int:
         check(bool(sse_events) and sse_events == tcp_events,
               f"all {len(sse_events)} SSE data payloads byte-identical "
               "to TCP stream lines")
+
+        # 7. (numbered last, asserted here while the section-2 job is
+        # fresh) distributed trace assembly: the terminal job's trace
+        # endpoint returns one parent-linked, node-labeled span tree
+        # covering every layer of the request path.
+        trace_doc = gw.trace(job_id=ack["job_id"])
+        spans = trace_doc.get("spans") or []
+        names = {s["name"] for s in spans}
+        check(bool(trace_doc.get("tree")) and bool(spans),
+              f"trace endpoint returned an assembled tree "
+              f"({len(spans)} spans)")
+        check({"gateway.request", "cluster.submit", "service.run"} <= names
+              and bool(names & {"engine.run", "engine.run_stream"})
+              and "engine.partition" in names,
+              "trace covers gateway, router, service, engine and "
+              "per-partition worker spans")
+        by_id = {s["span_id"]: s for s in spans}
+        roots = [s for s in spans if not s.get("parent_id")
+                 or s["parent_id"] not in by_id]
+        check(len(roots) == 1 and roots[0]["name"] == "gateway.request",
+              "every span parent-links back to the gateway request root")
+        check(all((s.get("labels") or {}).get("node") for s in spans),
+              "every assembled span carries a node label")
 
         # 3. kill a backend mid-SSE-stream; the stream must survive the
         # failover and still end with the bit-identical result

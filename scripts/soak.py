@@ -17,6 +17,11 @@ kernel.  Fault kills wipe the dead backend's in-memory cache, so the
 hit rate must *recover* after each revive — exactly the behaviour the
 gate checks.
 
+A pre-soak probe also A/Bs the span-collection cost (collector on vs
+off, interleaved direct engine runs) and gates the overhead under
+``--trace-overhead-tolerance`` — distributed tracing must stay
+invisible at kernel granularity.
+
 Exit codes: 0 clean, 1 on drift, 2 on a harness error (no successful
 jobs at all), 3 on a ``--baseline`` regression.
 """
@@ -241,6 +246,61 @@ def drift_checks(args, windows, workload):
     return checks
 
 
+def tracing_overhead_probe(args):
+    """A/B the cost of span *collection* on direct engine runs.
+
+    Interleaved rounds — collector on, collector off — over identically
+    shaped (but distinctly seeded, so the result cache never answers)
+    workloads.  Each round contributes one *paired* overhead sample
+    (its off-arm it/s vs its on-arm it/s, adjacent in time, so machine
+    drift cancels), and the gate compares the median pair against
+    ``--trace-overhead-tolerance``.  Tracing is supposed to be
+    invisible at kernel granularity; this keeps it that way.
+    """
+    from repro.bench.workloads import synthetic_workload
+    from repro.engine import run
+    from repro.obs.collect import set_collector_enabled
+
+    iterations = max(args.iterations, 600)  # long enough to time honestly
+
+    def once(seed):
+        workload = synthetic_workload(size=args.size,
+                                      n_circles=args.circles, seed=seed)
+        request = workload.request("intelligent",
+                                   iterations=iterations, seed=seed)
+        started = time.perf_counter()
+        run(request)
+        return iterations / max(time.perf_counter() - started, 1e-9)
+
+    once(9_000)  # warmup: imports, allocator, branch caches
+    arms = {True: [], False: []}
+    pair_overheads = []
+    seed = 9_001
+    for round_index in range(args.trace_overhead_rounds):
+        # Alternate which arm runs first so slow-start bias cancels.
+        order = (True, False) if round_index % 2 == 0 else (False, True)
+        for enabled in order:
+            previous = set_collector_enabled(enabled)
+            try:
+                arms[enabled].append(once(seed))
+            finally:
+                set_collector_enabled(previous)
+            seed += 1
+        ips_on, ips_off = arms[True][-1], arms[False][-1]
+        pair_overheads.append((ips_off - ips_on) / ips_off if ips_off else 0.0)
+    ips_on = percentile(sorted(arms[True]), 50)
+    ips_off = percentile(sorted(arms[False]), 50)
+    overhead = percentile(sorted(pair_overheads), 50) or 0.0
+    return {
+        "rounds": args.trace_overhead_rounds,
+        "iterations_per_second_collecting": round(ips_on, 1),
+        "iterations_per_second_dark": round(ips_off, 1),
+        "overhead_fraction": round(overhead, 4),
+        "tolerance": args.trace_overhead_tolerance,
+        "ok": overhead <= args.trace_overhead_tolerance,
+    }
+
+
 def final_cluster_snapshot(cluster):
     """Router-side evidence: stats, the weighted cache summary, and
     which layers reported into the ``op:metrics`` fan-out."""
@@ -295,11 +355,21 @@ def main(argv=None):
     parser.add_argument("--memory-tolerance", type=float, default=2.0,
                         help="last-window traced memory may be this multiple "
                              "of the first window's (plus 16MiB slack)")
+    parser.add_argument("--trace-overhead-rounds", type=int, default=12,
+                        help="interleaved on/off rounds for the span-"
+                             "collection overhead gate; 0 disables")
+    parser.add_argument("--trace-overhead-tolerance", type=float,
+                        default=0.10,
+                        help="largest tolerated fractional it/s loss with "
+                             "span collection enabled (default 10%%)")
     parser.add_argument("--out", default="BENCH_soak.json")
     parser.add_argument("--baseline", default=None,
                         help="prior BENCH_soak.json to gate against")
     parser.add_argument("--regression-threshold", type=float, default=0.8)
     args = parser.parse_args(argv)
+
+    overhead_doc = (tracing_overhead_probe(args)
+                    if args.trace_overhead_rounds > 0 else None)
 
     tracemalloc.start()
     cluster = LocalCluster(n_backends=args.backends, mode=args.mode)
@@ -340,6 +410,17 @@ def main(argv=None):
     cached = [c for _, _, c in workload.samples]
     windows = window_rows(args, workload, memory_series)
     checks = drift_checks(args, windows, workload)
+    if overhead_doc is not None:
+        checks.append({
+            "name": "tracing_overhead",
+            "ok": overhead_doc["ok"],
+            "detail": (
+                f"span collection on: "
+                f"{overhead_doc['iterations_per_second_collecting']} it/s, "
+                f"off: {overhead_doc['iterations_per_second_dark']} it/s "
+                f"({overhead_doc['overhead_fraction']:+.1%}, limit "
+                f"{overhead_doc['tolerance']:.0%})"),
+        })
     document = {
         "benchmark": "soak",
         "version": __version__,
@@ -373,6 +454,7 @@ def main(argv=None):
         "windows": windows,
         "faults": fault_log,
         "cluster": cluster_doc,
+        "tracing_overhead": overhead_doc,
         "drift": {"checks": checks,
                   "ok": all(c["ok"] for c in checks)},
     }

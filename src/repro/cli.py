@@ -812,12 +812,69 @@ def _run_metrics(args) -> int:
             if args.spans:
                 for span in doc.get("spans", []):
                     parent = span.get("parent_id") or "-"
+                    node = (span.get("labels") or {}).get("node") or "-"
                     print(f"span {span.get('name')} "
                           f"{span.get('duration_seconds', 0.0):.6f}s "
+                          f"node={node} "
                           f"id={span.get('span_id')} parent={parent}")
             sys.stdout.flush()
         if args.watch is None:
             return 0
+
+
+def _run_trace(args) -> int:
+    """``repro trace JOB_ID``: fetch one assembled cluster trace and
+    render it — ASCII waterfall plus per-stage self-times and the
+    critical path by default, the raw document with ``--json``."""
+    from repro.obs import build_tree, critical_path, render_waterfall, \
+        stage_self_times
+
+    if args.gateway:
+        from repro.gateway import GatewayClient
+
+        doc = GatewayClient(args.gateway).trace(
+            trace_id=args.job_id if args.trace_id else None,
+            job_id=None if args.trace_id else args.job_id,
+        )
+    else:
+        from repro.service import ServiceClient
+
+        host, port = _parse_server(args.server)
+        with ServiceClient(host, port) as client:
+            doc = client.trace(
+                trace_id=args.job_id if args.trace_id else None,
+                job_id=None if args.trace_id else args.job_id,
+            )
+    if args.json:
+        print(json.dumps(doc), flush=True)
+        return 0
+    spans = doc.get("spans") or []
+    if not spans:
+        print(f"no spans buffered for {args.job_id!r} (trace evicted, "
+              "or the job never ran here)")
+        return 1
+    tree = build_tree(spans)
+    print(f"-- trace {doc.get('trace')} "
+          f"(job {doc.get('job_id') or args.job_id}, "
+          f"{len(spans)} spans) --")
+    print(render_waterfall(tree))
+    stages = doc.get("stages") or stage_self_times(tree)
+    total = sum(stages.values()) or 1.0
+    print("\nper-stage self time:")
+    for stage, seconds in sorted(stages.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage:<12} {seconds:.6f}s ({100.0 * seconds / total:.1f}%)")
+    chain = doc.get("critical_path") or [
+        {"name": s.get("name"),
+         "node": (s.get("labels") or {}).get("node"),
+         "duration_seconds": s.get("duration_seconds")}
+        for s in critical_path(tree)
+    ]
+    print("\ncritical path:")
+    print("  " + " -> ".join(
+        f"{c.get('name')}[{c.get('node') or '-'}]"
+        f" {c.get('duration_seconds') or 0.0:.4f}s"
+        for c in chain))
+    return 0
 
 
 def _run_calibrate(args) -> int:
@@ -1084,7 +1141,31 @@ def main(argv=None) -> int:
                          help="refresh every SECONDS (default 2) until "
                               "interrupted")
     metrics.add_argument("--spans", action="store_true",
-                         help="include the recent-span trace ring")
+                         help="include the recent-span trace ring "
+                              "(cluster-wide, node-labeled, when the "
+                              "target is a router or gateway)")
+    tracecmd = sub.add_parser(
+        "trace",
+        help="fetch one job's assembled cluster-wide trace tree and "
+             "render it as an ASCII waterfall",
+    )
+    tracecmd.add_argument("job_id", metavar="JOB_ID",
+                          help="router/service job id (or a raw trace "
+                               "id with --trace-id)")
+    tracecmd.add_argument("--server", metavar="HOST:PORT",
+                          default="127.0.0.1:7341",
+                          help="service/router address for the TCP "
+                               "op:trace verb (default: 127.0.0.1:7341)")
+    tracecmd.add_argument("--gateway", metavar="HOST:PORT", default=None,
+                          help="fetch GET /v1/jobs/ID/trace on a gateway "
+                               "instead (adds gateway request spans)")
+    tracecmd.add_argument("--trace-id", action="store_true",
+                          help="JOB_ID is a raw trace id, not a job id")
+    render = tracecmd.add_mutually_exclusive_group()
+    render.add_argument("--json", action="store_true",
+                        help="print the raw assembled document")
+    render.add_argument("--waterfall", action="store_true",
+                        help="ASCII waterfall + critical path (default)")
     calibrate = sub.add_parser(
         "calibrate",
         help="measure this host's s/iteration and tune `auto` executor budgets",
@@ -1152,6 +1233,8 @@ def main(argv=None) -> int:
             return _run_cluster(args)
         if args.command == "metrics":
             return _run_metrics(args)
+        if args.command == "trace":
+            return _run_trace(args)
         if args.command == "calibrate":
             return _run_calibrate(args)
         if args.command == "cache":

@@ -59,6 +59,10 @@ class BackendNode:
     n_downs: int = 0  #: times the node transitioned healthy → down
     n_active_streams: int = 0  #: live stream proxies reading from this node
     last_probe_at: Optional[float] = None
+    #: Last successful stats round-trip time, seconds — the trace
+    #: assembler's clock-skew bound when re-basing backend span
+    #: timestamps onto the router's clock.
+    probe_rtt: Optional[float] = None
     last_error: Optional[str] = None
     last_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
     #: Backoff bookkeeping while the node is down: probes of a dead
@@ -224,6 +228,7 @@ class BackendPool:
         """One stats round-trip; updates the node's health in place."""
         node.n_probes += 1
         node.last_probe_at = time.monotonic()
+        probe_started = time.monotonic()
         writer = None
         try:
             reader, writer = await asyncio.wait_for(
@@ -244,6 +249,7 @@ class BackendPool:
             return False
         else:
             node.last_stats = reply
+            node.probe_rtt = time.monotonic() - probe_started
             self.mark_up(node.node_id)
             return True
         finally:

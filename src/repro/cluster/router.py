@@ -77,9 +77,12 @@ from repro.errors import (
 )
 from repro.obs import (
     MetricsRegistry,
+    get_collector,
     get_registry,
+    mark_trace,
     merge_families,
     recent_spans,
+    record_span,
     remote_parent,
     render_json,
     trace,
@@ -521,6 +524,11 @@ class ShardRouter:
         if job.terminal:
             return
         job.state = state
+        if state == "failed":
+            # Tail sampling: keep the trace buffers of failed jobs on
+            # the router side too, so post-mortem trace assembly still
+            # finds the router's submit/stream spans.
+            mark_trace(job.trace_id, error=True)
         if self.job_log is not None:
             self.job_log.log_complete(job.rid, state)
         if self.result_index is not None:
@@ -790,7 +798,8 @@ class ShardRouter:
         # any) and its own id rides to the backend, so a cluster-wide
         # scrape shows client → router → backend as one span tree.
         with remote_parent(wire_trace if isinstance(wire_trace, str) else None):
-            with trace("cluster.submit", registry=self.obs) as span:
+            with trace("cluster.submit", registry=self.obs,
+                       node=self.node_id) as span:
                 key = await loop.run_in_executor(
                     self._parse_pool, routing_key, spec
                 )
@@ -998,6 +1007,20 @@ class ShardRouter:
             }
         return doc
 
+    @staticmethod
+    def _label_spans(spans, node_id: str):
+        """Tag span dicts with a ``node`` label (copy, don't mutate)."""
+        out = []
+        for span in spans or []:
+            if not isinstance(span, dict):
+                continue
+            span = dict(span)
+            labels = dict(span.get("labels") or {})
+            labels.setdefault("node", node_id)
+            span["labels"] = labels
+            out.append(span)
+        return out
+
     def metrics(self, include_spans: bool = False) -> Dict[str, Any]:
         """The ``op:metrics`` document: the router's registry merged
         with the process-wide engine registry, as exposition JSON."""
@@ -1008,15 +1031,27 @@ class ShardRouter:
             "metrics": render_json(self.obs, get_registry()),
         }
         if include_spans:
-            doc["spans"] = recent_spans(64)
+            doc["spans"] = self._label_spans(recent_spans(64), self.node_id)
         return doc
 
     async def metrics_async(self, include_spans: bool = False) -> Dict[str, Any]:
         """The wire ``op:metrics`` reply: the local document plus the
         backend fan-out, so a plain TCP scrape of the router covers the
-        service layer exactly like the gateway's ``GET /metrics``."""
+        service layer exactly like the gateway's ``GET /metrics``.
+        With *include_spans* the backend fan-out also gathers each
+        node's recent spans, ``node``-labeled — ``repro metrics
+        --spans`` against the router sees the whole cluster."""
         doc = self.metrics(include_spans=include_spans)
-        merge_families(doc["metrics"], await self.backend_metric_families())
+        merged, spans = await self._backend_metrics(include_spans)
+        merge_families(doc["metrics"], merged)
+        if include_spans:
+            # Backend copies first: their node labels are the accurate
+            # ones when a thread-mode cluster shares one span ring.
+            seen = {str(s.get("span_id")) for s in spans}
+            doc["spans"] = spans + [
+                s for s in doc.get("spans") or []
+                if str(s.get("span_id")) not in seen
+            ]
         return doc
 
     async def backend_metric_families(self) -> Dict[str, Any]:
@@ -1027,26 +1062,172 @@ class ShardRouter:
         cannot reach by registry reference).  A backend that fails the
         fetch contributes nothing; health marking is left to the probe
         loop (a scrape is not a health verdict)."""
+        merged, _ = await self._backend_metrics(False)
+        return merged
+
+    async def _backend_metrics(
+        self, include_spans: bool
+    ) -> Tuple[Dict[str, Any], list]:
+        """One ``op:metrics`` round per healthy backend: merged metric
+        families plus (optionally) each node's recent spans."""
 
         async def fetch(node: BackendNode):
+            msg: Dict[str, Any] = {"op": "metrics"}
+            if include_spans:
+                msg["spans"] = True
             try:
-                reply = await self._link(node).call({"op": "metrics"})
+                reply = await self._link(node).call(msg)
             except _BackendDown:
                 return None
             if not reply.get("ok"):
                 return None
-            return node.node_id, reply.get("metrics")
+            return node.node_id, reply
 
         healthy = [n for n in self.pool.nodes.values() if n.healthy]
         results = await asyncio.gather(*(fetch(node) for node in healthy))
         merged: Dict[str, Any] = {}
+        spans: list = []
         for item in results:
             if item is None:
                 continue
-            node_id, families = item
+            node_id, reply = item
+            families = reply.get("metrics")
             if isinstance(families, dict):
                 merge_families(merged, families, extra_labels={"node": node_id})
-        return merged
+            if include_spans:
+                # Dedup by span id across backends: a thread-mode
+                # cluster shares one span ring, so every backend
+                # reports the same spans — keep the first copy.
+                seen = {str(s.get("span_id")) for s in spans}
+                spans.extend(
+                    s for s in self._label_spans(reply.get("spans"), node_id)
+                    if str(s.get("span_id")) not in seen
+                )
+        return merged, spans
+
+    async def cluster_spans(self) -> list:
+        """Recent spans cluster-wide: the local ring (router + anything
+        co-hosted) plus each healthy backend's, all ``node``-labeled —
+        the span half of the gateway's ``/metrics?spans=true``."""
+        _, spans = await self._backend_metrics(True)
+        local = self._label_spans(recent_spans(64), self.node_id)
+        seen = {str(s.get("span_id")) for s in spans}
+        return spans + [s for s in local
+                        if str(s.get("span_id")) not in seen]
+
+    # -- trace assembly --------------------------------------------------------
+    async def trace_async(
+        self, rid: Any = None, trace_key: Any = None
+    ) -> Dict[str, Any]:
+        """Assemble one cluster-wide trace: the ``op:trace`` reply.
+
+        Resolves a router job id to its trace key (the ``cluster.submit``
+        span id that rode to the backends as ``msg["trace"]``), gathers
+        this process's buffered spans for the trace, fans ``op:trace``
+        out to the backends that touched the job (primary + warm
+        standby; every healthy node for a raw trace key), and merges
+        the replies: backend spans are ``node``-labeled and their
+        ``started`` stamps re-based onto the router's clock when the
+        measured offset exceeds what the probe RTT can explain.
+
+        The reply is a flat span list — every span reachable from the
+        root via ``parent_id`` links — plus per-node skew evidence;
+        consumers build the tree with :func:`repro.obs.build_tree`.
+        """
+        job: Optional[RouterJob] = None
+        if rid is not None:
+            job = self._job(rid)
+            trace_key = job.trace_id
+        if not isinstance(trace_key, str) or not trace_key:
+            raise ServiceError("trace needs a 'job_id' or 'trace' id")
+
+        candidates: list = []
+        if job is not None:
+            for nid in (job.node_id, job.standby_node_id):
+                node = self.pool.nodes.get(nid) if nid else None
+                if node is not None and node not in candidates:
+                    candidates.append(node)
+        if not candidates:
+            candidates = [n for n in self.pool.nodes.values() if n.healthy]
+
+        async def fetch(node: BackendNode):
+            t0 = time.time()
+            try:
+                reply = await self._link(node).call(
+                    {"op": "trace", "trace": trace_key})
+            except _BackendDown:
+                return None
+            if not reply.get("ok"):
+                return None
+            return node, reply, t0, time.time()
+
+        results = await asyncio.gather(*(fetch(node) for node in candidates))
+
+        # Merged, deduped by span id.  A copy that already carries a
+        # ``node`` label (stamped at the record site, or by the backend
+        # fan-out below) beats an unlabeled one — in thread-mode test
+        # clusters every component shares one collector, so the same
+        # span can arrive via both the local lookup and the fan-out.
+        merged: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+        def fold(span: Dict[str, Any]) -> None:
+            sid = str(span.get("span_id") or "")
+            if not sid:
+                return
+            have = merged.get(sid)
+            if have is None or (
+                "node" not in (have.get("labels") or {})
+                and "node" in (span.get("labels") or {})
+            ):
+                merged[sid] = span
+
+        # Local spans: the trace's bucket plus the bucket keyed by the
+        # submit span id itself (cluster.stream lands there — it is
+        # recorded under a remote parent, like backend spans are).
+        collector = get_collector()
+        for span in collector.spans_for_member(trace_key):
+            fold(span)
+        for span in collector.spans(trace_key):
+            fold(span)
+
+        nodes_doc = []
+        for item in results:
+            if item is None:
+                continue
+            node, reply, t0, t1 = item
+            skew = 0.0
+            backend_now = reply.get("now")
+            if isinstance(backend_now, (int, float)):
+                # NTP-style midpoint estimate from this very call; an
+                # offset within the probe RTT is indistinguishable from
+                # transit time, so only larger offsets are corrected.
+                offset = float(backend_now) - (t0 + (t1 - t0) / 2.0)
+                rtt = node.probe_rtt if node.probe_rtt else (t1 - t0)
+                if abs(offset) > max(rtt, 0.005):
+                    skew = offset
+            node_spans = self._label_spans(reply.get("spans"), node.node_id)
+            if skew:
+                for span in node_spans:
+                    if isinstance(span.get("started"), (int, float)):
+                        span["started"] = float(span["started"]) - skew
+            for span in node_spans:
+                fold(span)
+            nodes_doc.append({
+                "node": node.node_id,
+                "n_spans": len(node_spans),
+                "skew_seconds": round(skew, 6),
+                "probe_rtt_seconds": node.probe_rtt,
+            })
+        return {
+            "ok": True,
+            "role": "cluster",
+            "node_id": self.node_id,
+            "trace": trace_key,
+            "job_id": job.rid if job is not None else None,
+            "spans": list(merged.values()),
+            "nodes": nodes_doc,
+            "now": time.time(),
+        }
 
     # -- streaming -------------------------------------------------------------
     async def job_events(self, rid: Any):
@@ -1068,6 +1249,19 @@ class ShardRouter:
         """
         job = self._job(rid)
         ack_sent = False
+        stream_started = time.perf_counter()
+
+        def note_stream_span() -> None:
+            # The relay's wall clock as a span under the submit span:
+            # assembled traces show stream time (and with it SSE hold
+            # time at the gateway) next to the backend's compute.
+            with remote_parent(job.trace_id):
+                record_span("cluster.stream",
+                            time.perf_counter() - stream_started,
+                            registry=self.obs,
+                            histogram_labels={"node": self.node_id},
+                            job=job.rid, node=self.node_id)
+
         exclude: Set[str] = set()
         while True:
             # A node stays excluded only while it is actually down:
@@ -1082,6 +1276,7 @@ class ShardRouter:
             except (ClusterError, ServiceError) as exc:
                 if ack_sent:
                     self._complete(job, "failed")
+                    note_stream_span()
                     yield {"event": "error", "error": f"ClusterError: {exc}"}
                 else:
                     yield {"ok": False, "error": "no-backends",
@@ -1115,7 +1310,8 @@ class ShardRouter:
                     continue
                 if not ack_sent:
                     yield {"ok": True, "job_id": job.rid,
-                           "state": ack.get("state"), "node": node_id}
+                           "state": ack.get("state"), "node": node_id,
+                           "trace": job.trace_id}
                     ack_sent = True
                 while True:
                     if self.stream_timeout is not None:
@@ -1136,6 +1332,7 @@ class ShardRouter:
                     if name in TERMINAL_EVENTS:
                         job.result_digest = self._digest_event(event)
                         self._complete(job, _EVENT_STATE[name])
+                        note_stream_span()
                         return
             except (OSError, ConnectionError, asyncio.TimeoutError,
                     asyncio.IncompleteReadError) as exc:
@@ -1213,6 +1410,10 @@ class ShardRouter:
                     elif op == "metrics":
                         reply = await self.metrics_async(
                             include_spans=bool(msg.get("spans")))
+                    elif op == "trace":
+                        reply = await self.trace_async(
+                            rid=msg.get("job_id"),
+                            trace_key=msg.get("trace"))
                     elif op == "ping":
                         reply = {"ok": True, "pong": True, "role": "router"}
                     else:

@@ -120,8 +120,10 @@ from repro.engine.schema import (
     spawn_seeds,
 )
 from repro.obs import (
+    close_span as _close_span,
     get_registry as _obs_registry,
-    record_span as _record_span,
+    open_span as _open_span,
+    span_context as _span_context,
     trace as _trace,
 )
 from repro.utils.timing import Stopwatch
@@ -244,16 +246,23 @@ def run_stream(request: DetectionRequest) -> _Iterator[DetectionEvent]:
     strategy.validate(request)
     request = _replace(request, seed=snapshot_seed(request.seed))
     watch = Stopwatch().start()
+    # The stream span is opened before the strategy generator runs and
+    # closed at the terminal: every next() executes under it, so the
+    # per-partition spans recorded mid-stream parent under this span
+    # (not beside it), and stage analysis can subtract kernel time from
+    # the merge bucket.  The context never leaks between yields.
+    stream_span = _open_span("engine.run_stream", strategy=request.strategy)
     gen = strategy.execute_stream(request)
     while True:
         try:
-            event = next(gen)
+            with _span_context(stream_span):
+                event = next(gen)
         except StopIteration as stop:
             output = stop.value
             break
         yield event
     elapsed = watch.stop()
-    _record_span("engine.run_stream", elapsed, strategy=request.strategy)
+    _close_span(stream_span, elapsed)
     _observe_run(request.strategy, output, elapsed)
     yield ResultEvent(result=DetectionResult(
         strategy=request.strategy,

@@ -51,6 +51,7 @@ from repro.engine.schema import (
     request_key,
 )
 from repro.obs import get_registry as _obs_registry
+from repro.obs import record_span as _record_span
 from repro.parallel.sharedmem import set_worker_image
 from repro.utils.rng import coerce_stream
 from repro.utils.timing import Stopwatch
@@ -76,6 +77,30 @@ def _observe_executor_wait(
         "engine_executor_wait_seconds",
         help="Executor queue/scheduling wait beyond chain compute time.",
     ).observe(max(wait, 0.0))
+
+
+def _record_partition_span(
+    request: DetectionRequest, index: int, res: SubImageResult
+) -> None:
+    """One ``engine.partition`` span per finished tile worker.
+
+    Recorded coordinator-side at completion (contextvars don't cross
+    pool workers, and process workers can't share the ring anyway)
+    from the chain's self-reported compute clock, so the span parents
+    under whatever engine/service span is open here.
+    """
+    move = request.move_config
+    batch = getattr(move, "proposal_batch", 1) if move else 1
+    # Tile index and iteration count are span detail, not metric keys:
+    # per-tile histogram series would grow with the partition count.
+    _record_span(
+        "engine.partition",
+        res.elapsed_seconds,
+        histogram_labels={"proposal_batch": batch},
+        tile=index,
+        iterations=res.iterations,
+        proposal_batch=batch,
+    )
 
 #: Sentinel: plan_stream has not yet returned its merge context.
 _PLAN_PENDING = object()
@@ -144,6 +169,8 @@ class TiledStrategy(Strategy):
         set_worker_image(request.image.pixels)
         with engine_executor(request, request.image, len(tasks)) as (exec_, kind):
             sub_results = exec_.map(run_subimage_task, tasks)
+        for index, res in enumerate(sub_results):
+            _record_partition_span(request, index, res)
         raw = self.merge(request, context, sub_results)
         reports = [
             PartitionReport(
@@ -235,10 +262,12 @@ class TiledStrategy(Strategy):
                 )
                 for done_index, res in pool.completed():
                     _observe_executor_wait(submit_times, done_index, res)
+                    _record_partition_span(request, done_index, res)
                     yield self._fragment_event(tiles, done_index, res, None)
             n_tasks = len(tiles)
             for done_index, res in pool.iter_completed():
                 _observe_executor_wait(submit_times, done_index, res)
+                _record_partition_span(request, done_index, res)
                 yield self._fragment_event(tiles, done_index, res, n_tasks)
             sub_results = pool.results()
             kind = pool.kind

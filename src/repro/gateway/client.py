@@ -207,6 +207,16 @@ class GatewayClient:
         suffix = "&spans=true" if spans else ""
         return self.request("GET", f"/metrics?format=json{suffix}")
 
+    def trace(self, job_id: Optional[str] = None,
+              trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """One assembled trace tree: ``GET /v1/jobs/{id}/trace`` (by
+        job id) or ``GET /v1/traces/{trace_id}`` (by raw trace key)."""
+        if job_id is not None:
+            return self.request("GET", f"/v1/jobs/{job_id}/trace")
+        if trace_id is not None:
+            return self.request("GET", f"/v1/traces/{trace_id}")
+        raise GatewayError("trace needs a job_id or trace_id")
+
     def metrics_text(self) -> str:
         """The raw Prometheus text exposition (``request`` decodes JSON,
         so the scrape surface needs its own fetch)."""

@@ -63,11 +63,18 @@ from repro.gateway.http import (
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
+    build_tree,
+    critical_path,
     families_to_prometheus,
+    get_collector,
     get_registry,
     merge_families,
     recent_spans,
+    record_span,
+    remote_parent,
     render_json,
+    stage_self_times,
+    trace,
 )
 from repro.service.protocol import error_reply
 from repro.service.server import LoopHandle, run_background_loop
@@ -94,6 +101,27 @@ DEADLINE_HEADER = "x-repro-deadline"
 #: Submitter's span id — forwarded as the wire ``trace`` so backend
 #: spans parent under the HTTP caller's span in a cluster-wide scrape.
 TRACE_HEADER = "x-repro-trace"
+
+#: Longest client-supplied trace id the gateway forwards.  Span ids
+#: the stack mints are ~14 chars; anything past this bound is almost
+#: certainly header abuse, and it would ride every hop, bloat every
+#: span buffer, and come back in every trace document — so it is a
+#: 400, not a silent forward.
+TRACE_ID_MAX_LEN = 128
+
+
+def _label_spans(spans, node_id: str):
+    """Tag span dicts with a ``node`` label (copying, not mutating)."""
+    out = []
+    for span in spans or []:
+        if not isinstance(span, dict):
+            continue
+        span = dict(span)
+        labels = dict(span.get("labels") or {})
+        labels.setdefault("node", node_id)
+        span["labels"] = labels
+        out.append(span)
+    return out
 
 #: How long a drain-remove waits for a backend's streams to finish
 #: before the background remover gives up and removes it anyway.
@@ -134,6 +162,17 @@ class _Binding:
         backends here."""
         return {}
 
+    async def trace(self, job_id: Optional[str] = None,
+                    trace_key: Optional[str] = None) -> Dict[str, Any]:
+        """The target's span document for one trace/job — router
+        targets fan out to their backends, service targets answer from
+        the local collector.  Spans come back ``node``-labeled."""
+        raise NotImplementedError
+
+    async def cluster_spans(self) -> list:
+        """Recent spans across the target's reach, ``node``-labeled."""
+        return []
+
 
 class _ServiceBinding(_Binding):
     """Gateway mounted straight on a :class:`DetectionService`."""
@@ -148,6 +187,15 @@ class _ServiceBinding(_Binding):
 
     async def cancel(self, job_id: str) -> Dict[str, Any]:
         return self.target.cancel(job_id)
+
+    async def trace(self, job_id: Optional[str] = None,
+                    trace_key: Optional[str] = None) -> Dict[str, Any]:
+        doc = self.target.trace_doc(trace_id=trace_key, job_id=job_id)
+        doc["spans"] = _label_spans(doc.get("spans"), self.target.node_id)
+        return doc
+
+    async def cluster_spans(self) -> list:
+        return _label_spans(recent_spans(64), self.target.node_id)
 
 
 class _RouterBinding(_Binding):
@@ -170,6 +218,13 @@ class _RouterBinding(_Binding):
 
     async def metric_families(self) -> Dict[str, Any]:
         return await self.target.backend_metric_families()
+
+    async def trace(self, job_id: Optional[str] = None,
+                    trace_key: Optional[str] = None) -> Dict[str, Any]:
+        return await self.target.trace_async(rid=job_id, trace_key=trace_key)
+
+    async def cluster_spans(self) -> list:
+        return await self.target.cluster_spans()
 
 
 def _make_binding(target: Any) -> _Binding:
@@ -317,7 +372,16 @@ class Gateway:
                 "metrics": families,
             }
             if request.query.get("spans") in ("1", "true", "yes"):
-                doc["spans"] = recent_spans(64)
+                # Cluster-wide: the target's fan-out carries node
+                # labels; local ring entries it missed fall back to a
+                # ``gateway`` label (single-process deployments share
+                # one ring, so most local spans arrive labeled).
+                spans = await self.binding.cluster_spans()
+                seen = {str(s.get("span_id")) for s in spans}
+                doc["spans"] = spans + [
+                    s for s in _label_spans(recent_spans(64), "gateway")
+                    if str(s.get("span_id")) not in seen
+                ]
             writer.write(json_response(200, doc, close=not request.keep_alive))
         else:
             text = families_to_prometheus(families)
@@ -452,6 +516,11 @@ class Gateway:
                 return 200, await self.binding.status(parts[2])
             if len(parts) == 3 and method == "DELETE":
                 return 200, await self.binding.cancel(parts[2])
+            if len(parts) == 4 and parts[3] == "trace" and method == "GET":
+                return 200, await self._handle_trace(job_id=parts[2])
+        if parts[:2] == ["v1", "traces"] and len(parts) == 3 \
+                and method == "GET":
+            return 200, await self._handle_trace(trace_key=parts[2])
         if parts == ["v1", "stats"] and method == "GET":
             return 200, {"ok": True, **self.binding.stats()}
         if parts == ["admin", "cluster"] and method == "GET":
@@ -466,7 +535,65 @@ class Gateway:
         raise HttpError(404, f"no route for {method} {request.path}")
 
     # -- data plane ------------------------------------------------------------
+    async def _handle_trace(
+        self, job_id: Optional[str] = None, trace_key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/trace`` / ``GET /v1/traces/{trace_id}``:
+        one assembled trace tree for the whole request path.
+
+        The binding supplies the target's view (a router fans out to
+        the backends that touched the job); the gateway grafts in its
+        own request spans — the router's submit span parents under the
+        gateway span whose id rode the wire, so the local buckets
+        holding any still-missing parent ids complete the tree — and
+        returns the flat span list, the nested tree, the per-stage
+        self-times, and the longest chain."""
+        doc = await self.binding.trace(job_id=job_id, trace_key=trace_key)
+        spans = {str(s.get("span_id")): s
+                 for s in doc.get("spans") or [] if isinstance(s, dict)}
+        # Parent ids no fetched span resolves: look them up in the
+        # gateway-local collector (no-op when the target shares this
+        # process's collector — those buckets were already served).
+        missing = {str(s.get("parent_id")) for s in spans.values()
+                   if s.get("parent_id")} - set(spans)
+        collector = get_collector()
+        for parent_id in missing:
+            for span in _label_spans(
+                    collector.spans_for_member(parent_id), "gateway"):
+                spans.setdefault(str(span.get("span_id")), span)
+        flat = list(spans.values())
+        tree = build_tree(flat)
+        return {
+            "ok": True,
+            "role": "gateway",
+            "target_role": self.binding.role,
+            "trace": doc.get("trace"),
+            "job_id": doc.get("job_id") or job_id,
+            "nodes": doc.get("nodes") or [],
+            "spans": flat,
+            "tree": tree,
+            "stages": stage_self_times(tree),
+            "critical_path": [
+                {"name": s.get("name"),
+                 "span_id": s.get("span_id"),
+                 "node": (s.get("labels") or {}).get("node"),
+                 "duration_seconds": s.get("duration_seconds")}
+                for s in critical_path(tree)
+            ],
+        }
+
     async def _handle_submit(self, request: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/jobs``: validate, open the request span, forward.
+
+        Trace-id precedence: the ``X-Repro-Trace`` *header* wins over a
+        body ``trace`` field — headers are where proxies and load
+        balancers inject correlation ids, and the body may be a stored
+        template that still carries a stale id.  Whichever id is taken
+        must be a string of at most :data:`TRACE_ID_MAX_LEN` chars;
+        anything else is a 400, never a silent forward.  The id then
+        parents this handler's ``gateway.request`` span, whose own id
+        rides the wire — every downstream span hangs off the gateway
+        span, and the caller's id stays the root of the whole tree."""
         if self.draining:
             raise ClusterError("gateway is draining; not admitting new jobs")
         body = request.json()
@@ -488,10 +615,24 @@ class Gateway:
                     400, f"{DEADLINE_HEADER} must be a number of seconds, "
                          f"got {deadline!r}"
                 ) from None
-        trace_id = request.headers.get(TRACE_HEADER, body.get("trace"))
-        if isinstance(trace_id, str) and trace_id:
-            msg["trace"] = trace_id
-        reply = await self.binding.submit(msg, peer=None)
+        wire_trace = request.headers.get(TRACE_HEADER)
+        if wire_trace is None:
+            wire_trace = body.get("trace")
+        if wire_trace is not None:
+            if not isinstance(wire_trace, str):
+                raise HttpError(
+                    400, f"trace id must be a string, "
+                         f"got {type(wire_trace).__name__}")
+            if len(wire_trace) > TRACE_ID_MAX_LEN:
+                raise HttpError(
+                    400, f"trace id exceeds {TRACE_ID_MAX_LEN} chars "
+                         f"({len(wire_trace)})")
+        with remote_parent(wire_trace or None):
+            with trace("gateway.request", registry=self.obs,
+                       node="gateway", method="POST",
+                       route="/v1/jobs") as span:
+                msg["trace"] = span.span_id
+                reply = await self.binding.submit(msg, peer=None)
         if reply.get("ok"):
             self.n_submitted += 1
             return 202, reply
@@ -552,10 +693,21 @@ class Gateway:
                 return  # client went away: end the proxy, job keeps running
             finally:
                 self._active_streams -= 1
+                elapsed = time.perf_counter() - stream_started
                 self.obs.histogram(
                     "gateway_sse_stream_seconds",
                     help="Lifetime of SSE streams, open to close.",
-                ).observe(time.perf_counter() - stream_started)
+                ).observe(elapsed)
+                # The SSE relay as a real parented span: the ack tells
+                # us the job's trace key, so the flush time lands in
+                # the assembled tree next to the backend's compute.
+                ack_trace = first.get("trace")
+                with remote_parent(
+                        ack_trace if isinstance(ack_trace, str) else None):
+                    record_span("gateway.sse_stream", elapsed,
+                                registry=self.obs,
+                                histogram_labels={"node": "gateway"},
+                                node="gateway", job=job_id)
                 if self.draining and self._active_streams == 0:
                     self._drained.set()
         finally:

@@ -35,11 +35,29 @@ from repro.obs.expo import (
 )
 from repro.obs.trace import (
     Span,
+    close_span,
     current_span,
+    open_span,
     record_span,
     recent_spans,
     remote_parent,
+    span_context,
     trace,
+)
+from repro.obs.collect import (
+    TraceCollector,
+    TraceSampler,
+    get_collector,
+    mark_trace,
+    reset_collector,
+    set_collector_enabled,
+    trace_spans,
+)
+from repro.obs.critical import (
+    build_tree,
+    critical_path,
+    render_waterfall,
+    stage_self_times,
 )
 
 __all__ = [
@@ -54,9 +72,23 @@ __all__ = [
     "render_json",
     "render_prometheus",
     "Span",
+    "close_span",
     "current_span",
+    "open_span",
+    "span_context",
     "record_span",
     "recent_spans",
     "remote_parent",
     "trace",
+    "TraceCollector",
+    "TraceSampler",
+    "get_collector",
+    "mark_trace",
+    "reset_collector",
+    "set_collector_enabled",
+    "trace_spans",
+    "build_tree",
+    "critical_path",
+    "render_waterfall",
+    "stage_self_times",
 ]

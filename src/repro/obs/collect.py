@@ -1,0 +1,291 @@
+"""Per-trace span collection with tail-based sampling.
+
+The flat recent-span ring (:func:`repro.obs.trace.recent_spans`)
+answers "what happened lately"; this module answers "what happened to
+*that request*".  Every finished span is bucketed by its ``trace_id``
+into a :class:`TraceCollector`, and a :class:`TraceSampler` decides —
+at eviction time, when the trace's fate is known — which traces are
+worth keeping:
+
+* traces marked **errored** or **deadline-hit** are always retained;
+* traces whose top span ran longer than a **moving p95** of recent
+  top-span durations are retained (the tail a flat ring loses first);
+* a configurable **head-sampled fraction** is retained by a
+  deterministic hash of the trace id, so a baseline of ordinary
+  traffic survives for comparison;
+* everything else is evicted oldest-first once the collector is over
+  capacity, and retention is hard-bounded even when every trace is
+  protected — a storm of errors cannot grow memory without limit.
+
+The collector is process-global (like the span ring) so spans recorded
+anywhere in a process land in one place; ``op:trace`` serves its
+buffers to the router, which reassembles the cluster-wide tree.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import Span
+
+__all__ = [
+    "TraceCollector",
+    "TraceSampler",
+    "collector_enabled",
+    "get_collector",
+    "mark_trace",
+    "reset_collector",
+    "set_collector_enabled",
+    "trace_spans",
+]
+
+#: Bounded number of trace buffers a process keeps (protected included).
+MAX_TRACES = int(os.environ.get("REPRO_TRACE_MAX_TRACES", "256"))
+#: Bounded number of spans a single trace buffer accepts.
+MAX_SPANS_PER_TRACE = int(os.environ.get("REPRO_TRACE_MAX_SPANS", "512"))
+#: Fraction of ordinary traces retained by head sampling.
+HEAD_FRACTION = float(os.environ.get("REPRO_TRACE_HEAD_FRACTION", "0.05"))
+#: Sample size for the moving top-span-duration p95.
+_P95_WINDOW = 128
+
+
+class TraceSampler:
+    """Tail-based keep/evict policy for finished traces.
+
+    ``keep()`` is consulted only when the collector must shed a trace;
+    until then every trace is buffered, which is what makes the
+    sampling *tail-based* — the decision happens after the outcome
+    (error, deadline, duration) is known, not at the first span.
+    """
+
+    def __init__(
+        self,
+        head_fraction: float = HEAD_FRACTION,
+        p95_window: int = _P95_WINDOW,
+    ):
+        self.head_fraction = max(0.0, min(1.0, head_fraction))
+        self._durations: Deque[float] = deque(maxlen=p95_window)
+        self._errored: Dict[str, bool] = {}
+        self._deadline: Dict[str, bool] = {}
+        self._lock = threading.Lock()
+
+    def mark(self, trace_id: Optional[str], *, error: bool = False,
+             deadline: bool = False) -> None:
+        """Flag a trace as errored and/or deadline-hit (always kept)."""
+        if not trace_id:
+            return
+        with self._lock:
+            if error:
+                self._errored[str(trace_id)] = True
+            if deadline:
+                self._deadline[str(trace_id)] = True
+
+    def note_duration(self, seconds: float) -> None:
+        """Feed a top-span duration into the moving-p95 estimator."""
+        if seconds is None:
+            return
+        with self._lock:
+            self._durations.append(float(seconds))
+
+    def moving_p95(self) -> Optional[float]:
+        with self._lock:
+            if len(self._durations) < 8:
+                return None  # not enough signal to call anything slow
+            ordered = sorted(self._durations)
+        return ordered[min(len(ordered) - 1, (95 * len(ordered)) // 100)]
+
+    def head_sampled(self, trace_id: str) -> bool:
+        """Deterministic per-trace coin flip at ``head_fraction``."""
+        if self.head_fraction <= 0.0:
+            return False
+        bucket = zlib.crc32(trace_id.encode("utf-8", "replace")) % 10_000
+        return bucket < self.head_fraction * 10_000
+
+    def keep(self, trace_id: str, top_duration: Optional[float]) -> bool:
+        """Should this trace survive eviction pressure?"""
+        with self._lock:
+            if self._errored.get(trace_id) or self._deadline.get(trace_id):
+                return True
+        p95 = self.moving_p95()
+        # Strictly above: under perfectly uniform traffic every trace
+        # *equals* the p95, and >= would protect all of them.
+        if p95 is not None and top_duration is not None \
+                and top_duration > p95:
+            return True
+        return self.head_sampled(trace_id)
+
+    def forget(self, trace_id: str) -> None:
+        with self._lock:
+            self._errored.pop(trace_id, None)
+            self._deadline.pop(trace_id, None)
+
+
+class _TraceBuffer:
+    __slots__ = ("spans", "top_duration")
+
+    def __init__(self):
+        self.spans: List["Span"] = []
+        self.top_duration: Optional[float] = None
+
+
+class TraceCollector:
+    """Bounded per-trace-id span store with sampler-driven eviction.
+
+    Keyed by ``Span.trace_id``; an index from span id to trace id lets
+    the router find "the trace containing span X" when all it holds is
+    the submit span's id.  Over :attr:`max_traces`, the oldest trace
+    the sampler declines to keep is evicted; if *every* buffered trace
+    is protected the oldest one goes anyway, so retention stays
+    bounded under churn (a flood of errored jobs included).
+    """
+
+    def __init__(
+        self,
+        max_traces: int = MAX_TRACES,
+        max_spans_per_trace: int = MAX_SPANS_PER_TRACE,
+        sampler: Optional[TraceSampler] = None,
+    ):
+        self.max_traces = max(1, max_traces)
+        self.max_spans_per_trace = max(1, max_spans_per_trace)
+        self.sampler = sampler if sampler is not None else TraceSampler()
+        self._traces: "OrderedDict[str, _TraceBuffer]" = OrderedDict()
+        self._span_index: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def add(self, span: "Span") -> None:
+        """File a finished span under its trace id."""
+        trace_id = getattr(span, "trace_id", None) or span.span_id
+        with self._lock:
+            buf = self._traces.get(trace_id)
+            if buf is None:
+                buf = _TraceBuffer()
+                self._traces[trace_id] = buf
+            self._traces.move_to_end(trace_id)
+            if len(buf.spans) < self.max_spans_per_trace:
+                buf.spans.append(span)
+                self._span_index[span.span_id] = trace_id
+            # The trace's "top" span — the trace root itself, or the
+            # first local span hanging off a remote parent — drives
+            # the sampler's moving p95.
+            top = (span.span_id == trace_id or span.parent_id == trace_id)
+            if top and span.duration_seconds is not None:
+                if buf.top_duration is None \
+                        or span.duration_seconds > buf.top_duration:
+                    buf.top_duration = span.duration_seconds
+                self.sampler.note_duration(span.duration_seconds)
+            evicted = self._evict_locked()
+        for tid in evicted:
+            self.sampler.forget(tid)
+
+    def _evict_locked(self) -> List[str]:
+        evicted: List[str] = []
+        while len(self._traces) > self.max_traces:
+            victim = None
+            for tid, buf in self._traces.items():  # oldest first
+                if not self.sampler.keep(tid, buf.top_duration):
+                    victim = tid
+                    break
+            if victim is None:
+                # Everything is protected: retention must still be
+                # bounded, so the oldest protected trace goes.
+                victim = next(iter(self._traces))
+            buf = self._traces.pop(victim)
+            for span in buf.spans:
+                self._span_index.pop(span.span_id, None)
+            evicted.append(victim)
+        return evicted
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def trace_for_span(self, span_id: Optional[str]) -> Optional[str]:
+        """The trace id whose buffer contains *span_id*, if any."""
+        if not span_id:
+            return None
+        with self._lock:
+            tid = self._span_index.get(str(span_id))
+            if tid is None and str(span_id) in self._traces:
+                tid = str(span_id)  # remote root: keyed but never local
+            return tid
+
+    def spans(self, trace_id: Optional[str]) -> List[Dict[str, object]]:
+        """All buffered spans of a trace, oldest first, as dicts."""
+        if not trace_id:
+            return []
+        with self._lock:
+            buf = self._traces.get(str(trace_id))
+            spans = list(buf.spans) if buf is not None else []
+        return [span.as_dict() for span in spans]
+
+    def spans_for_member(self, span_id: Optional[str]) -> List[Dict[str, object]]:
+        """Spans of the trace containing *span_id* (itself a valid key)."""
+        return self.spans(self.trace_for_span(span_id))
+
+    def mark(self, trace_id: Optional[str], *, error: bool = False,
+             deadline: bool = False) -> None:
+        self.sampler.mark(trace_id, error=error, deadline=deadline)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._span_index.clear()
+
+
+_collector = TraceCollector()
+_enabled = True
+
+
+def get_collector() -> TraceCollector:
+    """The process-global trace collector fed by finished spans."""
+    return _collector
+
+
+def collector_enabled() -> bool:
+    return _enabled
+
+
+def set_collector_enabled(flag: bool) -> bool:
+    """Toggle span collection (the soak overhead gate's off switch).
+
+    Returns the previous setting.  Disabling stops *collection* only;
+    span timing, the recent ring, and the histograms are unaffected.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def reset_collector(max_traces: Optional[int] = None,
+                    sampler: Optional[TraceSampler] = None) -> TraceCollector:
+    """Swap in a fresh global collector (tests and knob changes)."""
+    global _collector
+    _collector = TraceCollector(
+        max_traces=max_traces if max_traces is not None else MAX_TRACES,
+        sampler=sampler,
+    )
+    return _collector
+
+
+def mark_trace(trace_id: Optional[str], *, error: bool = False,
+               deadline: bool = False) -> None:
+    """Flag a trace on the global collector (always retained)."""
+    _collector.mark(trace_id, error=error, deadline=deadline)
+
+
+def trace_spans(trace_id: Optional[str]) -> List[Dict[str, object]]:
+    """Spans of a trace on the global collector, as dicts."""
+    spans = _collector.spans(trace_id)
+    if not spans:
+        spans = _collector.spans_for_member(trace_id)
+    return spans

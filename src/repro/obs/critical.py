@@ -1,0 +1,192 @@
+"""Critical-path analysis over an assembled trace tree.
+
+Input is the flat span-dict list an ``op:trace`` fan-out returns —
+possibly gathered from several processes, node-labeled and clock-skew
+adjusted by the router.  :func:`build_tree` reconstructs the parent
+tree (tolerating missing parents: a span whose parent was evicted or
+lives in an unreachable process becomes a root), :func:`critical_path`
+walks the longest child chain, :func:`stage_self_times` buckets
+*self-time* (a span's duration minus its children's) into the pipeline
+stages operators reason about — queue-wait vs dispatch vs kernel vs
+merge vs SSE flush — and :func:`render_waterfall` draws the whole
+thing as an ASCII timeline for ``repro trace --waterfall``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "STAGE_BY_SPAN",
+    "build_tree",
+    "critical_path",
+    "render_waterfall",
+    "stage_self_times",
+]
+
+#: Span-name → pipeline-stage mapping for self-time bucketing.  Names
+#: not listed fall into the ``other`` bucket; ``engine.run`` /
+#: ``engine.run_stream`` self-time is what remains after the partition
+#: workers are subtracted — i.e. the merge/coordination cost.
+STAGE_BY_SPAN = {
+    "gateway.request": "gateway",
+    "gateway.sse_stream": "sse_flush",
+    "cluster.submit": "dispatch",
+    "cluster.stream": "stream",
+    "service.queue_wait": "queue_wait",
+    "service.run": "service",
+    "engine.run": "merge",
+    "engine.run_stream": "merge",
+    "engine.partition": "kernel",
+}
+
+
+def _as_node(span: Dict[str, object]) -> Dict[str, object]:
+    node = dict(span)
+    node["children"] = []
+    return node
+
+
+def build_tree(spans: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Reconstruct the span tree(s) from a flat span-dict list.
+
+    Returns a list of roots (one per connected component), each a span
+    dict extended with a ``children`` list sorted by start time.
+    Duplicate span ids keep the first occurrence; orphans — spans
+    whose parent id is absent from the set — become roots, which is
+    what makes partial traces (evicted buffers, dead backends) still
+    renderable.
+    """
+    by_id: Dict[str, Dict[str, object]] = {}
+    ordered: List[Dict[str, object]] = []
+    for span in spans:
+        sid = str(span.get("span_id") or "")
+        if not sid or sid in by_id:
+            continue
+        node = _as_node(span)
+        by_id[sid] = node
+        ordered.append(node)
+    roots: List[Dict[str, object]] = []
+    for node in ordered:
+        parent_id = node.get("parent_id")
+        parent = by_id.get(str(parent_id)) if parent_id else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+
+    def sort_children(node: Dict[str, object]) -> None:
+        node["children"].sort(key=lambda c: (c.get("started") or 0.0))
+        for child in node["children"]:
+            sort_children(child)
+
+    roots.sort(key=lambda r: (r.get("started") or 0.0))
+    for root in roots:
+        sort_children(root)
+    return roots
+
+
+def _duration(node: Dict[str, object]) -> float:
+    value = node.get("duration_seconds")
+    return float(value) if value is not None else 0.0
+
+
+def stage_self_times(
+    roots: List[Dict[str, object]],
+    stage_by_span: Optional[Dict[str, str]] = None,
+) -> Dict[str, float]:
+    """Per-stage self-time across the tree, in seconds.
+
+    Self-time is a span's duration minus the summed durations of its
+    direct children (floored at zero: concurrent children — partition
+    workers on a pool — can sum past the parent's wall clock).
+    """
+    stages = stage_by_span if stage_by_span is not None else STAGE_BY_SPAN
+    totals: Dict[str, float] = {}
+
+    def walk(node: Dict[str, object]) -> None:
+        child_total = sum(_duration(c) for c in node["children"])
+        self_time = max(0.0, _duration(node) - child_total)
+        stage = stages.get(str(node.get("name")), "other")
+        totals[stage] = totals.get(stage, 0.0) + self_time
+        for child in node["children"]:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return totals
+
+
+def critical_path(
+    roots: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """The longest root-to-leaf chain by span duration.
+
+    At each level the child with the largest duration is followed —
+    the chain an engineer should look at first when asking where the
+    request's wall clock went.
+    """
+    if not roots:
+        return []
+    best_root = max(roots, key=_duration)
+    path = [best_root]
+    node = best_root
+    while node["children"]:
+        node = max(node["children"], key=_duration)
+        path.append(node)
+    return path
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000.0:.1f}ms"
+
+
+def render_waterfall(
+    roots: List[Dict[str, object]],
+    width: int = 40,
+) -> str:
+    """ASCII waterfall: one row per span, bars on a shared timeline."""
+    rows: List[Tuple[int, Dict[str, object]]] = []
+
+    def collect(node: Dict[str, object], depth: int) -> None:
+        rows.append((depth, node))
+        for child in node["children"]:
+            collect(child, depth + 1)
+
+    for root in roots:
+        collect(root, 0)
+    if not rows:
+        return "(no spans)"
+
+    starts = [float(n.get("started") or 0.0) for _, n in rows]
+    ends = [float(n.get("started") or 0.0) + _duration(n) for _, n in rows]
+    t0, t1 = min(starts), max(ends)
+    window = max(t1 - t0, 1e-9)
+
+    def bar(node: Dict[str, object]) -> str:
+        rel = (float(node.get("started") or 0.0) - t0) / window
+        frac = _duration(node) / window
+        left = min(width - 1, int(rel * width))
+        filled = max(1, int(frac * width))
+        filled = min(filled, width - left)
+        return "·" * left + "█" * filled + "·" * (width - left - filled)
+
+    label_width = max(
+        len("  " * depth + str(node.get("name"))) for depth, node in rows)
+    label_width = min(label_width, 48)
+    lines = []
+    for depth, node in rows:
+        labels = node.get("labels") or {}
+        nodename = labels.get("node", "")
+        tag = f" [{nodename}]" if nodename else ""
+        name = ("  " * depth + str(node.get("name")))[:label_width]
+        offset = float(node.get("started") or 0.0) - t0
+        lines.append(
+            f"{name:<{label_width}} |{bar(node)}| "
+            f"+{_fmt_seconds(offset)} {_fmt_seconds(_duration(node))}{tag}"
+        )
+    return "\n".join(lines)

@@ -30,14 +30,18 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional
 
+from repro.obs import collect as _collect
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "Span",
+    "close_span",
     "current_span",
+    "open_span",
     "record_span",
     "recent_spans",
     "remote_parent",
+    "span_context",
     "trace",
 ]
 
@@ -57,6 +61,21 @@ def _next_span_id() -> str:
     return f"{_ID_PREFIX}-{next(_ids):x}"
 
 
+def _trace_id_for(parent: Optional["Span"], span_id: str) -> str:
+    """Inherit the parent's trace id; a parentless span roots its own."""
+    if parent is not None:
+        return parent.trace_id or parent.span_id
+    return span_id
+
+
+def _finish(span: "Span") -> None:
+    """File a finished span into the ring and the per-trace collector."""
+    with _ring_lock:
+        _recent.append(span)
+    if _collect.collector_enabled():
+        _collect.get_collector().add(span)
+
+
 @dataclass
 class Span:
     """One timed block: name, identity, parentage, duration."""
@@ -67,12 +86,18 @@ class Span:
     labels: Dict[str, str] = field(default_factory=dict)
     started: float = 0.0  # time.time() at entry, for ordering/reporting
     duration_seconds: Optional[float] = None
+    #: The trace this span belongs to: inherited from the parent, or
+    #: the span's own id when it is a root.  A remote-parent
+    #: placeholder seeds it with the wire id, so every process that
+    #: touches one request buffers its spans under the same key.
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "labels": dict(self.labels),
             "started": self.started,
             "duration_seconds": self.duration_seconds,
@@ -97,6 +122,7 @@ def record_span(
     name: str,
     duration_seconds: float,
     registry: Optional[MetricsRegistry] = None,
+    histogram_labels: Optional[Dict[str, object]] = None,
     **labels,
 ) -> Span:
     """Record an already-measured span.
@@ -105,24 +131,93 @@ def record_span(
     duration — generator pipelines like ``engine.run_stream`` measure
     the wall clock themselves and report it here at the terminal, so
     the span never leaks into the consumer's context between yields.
+
+    By default every label also keys the ``trace_span_seconds``
+    histogram; pass *histogram_labels* to decouple them when the span
+    carries high-cardinality detail (job ids, tile indices) that must
+    not mint a metric series per value.
     """
     parent = _current.get()
+    span_id = _next_span_id()
     span = Span(
         name=name,
-        span_id=_next_span_id(),
+        span_id=span_id,
         parent_id=parent.span_id if parent is not None else None,
         labels={str(k): str(v) for k, v in labels.items()},
         started=time.time() - max(duration_seconds, 0.0),
         duration_seconds=duration_seconds,
+        trace_id=_trace_id_for(parent, span_id),
     )
-    with _ring_lock:
-        _recent.append(span)
+    _finish(span)
     reg = registry if registry is not None else get_registry()
+    metric_labels = histogram_labels if histogram_labels is not None else labels
     reg.histogram(
         "trace_span_seconds",
         help="Durations of traced spans, by span name.",
         span=name,
-        **labels,
+        **metric_labels,
+    ).observe(duration_seconds)
+    return span
+
+
+def open_span(name: str, **labels) -> Span:
+    """Mint a span now, to be finished later with :func:`close_span`.
+
+    For generator pipelines whose children must parent under a span
+    that cannot hold a ``with`` block open: ``engine.run_stream`` opens
+    its span before driving the strategy generator, wraps each
+    ``next()`` in :func:`span_context` so the per-partition spans
+    recorded mid-stream hang off it, and closes it at the terminal —
+    without the span ever leaking into the consumer's context between
+    yields.  Parent and trace id are captured from the *current*
+    context at open time, exactly as :func:`trace` would.
+    """
+    parent = _current.get()
+    span_id = _next_span_id()
+    return Span(
+        name=name,
+        span_id=span_id,
+        parent_id=parent.span_id if parent is not None else None,
+        labels={str(k): str(v) for k, v in labels.items()},
+        started=time.time(),
+        trace_id=_trace_id_for(parent, span_id),
+    )
+
+
+@contextmanager
+def span_context(span: Optional[Span]) -> Iterator[Optional[Span]]:
+    """Make *span* the current parent for the duration of the block
+    (a no-op for ``None``, so call sites need no conditional)."""
+    if span is None:
+        yield None
+        return
+    token = _current.set(span)
+    try:
+        yield span
+    finally:
+        _current.reset(token)
+
+
+def close_span(
+    span: Span,
+    duration_seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+    histogram_labels: Optional[Dict[str, object]] = None,
+) -> Span:
+    """Finish a span minted by :func:`open_span`: stamp the duration,
+    file it, and feed the ``trace_span_seconds`` histogram (span labels
+    by default, *histogram_labels* to decouple — see
+    :func:`record_span`)."""
+    span.duration_seconds = duration_seconds
+    _finish(span)
+    reg = registry if registry is not None else get_registry()
+    metric_labels = (histogram_labels if histogram_labels is not None
+                     else span.labels)
+    reg.histogram(
+        "trace_span_seconds",
+        help="Durations of traced spans, by span name.",
+        span=span.name,
+        **metric_labels,
     ).observe(duration_seconds)
     return span
 
@@ -142,7 +237,8 @@ def remote_parent(span_id: Optional[str]) -> Iterator[Optional[Span]]:
     if not span_id:
         yield None
         return
-    placeholder = Span(name="remote", span_id=str(span_id))
+    placeholder = Span(name="remote", span_id=str(span_id),
+                       trace_id=str(span_id))
     token = _current.set(placeholder)
     try:
         yield placeholder
@@ -158,12 +254,14 @@ def trace(
 ) -> Iterator[Span]:
     """Time a block as a span under the current context's parent."""
     parent = _current.get()
+    span_id = _next_span_id()
     span = Span(
         name=name,
-        span_id=_next_span_id(),
+        span_id=span_id,
         parent_id=parent.span_id if parent is not None else None,
         labels={str(k): str(v) for k, v in labels.items()},
         started=time.time(),
+        trace_id=_trace_id_for(parent, span_id),
     )
     token = _current.set(span)
     t0 = time.perf_counter()
@@ -172,8 +270,7 @@ def trace(
     finally:
         span.duration_seconds = time.perf_counter() - t0
         _current.reset(token)
-        with _ring_lock:
-            _recent.append(span)
+        _finish(span)
         reg = registry if registry is not None else get_registry()
         reg.histogram(
             "trace_span_seconds",

@@ -334,6 +334,21 @@ class ServiceClient:
             payload["spans"] = True
         return self._call(payload)
 
+    def trace(self, job_id: Optional[str] = None,
+              trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The server's ``op:trace`` document for one job or trace id.
+
+        Against a router this is the *assembled* cluster-wide trace —
+        router spans plus every backend the job touched, node-labeled;
+        against a plain service it is that process's buffered spans.
+        """
+        payload: Dict[str, Any] = {"op": "trace"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        return self._call(payload)
+
     def route(self, job: Dict[str, Any]) -> Dict[str, Any]:
         """Cluster-router introspection: where *would* this job land
         (``{"key": ..., "node": ...}``)?  Plain services reject the op."""

@@ -10,6 +10,7 @@ Client → server ops::
     {"op": "stream", "job_id": "job-..."}   # server streams event lines
     {"op": "stats"}
     {"op": "metrics", "spans": false}   # obs exposition (JSON families)
+    {"op": "trace", "job_id": "job-..."}   # or {"op": "trace", "trace": "<id>"}
     {"op": "ping"}
 
 ``client`` is optional — a self-declared id for per-client quota
@@ -17,6 +18,13 @@ accounting (servers fall back to the peer address).  A cluster router
 (:mod:`repro.cluster.router`) speaks this same protocol and adds one
 debug op, ``{"op": "route", "job": {...}}``, answering where a spec
 *would* be placed.
+
+``trace`` returns the buffered spans for one trace — addressed by a
+``job_id`` the target knows, or by raw ``trace`` key.  Against a plain
+service it answers that node's local buffer; against a router it fans
+out to the backends that touched the job and returns the merged,
+``node``-labeled, clock-skew-adjusted span list (see
+:meth:`repro.cluster.router.ClusterRouter.trace_async`).
 
 A *job spec* names the image one of three ways plus the engine knobs:
 

@@ -53,9 +53,13 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    mark_trace,
     recent_spans,
+    record_span,
     remote_parent,
     render_json,
+    trace as trace_block,
+    trace_spans,
 )
 from repro.service.jobs import Job, JobState
 from repro.service.protocol import (
@@ -540,6 +544,29 @@ class DetectionService:
             doc["spans"] = recent_spans(64)
         return doc
 
+    def trace_doc(self, trace_id: Any = None,
+                  job_id: Any = None) -> Dict[str, Any]:
+        """The ``op:trace`` document: this process's buffered spans for
+        one trace, plus a wall-clock sample for skew estimation.
+
+        The router calls this on every backend a job touched and
+        merges the replies under its own submit span; *trace_id* is
+        the router's submit span id (the key the backend buffered
+        under, via :func:`repro.obs.remote_parent`).  A local *job_id*
+        resolves through the job table instead.
+        """
+        if not trace_id and job_id is not None:
+            trace_id = self._job(job_id).trace_id
+        spans = trace_spans(str(trace_id)) if trace_id else []
+        return {
+            "ok": True,
+            "role": "service",
+            "node_id": self.node_id,
+            "trace": trace_id,
+            "spans": spans,
+            "now": time.time(),
+        }
+
     def _job(self, job_id: Any) -> Job:
         job = self._jobs.get(job_id) if isinstance(job_id, str) else None
         if job is None:
@@ -560,6 +587,12 @@ class DetectionService:
     def _finish(self, job: Job, state: JobState, event: Dict[str, Any]) -> None:
         job.state = state
         job.finished_at = time.monotonic()
+        if state is JobState.FAILED:
+            # Tail sampling: errored / deadline-shed traces are always
+            # retained, so the buffer still holds them when an operator
+            # asks for the trace after the fact.
+            mark_trace(job.trace_id, error=True,
+                       deadline=bool(event.get("deadline_exceeded")))
         self.obs.counter(
             "service_jobs_total",
             help="Jobs reaching a terminal state, by outcome.",
@@ -606,6 +639,14 @@ class DetectionService:
             self._record_stage(
                 "queue_wait", job.started_at - job.submitted_at
             )
+            # Queue wait as a real span so assembled traces show the
+            # time a job sat admitted-but-undispatched.
+            with remote_parent(job.trace_id):
+                record_span("service.queue_wait",
+                            job.started_at - job.submitted_at,
+                            registry=self.obs,
+                            histogram_labels={"node": self.node_id},
+                            job=job.id, node=self.node_id)
             job.publish({"event": "state", "state": JobState.RUNNING.value})
             self.n_dispatched += 1
             try:
@@ -648,7 +689,9 @@ class DetectionService:
         # cluster scrape shows backend work nested under the router's
         # submit span.  The contextvar set here is thread-local to this
         # executor thread for the duration of the run.
-        with remote_parent(job.trace_id):
+        with remote_parent(job.trace_id), \
+                trace_block("service.run", registry=self.obs,
+                            node=self.node_id):
             gen = run_stream(request)
             try:
                 for event in gen:
@@ -726,6 +769,9 @@ class DetectionService:
             return {"ok": True, **self.stats()}
         if op == "metrics":
             return self.metrics(include_spans=bool(msg.get("spans")))
+        if op == "trace":
+            return self.trace_doc(trace_id=msg.get("trace"),
+                                  job_id=msg.get("job_id"))
         if op == "ping":
             return {"ok": True, "pong": True}
         raise ServiceError(f"unknown op {op!r}")
@@ -744,7 +790,8 @@ class DetectionService:
         job = self._job(job_id)
         events = job.subscribe()
         try:
-            yield {"ok": True, "job_id": job.id, "state": job.state.value}
+            yield {"ok": True, "job_id": job.id, "state": job.state.value,
+                   "trace": job.trace_id}
             while True:
                 event = await events.get()
                 yield event

@@ -1,0 +1,139 @@
+"""Distributed trace assembly: the cluster answers ``op:trace``.
+
+A job submitted through the gateway must come back as ONE span tree:
+gateway request span at the root, the router's submit span under it,
+the backend's service and engine spans under that — node-labeled,
+parent-linked, with at least one per-partition worker span.  These are
+the acceptance gates for the trace subsystem; ``scripts/
+gateway_smoke.py`` re-asserts the same contract in CI against the
+HTTP surface.
+"""
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.obs import build_tree, critical_path, stage_self_times
+from repro.service import ServiceClient, scene_job
+
+
+def job_spec(seed=0, **extra):
+    spec = scene_job(size=32, circles=2, strategy="intelligent",
+                     iterations=200, seed=seed)
+    spec.update(extra)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(n_backends=3, mode="thread", workers=1,
+                      router_log=False, gateway=True) as cluster:
+        yield cluster
+
+
+def finish_job(cluster, spec):
+    """Submit over HTTP, stream to the terminal event, return the ack."""
+    gw = cluster.gateway_client()
+    ack = gw.submit(spec)
+    for _doc in gw.stream(ack["job_id"]):
+        pass
+    return ack
+
+
+class TestGatewayTraceEndpoint:
+    def test_trace_is_one_parent_linked_tree(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=11))
+        doc = cluster.gateway_client().trace(job_id=ack["job_id"])
+        assert doc["ok"] and doc["role"] == "gateway"
+        spans = doc["spans"]
+        names = {s["name"] for s in spans}
+        # Every layer reported in: gateway, router, service, engine,
+        # and at least one per-partition worker span.
+        assert "gateway.request" in names
+        assert "cluster.submit" in names
+        assert "service.run" in names
+        assert names & {"engine.run", "engine.run_stream"}
+        assert "engine.partition" in names
+
+        by_id = {s["span_id"]: s for s in spans}
+        roots = [s for s in spans if not s.get("parent_id")
+                 or s["parent_id"] not in by_id]
+        assert len(roots) == 1
+        assert roots[0]["name"] == "gateway.request"
+
+        # The trace key is the router's — the submit span under which
+        # the backend spans buffered — and that submit span hangs
+        # directly off the gateway request root.
+        submit = next(s for s in spans if s["name"] == "cluster.submit")
+        assert doc["trace"] == submit["span_id"]
+        assert submit["parent_id"] == roots[0]["span_id"]
+
+    def test_backend_span_chains_terminate_at_the_submit_span(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=12))
+        doc = cluster.gateway_client().trace(job_id=ack["job_id"])
+        spans = doc["spans"]
+        by_id = {s["span_id"]: s for s in spans}
+        submit = next(s for s in spans if s["name"] == "cluster.submit")
+        backend = [s for s in spans
+                   if s["name"].startswith(("service.", "engine."))]
+        assert backend
+        for span in backend:
+            node, hops = span, 0
+            while node["span_id"] != submit["span_id"]:
+                parent = by_id.get(node.get("parent_id") or "")
+                assert parent is not None, \
+                    f"{span['name']} chain broke at {node['name']}"
+                node, hops = parent, hops + 1
+                assert hops < len(spans)
+
+    def test_spans_carry_node_labels(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=13))
+        doc = cluster.gateway_client().trace(job_id=ack["job_id"])
+        labels = {s["name"]: (s.get("labels") or {}) for s in doc["spans"]}
+        assert labels["gateway.request"].get("node") == "gateway"
+        assert labels["cluster.submit"].get("node", "").startswith("router-")
+        assert labels["service.run"].get("node")  # the backend's id
+        # nodes_doc names every contributor with skew evidence fields.
+        assert doc["nodes"]
+        for row in doc["nodes"]:
+            assert {"node", "n_spans", "skew_seconds"} <= set(row)
+
+    def test_gateway_reports_stages_and_critical_path(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=14))
+        doc = cluster.gateway_client().trace(job_id=ack["job_id"])
+        assert doc["stages"].get("kernel", 0.0) >= 0.0
+        assert {"gateway", "dispatch"} <= set(doc["stages"])
+        chain = [c["name"] for c in doc["critical_path"]]
+        assert chain[0] == "gateway.request"
+        assert "cluster.submit" in chain
+        # The returned document round-trips through the local analyzer.
+        tree = build_tree(doc["spans"])
+        assert len(tree) == 1
+        assert [n["name"] for n in critical_path(tree)] == chain
+        assert set(stage_self_times(tree)) == set(doc["stages"])
+
+    def test_trace_by_raw_trace_id(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=15))
+        by_job = cluster.gateway_client().trace(job_id=ack["job_id"])
+        by_key = cluster.gateway_client().trace(trace_id=by_job["trace"])
+        assert {s["span_id"] for s in by_key["spans"]} >= \
+            {s["span_id"] for s in by_job["spans"]}
+
+
+class TestRouterTraceOp:
+    def test_router_answers_op_trace_for_a_job(self, cluster):
+        ack = finish_job(cluster, job_spec(seed=16))
+        host, port = cluster.address
+        with ServiceClient(host, port) as client:
+            doc = client.trace(job_id=ack["job_id"])
+        assert doc["ok"] and doc["role"] == "cluster"
+        names = {s["name"] for s in doc["spans"]}
+        assert {"cluster.submit", "service.run"} <= names
+        assert "engine.partition" in names
+
+    def test_unknown_job_errors(self, cluster):
+        from repro.errors import ReproError
+
+        host, port = cluster.address
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ReproError):
+                client.trace(job_id="job-does-not-exist")

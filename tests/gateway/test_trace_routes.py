@@ -1,0 +1,124 @@
+"""The gateway's trace surface: ``GET /v1/jobs/{id}/trace`` and
+``GET /v1/traces/{trace_id}``, plus the trace-id intake rules on
+submit (header precedence, type/length validation)."""
+
+import uuid
+
+import pytest
+
+from repro.errors import JobNotFoundError, ServiceError
+from repro.gateway import GatewayClient, gateway_background
+from repro.gateway.server import TRACE_ID_MAX_LEN
+from repro.service import scene_job
+from repro.service.server import DetectionService
+
+
+def job_spec(seed=0, **extra):
+    spec = scene_job(size=32, circles=2, strategy="intelligent",
+                     iterations=200, seed=seed)
+    spec.update(extra)
+    return spec
+
+
+@pytest.fixture
+def gateway():
+    handle = gateway_background(
+        lambda: DetectionService(workers=2, queue_size=8))
+    yield handle
+    handle.stop()
+
+
+def finish_job(client, spec, **submit_kwargs):
+    ack = client.submit(spec, **submit_kwargs)
+    for _doc in client.stream(ack["job_id"]):
+        pass
+    return ack
+
+
+class TestTraceEndpoints:
+    def test_job_trace_returns_assembled_tree(self, gateway):
+        client = GatewayClient(gateway.address)
+        ack = finish_job(client, job_spec(seed=21))
+        doc = client.trace(job_id=ack["job_id"])
+        assert doc["ok"] and doc["role"] == "gateway"
+        assert doc["target_role"] == "service"
+        names = {s["name"] for s in doc["spans"]}
+        assert "gateway.request" in names
+        assert "service.run" in names
+        assert names & {"engine.run", "engine.run_stream"}
+        assert "engine.partition" in names
+        by_id = {s["span_id"] for s in doc["spans"]}
+        roots = [s for s in doc["spans"]
+                 if not s.get("parent_id") or s["parent_id"] not in by_id]
+        assert [r["name"] for r in roots] == ["gateway.request"]
+        assert doc["tree"] and doc["stages"] and doc["critical_path"]
+
+    def test_trace_by_raw_key(self, gateway):
+        client = GatewayClient(gateway.address)
+        ack = finish_job(client, job_spec(seed=22))
+        by_job = client.trace(job_id=ack["job_id"])
+        by_key = client.trace(trace_id=by_job["trace"])
+        assert by_key["ok"]
+        assert {s["span_id"] for s in by_key["spans"]} >= \
+            {s["span_id"] for s in by_job["spans"]}
+
+    def test_unknown_job_404(self, gateway):
+        client = GatewayClient(gateway.address)
+        with pytest.raises(JobNotFoundError):
+            client.trace(job_id="job-does-not-exist")
+
+
+class TestTraceIdIntake:
+    def test_header_wins_over_body_trace(self, gateway):
+        """``X-Repro-Trace`` beats a body ``trace`` field — proxies
+        inject correlation ids in headers; bodies may be stored
+        templates carrying a stale id."""
+        client = GatewayClient(gateway.address)
+        header_id = f"hdr-{uuid.uuid4().hex}"
+        body_id = f"body-{uuid.uuid4().hex}"
+        ack = client.request(
+            "POST", "/v1/jobs",
+            {"job": job_spec(seed=23), "trace": body_id},
+            extra_headers={"X-Repro-Trace": header_id},
+        )
+        for _doc in client.stream(ack["job_id"]):
+            pass
+        under_header = client.trace(trace_id=header_id)
+        assert any(s["name"] == "gateway.request"
+                   for s in under_header["spans"])
+        under_body = client.trace(trace_id=body_id)
+        assert not any(s["name"] == "gateway.request"
+                       for s in under_body["spans"])
+
+    def test_body_trace_used_when_no_header(self, gateway):
+        client = GatewayClient(gateway.address)
+        body_id = f"body-{uuid.uuid4().hex}"
+        ack = client.request(
+            "POST", "/v1/jobs",
+            {"job": job_spec(seed=24), "trace": body_id},
+        )
+        for _doc in client.stream(ack["job_id"]):
+            pass
+        doc = client.trace(trace_id=body_id)
+        assert any(s["name"] == "gateway.request" for s in doc["spans"])
+
+    def test_non_string_trace_is_400(self, gateway):
+        client = GatewayClient(gateway.address)
+        with pytest.raises(ServiceError, match="must be a string"):
+            client.request("POST", "/v1/jobs",
+                           {"job": job_spec(seed=25), "trace": 12345})
+
+    def test_oversized_trace_is_400(self, gateway):
+        client = GatewayClient(gateway.address)
+        too_long = "x" * (TRACE_ID_MAX_LEN + 1)
+        with pytest.raises(ServiceError, match="exceeds"):
+            client.request(
+                "POST", "/v1/jobs", {"job": job_spec(seed=26)},
+                extra_headers={"X-Repro-Trace": too_long},
+            )
+        # At the cap is still accepted.
+        ack = client.request(
+            "POST", "/v1/jobs", {"job": job_spec(seed=26)},
+            extra_headers={"X-Repro-Trace": "x" * TRACE_ID_MAX_LEN},
+        )
+        assert ack["ok"]

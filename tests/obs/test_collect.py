@@ -1,0 +1,210 @@
+"""Tail-based trace sampling: the collector keeps what matters.
+
+Property-style checks on :class:`TraceSampler` / :class:`TraceCollector`:
+errored and slow traces always survive eviction pressure, retention is
+hard-bounded under churn (protected traces included), and trace ids
+propagate through nested/remote-parented spans so every span of one
+request lands in one buffer.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, record_span, remote_parent, trace
+from repro.obs.collect import (
+    TraceCollector,
+    TraceSampler,
+    collector_enabled,
+    get_collector,
+    reset_collector,
+    set_collector_enabled,
+    trace_spans,
+)
+from repro.obs.trace import Span
+
+pytestmark = pytest.mark.fast
+
+
+def make_span(span_id, trace_id=None, parent_id=None, duration=0.01,
+              name="unit.span"):
+    return Span(name=name, span_id=span_id, parent_id=parent_id,
+                trace_id=trace_id or span_id, started=0.0,
+                duration_seconds=duration)
+
+
+class TestTraceSampler:
+    def test_errored_trace_is_always_kept(self):
+        sampler = TraceSampler(head_fraction=0.0)
+        sampler.mark("t-err", error=True)
+        assert sampler.keep("t-err", 0.0001)
+        assert not sampler.keep("t-ok", 0.0001)
+
+    def test_deadline_trace_is_always_kept(self):
+        sampler = TraceSampler(head_fraction=0.0)
+        sampler.mark("t-dl", deadline=True)
+        assert sampler.keep("t-dl", None)
+
+    def test_forget_clears_protection(self):
+        sampler = TraceSampler(head_fraction=0.0)
+        sampler.mark("t", error=True, deadline=True)
+        sampler.forget("t")
+        assert not sampler.keep("t", None)
+
+    def test_p95_needs_a_minimum_sample(self):
+        sampler = TraceSampler()
+        for _ in range(7):
+            sampler.note_duration(0.01)
+        assert sampler.moving_p95() is None
+        sampler.note_duration(0.01)
+        assert sampler.moving_p95() == pytest.approx(0.01)
+
+    def test_slow_trace_above_moving_p95_is_kept(self):
+        sampler = TraceSampler(head_fraction=0.0)
+        for _ in range(64):
+            sampler.note_duration(0.010)
+        assert sampler.keep("t-slow", 0.500)
+        assert not sampler.keep("t-fast", 0.001)
+
+    def test_head_fraction_bounds(self):
+        none = TraceSampler(head_fraction=0.0)
+        every = TraceSampler(head_fraction=1.0)
+        ids = [f"trace-{i}" for i in range(50)]
+        assert not any(none.head_sampled(t) for t in ids)
+        assert all(every.head_sampled(t) for t in ids)
+
+    def test_head_sampling_is_deterministic(self):
+        a = TraceSampler(head_fraction=0.3)
+        b = TraceSampler(head_fraction=0.3)
+        ids = [f"trace-{i}" for i in range(200)]
+        assert [a.head_sampled(t) for t in ids] == \
+            [b.head_sampled(t) for t in ids]
+        hits = sum(a.head_sampled(t) for t in ids)
+        assert 0 < hits < len(ids)  # a fraction, not all-or-nothing
+
+
+class TestTraceCollector:
+    def test_spans_bucket_by_trace_id(self):
+        coll = TraceCollector(max_traces=8)
+        coll.add(make_span("a-1"))
+        coll.add(make_span("a-2", trace_id="a-1", parent_id="a-1"))
+        coll.add(make_span("b-1"))
+        assert [s["span_id"] for s in coll.spans("a-1")] == ["a-1", "a-2"]
+        assert [s["span_id"] for s in coll.spans("b-1")] == ["b-1"]
+        assert coll.spans("missing") == []
+
+    def test_member_span_resolves_its_trace(self):
+        coll = TraceCollector(max_traces=8)
+        coll.add(make_span("root"))
+        coll.add(make_span("child", trace_id="root", parent_id="root"))
+        assert coll.trace_for_span("child") == "root"
+        assert [s["span_id"] for s in coll.spans_for_member("child")] == \
+            ["root", "child"]
+
+    def test_retention_is_bounded_under_churn(self):
+        coll = TraceCollector(
+            max_traces=4, sampler=TraceSampler(head_fraction=0.0))
+        for i in range(200):
+            coll.add(make_span(f"t-{i}"))
+        assert len(coll) <= 4
+
+    def test_errored_trace_survives_bulk_eviction(self):
+        coll = TraceCollector(
+            max_traces=4, sampler=TraceSampler(head_fraction=0.0))
+        coll.add(make_span("t-err"))
+        coll.mark("t-err", error=True)
+        for i in range(200):
+            coll.add(make_span(f"bulk-{i}"))
+        assert "t-err" in coll.trace_ids()
+        assert len(coll) <= 4
+
+    def test_slow_trace_survives_bulk_eviction(self):
+        coll = TraceCollector(
+            max_traces=4, sampler=TraceSampler(head_fraction=0.0))
+        # Warm the moving p95 with ordinary traffic first — tail
+        # sampling cannot call anything slow before it has a baseline.
+        for i in range(30):
+            coll.add(make_span(f"warm-{i}", duration=0.001))
+        coll.add(make_span("t-slow", duration=5.0))
+        for i in range(200):
+            coll.add(make_span(f"bulk-{i}", duration=0.001))
+        assert "t-slow" in coll.trace_ids()
+
+    def test_retention_bounded_even_when_all_protected(self):
+        coll = TraceCollector(
+            max_traces=4, sampler=TraceSampler(head_fraction=0.0))
+        for i in range(50):
+            tid = f"err-{i}"
+            coll.mark(tid, error=True)
+            coll.add(make_span(tid))
+        assert len(coll) <= 4
+        # The newest protected traces are the survivors.
+        assert "err-49" in coll.trace_ids()
+
+    def test_eviction_drops_span_index_entries(self):
+        coll = TraceCollector(
+            max_traces=2, sampler=TraceSampler(head_fraction=0.0))
+        coll.add(make_span("t-0"))
+        coll.add(make_span("t-0-child", trace_id="t-0", parent_id="t-0"))
+        for i in range(10):
+            coll.add(make_span(f"t-{i + 1}"))
+        assert coll.trace_for_span("t-0-child") is None
+
+    def test_per_trace_span_cap(self):
+        coll = TraceCollector(max_traces=4, max_spans_per_trace=3)
+        for i in range(10):
+            coll.add(make_span(f"s-{i}", trace_id="t"))
+        assert len(coll.spans("t")) == 3
+
+    def test_clear(self):
+        coll = TraceCollector(max_traces=4)
+        coll.add(make_span("t"))
+        coll.clear()
+        assert len(coll) == 0
+        assert coll.spans("t") == []
+
+
+class TestTraceIdPropagation:
+    def test_nested_spans_share_the_root_trace_id(self):
+        reg = MetricsRegistry()
+        coll = reset_collector(max_traces=16)
+        try:
+            with trace("outer", registry=reg) as outer:
+                with trace("inner", registry=reg) as inner:
+                    record_span("leaf", 0.001, registry=reg,
+                                histogram_labels={})
+            assert inner.trace_id == outer.span_id
+            buffered = coll.spans(outer.span_id)
+            assert {s["name"] for s in buffered} == \
+                {"outer", "inner", "leaf"}
+            assert all(s["trace_id"] == outer.span_id for s in buffered)
+        finally:
+            reset_collector()
+
+    def test_remote_parent_seeds_the_wire_trace_id(self):
+        reg = MetricsRegistry()
+        coll = reset_collector(max_traces=16)
+        try:
+            with remote_parent("wire-id-123"):
+                with trace("local.work", registry=reg) as span:
+                    pass
+            assert span.trace_id == "wire-id-123"
+            assert [s["name"] for s in coll.spans("wire-id-123")] == \
+                ["local.work"]
+            # trace_spans falls through to member lookup either way.
+            assert trace_spans("wire-id-123")
+        finally:
+            reset_collector()
+
+    def test_disabled_collector_stops_collection_only(self):
+        reg = MetricsRegistry()
+        reset_collector(max_traces=16)
+        previous = set_collector_enabled(False)
+        try:
+            assert not collector_enabled()
+            with trace("dark.span", registry=reg) as span:
+                pass
+            assert get_collector().spans(span.span_id) == []
+            doc = {f.name: f for f in reg.families()}
+            assert "trace_span_seconds" in doc  # histogram still fed
+        finally:
+            set_collector_enabled(previous)
+            reset_collector()

@@ -1,0 +1,132 @@
+"""Critical-path analysis: tree building, stage self-times, waterfall."""
+
+import pytest
+
+from repro.obs import (
+    build_tree,
+    critical_path,
+    render_waterfall,
+    stage_self_times,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def span(span_id, name, parent_id=None, started=0.0, duration=0.01,
+         **labels):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": None,
+        "labels": {str(k): str(v) for k, v in labels.items()},
+        "started": started,
+        "duration_seconds": duration,
+    }
+
+
+def sample_trace():
+    return [
+        span("g1", "gateway.request", started=0.0, duration=0.100,
+             node="gateway"),
+        span("s1", "cluster.submit", parent_id="g1", started=0.001,
+             duration=0.098, node="router-1"),
+        span("q1", "service.queue_wait", parent_id="s1", started=0.002,
+             duration=0.010, node="backend-1"),
+        span("r1", "service.run", parent_id="s1", started=0.012,
+             duration=0.080, node="backend-1"),
+        span("p1", "engine.partition", parent_id="e1", started=0.020,
+             duration=0.030),
+        span("p2", "engine.partition", parent_id="e1", started=0.020,
+             duration=0.035),
+        span("e1", "engine.run_stream", parent_id="r1", started=0.015,
+             duration=0.070),
+    ]
+
+
+class TestBuildTree:
+    def test_reconstructs_one_root(self):
+        roots = build_tree(sample_trace())
+        assert len(roots) == 1
+        assert roots[0]["name"] == "gateway.request"
+        submit = roots[0]["children"][0]
+        assert submit["name"] == "cluster.submit"
+        assert {c["name"] for c in submit["children"]} == \
+            {"service.queue_wait", "service.run"}
+
+    def test_children_sorted_by_start(self):
+        roots = build_tree(sample_trace())
+        submit = roots[0]["children"][0]
+        starts = [c["started"] for c in submit["children"]]
+        assert starts == sorted(starts)
+
+    def test_orphan_becomes_root(self):
+        spans = [span("a", "engine.run", parent_id="missing-parent"),
+                 span("b", "gateway.request")]
+        roots = build_tree(spans)
+        assert {r["name"] for r in roots} == \
+            {"engine.run", "gateway.request"}
+
+    def test_duplicate_span_ids_keep_first(self):
+        spans = [span("a", "first"), span("a", "second")]
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        assert roots[0]["name"] == "first"
+
+    def test_self_parent_does_not_recurse(self):
+        roots = build_tree([span("a", "loop", parent_id="a")])
+        assert len(roots) == 1
+
+    def test_empty(self):
+        assert build_tree([]) == []
+
+
+class TestStageSelfTimes:
+    def test_self_time_subtracts_children(self):
+        stages = stage_self_times(build_tree(sample_trace()))
+        # gateway.request 0.100 minus its submit child 0.098.
+        assert stages["gateway"] == pytest.approx(0.002)
+        # both partitions land in the kernel bucket.
+        assert stages["kernel"] == pytest.approx(0.065)
+        # engine.run_stream self-time is the merge remainder.
+        assert stages["merge"] == pytest.approx(0.070 - 0.065)
+        assert stages["queue_wait"] == pytest.approx(0.010)
+
+    def test_self_time_floors_at_zero(self):
+        spans = [span("a", "engine.run", duration=0.01),
+                 span("b", "engine.partition", parent_id="a",
+                      duration=0.02)]  # concurrent child overshoots
+        stages = stage_self_times(build_tree(spans))
+        assert stages["merge"] == 0.0
+
+    def test_unknown_span_names_bucket_as_other(self):
+        stages = stage_self_times(build_tree([span("a", "mystery")]))
+        assert stages == {"other": pytest.approx(0.01)}
+
+
+class TestCriticalPath:
+    def test_follows_longest_child_chain(self):
+        path = critical_path(build_tree(sample_trace()))
+        assert [n["name"] for n in path] == [
+            "gateway.request", "cluster.submit", "service.run",
+            "engine.run_stream", "engine.partition",
+        ]
+        # the slower of the two partitions is the one on the path.
+        assert path[-1]["span_id"] == "p2"
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+
+class TestRenderWaterfall:
+    def test_renders_one_row_per_span_with_node_tags(self):
+        text = render_waterfall(build_tree(sample_trace()))
+        lines = text.splitlines()
+        assert len(lines) == len(sample_trace())
+        assert any("gateway.request" in line and "[gateway]" in line
+                   for line in lines)
+        assert any("engine.partition" in line for line in lines)
+        assert all("|" in line for line in lines)
+
+    def test_empty(self):
+        assert render_waterfall([]) == "(no spans)"
